@@ -1,0 +1,202 @@
+package spca_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark runs a reduced (Quick-profile) version of the corresponding
+// experiment on the simulated cluster and reports the headline quantity the
+// paper's table or figure shows via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation in miniature. cmd/experiments runs the
+// same experiments at full scale; EXPERIMENTS.md records those results.
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spca/internal/experiments"
+)
+
+func quick() experiments.Runner {
+	return experiments.Runner{Profile: experiments.Quick}
+}
+
+// seconds parses a rendered running-time cell.
+func seconds(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkTable1Complexity measures the per-method compute/communication of
+// Table 1 and reports sPCA's advantage over the covariance method.
+func BenchmarkTable1Complexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := quick().Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		covOps := seconds(b, tab.Rows[0][3])
+		spcaOps := seconds(b, tab.Rows[3][3])
+		b.ReportMetric(covOps/spcaOps, "cov-ops/spca-ops")
+	}
+}
+
+// BenchmarkTable2RunningTimes regenerates the running-time table and reports
+// the Mahout-vs-sPCA ratio on the largest Tweets row.
+func BenchmarkTable2RunningTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := quick().Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Row 2 is the largest tweets configuration.
+		mr := seconds(b, tab.Rows[2][4])
+		mahout := seconds(b, tab.Rows[2][5])
+		b.ReportMetric(mahout/mr, "mahout/spca-time")
+	}
+}
+
+// BenchmarkFig4AccuracyBioText reports how much longer Mahout-PCA runs than
+// sPCA-MapReduce on the Bio-Text accuracy trace.
+func BenchmarkFig4AccuracyBioText(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := quick().Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := fig.Series[0]
+		mh := fig.Series[1]
+		b.ReportMetric(mh.X[len(mh.X)-1]/sp.X[len(sp.X)-1], "mahout/spca-endtime")
+		b.ReportMetric(sp.Y[len(sp.Y)-1], "spca-final-accuracy-%")
+	}
+}
+
+// BenchmarkFig5SmartGuessTweets reports the first-iteration accuracy gain of
+// sPCA-SG over the random start.
+func BenchmarkFig5SmartGuessTweets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := quick().Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sg := fig.Series[0]
+		plain := fig.Series[1]
+		b.ReportMetric(sg.Y[0]-plain.Y[0], "sg-accuracy-gain-pts")
+	}
+}
+
+// BenchmarkFig6RowScaling reports the time-to-95%-accuracy ratio at the
+// largest row count of the Figure 6 sweep.
+func BenchmarkFig6RowScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := quick().Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := fig.Series[0]
+		mh := fig.Series[1]
+		n := len(sp.Y) - 1
+		b.ReportMetric(mh.Y[n]/sp.Y[n], "mahout/spca-at-scale")
+	}
+}
+
+// BenchmarkFig7ColumnScaling reports the MLlib/sPCA time ratio at the
+// largest dimensionality both algorithms survive, and how many sweep points
+// MLlib fails on.
+func BenchmarkFig7ColumnScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := quick().Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := fig.Series[0]
+		ml := fig.Series[1]
+		lastShared := -1
+		fails := 0
+		for j := range ml.X {
+			if ml.Annotations[j] == "" {
+				lastShared = j
+			} else {
+				fails++
+			}
+		}
+		b.ReportMetric(ml.Y[lastShared]/sp.Y[lastShared], "mllib/spca-time")
+		b.ReportMetric(float64(fails), "mllib-failures")
+	}
+}
+
+// BenchmarkFig8DriverMemory reports MLlib's driver-memory blowup relative to
+// sPCA at the largest dimensionality.
+func BenchmarkFig8DriverMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := quick().Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := fig.Series[0]
+		ml := fig.Series[1]
+		n := len(sp.Y) - 1
+		b.ReportMetric(ml.Y[n]/sp.Y[n], "mllib/spca-driver-mem")
+	}
+}
+
+// BenchmarkTable3Ablations reports the speedup each optimization provides.
+func BenchmarkTable3Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := quick().Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for col, name := range []string{"meanprop", "intermediate", "frobenius"} {
+			with := seconds(b, tab.Rows[0][col+1])
+			without := seconds(b, tab.Rows[1][col+1])
+			b.ReportMetric(without/with, name+"-speedup")
+		}
+	}
+}
+
+// BenchmarkTable4Speedup reports the 64-core speedup of sPCA-Spark.
+func BenchmarkTable4Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := quick().Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(seconds(b, tab.Rows[1][3]), "speedup-64-cores")
+	}
+}
+
+// BenchmarkRenderAll exercises the full harness end to end (all tables and
+// figures rendered to a discard writer), which is what cmd/experiments does.
+func BenchmarkRenderAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := (quick()).Run("all", io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntermediateData reports the Mahout/sPCA intermediate-data
+// reduction factor of the §5.2 comparison.
+func BenchmarkIntermediateData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := quick().Intermediate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Last column is the reduction factor, e.g. "21x".
+		last := tab.Rows[len(tab.Rows)-1]
+		red := last[len(last)-1]
+		v, err := strconv.ParseFloat(strings.TrimSuffix(red, "x"), 64)
+		if err != nil {
+			b.Fatalf("cannot parse reduction %q: %v", red, err)
+		}
+		b.ReportMetric(v, "mahout/spca-intermediate")
+	}
+}

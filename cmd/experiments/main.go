@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// on the simulated cluster. Each experiment prints its table or its figure's
+// data series; EXPERIMENTS.md records a full run next to the paper's
+// numbers.
+//
+// Usage:
+//
+//	experiments -exp all              # every table and figure, full scale
+//	experiments -exp table2           # just the running-time table
+//	experiments -exp fig7 -profile quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spca/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.IDs(), ", ")+", or all")
+		profile = flag.String("profile", "full", "scale profile: full | quick")
+		format  = flag.String("format", "text", "output format: text | csv")
+		outPath = flag.String("out", "", "write results to this file instead of stdout")
+	)
+	flag.Parse()
+
+	var p experiments.Profile
+	switch *profile {
+	case "full":
+		p = experiments.Full
+	case "quick":
+		p = experiments.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown profile %q (want full or quick)\n", *profile)
+		os.Exit(1)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *format == "text" {
+		fmt.Fprintf(out, "profile: %s (d=%d, MLlib fails past D=%d)\n\n", p.Name, p.Components, p.FailD)
+	}
+	if err := (experiments.Runner{Profile: p, Format: *format}).Run(*exp, out); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,193 @@
+// Command spca runs one of the reproduced PCA algorithms on a matrix file or
+// a generated dataset, printing the principal components and the simulated
+// cluster metrics.
+//
+// Usage:
+//
+//	spca -algo spca-spark -in matrix.spmx -d 50 -out components.dmx
+//	spca -algo mahout-pca -dataset tweets -rows 10000 -cols 1000 -d 20
+//	spca -list
+//
+// Input matrices use the spmx text format ("spmx R C NNZ" header followed by
+// "row col value" triplets) or the SPMB binary container; components are
+// written in the dmx dense text format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spca"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", string(spca.SPCASpark), "algorithm: spca-spark | spca-mapreduce | mahout-pca | mllib-pca | svd-bidiag | ppca-local")
+		in        = flag.String("in", "", "input matrix file (spmx text or SPMB binary)")
+		out       = flag.String("out", "", "write components to this file (dmx text); default: summary only")
+		dsKind    = flag.String("dataset", "", "generate a dataset instead of reading one: tweets | biotext | diabetes | images")
+		rows      = flag.Int("rows", 10000, "rows for -dataset")
+		cols      = flag.Int("cols", 1000, "columns for -dataset")
+		rank      = flag.Int("rank", 0, "planted rank for -dataset (0 = family default)")
+		d         = flag.Int("d", 50, "number of principal components")
+		iters     = flag.Int("iters", 10, "maximum refinement iterations/rounds")
+		target    = flag.Float64("target", 0, "stop at this fraction of ideal accuracy, e.g. 0.95 (0 = run to the cap)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		nodes     = flag.Int("nodes", 0, "simulated cluster nodes (0 = paper default of 8)")
+		driver    = flag.Float64("driver-gb", 0, "simulated driver memory in GB (0 = 32)")
+		smart     = flag.Bool("smart-guess", false, "enable sPCA-SG initialization")
+		listAlg   = flag.Bool("list", false, "list algorithms and exit")
+		stream    = flag.Bool("stream", false, "stream the -in file row by row (out-of-core PPCA; ignores -algo/-target)")
+		saveModel = flag.String("save-model", "", "save the fitted model to this file")
+		loadModel = flag.String("load-model", "", "skip fitting; load a model saved with -save-model")
+		transform = flag.String("transform", "", "write the input's latent representation (N x d, dmx) to this file")
+	)
+	flag.Parse()
+
+	if *listAlg {
+		fmt.Println("spca-spark      sPCA on the Spark-like engine (Algorithm 5)")
+		fmt.Println("spca-mapreduce  sPCA on the Hadoop-like engine (Algorithm 4)")
+		fmt.Println("mahout-pca      stochastic SVD baseline on MapReduce")
+		fmt.Println("mllib-pca       covariance + eigendecomposition baseline on Spark")
+		fmt.Println("svd-bidiag      dense QR + bidiagonal-SVD pipeline on MapReduce (RScaLAPACK-style)")
+		fmt.Println("ppca-local      single-machine PPCA reference (Algorithm 1)")
+		return
+	}
+
+	if *stream {
+		// Out-of-core mode: the matrix is never loaded; every EM pass
+		// streams the file. Only load it if a -transform was requested.
+		if *in == "" {
+			fatal(fmt.Errorf("-stream requires -in <file>"))
+		}
+		res, err := spca.FitStreamFile(*in, *d, *iters, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("streamed fit: %d x %d components, %d iterations, final error %.6f\n",
+			res.Components.R, res.Components.C, res.Iterations, res.Err)
+		var y *spca.Sparse
+		if *transform != "" {
+			if y, err = spca.LoadSparseFile(*in); err != nil {
+				fatal(err)
+			}
+		}
+		finish(res, y, *out, *saveModel, *transform)
+		return
+	}
+
+	y, err := loadInput(*in, *dsKind, *rows, *cols, *rank, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("input: %d x %d, %d non-zeros (density %.4f)\n", y.R, y.C, y.NNZ(),
+		float64(y.NNZ())/(float64(y.R)*float64(y.C)))
+
+	var res *spca.Result
+	if *loadModel != "" {
+		res, err = spca.LoadModelFile(*loadModel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model loaded from %s (%s, %d x %d components)\n",
+			*loadModel, res.Algorithm, res.Components.R, res.Components.C)
+		finish(res, y, *out, *saveModel, *transform)
+		return
+	}
+
+	cfg := spca.Config{
+		Algorithm:      spca.Algorithm(*algo),
+		Components:     *d,
+		MaxIter:        *iters,
+		TargetAccuracy: *target,
+		Seed:           *seed,
+		SmartGuess:     *smart,
+		Cluster: spca.ClusterConfig{
+			Nodes:          *nodes,
+			DriverMemoryGB: *driver,
+		},
+	}
+	res, err = spca.Fit(y, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm:   %s\n", res.Algorithm)
+	fmt.Printf("components:  %d x %d\n", res.Components.R, res.Components.C)
+	fmt.Printf("iterations:  %d\n", res.Iterations)
+	fmt.Printf("final error: %.6f\n", res.Err)
+	if res.NoiseVariance > 0 {
+		fmt.Printf("noise var:   %.6g\n", res.NoiseVariance)
+	}
+	fmt.Printf("cluster:     %s\n", res.Metrics.String())
+	for _, h := range res.History {
+		fmt.Printf("  iter %2d: err=%.6f", h.Iter, h.Err)
+		if h.Accuracy > 0 {
+			fmt.Printf(" accuracy=%.1f%%", h.Accuracy*100)
+		}
+		fmt.Printf(" t=%.1fs\n", h.SimSeconds)
+	}
+
+	finish(res, y, *out, *saveModel, *transform)
+}
+
+// finish handles the output options shared by the fit and load paths.
+func finish(res *spca.Result, y *spca.Sparse, out, saveModel, transform string) {
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := spca.WriteDense(f, res.Components); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("components written to %s\n", out)
+	}
+	if saveModel != "" {
+		if err := res.SaveModelFile(saveModel); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", saveModel)
+	}
+	if transform != "" {
+		x, err := res.Transform(y)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(transform)
+		if err != nil {
+			fatal(err)
+		}
+		if err := spca.WriteDense(f, x); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("latent representation (%d x %d) written to %s\n", x.R, x.C, transform)
+	}
+}
+
+func loadInput(in, dsKind string, rows, cols, rank int, seed uint64) (*spca.Sparse, error) {
+	switch {
+	case in != "" && dsKind != "":
+		return nil, fmt.Errorf("use either -in or -dataset, not both")
+	case in != "":
+		return spca.LoadSparseFile(in)
+	case dsKind != "":
+		return spca.NewDataset(spca.DatasetSpec{
+			Kind: spca.DatasetKind(dsKind), Rows: rows, Cols: cols, Rank: rank, Seed: seed,
+		})
+	default:
+		return nil, fmt.Errorf("provide -in <file> or -dataset <kind> (see -h)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spca:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"spca"
+)
+
+func TestLoadInputValidation(t *testing.T) {
+	if _, err := loadInput("", "", 0, 0, 0, 1); err == nil {
+		t.Fatal("expected error with neither -in nor -dataset")
+	}
+	if _, err := loadInput("x", "tweets", 10, 10, 0, 1); err == nil {
+		t.Fatal("expected error with both -in and -dataset")
+	}
+	if _, err := loadInput("", "bogus-kind", 10, 10, 0, 1); err == nil {
+		t.Fatal("expected error for unknown dataset kind")
+	}
+	if _, err := loadInput(filepath.Join(t.TempDir(), "missing"), "", 0, 0, 0, 1); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadInputGenerate(t *testing.T) {
+	y, err := loadInput("", "tweets", 50, 30, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.R != 50 || y.C != 30 {
+		t.Fatalf("dims %dx%d", y.R, y.C)
+	}
+}
+
+func TestLoadInputFile(t *testing.T) {
+	y := spca.GenerateDataset(spca.DatasetSpec{Kind: spca.Tweets, Rows: 20, Cols: 15, Seed: 3})
+	path := filepath.Join(t.TempDir(), "m.spmx")
+	if err := spca.SaveSparseFile(path, y, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadInput(path, "", 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != y.NNZ() {
+		t.Fatal("file round trip mismatch")
+	}
+}

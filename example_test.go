@@ -1,0 +1,91 @@
+package spca_test
+
+import (
+	"fmt"
+	"math"
+
+	"spca"
+)
+
+// ExampleFit extracts principal components from a synthetic sparse dataset
+// with sPCA on the simulated Spark engine.
+func ExampleFit() {
+	y := spca.GenerateDataset(spca.DatasetSpec{
+		Kind: spca.Tweets, Rows: 2000, Cols: 300, Seed: 1,
+	})
+	res, err := spca.Fit(y, spca.Config{
+		Algorithm:  spca.SPCASpark,
+		Components: 10,
+		MaxIter:    3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("components: %d x %d\n", res.Components.R, res.Components.C)
+	fmt.Printf("iterations: %d\n", res.Iterations)
+	fmt.Printf("intermediate data under 1 MiB: %v\n", res.Metrics.MaterializedBytes < 1<<20)
+	// Output:
+	// components: 300 x 10
+	// iterations: 3
+	// intermediate data under 1 MiB: true
+}
+
+// ExampleResult_Transform reduces the dimensionality of a dataset with the
+// fitted components.
+func ExampleResult_Transform() {
+	y := spca.GenerateDataset(spca.DatasetSpec{
+		Kind: spca.Diabetes, Rows: 100, Cols: 50, Rank: 3, Seed: 2,
+	})
+	res, err := spca.Fit(y, spca.Config{Algorithm: spca.LocalPPCA, Components: 3, MaxIter: 20})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	x, err := res.Transform(y)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("reduced: %d x %d\n", x.R, x.C)
+	// Output:
+	// reduced: 100 x 3
+}
+
+// ExampleFitMissing fits PPCA on data with NaN-marked missing entries and
+// imputes them.
+func ExampleFitMissing() {
+	y := spca.GenerateDataset(spca.DatasetSpec{
+		Kind: spca.Diabetes, Rows: 80, Cols: 30, Rank: 3, Seed: 3,
+	}).Dense()
+	y.Set(5, 7, math.NaN()) // a missing measurement
+	y.Set(40, 2, math.NaN())
+
+	res, err := spca.FitMissing(y, 3, 30, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	imputed := res.Impute(y)
+	fmt.Printf("holes filled: %v\n",
+		!math.IsNaN(imputed.At(5, 7)) && !math.IsNaN(imputed.At(40, 2)))
+	// Output:
+	// holes filled: true
+}
+
+// ExampleFit_mllibFailure shows the driver-memory failure mode the paper
+// reports for MLlib-PCA on wide matrices.
+func ExampleFit_mllibFailure() {
+	y := spca.GenerateDataset(spca.DatasetSpec{
+		Kind: spca.Tweets, Rows: 500, Cols: 800, Seed: 4,
+	})
+	_, err := spca.Fit(y, spca.Config{
+		Algorithm:  spca.MLlibPCA,
+		Components: 10,
+		// A driver too small for the 800x800 covariance.
+		Cluster: spca.ClusterConfig{DriverMemoryGB: 0.005},
+	})
+	fmt.Println("failed:", err != nil)
+	// Output:
+	// failed: true
+}

@@ -1,0 +1,97 @@
+// Imagefeatures: PCA as a dimensionality-reduction step before clustering —
+// the workload the paper's introduction motivates ("since PCA reduces the
+// dimensionality of the data, it is a key step in many other machine
+// learning algorithms that do not perform well with high-dimensional data
+// such as k-means clustering").
+//
+// The example builds an Images-like matrix of dense SIFT-style feature
+// vectors (a mixture of visual-word clusters), reduces it from 128 to 8
+// dimensions with sPCA, and clusters the reduced vectors with k-means,
+// comparing cluster quality and cost against clustering the raw vectors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spca"
+	"spca/internal/kmeans"
+	"spca/internal/matrix"
+)
+
+func main() {
+	const (
+		nVectors = 6000
+		dims     = 128
+		clusters = 8
+	)
+	y := spca.GenerateDataset(spca.DatasetSpec{
+		Kind: spca.Images,
+		Rows: nVectors,
+		Cols: dims,
+		Rank: clusters, // plant 8 visual-word clusters
+		Seed: 3,
+	})
+	fmt.Printf("features: %d vectors x %d dimensions\n\n", y.R, y.C)
+
+	// --- PCA: 128 -> 8 dimensions --------------------------------------
+	res, err := spca.Fit(y, spca.Config{
+		Algorithm:      spca.SPCASpark,
+		Components:     8,
+		TargetAccuracy: 0.95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduced, err := res.Transform(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sPCA: reduced to %d dims in %d iterations (%.1f simulated seconds)\n\n",
+		reduced.C, res.Iterations, res.Metrics.SimSeconds)
+
+	// --- k-means on the reduced vs the raw vectors ----------------------
+	raw := y.Dense()
+	kRaw, err := kmeans.Fit(raw, kmeans.DefaultOptions(clusters))
+	if err != nil {
+		log.Fatal(err)
+	}
+	kRed, err := kmeans.Fit(reduced, kmeans.DefaultOptions(clusters))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("k-means on raw %d-dim vectors:      %d iterations, inertia %.0f\n",
+		dims, kRaw.Iterations, kRaw.Inertia)
+	fmt.Printf("k-means on reduced %d-dim vectors:    %d iterations, inertia %.0f\n",
+		reduced.C, kRed.Iterations, kRed.Inertia)
+
+	// The reduced clustering must agree with the raw clustering: measure
+	// pairwise co-assignment agreement on a sample.
+	agree, total := coAssignmentAgreement(kRaw.Assign, kRed.Assign, 2000)
+	fmt.Printf("\nco-assignment agreement raw vs reduced: %.1f%% of %d sampled pairs\n",
+		100*float64(agree)/float64(total), total)
+
+	// And the distance computations shrink by dims/reduced.C per iteration.
+	fmt.Printf("per-iteration distance work: %dx fewer multiply-adds after PCA\n",
+		dims/reduced.C)
+}
+
+// coAssignmentAgreement counts sampled row pairs on which the two
+// clusterings agree about "same cluster vs different cluster" (cluster ids
+// themselves are arbitrary).
+func coAssignmentAgreement(a, b []int, pairs int) (agree, total int) {
+	rng := matrix.NewRNG(99)
+	n := len(a)
+	for t := 0; t < pairs; t++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		total++
+		if (a[i] == a[j]) == (b[i] == b[j]) {
+			agree++
+		}
+	}
+	return agree, total
+}

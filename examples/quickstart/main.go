@@ -1,0 +1,58 @@
+// Quickstart: generate a small synthetic dataset, fit sPCA on the simulated
+// Spark engine, and inspect the components, the convergence history, and the
+// simulated-cluster cost of the run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spca"
+)
+
+func main() {
+	// A Tweets-like sparse binary matrix: 5,000 rows, 500 columns.
+	y := spca.GenerateDataset(spca.DatasetSpec{
+		Kind: spca.Tweets,
+		Rows: 5000,
+		Cols: 500,
+		Seed: 1,
+	})
+	fmt.Printf("dataset: %d x %d with %d non-zeros (%.2f%% dense)\n\n",
+		y.R, y.C, y.NNZ(), 100*float64(y.NNZ())/(float64(y.R)*float64(y.C)))
+
+	// Extract 10 principal components with sPCA on the Spark-like engine,
+	// stopping at 95% of the accuracy an exact PCA would reach.
+	res, err := spca.Fit(y, spca.Config{
+		Algorithm:      spca.SPCASpark,
+		Components:     10,
+		TargetAccuracy: 0.95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged in %d EM iterations\n", res.Iterations)
+	for _, h := range res.History {
+		fmt.Printf("  iteration %d: reconstruction error %.4f (%.1f%% of ideal accuracy), %.1f simulated seconds\n",
+			h.Iter, h.Err, h.Accuracy*100, h.SimSeconds)
+	}
+	fmt.Printf("\nsimulated cluster cost: %s\n", res.Metrics.String())
+
+	// Project the data onto the components (dimensionality reduction):
+	// 500 columns become 10.
+	x, err := res.Transform(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlatent representation: %d x %d\n", x.R, x.C)
+	fmt.Printf("first row's latent position: %v\n", rounded(x.Row(0)))
+}
+
+func rounded(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*1000)) / 1000
+	}
+	return out
+}

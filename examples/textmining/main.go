@@ -1,0 +1,93 @@
+// Textmining: the paper's motivating workload — principal components of a
+// large sparse bag-of-words matrix (§1: "the principal components explain
+// the principal terms in a set of documents"). This example:
+//
+//  1. builds a Bio-Text-like document/word matrix,
+//  2. extracts principal "topics" with sPCA and prints each topic's top
+//     terms,
+//  3. races sPCA-MapReduce against Mahout-PCA to the same accuracy target,
+//     reproducing the paper's accuracy-vs-time comparison (Figure 4), and
+//  4. compares the intermediate data both algorithms shuffled.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"spca"
+)
+
+func main() {
+	y := spca.GenerateDataset(spca.DatasetSpec{
+		Kind: spca.BioText,
+		Rows: 4000,
+		Cols: 800,
+		Rank: 40, // plant 40 latent topics
+		Seed: 7,
+	})
+	fmt.Printf("corpus: %d documents, %d terms, %d postings\n\n", y.R, y.C, y.NNZ())
+
+	// --- 1. Principal topics with sPCA --------------------------------
+	res, err := spca.Fit(y, spca.Config{
+		Algorithm:      spca.SPCAMapReduce,
+		Components:     5,
+		TargetAccuracy: 0.95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sPCA-MapReduce: %d iterations, %.1f simulated seconds\n\n",
+		res.Iterations, res.Metrics.SimSeconds)
+	for c := 0; c < res.Components.C; c++ {
+		fmt.Printf("topic %d, top terms: %v\n", c+1, topTerms(res, c, 8))
+	}
+
+	// --- 2. The race against Mahout-PCA --------------------------------
+	mahout, err := spca.Fit(y, spca.Config{
+		Algorithm:      spca.MahoutPCA,
+		Components:     5,
+		TargetAccuracy: 0.95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\naccuracy vs simulated time (the Figure 4 comparison):\n")
+	fmt.Printf("%-18s %12s %12s\n", "", "time (s)", "accuracy")
+	for _, h := range res.History {
+		fmt.Printf("%-18s %12.1f %11.1f%%\n", "sPCA-MapReduce", h.SimSeconds, h.Accuracy*100)
+	}
+	for _, h := range mahout.History {
+		fmt.Printf("%-18s %12.1f %11.1f%%\n", "Mahout-PCA", h.SimSeconds, h.Accuracy*100)
+	}
+
+	fmt.Printf("\nintermediate data shuffled:\n")
+	fmt.Printf("  sPCA-MapReduce: %d bytes\n", res.Metrics.ShuffleBytes)
+	fmt.Printf("  Mahout-PCA:     %d bytes (%.1fx more)\n",
+		mahout.Metrics.ShuffleBytes,
+		float64(mahout.Metrics.ShuffleBytes)/float64(res.Metrics.ShuffleBytes))
+}
+
+// topTerms returns the indices of the terms with the largest absolute
+// loading on component c, formatted as termNNN.
+func topTerms(res *spca.Result, c, n int) []string {
+	type tl struct {
+		term    int
+		loading float64
+	}
+	all := make([]tl, res.Components.R)
+	for t := 0; t < res.Components.R; t++ {
+		l := res.Components.At(t, c)
+		if l < 0 {
+			l = -l
+		}
+		all[t] = tl{term: t, loading: l}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].loading > all[j].loading })
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("term%03d", all[i].term)
+	}
+	return out
+}

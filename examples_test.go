@@ -1,0 +1,61 @@
+package spca_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and runs every example program end to end, checking
+// each exits cleanly and prints its headline output. Run with -short to skip
+// (each example takes a few seconds).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example runs in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string // substring the example must print
+	}{
+		{"quickstart", "latent representation"},
+		{"textmining", "intermediate data shuffled"},
+		{"imagefeatures", "co-assignment agreement"},
+		{"missingdata", "PPCA imputation"},
+		{"mixturemodels", "cluster recovery"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), tc.dir)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+tc.dir)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", tc.dir)
+			}
+			if runErr != nil {
+				t.Fatalf("run failed: %v\n%s", runErr, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

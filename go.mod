@@ -1,0 +1,3 @@
+module spca
+
+go 1.22

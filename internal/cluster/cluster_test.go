@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CoresPerNode = -1 },
+		func(c *Config) { c.NodeMemory = 0 },
+		func(c *Config) { c.DriverMemory = 0 },
+		func(c *Config) { c.NetworkBps = 0 },
+		func(c *Config) { c.DiskBps = -5 },
+		func(c *Config) { c.FlopsPerCore = 0 },
+		func(c *Config) { c.TaskOverhead = -1 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTotalCores(t *testing.T) {
+	c := DefaultConfig()
+	if c.TotalCores() != 64 {
+		t.Fatalf("total cores = %d", c.TotalCores())
+	}
+}
+
+func TestRunPhaseCostModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlopsPerCore = 100 // 64 cores -> 6400 ops/sec
+	cfg.NetworkBps = 1000
+	cfg.DiskBps = 500
+	cfg.TaskOverhead = 2
+	cl := MustNew(cfg)
+	cl.RunPhase(PhaseStats{
+		Name:         "test",
+		ComputeOps:   6400, // 1 second
+		ShuffleBytes: 2000, // 2 seconds
+		DiskBytes:    1000, // 2 seconds
+		Tasks:        65,   // 2 waves x 2s = 4 seconds
+	})
+	m := cl.Metrics()
+	if m.SimSeconds != 1+2+2+4 {
+		t.Fatalf("sim seconds = %v, want 9", m.SimSeconds)
+	}
+	if m.Phases != 1 || m.Tasks != 65 || m.ShuffleBytes != 2000 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestDriverMemoryAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DriverMemory = 1000
+	cl := MustNew(cfg)
+	if err := cl.AllocDriver(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AllocDriver(500); !errors.Is(err, ErrDriverOOM) {
+		t.Fatalf("expected ErrDriverOOM, got %v", err)
+	}
+	if err := cl.AllocDriver(400); err != nil {
+		t.Fatal(err)
+	}
+	if cl.DriverUsed() != 1000 {
+		t.Fatalf("used = %d", cl.DriverUsed())
+	}
+	cl.FreeDriver(600)
+	if cl.DriverUsed() != 400 {
+		t.Fatalf("used after free = %d", cl.DriverUsed())
+	}
+	if cl.Metrics().DriverPeak != 1000 {
+		t.Fatalf("peak = %d", cl.Metrics().DriverPeak)
+	}
+}
+
+func TestFreeDriverClampsAtZero(t *testing.T) {
+	cl := MustNew(DefaultConfig())
+	cl.FreeDriver(1 << 40)
+	if cl.DriverUsed() != 0 {
+		t.Fatal("driver used went negative")
+	}
+}
+
+func TestAllocDriverNegativePanics(t *testing.T) {
+	cl := MustNew(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = cl.AllocDriver(-1)
+}
+
+func TestConcurrentPhases(t *testing.T) {
+	cl := MustNew(DefaultConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.RunPhase(PhaseStats{ComputeOps: 10, ShuffleBytes: 5, Tasks: 1})
+		}()
+	}
+	wg.Wait()
+	m := cl.Metrics()
+	if m.ComputeOps != 500 || m.ShuffleBytes != 250 || m.Phases != 50 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	cl := MustNew(DefaultConfig())
+	cl.RunPhase(PhaseStats{ComputeOps: 10})
+	_ = cl.AllocDriver(100)
+	cl.Reset()
+	m := cl.Metrics()
+	if m.ComputeOps != 0 || m.SimSeconds != 0 || cl.DriverUsed() != 0 {
+		t.Fatalf("reset did not clear: %+v", m)
+	}
+	if len(cl.PhaseLog()) != 0 {
+		t.Fatal("phase log not cleared")
+	}
+}
+
+func TestPhaseLog(t *testing.T) {
+	cl := MustNew(DefaultConfig())
+	cl.RunPhase(PhaseStats{Name: "a"})
+	cl.RunPhase(PhaseStats{Name: "b"})
+	log := cl.PhaseLog()
+	if len(log) != 2 || log[0].Name != "a" || log[1].Name != "b" {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestAddDriverCompute(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlopsPerCore = 10
+	cl := MustNew(cfg)
+	cl.AddDriverCompute(100)
+	if got := cl.Metrics().SimSeconds; got != 10 {
+		t.Fatalf("driver compute time = %v", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		12:      "12 B",
+		2048:    "2.0 KiB",
+		5 << 20: "5.0 MiB",
+		3 << 30: "3.0 GiB",
+		7 << 40: "7.0 TiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Fatalf("FormatBytes(%d) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{SimSeconds: 1.5, ShuffleBytes: 2048}
+	s := m.String()
+	if !strings.Contains(s, "sim=1.5s") || !strings.Contains(s, "2.0 KiB") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestWithTaskOverhead(t *testing.T) {
+	c := DefaultConfig().WithTaskOverhead(0.05)
+	if c.TaskOverhead != 0.05 {
+		t.Fatal("WithTaskOverhead did not apply")
+	}
+}
+
+func TestRecordCostCharged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordCost = 0.64 // 64 cores -> 0.01 s/record
+	cl := MustNew(cfg)
+	cl.RunPhase(PhaseStats{Records: 100})
+	if got := cl.Metrics().SimSeconds; got != 1.0 {
+		t.Fatalf("record time = %v, want 1.0", got)
+	}
+}
+
+func TestNegativeRecordCostRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordCost = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

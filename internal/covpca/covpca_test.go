@@ -1,0 +1,136 @@
+package covpca
+
+import (
+	"errors"
+	"testing"
+
+	"spca/internal/cluster"
+	"spca/internal/dataset"
+	"spca/internal/matrix"
+	"spca/internal/rdd"
+)
+
+func testCtx(mutate ...func(*cluster.Config)) *rdd.Context {
+	cfg := cluster.DefaultConfig().WithTaskOverhead(0.05)
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	return rdd.NewContext(cluster.MustNew(cfg))
+}
+
+func plantedData(n, dims, rank int, seed uint64) (*matrix.Sparse, []matrix.SparseVector) {
+	y := dataset.MustGenerate(dataset.Spec{
+		Kind: dataset.KindDiabetes, Rows: n, Cols: dims, Rank: rank, Seed: seed,
+	})
+	return y, dataset.Rows(y)
+}
+
+func TestCovPCAMatchesExactPCA(t *testing.T) {
+	y, rows := plantedData(150, 40, 4, 41)
+	res, err := FitSpark(testCtx(), rows, 40, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := y.ColMeans()
+	_, _, v := matrix.TopSVD(y.Dense().SubRowVec(mean), 4)
+	if gap := matrix.SubspaceGap(res.Components, v); gap > 1e-6 {
+		t.Fatalf("covariance PCA gap vs exact %v", gap)
+	}
+	// Eigenvalues descending and non-negative.
+	for i, ev := range res.Eigenvalues {
+		if ev < 0 {
+			t.Fatalf("negative eigenvalue %v", ev)
+		}
+		if i > 0 && ev > res.Eigenvalues[i-1]+1e-9 {
+			t.Fatalf("eigenvalues unsorted: %v", res.Eigenvalues)
+		}
+	}
+	if res.Err <= 0 || res.Err > 1 {
+		t.Fatalf("reconstruction error %v out of range", res.Err)
+	}
+}
+
+func TestCovPCADriverOOMOnWideData(t *testing.T) {
+	// D = 200 -> covariance is 200x200x8 = 320 KB; a gram + covariance
+	// buffer need 640 KB. Limit the driver below that.
+	_, rows := plantedData(50, 200, 4, 42)
+	ctx := testCtx(func(c *cluster.Config) { c.DriverMemory = 500 << 10 })
+	_, err := FitSpark(ctx, rows, 200, DefaultOptions(4))
+	if !errors.Is(err, cluster.ErrDriverOOM) {
+		t.Fatalf("expected driver OOM, got %v", err)
+	}
+}
+
+func TestCovPCADriverMemoryQuadraticInD(t *testing.T) {
+	// Figure 8's shape: peak driver memory grows ~4x when D doubles.
+	peaks := map[int]int64{}
+	for _, dims := range []int{50, 100} {
+		_, rows := plantedData(60, dims, 4, 43)
+		ctx := testCtx()
+		if _, err := FitSpark(ctx, rows, dims, DefaultOptions(4)); err != nil {
+			t.Fatal(err)
+		}
+		peaks[dims] = ctx.Cluster().Metrics().DriverPeak
+	}
+	ratio := float64(peaks[100]) / float64(peaks[50])
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("driver memory should scale ~quadratically: %v", peaks)
+	}
+}
+
+func TestCovPCAValidation(t *testing.T) {
+	_, rows := plantedData(20, 10, 2, 44)
+	if _, err := FitSpark(testCtx(), rows, 10, DefaultOptions(0)); err == nil {
+		t.Fatal("expected error for zero components")
+	}
+	if _, err := FitSpark(testCtx(), rows, 10, DefaultOptions(11)); err == nil {
+		t.Fatal("expected error for d > D")
+	}
+	if _, err := FitSpark(testCtx(), nil, 10, DefaultOptions(2)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestCovPCAShuffleQuadraticInD(t *testing.T) {
+	// Table 1's communication complexity O(D²): per-partition partials are
+	// dense D x D regardless of sparsity.
+	shuffles := map[int]int64{}
+	for _, dims := range []int{40, 80} {
+		_, rows := plantedData(100, dims, 4, 45)
+		ctx := testCtx()
+		if _, err := FitSpark(ctx, rows, dims, DefaultOptions(4)); err != nil {
+			t.Fatal(err)
+		}
+		shuffles[dims] = ctx.Cluster().Metrics().ShuffleBytes
+	}
+	ratio := float64(shuffles[80]) / float64(shuffles[40])
+	if ratio < 3 {
+		t.Fatalf("shuffle should grow ~quadratically with D: %v", shuffles)
+	}
+}
+
+func TestCovPCADeterministic(t *testing.T) {
+	_, rows := plantedData(80, 30, 3, 46)
+	a, err := FitSpark(testCtx(), rows, 30, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitSpark(testCtx(), rows, 30, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Components.MaxAbsDiff(b.Components) != 0 {
+		t.Fatal("covpca not deterministic")
+	}
+}
+
+func TestCovPCASingleRow(t *testing.T) {
+	// n=1 exercises the denominator guard.
+	b := matrix.NewSparseBuilder(5)
+	b.AddRow([]int{0, 2}, []float64{1, 2})
+	y := b.Build()
+	rows := dataset.Rows(y)
+	if _, err := FitSpark(testCtx(), rows, 5, DefaultOptions(1)); err != nil {
+		t.Fatal(err)
+	}
+}

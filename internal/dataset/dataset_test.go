@@ -1,0 +1,192 @@
+package dataset
+
+import (
+	"testing"
+
+	"spca/internal/matrix"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Kind: KindTweets, Rows: 0, Cols: 10}); err == nil {
+		t.Fatal("expected error for zero rows")
+	}
+	if _, err := Generate(Spec{Kind: "nope", Rows: 10, Cols: 10}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestTweetsShape(t *testing.T) {
+	m := MustGenerate(Spec{Kind: KindTweets, Rows: 500, Cols: 2000, Seed: 1})
+	if m.R != 500 || m.C != 2000 {
+		t.Fatalf("dims %dx%d", m.R, m.C)
+	}
+	// Binary values only.
+	for _, v := range m.Vals {
+		if v != 1 {
+			t.Fatalf("non-binary value %v", v)
+		}
+	}
+	// Tweets are short: 4-12 words per row.
+	for i := 0; i < m.R; i++ {
+		nnz := m.Row(i).NNZ()
+		if nnz < 4 || nnz > 12 {
+			t.Fatalf("row %d has %d words", i, nnz)
+		}
+	}
+	// Very sparse overall.
+	if m.Density() > 0.01 {
+		t.Fatalf("density %v too high for tweets", m.Density())
+	}
+}
+
+func TestBioTextDenserThanTweets(t *testing.T) {
+	tw := MustGenerate(Spec{Kind: KindTweets, Rows: 300, Cols: 1000, Seed: 2})
+	bt := MustGenerate(Spec{Kind: KindBioText, Rows: 300, Cols: 1000, Seed: 2})
+	if bt.Density() <= tw.Density() {
+		t.Fatalf("biotext density %v <= tweets %v", bt.Density(), tw.Density())
+	}
+}
+
+func TestColumnPopularitySkew(t *testing.T) {
+	m := MustGenerate(Spec{Kind: KindTweets, Rows: 2000, Cols: 500, Seed: 3})
+	counts := make([]int, m.C)
+	for _, c := range m.Cols {
+		counts[c]++
+	}
+	// Zipfian skew: the most popular column should dwarf the median.
+	max, nonzero := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if max < 50 {
+		t.Fatalf("max column count %d — no popular words?", max)
+	}
+	if nonzero < 100 {
+		t.Fatalf("only %d columns ever used", nonzero)
+	}
+}
+
+func TestDiabetesDenseAndPositiveStructure(t *testing.T) {
+	m := MustGenerate(Spec{Kind: KindDiabetes, Rows: 50, Cols: 400, Seed: 4})
+	if m.R != 50 || m.C != 400 {
+		t.Fatalf("dims %dx%d", m.R, m.C)
+	}
+	if m.Density() < 0.99 {
+		t.Fatalf("diabetes spectra should be dense, density %v", m.Density())
+	}
+	// Real values, not binary.
+	binary := true
+	for _, v := range m.Vals[:100] {
+		if v != 0 && v != 1 {
+			binary = false
+			break
+		}
+	}
+	if binary {
+		t.Fatal("diabetes values look binary")
+	}
+}
+
+func TestDiabetesLowRankStructure(t *testing.T) {
+	spec := Spec{Kind: KindDiabetes, Rows: 60, Cols: 300, Rank: 5, Seed: 5}
+	m := MustGenerate(spec)
+	d := m.Dense()
+	centered := d.SubRowVec(d.ColMeans())
+	_, s, _ := matrix.SVD(centered)
+	// Planted rank 5: the 6th singular value should be far below the 1st.
+	if s[5] > 0.25*s[0] {
+		t.Fatalf("no low-rank structure: s0=%v s5=%v", s[0], s[5])
+	}
+}
+
+func TestImagesShape(t *testing.T) {
+	m := MustGenerate(Spec{Kind: KindImages, Rows: 200, Cols: 128, Seed: 6})
+	if m.R != 200 || m.C != 128 {
+		t.Fatalf("dims %dx%d", m.R, m.C)
+	}
+	// Non-negative (SIFT-like) values.
+	for _, v := range m.Vals {
+		if v < 0 {
+			t.Fatalf("negative feature %v", v)
+		}
+	}
+	if m.Density() < 0.5 {
+		t.Fatalf("images should be dense-ish, density %v", m.Density())
+	}
+}
+
+func TestImagesClusterStructure(t *testing.T) {
+	spec := Spec{Kind: KindImages, Rows: 300, Cols: 64, Rank: 4, Seed: 7}
+	m := MustGenerate(spec).Dense()
+	centered := m.SubRowVec(m.ColMeans())
+	_, s, _ := matrix.SVD(centered)
+	// 4 clusters -> ~3 dominant directions after centering.
+	if s[3] < 2*s[10] {
+		// The top few singular values should dominate the bulk.
+		t.Logf("spectrum head %v", s[:6])
+	}
+	if s[0] < 3*s[10] {
+		t.Fatalf("no cluster structure: s0=%v s10=%v", s[0], s[10])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range []Kind{KindTweets, KindBioText, KindDiabetes, KindImages} {
+		a := MustGenerate(Spec{Kind: kind, Rows: 40, Cols: 60, Seed: 99})
+		b := MustGenerate(Spec{Kind: kind, Rows: 40, Cols: 60, Seed: 99})
+		if a.Dense().MaxAbsDiff(b.Dense()) != 0 {
+			t.Fatalf("%s not deterministic", kind)
+		}
+		c := MustGenerate(Spec{Kind: kind, Rows: 40, Cols: 60, Seed: 100})
+		if a.Dense().MaxAbsDiff(c.Dense()) == 0 {
+			t.Fatalf("%s ignores seed", kind)
+		}
+	}
+}
+
+func TestRankClamping(t *testing.T) {
+	// Rank larger than dims must not panic.
+	m := MustGenerate(Spec{Kind: KindTweets, Rows: 10, Cols: 20, Rank: 500, Seed: 1})
+	if m.R != 10 {
+		t.Fatal("bad dims")
+	}
+}
+
+func TestRowsHelper(t *testing.T) {
+	m := MustGenerate(Spec{Kind: KindTweets, Rows: 25, Cols: 100, Seed: 8})
+	rows := Rows(m)
+	if len(rows) != 25 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Len != 100 {
+			t.Fatalf("row %d len %d", i, r.Len)
+		}
+		if r.NNZ() != m.Row(i).NNZ() {
+			t.Fatalf("row %d nnz mismatch", i)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := MustGenerate(Spec{Kind: KindTweets, Rows: 30, Cols: 50, Seed: 9})
+	st := Describe(m)
+	if st.Rows != 30 || st.Cols != 50 || st.NNZ != m.NNZ() {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Density <= 0 || st.SizeBytes <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Kind: KindTweets, Rows: 1, Cols: 2, Rank: 3, Seed: 4}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,452 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spca"
+	"spca/internal/dataset"
+)
+
+func quickRunner() Runner { return Runner{Profile: Quick} }
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d): %+v", tab.ID, row, col, tab.Rows)
+	}
+	return tab.Rows[row][col]
+}
+
+func parseSeconds(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as seconds: %v", s, err)
+	}
+	return v
+}
+
+func TestTable1Shapes(t *testing.T) {
+	tab, err := quickRunner().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("table1 rows = %d", len(tab.Rows))
+	}
+	// sPCA (last row) must have the fewest measured ops of the four methods.
+	ops := make([]float64, 4)
+	inter := make([]float64, 4)
+	for i := range tab.Rows {
+		ops[i] = parseSeconds(t, tab.Rows[i][3])
+		inter[i] = parseHumanBytes(t, tab.Rows[i][4])
+	}
+	for i := 0; i < 3; i++ {
+		if ops[3] >= ops[i] {
+			t.Fatalf("sPCA ops %v not the smallest (row %d has %v)", ops[3], i, ops[i])
+		}
+		// And by a wide margin (>= 5x) the least intermediate data — the
+		// paper's O(Dd) column.
+		if 5*inter[3] >= inter[i] {
+			t.Fatalf("sPCA intermediate data %v not << row %d's %v", inter[3], i, inter[i])
+		}
+	}
+}
+
+// parseHumanBytes parses cluster.FormatBytes output ("1.5 MiB") into bytes.
+func parseHumanBytes(t *testing.T, s string) float64 {
+	t.Helper()
+	parts := strings.Fields(s)
+	if len(parts) != 2 {
+		t.Fatalf("cannot parse byte size %q", s)
+	}
+	v, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		t.Fatalf("cannot parse byte size %q: %v", s, err)
+	}
+	mult := map[string]float64{
+		"B": 1, "KiB": 1 << 10, "MiB": 1 << 20, "GiB": 1 << 30, "TiB": 1 << 40,
+	}[parts[1]]
+	if mult == 0 {
+		t.Fatalf("unknown unit in %q", s)
+	}
+	return v * mult
+}
+
+func TestTable2Shapes(t *testing.T) {
+	tab, err := quickRunner().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 tweets + 3 biotext + 3 diabetes + 1 images rows.
+	if len(tab.Rows) != 10 {
+		t.Fatalf("table2 rows = %d", len(tab.Rows))
+	}
+	var sawFail, sawImagesWin bool
+	for _, row := range tab.Rows {
+		ds, mllib := row[0], row[3]
+		if mllib == "Fail" {
+			sawFail = true
+			continue
+		}
+		if ds == "images" {
+			// Paper observation 3: MLlib wins on low-dimensional dense data.
+			spark := parseSeconds(t, row[2])
+			ml := parseSeconds(t, mllib)
+			if ml < spark {
+				sawImagesWin = true
+			}
+		}
+	}
+	if !sawFail {
+		t.Fatal("table2 should contain MLlib Fail entries on wide datasets")
+	}
+	if !sawImagesWin {
+		t.Fatal("MLlib-PCA should win on the low-dimensional dense Images dataset")
+	}
+	// Paper observation 1: sPCA beats Mahout by wide margins on the big
+	// sparse text datasets (the Tweets/Bio-Text families; the paper's
+	// Diabetes margin is small — 540 vs 720 s — and can flip at the scaled
+	// sizes, so only the headline families are asserted strictly).
+	for _, row := range tab.Rows {
+		if row[0] != "tweets" && row[0] != "biotext" {
+			continue
+		}
+		mr := parseSeconds(t, row[4])
+		mahout := parseSeconds(t, row[5])
+		if mr >= mahout {
+			t.Fatalf("row %v: sPCA-MapReduce (%v) should beat Mahout-PCA (%v)", row[:2], mr, mahout)
+		}
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	fig, err := quickRunner().Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("fig4 series = %d", len(fig.Series))
+	}
+	spca, mahout := fig.Series[0], fig.Series[1]
+	// sPCA reaches high accuracy quickly: its accuracy at the second
+	// iteration should already be substantial (the paper shows 93% at
+	// iteration 2).
+	if len(spca.Y) < 2 || spca.Y[1] < 80 {
+		t.Fatalf("sPCA accuracy curve too slow: %v", spca.Y)
+	}
+	// Mahout's final accuracy must not exceed sPCA's by any margin, and its
+	// time axis must stretch far beyond sPCA's.
+	spcaEnd := spca.X[len(spca.X)-1]
+	mahoutEnd := mahout.X[len(mahout.X)-1]
+	if mahoutEnd <= spcaEnd {
+		t.Fatalf("Mahout should take longer: %v vs %v", mahoutEnd, spcaEnd)
+	}
+}
+
+func TestFig5SmartGuessLeads(t *testing.T) {
+	fig, err := quickRunner().Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("fig5 series = %d", len(fig.Series))
+	}
+	sg, plain := fig.Series[0], fig.Series[1]
+	if len(sg.Y) == 0 || len(plain.Y) == 0 {
+		t.Fatal("empty series")
+	}
+	// The smart guess starts at a higher accuracy than the random start.
+	if sg.Y[0] <= plain.Y[0] {
+		t.Fatalf("sPCA-SG first-iteration accuracy %v should beat sPCA %v", sg.Y[0], plain.Y[0])
+	}
+}
+
+func TestFig6GapWidensWithScale(t *testing.T) {
+	fig, err := quickRunner().Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, mh := fig.Series[0], fig.Series[1]
+	n := len(sp.Y)
+	if n < 2 || len(mh.Y) != n {
+		t.Fatalf("series lengths %d vs %d", len(sp.Y), len(mh.Y))
+	}
+	// At the largest scale Mahout must be clearly slower.
+	lastRatio := mh.Y[n-1] / sp.Y[n-1]
+	if lastRatio < 1.5 {
+		t.Fatalf("Mahout/sPCA time ratio at scale = %.2f, want > 1.5", lastRatio)
+	}
+	// The paper's scaling claim — "the running time of sPCA-MapReduce
+	// increases at a much smaller rate as the size of the input dataset
+	// increases" — checked with fixed-work runs so varying round counts
+	// don't add noise.
+	r := quickRunner()
+	p := r.Profile
+	cols := p.TweetsCols[len(p.TweetsCols)-1]
+	fixedTime := func(alg spca.Algorithm, n int) float64 {
+		y := dataset.MustGenerate(dataset.Spec{
+			Kind: dataset.KindTweets, Rows: n, Cols: cols,
+			Rank: 4 * p.Components, Seed: p.Seed,
+		})
+		res, err := r.fit(alg, y, 0, func(c *spca.Config) { c.MaxIter = 2 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.SimSeconds
+	}
+	nSmall := p.RowSweep[0]
+	nBig := p.RowSweep[len(p.RowSweep)-1]
+	spGrowth := fixedTime(spca.SPCAMapReduce, nBig) / fixedTime(spca.SPCAMapReduce, nSmall)
+	mhGrowth := fixedTime(spca.MahoutPCA, nBig) / fixedTime(spca.MahoutPCA, nSmall)
+	if mhGrowth < 1.4*spGrowth {
+		t.Fatalf("Mahout should scale worse: sPCA grew %.2fx, Mahout %.2fx", spGrowth, mhGrowth)
+	}
+}
+
+func TestFig7MLlibFailsPastThreshold(t *testing.T) {
+	fig, err := quickRunner().Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ml := fig.Series[0], fig.Series[1]
+	var fails int
+	for i, ann := range ml.Annotations {
+		if strings.Contains(ann, "FAIL") {
+			fails++
+			if ml.X[i] <= float64(Quick.FailD) {
+				t.Fatalf("MLlib failed below the threshold at D=%v", ml.X[i])
+			}
+		}
+	}
+	if fails == 0 {
+		t.Fatal("fig7 should record MLlib failures past the threshold")
+	}
+	// sPCA-Spark succeeds everywhere.
+	for _, ann := range sp.Annotations {
+		if ann != "" {
+			t.Fatalf("sPCA-Spark should not fail: %q", ann)
+		}
+	}
+	// Where both run, MLlib is slower at the largest shared D.
+	lastShared := -1
+	for i := range ml.X {
+		if ml.Annotations[i] == "" {
+			lastShared = i
+		}
+	}
+	if lastShared < 0 {
+		t.Fatal("no shared points")
+	}
+	if ml.Y[lastShared] <= sp.Y[lastShared] {
+		t.Fatalf("at D=%v MLlib (%v) should be slower than sPCA (%v)",
+			ml.X[lastShared], ml.Y[lastShared], sp.Y[lastShared])
+	}
+}
+
+func TestFig8DriverMemoryShapes(t *testing.T) {
+	fig, err := quickRunner().Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ml := fig.Series[0], fig.Series[1]
+	n := len(sp.Y)
+	// sPCA's driver memory stays roughly flat; MLlib's grows superlinearly.
+	if sp.Y[n-1] > 6*sp.Y[0]+1 {
+		t.Fatalf("sPCA driver memory should stay ~flat: %v", sp.Y)
+	}
+	if ml.Y[n-1] < 4*ml.Y[0] {
+		t.Fatalf("MLlib driver memory should grow quadratically: %v", ml.Y)
+	}
+	// At every D, MLlib uses more driver memory than sPCA.
+	for i := range sp.Y {
+		if ml.Y[i] <= sp.Y[i] {
+			t.Fatalf("at D=%v MLlib memory %v <= sPCA %v", ml.X[i], ml.Y[i], sp.Y[i])
+		}
+	}
+}
+
+func TestTable3EveryOptimizationHelps(t *testing.T) {
+	tab, err := quickRunner().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("table3 rows = %d", len(tab.Rows))
+	}
+	for col := 1; col <= 3; col++ {
+		with := parseSeconds(t, cell(t, tab, 0, col))
+		without := parseSeconds(t, cell(t, tab, 1, col))
+		if with >= without {
+			t.Fatalf("optimization %q: with %v >= without %v",
+				tab.Headers[col], with, without)
+		}
+	}
+	// Mean propagation is the biggest win in the paper (§5.4).
+	mp := parseSeconds(t, cell(t, tab, 1, 1)) / parseSeconds(t, cell(t, tab, 0, 1))
+	fro := parseSeconds(t, cell(t, tab, 1, 3)) / parseSeconds(t, cell(t, tab, 0, 3))
+	if mp < 2 {
+		t.Fatalf("mean propagation speedup only %.1fx", mp)
+	}
+	_ = fro
+}
+
+func TestTable4NearLinearSpeedup(t *testing.T) {
+	tab, err := quickRunner().Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32 := parseSeconds(t, cell(t, tab, 1, 2))
+	s64 := parseSeconds(t, cell(t, tab, 1, 3))
+	if s32 < 1.3 || s32 > 2.05 {
+		t.Fatalf("32-core speedup %.2f out of near-linear band", s32)
+	}
+	if s64 < 2.0 || s64 > 4.1 {
+		t.Fatalf("64-core speedup %.2f out of near-linear band", s64)
+	}
+	if s64 <= s32 {
+		t.Fatalf("speedup should increase with cores: %.2f vs %.2f", s32, s64)
+	}
+}
+
+func TestRunnerRunAndRender(t *testing.T) {
+	var buf bytes.Buffer
+	r := quickRunner()
+	if err := r.Run("table4", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "table4") || !strings.Contains(out, "64 cores") {
+		t.Fatalf("rendered output missing content:\n%s", out)
+	}
+	if err := r.Run("nope", &buf); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProfileDriverMem(t *testing.T) {
+	gb := Quick.driverMemGB()
+	bytes := gb * float64(1<<30)
+	// Must hold one FailD² matrix but not two.
+	one := float64(Quick.FailD*Quick.FailD) * 8
+	if bytes < one || bytes > 2*one {
+		t.Fatalf("driver memory %v bytes vs one matrix %v", bytes, one)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "T", Headers: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# x: T\na,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("table csv = %q", buf.String())
+	}
+
+	fig := &Figure{
+		ID: "f", Title: "F", XLabel: "n",
+		Series: []Series{
+			{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "s2", X: []float64{1, 2}, Y: []float64{5, 0},
+				Annotations: []string{"", "FAIL"}},
+		},
+	}
+	buf.Reset()
+	if err := fig.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "n,s1,s2,notes") ||
+		!strings.Contains(out, "1,10,5,") ||
+		!strings.Contains(out, "2,20,,s2: FAIL") {
+		t.Fatalf("figure csv = %q", out)
+	}
+}
+
+func TestRunnerCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	r := Runner{Profile: Quick, Format: "csv"}
+	if err := r.Run("table4", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# table4") || !strings.Contains(buf.String(), ",") {
+		t.Fatalf("csv run output = %q", buf.String())
+	}
+}
+
+func TestIntermediateDataShapes(t *testing.T) {
+	tab, err := quickRunner().Intermediate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		sp := parseHumanBytes(t, row[3])
+		mh := parseHumanBytes(t, row[4])
+		// The paper's smallest reported reduction is 35x; require >= 10x at
+		// this scale.
+		if mh < 10*sp {
+			t.Fatalf("%s: Mahout intermediate %v should dwarf sPCA's %v", row[0], mh, sp)
+		}
+	}
+	// The reduction factor should grow with dataset size (tweets row is
+	// larger in N than biotext here).
+	bio := parseHumanBytes(t, tab.Rows[0][4]) / parseHumanBytes(t, tab.Rows[0][3])
+	tw := parseHumanBytes(t, tab.Rows[1][4]) / parseHumanBytes(t, tab.Rows[1][3])
+	if tw <= bio {
+		t.Fatalf("reduction should grow with scale: biotext %.0fx, tweets %.0fx", bio, tw)
+	}
+}
+
+func TestScalingExponents(t *testing.T) {
+	tab, err := quickRunner().Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(method, quantity, sweep string) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == method && row[1] == quantity && strings.HasPrefix(row[2], sweep) {
+				return parseSeconds(t, row[4])
+			}
+		}
+		t.Fatalf("row %s/%s/%s not found in %v", method, quantity, sweep, tab.Rows)
+		return 0
+	}
+	within := func(name string, got, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Fatalf("%s exponent %.2f outside [%.1f, %.1f]", name, got, lo, hi)
+		}
+	}
+	within("sPCA ops vs N", get("sPCA", "compute ops", "N x4"), 0.8, 1.2)
+	within("sPCA intermediate vs N", get("sPCA", "intermediate", "N x4"), -0.2, 0.6)
+	within("sPCA ops vs D", get("sPCA", "compute ops", "D x4"), 0.8, 1.4)
+	within("sPCA intermediate vs D", get("sPCA", "intermediate", "D x4"), 0.6, 1.3)
+	within("Mahout ops vs N", get("Mahout-PCA", "compute ops", "N x4"), 0.8, 1.2)
+	within("Mahout intermediate vs N", get("Mahout-PCA", "intermediate", "N x4"), 0.7, 1.2)
+	within("MLlib ops vs D", get("MLlib-PCA", "compute ops", "D x4"), 1.7, 3.2)
+	within("MLlib intermediate vs D", get("MLlib-PCA", "intermediate", "D x4"), 1.6, 2.3)
+	within("SVD-Bidiag ops vs D", get("SVD-Bidiag", "compute ops", "D x4"), 1.7, 3.2)
+}

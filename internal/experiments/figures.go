@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"spca"
+	"spca/internal/cluster"
+	"spca/internal/dataset"
+	"spca/internal/matrix"
+)
+
+// accuracyTrace converts a fit history into an accuracy-vs-time series.
+func accuracyTrace(name string, res *spca.Result) Series {
+	s := Series{Name: name}
+	for _, h := range res.History {
+		s.X = append(s.X, h.SimSeconds)
+		s.Y = append(s.Y, accuracyPct(h.Accuracy))
+	}
+	return s
+}
+
+// tracedFit runs alg with accuracy tracking enabled but no early stop (the
+// figures want the full convergence curve).
+func (r Runner) tracedFit(alg spca.Algorithm, y *matrix.Sparse) (*spca.Result, error) {
+	return r.fit(alg, y, 0.999)
+}
+
+// Fig4 reproduces accuracy vs time on Bio-Text: sPCA-MapReduce converges in
+// a couple of iterations; Mahout-PCA takes far longer to approach the same
+// accuracy.
+func (r Runner) Fig4() (*Figure, error) {
+	p := r.Profile
+	y := r.gen(dataset.KindBioText, p.BioTextRows, p.BioTextCols[1])
+
+	sp, err := r.tracedFit(spca.SPCAMapReduce, y)
+	if err != nil {
+		return nil, err
+	}
+	mahout, err := r.tracedFit(spca.MahoutPCA, y)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Accuracy vs. time, Bio-Text %dx%d", y.R, y.C),
+		XLabel: "simulated seconds",
+		YLabel: "% of ideal accuracy",
+		Series: []Series{
+			accuracyTrace("sPCA-MapReduce", sp),
+			accuracyTrace("Mahout-PCA", mahout),
+		},
+	}, nil
+}
+
+// Fig5 reproduces accuracy vs time on Tweets with the smart-guess variant
+// sPCA-SG added (log-x in the paper).
+func (r Runner) Fig5() (*Figure, error) {
+	p := r.Profile
+	y := r.gen(dataset.KindTweets, p.TweetsRows, p.TweetsCols[1])
+
+	sg, err := r.fit(spca.SPCAMapReduce, y, 0.999, func(c *spca.Config) { c.SmartGuess = true })
+	if err != nil {
+		return nil, err
+	}
+	sp, err := r.tracedFit(spca.SPCAMapReduce, y)
+	if err != nil {
+		return nil, err
+	}
+	mahout, err := r.tracedFit(spca.MahoutPCA, y)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig5",
+		Title:  fmt.Sprintf("Accuracy vs. time, Tweets %dx%d", y.R, y.C),
+		XLabel: "simulated seconds",
+		YLabel: "% of ideal accuracy",
+		LogX:   true,
+		Series: []Series{
+			accuracyTrace("sPCA-SG", sg),
+			accuracyTrace("sPCA-MapReduce", sp),
+			accuracyTrace("Mahout-PCA", mahout),
+		},
+	}, nil
+}
+
+// Fig6 reproduces time-to-95%-accuracy vs the number of input rows on the
+// Tweets family (log-log in the paper): sPCA's advantage widens with scale.
+func (r Runner) Fig6() (*Figure, error) {
+	p := r.Profile
+	cols := p.TweetsCols[len(p.TweetsCols)-1]
+	sp := Series{Name: "sPCA-MapReduce"}
+	mh := Series{Name: "Mahout-PCA"}
+	for _, n := range p.RowSweep {
+		y := r.gen(dataset.KindTweets, n, cols)
+		a, err := r.fit(spca.SPCAMapReduce, y, 0.95)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 spca n=%d: %w", n, err)
+		}
+		b, err := r.fit(spca.MahoutPCA, y, 0.95)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 mahout n=%d: %w", n, err)
+		}
+		sp.X = append(sp.X, float64(n))
+		sp.Y = append(sp.Y, a.Metrics.SimSeconds)
+		mh.X = append(mh.X, float64(n))
+		mh.Y = append(mh.Y, b.Metrics.SimSeconds)
+	}
+	return &Figure{
+		ID:     "fig6",
+		Title:  fmt.Sprintf("Time to 95%% of ideal accuracy vs rows (Tweets, D=%d)", cols),
+		XLabel: "input rows",
+		YLabel: "simulated seconds",
+		LogX:   true,
+		Series: []Series{sp, mh},
+	}, nil
+}
+
+// sparkSweep runs the Figures 7-8 column sweep once: sPCA-Spark and
+// MLlib-PCA across ColSweep dimensionalities at fixed rows, recording time
+// to target accuracy and peak driver memory. MLlib entries past the scaled
+// driver-memory threshold record a failure.
+func (r Runner) sparkSweep() (spTime, mlTime, spMem, mlMem Series, err error) {
+	p := r.Profile
+	spTime = Series{Name: "sPCA-Spark"}
+	mlTime = Series{Name: "MLlib-PCA"}
+	spMem = Series{Name: "sPCA-Spark"}
+	mlMem = Series{Name: "MLlib-PCA"}
+	for _, cols := range p.ColSweep {
+		y := r.gen(dataset.KindTweets, p.TweetsRows, cols)
+
+		a, ferr := r.fit(spca.SPCASpark, y, 0.95)
+		if ferr != nil {
+			err = fmt.Errorf("fig7 spark D=%d: %w", cols, ferr)
+			return
+		}
+		spTime.X = append(spTime.X, float64(cols))
+		spTime.Y = append(spTime.Y, a.Metrics.SimSeconds)
+		spTime.Annotations = append(spTime.Annotations, "")
+		spMem.X = append(spMem.X, float64(cols))
+		spMem.Y = append(spMem.Y, float64(a.Metrics.DriverPeak)/float64(1<<20))
+		spMem.Annotations = append(spMem.Annotations, "")
+
+		b, ferr := r.fit(spca.MLlibPCA, y, 0)
+		mlTime.X = append(mlTime.X, float64(cols))
+		mlMem.X = append(mlMem.X, float64(cols))
+		if errors.Is(ferr, cluster.ErrDriverOOM) {
+			mlTime.Y = append(mlTime.Y, 0)
+			mlTime.Annotations = append(mlTime.Annotations, "FAIL (driver OOM)")
+			// The attempted allocation is what blows the driver: 2·D²·8.
+			mlMem.Y = append(mlMem.Y, float64(2*cols*cols*8)/float64(1<<20))
+			mlMem.Annotations = append(mlMem.Annotations, "FAIL (driver OOM)")
+			continue
+		}
+		if ferr != nil {
+			err = fmt.Errorf("fig7 mllib D=%d: %w", cols, ferr)
+			return
+		}
+		mlTime.Y = append(mlTime.Y, b.Metrics.SimSeconds)
+		mlTime.Annotations = append(mlTime.Annotations, "")
+		mlMem.Y = append(mlMem.Y, float64(b.Metrics.DriverPeak)/float64(1<<20))
+		mlMem.Annotations = append(mlMem.Annotations, "")
+	}
+	return
+}
+
+// Fig7 reproduces time to 95% accuracy vs columns on Spark; MLlib-PCA fails
+// beyond the scaled dimensionality threshold.
+func (r Runner) Fig7() (*Figure, error) {
+	spTime, mlTime, _, _, err := r.sparkSweep()
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig7",
+		Title:  fmt.Sprintf("Time to 95%% accuracy vs columns (Tweets, N=%d)", r.Profile.TweetsRows),
+		XLabel: "columns D",
+		YLabel: "simulated seconds",
+		Series: []Series{spTime, mlTime},
+		Notes: []string{
+			fmt.Sprintf("MLlib-PCA fails past D = %d (scaled from the paper's 6,000 on 32 GB drivers)", r.Profile.FailD),
+		},
+	}, nil
+}
+
+// Fig8 reproduces driver memory consumption vs columns: sPCA is ~flat
+// (O(D·d) state), MLlib grows quadratically until it fails.
+func (r Runner) Fig8() (*Figure, error) {
+	_, _, spMem, mlMem, err := r.sparkSweep()
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Peak driver memory vs columns (Tweets, N=%d)", r.Profile.TweetsRows),
+		XLabel: "columns D",
+		YLabel: "driver MiB",
+		Series: []Series{spMem, mlMem},
+	}, nil
+}

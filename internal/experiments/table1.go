@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spca"
+	"spca/internal/cluster"
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+	"spca/internal/svdbidiag"
+)
+
+// Table1 reproduces the complexity comparison (Table 1): for each of the
+// four PCA methods it lists the paper's asymptotic time and communication
+// complexity next to the *measured* compute ops and intermediate data of a
+// run on a common Tweets-family matrix. "Intermediate data" counts what the
+// paper counts: the inter-job outputs a later phase must read back (§2's
+// communication complexity), not scratch traffic. The reproduced result is
+// the ordering — PPCA's O(Dd) intermediate data is smallest by a wide
+// margin, the covariance method's O(D²) partials and SSVD's O(Nd)
+// materializations dominate.
+func (r Runner) Table1() (*Table, error) {
+	rows := r.Profile.TweetsRows
+	cols := r.Profile.TweetsCols[1]
+	y := r.gen("tweets", rows, cols)
+	d := r.Profile.components(cols)
+
+	type measured struct {
+		name, time, comm string
+		ops, inter       int64
+	}
+	var out []measured
+
+	// Eigen decomposition of the covariance matrix (MLlib-PCA). Driver
+	// memory is unrestricted here: Table 1 measures cost, not failure.
+	mllib, err := r.fit(spca.MLlibPCA, y, 0, func(c *spca.Config) {
+		c.Cluster.DriverMemoryGB = 64
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, measured{
+		name: "Eigen decomp. of covariance", time: "O(ND*min(N,D))", comm: "O(D^2)",
+		ops: mllib.Metrics.ComputeOps, inter: mllib.Metrics.MaterializedBytes,
+	})
+
+	// SVD-Bidiag (RScaLAPACK-style dense SVD pipeline, TSQR-distributed).
+	// The dense QR is O(ND²), so it runs on a documented row subsample with
+	// its charges scaled back to the full row count.
+	ops2, in2, err := r.svdBidiagRun(y, d)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, measured{
+		name: "SVD-Bidiag", time: "O(ND^2+D^3)", comm: "O(max((N+D)d,D^2))",
+		ops: ops2, inter: in2,
+	})
+
+	// Stochastic SVD (Mahout-PCA), one refinement round as in Table 1's
+	// single-iteration accounting.
+	mahout, err := r.fit(spca.MahoutPCA, y, 0, func(c *spca.Config) { c.MaxIter = 1 })
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, measured{
+		name: "Stochastic SVD (SSVD)", time: "O(NDd)", comm: "O(max(Nd,d^2))",
+		ops: mahout.Metrics.ComputeOps, inter: mahout.Metrics.MaterializedBytes,
+	})
+
+	// Probabilistic PCA (sPCA), one iteration.
+	sp, err := r.fit(spca.SPCAMapReduce, y, 0, func(c *spca.Config) { c.MaxIter = 1 })
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, measured{
+		name: "Probabilistic PCA (sPCA)", time: "O(NDd)", comm: "O(Dd)",
+		ops: sp.Metrics.ComputeOps, inter: sp.Metrics.MaterializedBytes,
+	})
+
+	t := &Table{
+		ID:    "table1",
+		Title: fmt.Sprintf("PCA method comparison, measured on tweets %dx%d, d=%d", rows, cols, d),
+		Headers: []string{"Method", "Time complexity", "Comm. complexity",
+			"Measured ops", "Intermediate data"},
+		Notes: []string{
+			"complexities are the paper's asymptotic bounds; ops and intermediate data are measured on the simulated cluster (one iteration for iterative methods)",
+			"intermediate data counts inter-job outputs (the paper's communication metric), not scratch disk traffic",
+		},
+	}
+	for _, m := range out {
+		t.Rows = append(t.Rows, []string{
+			m.name, m.time, m.comm,
+			fmt.Sprintf("%d", m.ops), cluster.FormatBytes(m.inter),
+		})
+	}
+	return t, nil
+}
+
+// svdBidiagRun executes the real distributed SVD-Bidiag pipeline
+// (internal/svdbidiag) on a row subsample — the dense TSQR is O(ND²), far
+// beyond what the other methods spend — and scales the measured charges
+// linearly back to the full row count (only the QR terms depend on N).
+func (r Runner) svdBidiagRun(y *matrix.Sparse, d int) (ops, intermediate int64, err error) {
+	n := y.R
+	sampleN := n
+	if sampleN > 1500 {
+		sampleN = 1500
+	}
+	sub := matrix.NewSparseBuilder(y.C)
+	rows := make([]matrix.SparseVector, 0, sampleN)
+	for i := 0; i < sampleN; i++ {
+		row := y.Row(i)
+		sub.AddRow(row.Indices, row.Values)
+	}
+	subM := sub.Build()
+	for i := 0; i < subM.R; i++ {
+		rows = append(rows, subM.Row(i))
+	}
+
+	eng := mapredEngine()
+	// Hadoop would schedule few splits for an input this small; few tall
+	// blocks also keep the real TSQR arithmetic reasonable.
+	eng.Splits = 8
+	res, err := svdbidiag.FitMapReduce(eng, rows, y.C, svdbidiag.DefaultOptions(d))
+	if err != nil {
+		return 0, 0, err
+	}
+	scale := float64(n) / float64(sampleN)
+	m := res.Metrics
+	return int64(float64(m.ComputeOps) * scale), int64(float64(m.MaterializedBytes) * scale), nil
+}
+
+func mapredEngine() *mapred.Engine {
+	return mapred.NewEngine(cluster.MustNew(cluster.DefaultConfig()))
+}

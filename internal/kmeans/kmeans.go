@@ -1,0 +1,147 @@
+// Package kmeans is a small k-means implementation (k-means++ seeding,
+// Lloyd iterations). The paper motivates PCA as a preprocessing step for
+// clustering algorithms that struggle with high-dimensional data (§1, §2.1);
+// the imagefeatures example uses this package to close that loop.
+package kmeans
+
+import (
+	"errors"
+	"math"
+
+	"spca/internal/matrix"
+)
+
+// Options configures a clustering run.
+type Options struct {
+	K       int
+	MaxIter int
+	Tol     float64 // relative decrease of the objective that counts as converged
+	Seed    uint64
+}
+
+// DefaultOptions returns sensible defaults for k clusters.
+func DefaultOptions(k int) Options {
+	return Options{K: k, MaxIter: 50, Tol: 1e-4, Seed: 1}
+}
+
+// Result is the output of Fit.
+type Result struct {
+	// Centers holds the k cluster centroids as rows.
+	Centers *matrix.Dense
+	// Assign maps each input row to its cluster.
+	Assign []int
+	// Inertia is the final sum of squared distances to assigned centers.
+	Inertia float64
+	// Iterations actually executed.
+	Iterations int
+}
+
+// Fit clusters the rows of x.
+func Fit(x *matrix.Dense, opt Options) (*Result, error) {
+	n, dims := x.Dims()
+	if opt.K <= 0 {
+		return nil, errors.New("kmeans: K must be positive")
+	}
+	if n < opt.K {
+		return nil, errors.New("kmeans: fewer rows than clusters")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 50
+	}
+	rng := matrix.NewRNG(opt.Seed + 0x4B4D)
+	centers := seedPlusPlus(x, opt.K, rng)
+
+	assign := make([]int, n)
+	counts := make([]int, opt.K)
+	prevInertia := math.Inf(1)
+	var inertia float64
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		// Assignment step.
+		inertia = 0
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			best, bestDist := 0, math.Inf(1)
+			for c := 0; c < opt.K; c++ {
+				d := sqDist(row, centers.Row(c))
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			assign[i] = best
+			inertia += bestDist
+		}
+		// Update step.
+		next := matrix.NewDense(opt.K, dims)
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			matrix.AXPY(1, x.Row(i), next.Row(c))
+		}
+		for c := 0; c < opt.K; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random row.
+				copy(next.Row(c), x.Row(rng.Intn(n)))
+				continue
+			}
+			matrix.VecScale(1/float64(counts[c]), next.Row(c))
+		}
+		centers = next
+		if !math.IsInf(prevInertia, 1) && prevInertia-inertia <= opt.Tol*prevInertia {
+			iter++
+			break
+		}
+		prevInertia = inertia
+	}
+	return &Result{Centers: centers, Assign: assign, Inertia: inertia, Iterations: iter}, nil
+}
+
+// seedPlusPlus picks initial centers with the k-means++ scheme.
+func seedPlusPlus(x *matrix.Dense, k int, rng *matrix.RNG) *matrix.Dense {
+	n, dims := x.Dims()
+	centers := matrix.NewDense(k, dims)
+	copy(centers.Row(0), x.Row(rng.Intn(n)))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(x.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range dist {
+			total += d
+		}
+		pick := 0
+		if total > 0 {
+			target := rng.Float64() * total
+			var cum float64
+			for i, d := range dist {
+				cum += d
+				if cum >= target {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(n)
+		}
+		copy(centers.Row(c), x.Row(pick))
+		for i := range dist {
+			if d := sqDist(x.Row(i), centers.Row(c)); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

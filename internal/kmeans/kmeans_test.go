@@ -1,0 +1,102 @@
+package kmeans
+
+import (
+	"testing"
+
+	"spca/internal/matrix"
+)
+
+// threeBlobs builds three well-separated Gaussian clusters.
+func threeBlobs(perCluster int, seed uint64) (*matrix.Dense, []int) {
+	rng := matrix.NewRNG(seed)
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	x := matrix.NewDense(3*perCluster, 2)
+	truth := make([]int, 3*perCluster)
+	for c, ctr := range centers {
+		for i := 0; i < perCluster; i++ {
+			r := c*perCluster + i
+			x.Set(r, 0, ctr[0]+rng.NormFloat64())
+			x.Set(r, 1, ctr[1]+rng.NormFloat64())
+			truth[r] = c
+		}
+	}
+	return x, truth
+}
+
+func TestFitSeparatesBlobs(t *testing.T) {
+	x, truth := threeBlobs(50, 1)
+	res, err := Fit(x, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each true cluster should be internally consistent in the assignment.
+	for c := 0; c < 3; c++ {
+		first := res.Assign[c*50]
+		for i := 0; i < 50; i++ {
+			if res.Assign[c*50+i] != first {
+				t.Fatalf("true cluster %d split (row %d)", c, c*50+i)
+			}
+		}
+		_ = truth
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+	if res.Iterations <= 0 || res.Iterations > 50 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	x := matrix.NewDense(3, 2)
+	if _, err := Fit(x, DefaultOptions(0)); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	if _, err := Fit(x, DefaultOptions(5)); err == nil {
+		t.Fatal("expected error for K > rows")
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	x, _ := threeBlobs(30, 2)
+	a, err := Fit(x, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("kmeans not deterministic")
+		}
+	}
+}
+
+func TestFitKEqualsN(t *testing.T) {
+	x, _ := threeBlobs(1, 3) // 3 rows
+	res, err := Fit(x, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point in its own cluster: inertia ~ 0.
+	if res.Inertia > 1e-9 {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	x, _ := threeBlobs(40, 4)
+	r1, err := Fit(x, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Fit(x, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Inertia >= r1.Inertia {
+		t.Fatalf("k=3 inertia %v >= k=1 inertia %v", r3.Inertia, r1.Inertia)
+	}
+}

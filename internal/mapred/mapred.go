@@ -1,0 +1,297 @@
+// Package mapred implements a miniature MapReduce engine in the spirit of
+// Hadoop, sufficient to express the paper's sPCA-MapReduce and Mahout-PCA
+// jobs: user-defined mappers with setup/cleanup (enabling the paper's
+// "stateful combiner" technique), optional associative combiners, reducers,
+// composite keys, failure injection with task retry, and exact accounting of
+// map-output/shuffle bytes through the simulated cluster.
+//
+// Execution is real (mappers and reducers run concurrently on a worker pool)
+// while time is simulated: the engine charges each phase's compute, shuffle
+// and disk traffic to the cluster cost model. Like Hadoop, map output is
+// written to disk before being shuffled, so every shuffle byte is also a
+// disk byte — this is what gives sPCA its "low disk footprint" advantage.
+package mapred
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spca/internal/cluster"
+	"spca/internal/matrix"
+)
+
+// Emitter receives key/value pairs from mappers, and lets tasks charge
+// arithmetic work to the simulated cluster.
+type Emitter[K comparable, V any] interface {
+	Emit(key K, value V)
+	// AddOps charges n arithmetic operations to the current phase.
+	AddOps(n int64)
+}
+
+// Mapper processes input records. NewMapper is called once per map task, so
+// implementations can keep per-task state (the stateful in-mapper combiner of
+// §4.1) and flush it in Cleanup.
+type Mapper[I any, K comparable, V any] interface {
+	Map(rec I, out Emitter[K, V])
+	Cleanup(out Emitter[K, V])
+}
+
+// MapperFunc adapts a plain function to a stateless Mapper.
+type MapperFunc[I any, K comparable, V any] func(rec I, out Emitter[K, V])
+
+// Map implements Mapper.
+func (f MapperFunc[I, K, V]) Map(rec I, out Emitter[K, V]) { f(rec, out) }
+
+// Cleanup implements Mapper (no-op).
+func (f MapperFunc[I, K, V]) Cleanup(out Emitter[K, V]) {}
+
+// Job describes one MapReduce job. The byte-size callbacks drive the
+// intermediate-data accounting; they must reflect the serialized size of the
+// corresponding records.
+type Job[I any, K comparable, V any, R any] struct {
+	Name      string
+	NewMapper func(task int) Mapper[I, K, V]
+	// Combine optionally merges two values for the same key before the
+	// shuffle (a Hadoop combiner). It must be associative and commutative.
+	Combine func(a, b V) V
+	// Reduce folds all values for a key into the job output for that key.
+	Reduce func(key K, values []V, out Ops) R
+
+	InputBytes  func(I) int64
+	KeyBytes    func(K) int64
+	ValueBytes  func(V) int64
+	ResultBytes func(R) int64
+}
+
+// Ops lets reducers charge arithmetic work.
+type Ops interface{ AddOps(n int64) }
+
+// Engine runs jobs against a simulated cluster.
+type Engine struct {
+	Cluster *cluster.Cluster
+	// Splits is the number of map tasks per job (default: 2x total cores).
+	Splits int
+	// Reducers is the number of reduce tasks per job (default: total cores).
+	Reducers int
+	// FailureRate injects task-attempt failures with this probability.
+	FailureRate float64
+	// MaxAttempts bounds retries per task (default 4, like Hadoop).
+	MaxAttempts int
+
+	mu  sync.Mutex
+	rng *matrix.RNG
+}
+
+// NewEngine returns an engine with Hadoop-like defaults on cl.
+func NewEngine(cl *cluster.Cluster) *Engine {
+	return &Engine{
+		Cluster:     cl,
+		Splits:      2 * cl.TotalCores(),
+		Reducers:    cl.TotalCores(),
+		MaxAttempts: 4,
+		rng:         matrix.NewRNG(0x4D52), // "MR"
+	}
+}
+
+// SetFailureSeed reseeds the failure-injection RNG for reproducible chaos.
+func (e *Engine) SetFailureSeed(seed uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rng = matrix.NewRNG(seed)
+}
+
+func (e *Engine) attemptFails() bool {
+	if e.FailureRate <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Float64() < e.FailureRate
+}
+
+type emitter[K comparable, V any] struct {
+	pairs map[K][]V
+	merge func(a, b V) V // nil: append values
+	ops   int64
+}
+
+func (em *emitter[K, V]) Emit(k K, v V) {
+	if em.merge != nil {
+		if cur, ok := em.pairs[k]; ok {
+			em.pairs[k] = []V{em.merge(cur[0], v)}
+			return
+		}
+		em.pairs[k] = []V{v}
+		return
+	}
+	em.pairs[k] = append(em.pairs[k], v)
+}
+
+func (em *emitter[K, V]) AddOps(n int64) { em.ops += n }
+
+type opsCounter struct{ n int64 }
+
+func (o *opsCounter) AddOps(n int64) { o.n += n }
+
+// Run executes the job over the input records and returns the reduce output
+// per key. It is the moral equivalent of submitting a job to a Hadoop
+// cluster and reading its part files back.
+func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], input []I) (map[K]R, error) {
+	if job.NewMapper == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("mapred: job %q missing mapper or reducer", job.Name)
+	}
+	splits := e.Splits
+	if splits <= 0 {
+		splits = 2 * e.Cluster.TotalCores()
+	}
+	if splits > len(input) && len(input) > 0 {
+		splits = len(input)
+	}
+	if splits == 0 {
+		splits = 1
+	}
+
+	// ---- Map phase ----
+	type taskOut struct {
+		pairs map[K][]V
+		ops   int64
+	}
+	outs := make([]taskOut, splits)
+	var inputBytes int64
+	if job.InputBytes != nil {
+		for _, rec := range input {
+			inputBytes += job.InputBytes(rec)
+		}
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.Cluster.TotalCores())
+	var attempts int64
+	var attemptsMu sync.Mutex
+	for t := 0; t < splits; t++ {
+		lo := t * len(input) / splits
+		hi := (t + 1) * len(input) / splits
+		wg.Add(1)
+		go func(task, lo, hi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			maxAtt := e.MaxAttempts
+			if maxAtt <= 0 {
+				maxAtt = 4
+			}
+			for att := 1; att <= maxAtt; att++ {
+				attemptsMu.Lock()
+				attempts++
+				attemptsMu.Unlock()
+				em := &emitter[K, V]{pairs: make(map[K][]V), merge: job.Combine}
+				m := job.NewMapper(task)
+				for i := lo; i < hi; i++ {
+					m.Map(input[i], em)
+				}
+				m.Cleanup(em)
+				if att < maxAtt && e.attemptFails() {
+					// Attempt lost: its work is still charged (the cluster
+					// really spent the cycles) but its output is discarded.
+					outs[task].ops += em.ops
+					continue
+				}
+				outs[task].pairs = em.pairs
+				outs[task].ops += em.ops
+				return
+			}
+		}(t, lo, hi)
+	}
+	wg.Wait()
+
+	// ---- Shuffle: group map output by key, counting bytes ----
+	var mapOps, shuffleBytes int64
+	grouped := make(map[K][]V)
+	for _, o := range outs {
+		mapOps += o.ops
+		for k, vs := range o.pairs {
+			var kb int64 = 8
+			if job.KeyBytes != nil {
+				kb = job.KeyBytes(k)
+			}
+			for _, v := range vs {
+				var vb int64 = 8
+				if job.ValueBytes != nil {
+					vb = job.ValueBytes(v)
+				}
+				shuffleBytes += kb + vb
+			}
+			grouped[k] = append(grouped[k], vs...)
+		}
+	}
+	e.Cluster.RunPhase(cluster.PhaseStats{
+		Name:         job.Name + "/map",
+		ComputeOps:   mapOps,
+		ShuffleBytes: shuffleBytes,
+		// Hadoop spills map output to local disk and reads the input split
+		// from HDFS.
+		DiskBytes: inputBytes + shuffleBytes,
+		Tasks:     attempts,
+		Records:   int64(len(input)),
+	})
+
+	// ---- Reduce phase ----
+	reducers := e.Reducers
+	if reducers <= 0 {
+		reducers = e.Cluster.TotalCores()
+	}
+	keys := make([]K, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	// Stable key order so runs are deterministic regardless of map iteration.
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+
+	result := make(map[K]R, len(keys))
+	var resMu sync.Mutex
+	var redOps, outBytes int64
+	var redWg sync.WaitGroup
+	redSem := make(chan struct{}, e.Cluster.TotalCores())
+	for _, k := range keys {
+		k := k
+		redWg.Add(1)
+		go func() {
+			defer redWg.Done()
+			redSem <- struct{}{}
+			defer func() { <-redSem }()
+			oc := &opsCounter{}
+			r := job.Reduce(k, grouped[k], oc)
+			var rb int64 = 8
+			if job.ResultBytes != nil {
+				rb = job.ResultBytes(r)
+			}
+			resMu.Lock()
+			result[k] = r
+			redOps += oc.n
+			outBytes += rb
+			resMu.Unlock()
+		}()
+	}
+	redWg.Wait()
+	redTasks := int64(reducers)
+	if int64(len(keys)) < redTasks {
+		redTasks = int64(len(keys))
+	}
+	if redTasks == 0 {
+		redTasks = 1
+	}
+	e.Cluster.RunPhase(cluster.PhaseStats{
+		Name:       job.Name + "/reduce",
+		ComputeOps: redOps,
+		DiskBytes:  outBytes, // reducers write results to HDFS
+		Tasks:      redTasks,
+		// Job output is inter-job intermediate data: the next job (or the
+		// driver) reads it back. This is the paper's intermediate-data
+		// metric.
+		MaterializedBytes: outBytes,
+	})
+	return result, nil
+}

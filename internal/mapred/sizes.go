@@ -1,0 +1,40 @@
+package mapred
+
+import "spca/internal/matrix"
+
+// Serialized-size helpers shared by the jobs in this repository. Sizes model
+// a straightforward binary wire format: 8 bytes per float64/int64, plus 8
+// bytes of length prefix for variable-length payloads.
+
+// BytesOfFloat64 is the wire size of a float64 value.
+func BytesOfFloat64(float64) int64 { return 8 }
+
+// BytesOfString approximates the wire size of a string key.
+func BytesOfString(s string) int64 { return int64(len(s)) }
+
+// BytesOfInt is the wire size of an integer key.
+func BytesOfInt(int) int64 { return 8 }
+
+// BytesOfVec is the wire size of a dense vector.
+func BytesOfVec(v []float64) int64 { return 8 + int64(len(v))*8 }
+
+// BytesOfDense is the wire size of a dense matrix.
+func BytesOfDense(m *matrix.Dense) int64 {
+	if m == nil {
+		return 8
+	}
+	return 16 + int64(len(m.Data))*8
+}
+
+// BytesOfSparseVec is the wire size of a sparse vector (index+value pairs).
+func BytesOfSparseVec(v matrix.SparseVector) int64 {
+	return 16 + int64(v.NNZ())*16
+}
+
+// BytesOfSparse is the wire size of a CSR matrix.
+func BytesOfSparse(m *matrix.Sparse) int64 {
+	if m == nil {
+		return 8
+	}
+	return 24 + m.SizeBytes()
+}

@@ -1,0 +1,390 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func isOrthonormalCols(m *Dense, tol float64) bool {
+	g := m.MulT(m) // mᵀm should be I
+	for i := 0; i < g.R; i++ {
+		for j := 0; j < g.C; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := NewRNG(21)
+	a := NormRnd(rng, 8, 5)
+	q, r := QR(a)
+	if q.R != 8 || q.C != 5 || r.R != 5 || r.C != 5 {
+		t.Fatalf("dims Q %dx%d R %dx%d", q.R, q.C, r.R, r.C)
+	}
+	denseAlmostEq(t, q.Mul(r), a, 1e-10)
+	if !isOrthonormalCols(q, 1e-10) {
+		t.Fatal("Q columns not orthonormal")
+	}
+	// R upper triangular.
+	for i := 1; i < r.R; i++ {
+		for j := 0; j < i; j++ {
+			if math.Abs(r.At(i, j)) > 1e-12 {
+				t.Fatalf("R[%d,%d] = %v below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRSquare(t *testing.T) {
+	rng := NewRNG(22)
+	a := NormRnd(rng, 6, 6)
+	q, r := QR(a)
+	denseAlmostEq(t, q.Mul(r), a, 1e-10)
+	if !isOrthonormalCols(q, 1e-10) {
+		t.Fatal("Q not orthonormal")
+	}
+}
+
+func TestQRProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed) + 100)
+		n := 1 + int(seed)%5
+		m := n + int(seed)%6
+		a := NormRnd(rng, m, n)
+		q, r := QR(a)
+		return q.Mul(r).MaxAbsDiff(a) < 1e-9 && isOrthonormalCols(q, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramSchmidt(t *testing.T) {
+	rng := NewRNG(23)
+	a := NormRnd(rng, 7, 4)
+	rank := GramSchmidt(a)
+	if rank != 4 {
+		t.Fatalf("rank = %d", rank)
+	}
+	if !isOrthonormalCols(a, 1e-10) {
+		t.Fatal("not orthonormal after Gram-Schmidt")
+	}
+}
+
+func TestGramSchmidtDependentColumns(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}) // col1 = 2*col0
+	rank := GramSchmidt(a)
+	if rank != 1 {
+		t.Fatalf("rank = %d want 1", rank)
+	}
+}
+
+func TestSymEigenSmall(t *testing.T) {
+	// Known: [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewDenseFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := SymEigen(a)
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// A*v = lambda*v.
+	for k := 0; k < 2; k++ {
+		v := vecs.Col(k)
+		av := a.MulVec(v)
+		for i := range av {
+			if !almostEq(av[i], vals[k]*v[i], 1e-10) {
+				t.Fatalf("eigenpair %d violated: %v vs %v", k, av, vals[k])
+			}
+		}
+	}
+}
+
+func TestSymEigenRandom(t *testing.T) {
+	rng := NewRNG(31)
+	b := NormRnd(rng, 9, 9)
+	a := b.MulT(b) // symmetric PSD
+	vals, vecs := SymEigen(a)
+	if !isOrthonormalCols(vecs, 1e-9) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+	// Descending order, nonnegative for PSD.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+	// Reconstruction A = V diag(vals) Vᵀ.
+	recon := vecs.Mul(Diag(vals)).MulBT(vecs)
+	denseAlmostEq(t, recon, a, 1e-8)
+}
+
+func TestSymEigenTraceSumProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed) + 500)
+		n := 2 + int(seed)%7
+		b := NormRnd(rng, n, n)
+		a := b.Add(b.T()) // symmetric
+		a.ScaleInPlace(0.5)
+		vals, _ := SymEigen(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return almostEq(sum, a.Trace(), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopEigen(t *testing.T) {
+	a := Diag([]float64{5, 1, 9, 3})
+	vals, vecs := TopEigen(a, 2)
+	if len(vals) != 2 || !almostEq(vals[0], 9, 1e-10) || !almostEq(vals[1], 5, 1e-10) {
+		t.Fatalf("vals = %v", vals)
+	}
+	if vecs.C != 2 || vecs.R != 4 {
+		t.Fatalf("vecs dims %dx%d", vecs.R, vecs.C)
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := NewRNG(41)
+	a := NormRnd(rng, 8, 5)
+	u, s, v := SVD(a)
+	if u.R != 8 || u.C != 5 || v.R != 5 || v.C != 5 || len(s) != 5 {
+		t.Fatalf("dims U %dx%d S %d V %dx%d", u.R, u.C, len(s), v.R, v.C)
+	}
+	denseAlmostEq(t, Reconstruct(u, s, v), a, 1e-9)
+	if !isOrthonormalCols(u, 1e-9) || !isOrthonormalCols(v, 1e-9) {
+		t.Fatal("U or V not orthonormal")
+	}
+	for i := range s {
+		if s[i] < 0 {
+			t.Fatalf("negative singular value %v", s[i])
+		}
+		if i > 0 && s[i] > s[i-1]+1e-12 {
+			t.Fatalf("singular values not sorted: %v", s)
+		}
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	rng := NewRNG(42)
+	a := NormRnd(rng, 4, 9)
+	u, s, v := SVD(a)
+	denseAlmostEq(t, Reconstruct(u, s, v), a, 1e-9)
+}
+
+func TestSVDKnownRankDeficient(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := NewDense(4, 3)
+	OuterAdd(a, []float64{1, 2, 3, 4}, []float64{1, 1, 2})
+	_, s, _ := SVD(a)
+	if s[0] < 1 {
+		t.Fatalf("leading singular value too small: %v", s)
+	}
+	for _, v := range s[1:] {
+		if v > 1e-10 {
+			t.Fatalf("rank-1 matrix has extra singular values: %v", s)
+		}
+	}
+}
+
+func TestSVDSingularValuesMatchEigen(t *testing.T) {
+	// Singular values of A are sqrt of eigenvalues of AᵀA.
+	rng := NewRNG(43)
+	a := NormRnd(rng, 10, 6)
+	_, s, _ := SVD(a)
+	vals, _ := SymEigen(a.MulT(a))
+	for i := range s {
+		if !almostEq(s[i]*s[i], vals[i], 1e-8) {
+			t.Fatalf("s[%d]² = %v, eig = %v", i, s[i]*s[i], vals[i])
+		}
+	}
+}
+
+func TestSVDProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed) + 900)
+		m := 1 + int(seed)%8
+		n := 1 + int(seed)%8
+		a := NormRnd(rng, m, n)
+		u, s, v := SVD(a)
+		return Reconstruct(u, s, v).MaxAbsDiff(a) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopSVD(t *testing.T) {
+	rng := NewRNG(44)
+	a := NormRnd(rng, 7, 5)
+	u, s, v := TopSVD(a, 2)
+	if u.C != 2 || v.C != 2 || len(s) != 2 {
+		t.Fatal("TopSVD dims")
+	}
+	_, sFull, _ := SVD(a)
+	if !almostEq(s[0], sFull[0], 1e-10) || !almostEq(s[1], sFull[1], 1e-10) {
+		t.Fatalf("TopSVD values %v vs %v", s, sFull[:2])
+	}
+}
+
+func TestLanczosSVDMatchesDenseSVD(t *testing.T) {
+	rng := NewRNG(51)
+	s := randomSparse(rng, 30, 12, 0.3)
+	u, sv, v := LanczosSVD(SparseOp{M: s}, 4, 12, NewRNG(1))
+	_, want, _ := SVD(s.Dense())
+	for i := 0; i < 4; i++ {
+		if !almostEq(sv[i], want[i], 1e-6) {
+			t.Fatalf("lanczos s[%d] = %v want %v (all %v)", i, sv[i], want[i], sv)
+		}
+	}
+	if !isOrthonormalCols(u, 1e-8) || !isOrthonormalCols(v, 1e-8) {
+		t.Fatal("Lanczos U/V not orthonormal")
+	}
+	// Check singular triplets: A*v_i ≈ s_i*u_i.
+	for i := 0; i < 4; i++ {
+		av := s.MulVec(v.Col(i))
+		ui := u.Col(i)
+		for r := range av {
+			if !almostEq(av[r], sv[i]*ui[r], 1e-6) {
+				t.Fatalf("triplet %d violated at row %d", i, r)
+			}
+		}
+	}
+}
+
+func TestLanczosCenteredOpMatchesCenteredSVD(t *testing.T) {
+	rng := NewRNG(52)
+	s := randomSparse(rng, 25, 10, 0.4)
+	mean := s.ColMeans()
+	op := CenteredOp{M: s, Mean: mean}
+	_, sv, _ := LanczosSVD(op, 3, 10, NewRNG(2))
+	_, want, _ := SVD(s.Dense().SubRowVec(mean))
+	for i := 0; i < 3; i++ {
+		if !almostEq(sv[i], want[i], 1e-6) {
+			t.Fatalf("centered lanczos s[%d] = %v want %v", i, sv[i], want[i])
+		}
+	}
+}
+
+func TestCenteredOpMatchesDense(t *testing.T) {
+	rng := NewRNG(53)
+	s := randomSparse(rng, 8, 5, 0.5)
+	mean := s.ColMeans()
+	op := CenteredOp{M: s, Mean: mean}
+	dc := s.Dense().SubRowVec(mean)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := op.Apply(x)
+	want := dc.MulVec(x)
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-10) {
+			t.Fatalf("Apply[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	y := make([]float64, 8)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	gotT := op.ApplyT(y)
+	wantT := dc.MulVecT(y)
+	for i := range wantT {
+		if !almostEq(gotT[i], wantT[i], 1e-10) {
+			t.Fatalf("ApplyT[%d] = %v want %v", i, gotT[i], wantT[i])
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := NewRNG(61)
+	b := NormRnd(rng, 6, 6)
+	a := b.MulT(b).AddScaledIdentity(1) // SPD
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseAlmostEq(t, l.MulBT(l), a, 1e-9)
+	rhs := []float64{1, 2, 3, 4, 5, 6}
+	x := CholeskySolve(l, rhs)
+	got := a.MulVec(x)
+	for i := range rhs {
+		if !almostEq(got[i], rhs[i], 1e-8) {
+			t.Fatalf("solve residual at %d: %v vs %v", i, got[i], rhs[i])
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := NewRNG(62)
+	a := NormRnd(rng, 5, 5).AddScaledIdentity(3)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseAlmostEq(t, a.Mul(inv), Identity(5), 1e-9)
+	denseAlmostEq(t, inv.Mul(a), Identity(5), 1e-9)
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("expected error for singular matrix")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	rng := NewRNG(63)
+	b := NormRnd(rng, 4, 4)
+	a := b.MulT(b).AddScaledIdentity(0.5)
+	rhs := NormRnd(rng, 3, 4) // solve rows: X*a = rhs
+	x, err := SolveSPD(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseAlmostEq(t, x.Mul(a), rhs, 1e-8)
+}
+
+func TestInverseIdentityProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed) + 7777)
+		n := 1 + int(seed)%6
+		a := NormRnd(rng, n, n).AddScaledIdentity(float64(n) + 2)
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).MaxAbsDiff(Identity(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRRMatchesQR(t *testing.T) {
+	rng := NewRNG(81)
+	a := NormRnd(rng, 12, 7)
+	_, r1 := QR(a)
+	r2 := QRR(a)
+	denseAlmostEq(t, r1, r2, 0)
+	// RᵀR == AᵀA (the invariant TSQR relies on).
+	denseAlmostEq(t, r2.MulT(r2), a.MulT(a), 1e-9)
+}

@@ -1,0 +1,483 @@
+// Package matrix implements the dense and sparse linear algebra used by the
+// sPCA reproduction: row-major dense matrices, compressed sparse row (CSR)
+// matrices, deterministic Gaussian random sources, QR and eigendecomposition,
+// Golub–Reinsch SVD, Lanczos bidiagonalization for sparse SVD, and small
+// linear solvers. It is written against the standard library only.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix with R rows and C columns.
+// The zero value is an empty 0x0 matrix.
+type Dense struct {
+	R, C int
+	Data []float64 // len R*C, row-major
+}
+
+// NewDense returns a zeroed r-by-c dense matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", r, c))
+	}
+	return &Dense{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// NewDenseFromRows builds a dense matrix from row slices. All rows must have
+// equal length. The data is copied.
+func NewDenseFromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("matrix: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Dims returns the number of rows and columns.
+func (m *Dense) Dims() (r, c int) { return m.R, m.C }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies the contents of src into m. Dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.R != src.R || m.C != src.C {
+		panic(fmt.Sprintf("matrix: CopyFrom dims %dx%d != %dx%d", m.R, m.C, src.R, src.C))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on its diagonal.
+func Diag(d []float64) *Dense {
+	m := NewDense(len(d), len(d))
+	for i, v := range d {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.R+i] = v
+		}
+	}
+	return out
+}
+
+// Add returns m + b as a new matrix.
+func (m *Dense) Add(b *Dense) *Dense {
+	checkSameDims("Add", m, b)
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace sets m = m + b.
+func (m *Dense) AddInPlace(b *Dense) {
+	checkSameDims("AddInPlace", m, b)
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub returns m - b as a new matrix.
+func (m *Dense) Sub(b *Dense) *Dense {
+	checkSameDims("Sub", m, b)
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s*m as a new matrix.
+func (m *Dense) Scale(s float64) *Dense {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// ScaleInPlace sets m = s*m.
+func (m *Dense) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaledIdentity returns m + s*I for square m.
+func (m *Dense) AddScaledIdentity(s float64) *Dense {
+	if m.R != m.C {
+		panic("matrix: AddScaledIdentity on non-square matrix")
+	}
+	out := m.Clone()
+	for i := 0; i < m.R; i++ {
+		out.Data[i*m.C+i] += s
+	}
+	return out
+}
+
+// Mul returns m*b as a new matrix (inner dimensions must agree).
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.C != b.R {
+		panic(fmt.Sprintf("matrix: Mul dims %dx%d * %dx%d", m.R, m.C, b.R, b.C))
+	}
+	out := NewDense(m.R, b.C)
+	for i := 0; i < m.R; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulT returns mᵀ*b as a new matrix. m and b must have the same row count.
+// This is the row-streaming product of Equation (2) in the paper:
+// (Aᵀ*B) = Σ_i (A_i)ᵀ * B_i.
+func (m *Dense) MulT(b *Dense) *Dense {
+	if m.R != b.R {
+		panic(fmt.Sprintf("matrix: MulT dims %dx%d ᵀ* %dx%d", m.R, m.C, b.R, b.C))
+	}
+	out := NewDense(m.C, b.C)
+	for i := 0; i < m.R; i++ {
+		arow := m.Row(i)
+		brow := b.Row(i)
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			orow := out.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulBT returns m*bᵀ as a new matrix. m and b must have the same column count.
+func (m *Dense) MulBT(b *Dense) *Dense {
+	if m.C != b.C {
+		panic(fmt.Sprintf("matrix: MulBT dims %dx%d * %dx%dᵀ", m.R, m.C, b.R, b.C))
+	}
+	out := NewDense(m.R, b.R)
+	for i := 0; i < m.R; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			orow[j] = dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// MulVec returns m*x as a new vector.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if m.C != len(x) {
+		panic(fmt.Sprintf("matrix: MulVec dims %dx%d * %d", m.R, m.C, len(x)))
+	}
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		out[i] = dot(m.Row(i), x)
+	}
+	return out
+}
+
+// MulVecT returns mᵀ*x as a new vector.
+func (m *Dense) MulVecT(x []float64) []float64 {
+	if m.R != len(x) {
+		panic(fmt.Sprintf("matrix: MulVecT dims %dx%dᵀ * %d", m.R, m.C, len(x)))
+	}
+	out := make([]float64, m.C)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of the diagonal elements of a square matrix.
+func (m *Dense) Trace() float64 {
+	if m.R != m.C {
+		panic("matrix: Trace of non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.R; i++ {
+		t += m.Data[i*m.C+i]
+	}
+	return t
+}
+
+// FrobeniusSq returns the squared Frobenius norm of m.
+func (m *Dense) FrobeniusSq() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return s
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Dense) Frobenius() float64 { return math.Sqrt(m.FrobeniusSq()) }
+
+// Norm1 returns the entrywise 1-norm (sum of absolute values) of m. The paper
+// uses the entrywise 1-norm of the reconstruction error as its accuracy metric.
+func (m *Dense) Norm1() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// MaxAbsDiff returns max |m_ij - b_ij|; useful in tests.
+func (m *Dense) MaxAbsDiff(b *Dense) float64 {
+	checkSameDims("MaxAbsDiff", m, b)
+	var mx float64
+	for i, v := range m.Data {
+		if d := math.Abs(v - b.Data[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// ColMeans returns the vector of per-column means of m.
+func (m *Dense) ColMeans() []float64 {
+	out := make([]float64, m.C)
+	if m.R == 0 {
+		return out
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	inv := 1.0 / float64(m.R)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// SubRowVec returns m with v subtracted from every row (mean-centering).
+func (m *Dense) SubRowVec(v []float64) *Dense {
+	if m.C != len(v) {
+		panic(fmt.Sprintf("matrix: SubRowVec dims %dx%d - %d", m.R, m.C, len(v)))
+	}
+	out := m.Clone()
+	for i := 0; i < m.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] -= v[j]
+		}
+	}
+	return out
+}
+
+// Col returns column j as a new slice.
+func (m *Dense) Col(j int) []float64 {
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		out[i] = m.Data[i*m.C+j]
+	}
+	return out
+}
+
+// SetCol assigns column j from v.
+func (m *Dense) SetCol(j int, v []float64) {
+	if len(v) != m.R {
+		panic("matrix: SetCol length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		m.Data[i*m.C+j] = v[i]
+	}
+}
+
+// SliceRows returns a view-copy of rows [lo, hi).
+func (m *Dense) SliceRows(lo, hi int) *Dense {
+	if lo < 0 || hi > m.R || lo > hi {
+		panic(fmt.Sprintf("matrix: SliceRows [%d,%d) of %d rows", lo, hi, m.R))
+	}
+	out := NewDense(hi-lo, m.C)
+	copy(out.Data, m.Data[lo*m.C:hi*m.C])
+	return out
+}
+
+// String renders a small matrix for debugging.
+func (m *Dense) String() string {
+	s := fmt.Sprintf("Dense %dx%d", m.R, m.C)
+	if m.R*m.C <= 64 {
+		s += " ["
+		for i := 0; i < m.R; i++ {
+			s += fmt.Sprintf("%v", m.Row(i))
+			if i < m.R-1 {
+				s += "; "
+			}
+		}
+		s += "]"
+	}
+	return s
+}
+
+func checkSameDims(op string, a, b *Dense) {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("matrix: %s dims %dx%d vs %dx%d", op, a.R, a.C, b.R, b.C))
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Dot returns the dot product of equal-length vectors a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("matrix: Dot length mismatch")
+	}
+	return dot(a, b)
+}
+
+// AXPY computes y += a*x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("matrix: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// VecNorm2 returns the Euclidean norm of x.
+func VecNorm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// VecNorm1 returns the 1-norm of x.
+func VecNorm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// VecScale scales x in place by a.
+func VecScale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// VecSub returns a-b as a new vector.
+func VecSub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("matrix: VecSub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// OuterAdd accumulates out += a*bᵀ where out is len(a) x len(b).
+func OuterAdd(out *Dense, a, b []float64) {
+	if out.R != len(a) || out.C != len(b) {
+		panic("matrix: OuterAdd dims mismatch")
+	}
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := out.Row(i)
+		for j, bv := range b {
+			row[j] += av * bv
+		}
+	}
+}
+
+// SubspaceGap measures how far apart the column spans of a and b are:
+// 1 - the smallest principal cosine between the subspaces, so 0 means the
+// spans coincide and 1 means some direction of one span is orthogonal to
+// the other. Inputs are copied and orthonormalized internally.
+func SubspaceGap(a, b *Dense) float64 {
+	qa, qb := a.Clone(), b.Clone()
+	GramSchmidt(qa)
+	GramSchmidt(qb)
+	_, s, _ := SVD(qa.MulT(qb))
+	min := 1.0
+	for _, v := range s {
+		if v < min {
+			min = v
+		}
+	}
+	return 1 - min
+}

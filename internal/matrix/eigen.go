@@ -1,0 +1,210 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix a,
+// returning eigenvalues in descending order and the corresponding
+// eigenvectors as the columns of vecs. a is not modified.
+//
+// The implementation is the classic two-stage dense path: Householder
+// tridiagonalization followed by the implicit-shift QL iteration. This is the
+// kernel MLlib-PCA-style algorithms run on the D-by-D covariance matrix.
+func SymEigen(a *Dense) (vals []float64, vecs *Dense) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("matrix: SymEigen on non-square %dx%d", n, c))
+	}
+	if n == 0 {
+		return nil, NewDense(0, 0)
+	}
+	z := a.Clone()
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(z, d, e)
+	if !tqli(d, e, z) {
+		panic("matrix: SymEigen failed to converge")
+	}
+	// Sort descending by eigenvalue, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return d[idx[i]] > d[idx[j]] })
+	vals = make([]float64, n)
+	vecs = NewDense(n, n)
+	for out, in := range idx {
+		vals[out] = d[in]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, out, z.At(r, in))
+		}
+	}
+	return vals, vecs
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form with
+// diagonal d and off-diagonal e (e[0] unused), accumulating the orthogonal
+// transformation in z.
+func tred2(z *Dense, d, e []float64) {
+	n := z.R
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					z.Set(i, k, z.At(i, k)/scale)
+					h += z.At(i, k) * z.At(i, k)
+				}
+				f := z.At(i, l)
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				z.Set(i, l, f-g)
+				f = 0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, z.At(i, j)/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * z.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * z.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * z.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = z.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z.Set(j, k, z.At(j, k)-f*e[k]-g*z.At(i, k))
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				var g float64
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+}
+
+// tqli runs the implicit-shift QL iteration on the tridiagonal matrix (d, e),
+// accumulating eigenvectors into z. Returns false if it fails to converge.
+func tqli(d, e []float64, z *Dense) bool {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return false
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+withSign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < len(d); k++ {
+					f = z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return true
+}
+
+func withSign(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}
+
+// TopEigen returns the k largest eigenvalues and eigenvectors of symmetric a.
+func TopEigen(a *Dense, k int) (vals []float64, vecs *Dense) {
+	allVals, allVecs := SymEigen(a)
+	if k > len(allVals) {
+		k = len(allVals)
+	}
+	vals = allVals[:k]
+	vecs = NewDense(allVecs.R, k)
+	for i := 0; i < allVecs.R; i++ {
+		copy(vecs.Row(i), allVecs.Row(i)[:k])
+	}
+	return vals, vecs
+}

@@ -1,0 +1,243 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Text format for sparse matrices ("spmx"):
+//
+//	spmx <rows> <cols> <nnz>
+//	<row> <col> <value>      (one triplet per line, rows grouped and ordered)
+//
+// Text format for dense matrices ("dmx"):
+//
+//	dmx <rows> <cols>
+//	<v0> <v1> ... <v_{c-1}>  (one row per line)
+
+// WriteSparse writes m in the spmx text format.
+func WriteSparse(w io.Writer, m *Sparse) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "spmx %d %d %d\n", m.R, m.C, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for k, j := range row.Indices {
+			if _, err := fmt.Fprintf(bw, "%d %d %s\n", i, j, formatFloat(row.Values[k])); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSparse parses the spmx text format.
+func ReadSparse(r io.Reader) (*Sparse, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrix: empty sparse input: %w", sc.Err())
+	}
+	var rows, cols, nnz int
+	if _, err := fmt.Sscanf(sc.Text(), "spmx %d %d %d", &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("matrix: bad spmx header %q: %w", sc.Text(), err)
+	}
+	b := NewSparseBuilder(cols)
+	curRow := 0
+	var idx []int
+	var vals []float64
+	flushTo := func(row int) {
+		for curRow < row {
+			b.AddRow(idx, vals)
+			idx, vals = idx[:0], vals[:0]
+			curRow++
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("matrix: bad spmx triplet %q", line)
+		}
+		ri, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		ci, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, err
+		}
+		if ri < curRow {
+			return nil, fmt.Errorf("matrix: spmx rows out of order at row %d", ri)
+		}
+		flushTo(ri)
+		idx = append(idx, ci)
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flushTo(rows) // flush the final buffered row and any trailing empty rows
+	m := b.Build()
+	if m.NNZ() != nnz {
+		return nil, fmt.Errorf("matrix: spmx nnz mismatch: header %d, parsed %d", nnz, m.NNZ())
+	}
+	return m, nil
+}
+
+// WriteDense writes m in the dmx text format.
+func WriteDense(w io.Writer, m *Dense) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "dmx %d %d\n", m.R, m.C); err != nil {
+		return err
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(formatFloat(v)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDense parses the dmx text format.
+func ReadDense(r io.Reader) (*Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrix: empty dense input: %w", sc.Err())
+	}
+	var rows, cols int
+	if _, err := fmt.Sscanf(sc.Text(), "dmx %d %d", &rows, &cols); err != nil {
+		return nil, fmt.Errorf("matrix: bad dmx header %q: %w", sc.Text(), err)
+	}
+	m := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("matrix: dmx truncated at row %d: %w", i, sc.Err())
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != cols {
+			return nil, fmt.Errorf("matrix: dmx row %d has %d values, want %d", i, len(fields), cols)
+		}
+		row := m.Row(i)
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+	}
+	return m, nil
+}
+
+// WriteSparseBinary writes m in a compact little-endian binary layout:
+// magic "SPMB", rows, cols, nnz (uint64), then RowPtr, Cols (uint64 each)
+// and Vals (float64 bits).
+func WriteSparseBinary(w io.Writer, m *Sparse) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("SPMB"); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(m.R), uint64(m.C), uint64(m.NNZ())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, p := range m.RowPtr {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(p)); err != nil {
+			return err
+		}
+	}
+	for _, c := range m.Cols {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(c)); err != nil {
+			return err
+		}
+	}
+	for _, v := range m.Vals {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSparseBinary parses the SPMB binary layout.
+func ReadSparseBinary(r io.Reader) (*Sparse, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != "SPMB" {
+		return nil, fmt.Errorf("matrix: bad binary magic %q", magic)
+	}
+	var rows, cols, nnz uint64
+	for _, p := range []*uint64{&rows, &cols, &nnz} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	const maxDim = 1 << 40
+	if rows > maxDim || cols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("matrix: implausible binary header %d x %d nnz %d", rows, cols, nnz)
+	}
+	m := &Sparse{
+		R: int(rows), C: int(cols),
+		RowPtr: make([]int, rows+1),
+		Cols:   make([]int, nnz),
+		Vals:   make([]float64, nnz),
+	}
+	var u uint64
+	for i := range m.RowPtr {
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, err
+		}
+		m.RowPtr[i] = int(u)
+	}
+	for i := range m.Cols {
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, err
+		}
+		m.Cols[i] = int(u)
+	}
+	for i := range m.Vals {
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, err
+		}
+		m.Vals[i] = math.Float64frombits(u)
+	}
+	if m.RowPtr[len(m.RowPtr)-1] != int(nnz) {
+		return nil, fmt.Errorf("matrix: binary rowptr/nnz mismatch")
+	}
+	return m, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

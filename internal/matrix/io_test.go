@@ -1,0 +1,124 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSparseTextRoundTrip(t *testing.T) {
+	rng := NewRNG(71)
+	m := randomSparse(rng, 12, 9, 0.3)
+	var buf bytes.Buffer
+	if err := WriteSparse(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSparse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseAlmostEq(t, got.Dense(), m.Dense(), 0)
+}
+
+func TestSparseTextTrailingEmptyRows(t *testing.T) {
+	b := NewSparseBuilder(4)
+	b.AddRow([]int{1}, []float64{2})
+	b.AddRow(nil, nil)
+	b.AddRow(nil, nil)
+	m := b.Build()
+	var buf bytes.Buffer
+	if err := WriteSparse(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSparse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.R != 3 || got.NNZ() != 1 {
+		t.Fatalf("got %dx%d nnz %d", got.R, got.C, got.NNZ())
+	}
+}
+
+func TestReadSparseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header",
+		"spmx 2 2 1\nnot a triplet line here",
+		"spmx 2 2 5\n0 0 1\n",        // nnz mismatch
+		"spmx 2 2 2\n1 0 1\n0 1 2\n", // rows out of order
+	}
+	for _, c := range cases {
+		if _, err := ReadSparse(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for input %q", c)
+		}
+	}
+}
+
+func TestDenseTextRoundTrip(t *testing.T) {
+	rng := NewRNG(72)
+	m := NormRnd(rng, 6, 4)
+	var buf bytes.Buffer
+	if err := WriteDense(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDense(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseAlmostEq(t, got, m, 0)
+}
+
+func TestReadDenseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		"dmx 2 3\n1 2 3\n",   // truncated
+		"dmx 1 3\n1 2\n",     // short row
+		"dmx 1 2\nfoo bar\n", // non-numeric
+	}
+	for _, c := range cases {
+		if _, err := ReadDense(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for input %q", c)
+		}
+	}
+}
+
+func TestSparseBinaryRoundTrip(t *testing.T) {
+	rng := NewRNG(73)
+	m := randomSparse(rng, 20, 15, 0.2)
+	var buf bytes.Buffer
+	if err := WriteSparseBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSparseBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseAlmostEq(t, got.Dense(), m.Dense(), 0)
+}
+
+func TestReadSparseBinaryBadMagic(t *testing.T) {
+	if _, err := ReadSparseBinary(strings.NewReader("XXXXgarbage")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadSparseBinary(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestFormatFloatPreservesPrecision(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1.0 / 3.0, 1e-17, -2.5e100}})
+	var buf bytes.Buffer
+	if err := WriteDense(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDense(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Data {
+		if got.Data[i] != v {
+			t.Fatalf("value %d not exactly preserved: %v vs %v", i, got.Data[i], v)
+		}
+	}
+}

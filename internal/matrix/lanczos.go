@@ -1,0 +1,190 @@
+package matrix
+
+// LinOp is an abstract linear operator y = A*x / y = Aᵀ*x used by the Lanczos
+// solver, so that a mean-centered sparse matrix can be applied without ever
+// densifying it (mean propagation, §3.1 of the paper).
+type LinOp interface {
+	Dims() (r, c int)
+	Apply(x []float64) []float64  // A * x, len(x) == c
+	ApplyT(x []float64) []float64 // Aᵀ * x, len(x) == r
+}
+
+// SparseOp wraps a Sparse matrix as a LinOp.
+type SparseOp struct{ M *Sparse }
+
+// Dims implements LinOp.
+func (o SparseOp) Dims() (int, int) { return o.M.R, o.M.C }
+
+// Apply implements LinOp.
+func (o SparseOp) Apply(x []float64) []float64 { return o.M.MulVec(x) }
+
+// ApplyT implements LinOp.
+func (o SparseOp) ApplyT(x []float64) []float64 { return o.M.MulVecT(x) }
+
+// CenteredOp applies (Y - 1·meanᵀ) without materializing the centered matrix:
+// (Y-1mᵀ)x = Yx - (mᵀx)·1 and (Y-1mᵀ)ᵀx = Yᵀx - (Σx)·m.
+type CenteredOp struct {
+	M    *Sparse
+	Mean []float64
+}
+
+// Dims implements LinOp.
+func (o CenteredOp) Dims() (int, int) { return o.M.R, o.M.C }
+
+// Apply implements LinOp.
+func (o CenteredOp) Apply(x []float64) []float64 {
+	y := o.M.MulVec(x)
+	mx := dot(o.Mean, x)
+	for i := range y {
+		y[i] -= mx
+	}
+	return y
+}
+
+// ApplyT implements LinOp.
+func (o CenteredOp) ApplyT(x []float64) []float64 {
+	y := o.M.MulVecT(x)
+	var sx float64
+	for _, v := range x {
+		sx += v
+	}
+	for j := range y {
+		y[j] -= sx * o.Mean[j]
+	}
+	return y
+}
+
+// DenseOp wraps a Dense matrix as a LinOp.
+type DenseOp struct{ M *Dense }
+
+// Dims implements LinOp.
+func (o DenseOp) Dims() (int, int) { return o.M.R, o.M.C }
+
+// Apply implements LinOp.
+func (o DenseOp) Apply(x []float64) []float64 { return o.M.MulVec(x) }
+
+// ApplyT implements LinOp.
+func (o DenseOp) ApplyT(x []float64) []float64 { return o.M.MulVecT(x) }
+
+// LanczosSVD computes the top-k singular triplets of the operator a using
+// Golub–Kahan–Lanczos bidiagonalization with full reorthogonalization
+// (the SVD-Lanczos method of §2.2, as implemented by Mahout/GraphLab).
+// steps controls the Krylov subspace size; it must be >= k and is clamped to
+// min(r, c). rng seeds the start vector.
+func LanczosSVD(a LinOp, k, steps int, rng *RNG) (u *Dense, s []float64, v *Dense) {
+	r, c := a.Dims()
+	if k <= 0 {
+		panic("matrix: LanczosSVD k must be positive")
+	}
+	minDim := r
+	if c < minDim {
+		minDim = c
+	}
+	if k > minDim {
+		k = minDim
+	}
+	if steps < k {
+		steps = k
+	}
+	if steps > minDim {
+		steps = minDim
+	}
+
+	// Bidiagonalization: A*Vl = Ul*B, Aᵀ*Ul = Vl*Bᵀ with B (steps x steps)
+	// upper bidiagonal holding alphas on the diagonal and betas above it.
+	alphas := make([]float64, 0, steps)
+	betas := make([]float64, 0, steps) // beta[i] couples column i and i+1
+	vcols := make([][]float64, 0, steps)
+	ucols := make([][]float64, 0, steps)
+
+	p := make([]float64, c)
+	for i := range p {
+		p[i] = rng.NormFloat64()
+	}
+	VecScale(1/VecNorm2(p), p)
+	vcols = append(vcols, p)
+
+	var beta float64
+	for j := 0; j < steps; j++ {
+		// u_j = A v_j - beta_{j-1} u_{j-1}
+		uj := a.Apply(vcols[j])
+		if j > 0 {
+			AXPY(-beta, ucols[j-1], uj)
+		}
+		reorth(uj, ucols)
+		alpha := VecNorm2(uj)
+		if alpha < 1e-14 {
+			break
+		}
+		VecScale(1/alpha, uj)
+		ucols = append(ucols, uj)
+		alphas = append(alphas, alpha)
+
+		// v_{j+1} = Aᵀ u_j - alpha v_j
+		vn := a.ApplyT(uj)
+		AXPY(-alpha, vcols[j], vn)
+		reorth(vn, vcols)
+		beta = VecNorm2(vn)
+		if j == steps-1 || beta < 1e-14 {
+			break
+		}
+		VecScale(1/beta, vn)
+		vcols = append(vcols, vn)
+		betas = append(betas, beta)
+	}
+
+	m := len(alphas)
+	if m == 0 {
+		return NewDense(r, 0), nil, NewDense(c, 0)
+	}
+	// Small dense SVD of the m x m bidiagonal B.
+	b := NewDense(m, m)
+	for i := 0; i < m; i++ {
+		b.Set(i, i, alphas[i])
+		if i < len(betas) && i+1 < m {
+			b.Set(i, i+1, betas[i])
+		}
+	}
+	ub, sb, vb := SVD(b)
+	if k > m {
+		k = m
+	}
+
+	// U = Ul * ub[:, :k], V = Vl * vb[:, :k].
+	u = NewDense(r, k)
+	v = NewDense(c, k)
+	ucol := make([]float64, r)
+	vcol := make([]float64, c)
+	for col := 0; col < k; col++ {
+		for i := range ucol {
+			ucol[i] = 0
+		}
+		for i := range vcol {
+			vcol[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			if w := ub.At(i, col); w != 0 {
+				AXPY(w, ucols[i], ucol)
+			}
+		}
+		for i := 0; i < m && i < len(vcols); i++ {
+			if w := vb.At(i, col); w != 0 {
+				AXPY(w, vcols[i], vcol)
+			}
+		}
+		u.SetCol(col, ucol)
+		v.SetCol(col, vcol)
+	}
+	return u, sb[:k], v
+}
+
+// reorth removes from x its projections on all previously computed basis
+// vectors (full reorthogonalization; cheap at the scales this repo runs).
+func reorth(x []float64, basis [][]float64) {
+	for _, q := range basis {
+		proj := dot(x, q)
+		if proj != 0 {
+			AXPY(-proj, q, x)
+		}
+	}
+}

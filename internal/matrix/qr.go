@@ -1,0 +1,162 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR computes the thin QR decomposition of an r-by-c matrix with r >= c using
+// Householder reflections: A = Q*R with Q r-by-c having orthonormal columns
+// and R c-by-c upper triangular.
+func QR(a *Dense) (q, r *Dense) {
+	w := a.Clone()
+	betas := householder(w)
+	r = extractR(w)
+	q = formThinQ(w, betas)
+	return q, r
+}
+
+// QRR computes only the R factor of the thin QR decomposition — half the
+// work of QR when Q is not needed, e.g. in TSQR reductions where only the
+// triangular factors travel.
+func QRR(a *Dense) *Dense {
+	w := a.Clone()
+	householder(w)
+	return extractR(w)
+}
+
+// householder reduces w in place: R on and above the diagonal, the scaled
+// Householder vectors below it. Returns the beta coefficients.
+//
+// The reflection is applied with two row-major sweeps over the trailing
+// submatrix (accumulate s = vᵀA, then A -= v·sᵀ), which keeps memory access
+// sequential — the column-walking formulation is an order of magnitude
+// slower on large matrices.
+func householder(w *Dense) []float64 {
+	m, n := w.Dims()
+	if m < n {
+		panic(fmt.Sprintf("matrix: QR requires rows >= cols, got %dx%d", m, n))
+	}
+	betas := make([]float64, n)
+	s := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k, rows k..m-1.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := w.Data[i*n+k]
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			betas[k] = 0
+			continue
+		}
+		alpha := w.Data[k*n+k]
+		if alpha > 0 {
+			norm = -norm
+		}
+		v0 := alpha - norm
+		w.Data[k*n+k] = norm // R diagonal
+		inv := 1 / v0
+		for i := k + 1; i < m; i++ {
+			w.Data[i*n+k] *= inv
+		}
+		beta := -v0 / norm
+		betas[k] = beta
+
+		// s = beta · (vᵀ · A[k:m, k+1:n]) with v_k = 1, row-major sweep.
+		tail := s[k+1 : n]
+		for t := range tail {
+			tail[t] = 0
+		}
+		for i := k; i < m; i++ {
+			vi := 1.0
+			if i > k {
+				vi = w.Data[i*n+k]
+			}
+			row := w.Data[i*n+k+1 : i*n+n]
+			for t, rv := range row {
+				tail[t] += vi * rv
+			}
+		}
+		for t := range tail {
+			tail[t] *= beta
+		}
+		// A -= v · sᵀ, second row-major sweep.
+		for i := k; i < m; i++ {
+			vi := 1.0
+			if i > k {
+				vi = w.Data[i*n+k]
+			}
+			row := w.Data[i*n+k+1 : i*n+n]
+			for t := range row {
+				row[t] -= vi * tail[t]
+			}
+		}
+	}
+	return betas
+}
+
+func extractR(w *Dense) *Dense {
+	n := w.C
+	r := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(r.Row(i)[i:], w.Row(i)[i:])
+	}
+	return r
+}
+
+// formThinQ applies the stored reflections to the first n columns of I.
+func formThinQ(w *Dense, betas []float64) *Dense {
+	m, n := w.Dims()
+	q := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.Data[j*n+j] = 1
+	}
+	for k := n - 1; k >= 0; k-- {
+		if betas[k] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			s := q.Data[k*n+j]
+			for i := k + 1; i < m; i++ {
+				s += w.Data[i*n+k] * q.Data[i*n+j]
+			}
+			s *= betas[k]
+			q.Data[k*n+j] -= s
+			for i := k + 1; i < m; i++ {
+				q.Data[i*n+j] -= s * w.Data[i*n+k]
+			}
+		}
+	}
+	return q
+}
+
+// GramSchmidt orthonormalizes the columns of a in place using modified
+// Gram–Schmidt, returning the number of numerically independent columns.
+// Dependent columns are replaced with zeros.
+func GramSchmidt(a *Dense) int {
+	m, n := a.Dims()
+	rank := 0
+	for j := 0; j < n; j++ {
+		col := a.Col(j)
+		for k := 0; k < j; k++ {
+			prev := a.Col(k)
+			proj := dot(col, prev)
+			for i := 0; i < m; i++ {
+				col[i] -= proj * prev[i]
+			}
+		}
+		norm := VecNorm2(col)
+		if norm < 1e-12 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else {
+			VecScale(1/norm, col)
+			rank++
+		}
+		a.SetCol(j, col)
+	}
+	return rank
+}

@@ -1,0 +1,103 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for b, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("bucket %d count %d far from uniform", b, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormRndDims(t *testing.T) {
+	m := NormRnd(NewRNG(1), 3, 4)
+	if m.R != 3 || m.C != 4 {
+		t.Fatalf("dims %dx%d", m.R, m.C)
+	}
+	var nonzero int
+	for _, v := range m.Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 12 {
+		t.Fatalf("expected all 12 entries nonzero w.h.p., got %d", nonzero)
+	}
+}

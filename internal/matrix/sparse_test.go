@@ -1,0 +1,229 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildTestSparse() *Sparse {
+	// [ 1 0 2 ]
+	// [ 0 0 0 ]
+	// [ 0 3 0 ]
+	b := NewSparseBuilder(3)
+	b.AddRow([]int{0, 2}, []float64{1, 2})
+	b.AddRow(nil, nil)
+	b.AddRow([]int{1}, []float64{3})
+	return b.Build()
+}
+
+func randomSparse(rng *RNG, r, c int, density float64) *Sparse {
+	b := NewSparseBuilder(c)
+	for i := 0; i < r; i++ {
+		var idx []int
+		var vals []float64
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				idx = append(idx, j)
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		b.AddRow(idx, vals)
+	}
+	return b.Build()
+}
+
+func TestSparseBasics(t *testing.T) {
+	m := buildTestSparse()
+	if m.R != 3 || m.C != 3 || m.NNZ() != 3 {
+		t.Fatalf("dims %dx%d nnz %d", m.R, m.C, m.NNZ())
+	}
+	if m.At(0, 2) != 2 || m.At(0, 1) != 0 || m.At(2, 1) != 3 {
+		t.Fatal("At values wrong")
+	}
+	row := m.Row(0)
+	if row.NNZ() != 2 || row.At(0) != 1 {
+		t.Fatal("Row(0) wrong")
+	}
+	if row.Sum() != 3 || row.NormSq() != 5 {
+		t.Fatalf("Sum/NormSq = %v/%v", row.Sum(), row.NormSq())
+	}
+	d := m.Dense()
+	if d.At(0, 2) != 2 || d.At(1, 1) != 0 {
+		t.Fatal("Dense expansion wrong")
+	}
+	if m.Density() != 3.0/9.0 {
+		t.Fatalf("density = %v", m.Density())
+	}
+}
+
+func TestSparseBuilderValidation(t *testing.T) {
+	b := NewSparseBuilder(3)
+	for _, bad := range [][]int{{2, 1}, {0, 0}, {3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for indices %v", bad)
+				}
+			}()
+			vals := make([]float64, len(bad))
+			b.AddRow(bad, vals)
+		}()
+	}
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	rng := NewRNG(3)
+	d := NormRnd(rng, 5, 4)
+	d.Set(1, 2, 0)
+	d.Set(3, 0, 0)
+	s := FromDense(d)
+	denseAlmostEq(t, s.Dense(), d, 0)
+	if s.NNZ() != 18 {
+		t.Fatalf("nnz = %d", s.NNZ())
+	}
+}
+
+func TestSparseColMeans(t *testing.T) {
+	m := buildTestSparse()
+	means := m.ColMeans()
+	want := []float64{1.0 / 3, 1, 2.0 / 3}
+	for j := range want {
+		if !almostEq(means[j], want[j], 1e-15) {
+			t.Fatalf("means = %v", means)
+		}
+	}
+}
+
+func TestSparseMulDenseMatchesDense(t *testing.T) {
+	rng := NewRNG(7)
+	s := randomSparse(rng, 10, 8, 0.3)
+	b := NormRnd(rng, 8, 4)
+	denseAlmostEq(t, s.MulDense(b), s.Dense().Mul(b), 1e-12)
+}
+
+func TestSparseMulVecMatchesDense(t *testing.T) {
+	rng := NewRNG(8)
+	s := randomSparse(rng, 9, 6, 0.4)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := s.MulVec(x)
+	want := s.Dense().MulVec(x)
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("MulVec[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	y := make([]float64, 9)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	gotT := s.MulVecT(y)
+	wantT := s.Dense().MulVecT(y)
+	for i := range wantT {
+		if !almostEq(gotT[i], wantT[i], 1e-12) {
+			t.Fatalf("MulVecT[%d] = %v want %v", i, gotT[i], wantT[i])
+		}
+	}
+}
+
+func TestCenteredFrobeniusMatchesDense(t *testing.T) {
+	rng := NewRNG(11)
+	s := randomSparse(rng, 12, 7, 0.35)
+	mean := s.ColMeans()
+	want := s.Dense().SubRowVec(mean).FrobeniusSq()
+	simple := s.CenteredFrobeniusSqSimple(mean)
+	fast := s.CenteredFrobeniusSq(mean)
+	if !almostEq(simple, want, 1e-9) {
+		t.Fatalf("simple = %v want %v", simple, want)
+	}
+	if !almostEq(fast, want, 1e-9) {
+		t.Fatalf("fast = %v want %v", fast, want)
+	}
+}
+
+// Property: the two Frobenius implementations agree on random matrices and means.
+func TestCenteredFrobeniusProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed) + 5)
+		s := randomSparse(rng, 1+int(seed)%15, 1+int(seed)%10, 0.1+0.5*rng.Float64())
+		mean := make([]float64, s.C)
+		for j := range mean {
+			mean[j] = rng.NormFloat64()
+		}
+		return almostEq(s.CenteredFrobeniusSq(mean), s.CenteredFrobeniusSqSimple(mean), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCenteredMulDenseMatchesExplicitCentering(t *testing.T) {
+	rng := NewRNG(13)
+	s := randomSparse(rng, 10, 6, 0.4)
+	mean := s.ColMeans()
+	c := NormRnd(rng, 6, 3)
+	got := s.CenteredMulDense(mean, c)
+	want := s.Dense().SubRowVec(mean).Mul(c)
+	denseAlmostEq(t, got, want, 1e-12)
+}
+
+// Property: mean propagation identity Yc*C = Y*C - 1*(mᵀC) holds for any mean.
+func TestMeanPropagationProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed)*3 + 1)
+		r := 1 + int(seed)%12
+		c := 1 + int(seed)%9
+		k := 1 + int(seed)%4
+		s := randomSparse(rng, r, c, 0.5)
+		mean := make([]float64, c)
+		for j := range mean {
+			mean[j] = rng.NormFloat64()
+		}
+		b := NormRnd(rng, c, k)
+		got := s.CenteredMulDense(mean, b)
+		want := s.Dense().SubRowVec(mean).Mul(b)
+		return got.MaxAbsDiff(want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseSizeBytesAndMaxAbs(t *testing.T) {
+	m := buildTestSparse()
+	if m.SizeBytes() != int64(4*8+3*8+3*8) {
+		t.Fatalf("SizeBytes = %d", m.SizeBytes())
+	}
+	if m.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestSparseVectorDot(t *testing.T) {
+	v := SparseVector{Len: 4, Indices: []int{1, 3}, Values: []float64{2, -1}}
+	if got := v.Dot([]float64{5, 6, 7, 8}); got != 4 {
+		t.Fatalf("Dot = %v", got)
+	}
+	d := v.Dense()
+	if d[0] != 0 || d[1] != 2 || d[3] != -1 {
+		t.Fatalf("Dense = %v", d)
+	}
+}
+
+func TestEmptySparse(t *testing.T) {
+	m := NewSparse(0, 5)
+	if m.NNZ() != 0 {
+		t.Fatal("empty NNZ")
+	}
+	means := m.ColMeans()
+	for _, v := range means {
+		if v != 0 {
+			t.Fatal("empty ColMeans should be zero")
+		}
+	}
+	if m.Density() != 0 {
+		t.Fatal("empty density")
+	}
+}

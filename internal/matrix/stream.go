@@ -1,0 +1,128 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// RowSource provides repeated sequential scans over the rows of a (possibly
+// disk-resident) sparse matrix — the access pattern EM needs: a handful of
+// full passes, never random access, never the whole matrix in memory.
+type RowSource interface {
+	// Dims returns the row and column counts.
+	Dims() (n, d int)
+	// Scan calls fn for every row in order. The SparseVector passed to fn
+	// is only valid during the call. Scan may be called repeatedly.
+	Scan(fn func(i int, row SparseVector) error) error
+}
+
+// SparseSource adapts an in-memory CSR matrix to RowSource.
+type SparseSource struct{ M *Sparse }
+
+// Dims implements RowSource.
+func (s SparseSource) Dims() (int, int) { return s.M.R, s.M.C }
+
+// Scan implements RowSource.
+func (s SparseSource) Scan(fn func(int, SparseVector) error) error {
+	for i := 0; i < s.M.R; i++ {
+		if err := fn(i, s.M.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileRowSource streams rows from an spmx text file, opening the file fresh
+// for every scan. Memory use is one row at a time, independent of N.
+type FileRowSource struct {
+	path string
+	rows int
+	cols int
+}
+
+// OpenFileRowSource validates the file header and returns a source.
+func OpenFileRowSource(path string) (*FileRowSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows, cols, nnz int
+	header, err := bufio.NewReader(f).ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("matrix: reading %s header: %w", path, err)
+	}
+	if _, err := fmt.Sscanf(header, "spmx %d %d %d", &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("matrix: bad spmx header %q in %s: %w", strings.TrimSpace(header), path, err)
+	}
+	return &FileRowSource{path: path, rows: rows, cols: cols}, nil
+}
+
+// Dims implements RowSource.
+func (s *FileRowSource) Dims() (int, int) { return s.rows, s.cols }
+
+// Scan implements RowSource.
+func (s *FileRowSource) Scan(fn func(int, SparseVector) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("matrix: empty file %s: %w", s.path, sc.Err())
+	}
+
+	cur := 0
+	var idx []int
+	var vals []float64
+	emitTo := func(row int) error {
+		for cur < row {
+			if err := fn(cur, SparseVector{Len: s.cols, Indices: idx, Values: vals}); err != nil {
+				return err
+			}
+			idx, vals = idx[:0], vals[:0]
+			cur++
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf("matrix: bad triplet %q in %s", line, s.path)
+		}
+		ri, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return err
+		}
+		ci, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return err
+		}
+		if ri < cur {
+			return fmt.Errorf("matrix: rows out of order in %s at row %d", s.path, ri)
+		}
+		if err := emitTo(ri); err != nil {
+			return err
+		}
+		idx = append(idx, ci)
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return err
+	}
+	return emitTo(s.rows)
+}

@@ -1,0 +1,387 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVD computes the thin singular value decomposition A = U * diag(S) * Vᵀ of
+// an m-by-n matrix with m >= n, using the Golub–Reinsch algorithm: Householder
+// bidiagonalization followed by implicit-shift QR on the bidiagonal matrix
+// (the SVD-Bidiag method of §2.2). U is m-by-n with orthonormal columns, V is
+// n-by-n orthogonal, and singular values are returned in descending order.
+//
+// Hot loops run as row-major sweeps over the raw Data slices; the
+// column-walking textbook formulation is several times slower on matrices
+// beyond a few hundred columns.
+func SVD(a *Dense) (u *Dense, s []float64, v *Dense) {
+	m, n := a.Dims()
+	if m < n {
+		// Decompose the transpose and swap factors.
+		ut, st, vt := SVD(a.T())
+		return vt, st, ut
+	}
+	u = a.Clone()
+	v = NewDense(n, n)
+	s = make([]float64, n)
+	rv1 := make([]float64, n)
+	sbuf := make([]float64, n)
+	ud := u.Data
+	vd := v.Data
+	var g, scale, anorm float64
+
+	// Householder bidiagonalization.
+	for i := 0; i < n; i++ {
+		l := i + 1
+		rv1[i] = scale * g
+		g, scale = 0, 0
+		if i < m {
+			for k := i; k < m; k++ {
+				scale += math.Abs(ud[k*n+i])
+			}
+			if scale != 0 {
+				var ss float64
+				for k := i; k < m; k++ {
+					ud[k*n+i] /= scale
+					ss += ud[k*n+i] * ud[k*n+i]
+				}
+				f := ud[i*n+i]
+				g = -withSign(math.Sqrt(ss), f)
+				h := f*g - ss
+				ud[i*n+i] = f - g
+				if l < n {
+					// Left transform on trailing columns: two row-major
+					// sweeps via sbuf[j] = (Σ_k u[k,i]·u[k,j]) / h.
+					for j := l; j < n; j++ {
+						sbuf[j] = 0
+					}
+					for k := i; k < m; k++ {
+						uki := ud[k*n+i]
+						if uki == 0 {
+							continue
+						}
+						row := ud[k*n+l : k*n+n]
+						for t, rv := range row {
+							sbuf[l+t] += uki * rv
+						}
+					}
+					for j := l; j < n; j++ {
+						sbuf[j] /= h
+					}
+					for k := i; k < m; k++ {
+						uki := ud[k*n+i]
+						if uki == 0 {
+							continue
+						}
+						row := ud[k*n+l : k*n+n]
+						for t := range row {
+							row[t] += sbuf[l+t] * uki
+						}
+					}
+				}
+				for k := i; k < m; k++ {
+					ud[k*n+i] *= scale
+				}
+			}
+		}
+		s[i] = scale * g
+		g, scale = 0, 0
+		if i < m && i != n-1 {
+			for k := l; k < n; k++ {
+				scale += math.Abs(ud[i*n+k])
+			}
+			if scale != 0 {
+				var ss float64
+				for k := l; k < n; k++ {
+					ud[i*n+k] /= scale
+					ss += ud[i*n+k] * ud[i*n+k]
+				}
+				f := ud[i*n+l]
+				g = -withSign(math.Sqrt(ss), f)
+				h := f*g - ss
+				ud[i*n+l] = f - g
+				for k := l; k < n; k++ {
+					rv1[k] = ud[i*n+k] / h
+				}
+				// Right transform on trailing rows (already row-major).
+				rowi := ud[i*n+l : i*n+n]
+				rv1p := rv1[l:n]
+				for j := l; j < m; j++ {
+					rowj := ud[j*n+l : j*n+n]
+					var sum float64
+					for t, rv := range rowj {
+						sum += rv * rowi[t]
+					}
+					for t := range rowj {
+						rowj[t] += sum * rv1p[t]
+					}
+				}
+				for k := l; k < n; k++ {
+					ud[i*n+k] *= scale
+				}
+			}
+		}
+		if t := math.Abs(s[i]) + math.Abs(rv1[i]); t > anorm {
+			anorm = t
+		}
+	}
+
+	// Accumulate right-hand transformations.
+	for i := n - 1; i >= 0; i-- {
+		l := i + 1
+		if i < n-1 {
+			if g != 0 {
+				uil := ud[i*n+l]
+				for j := l; j < n; j++ {
+					vd[j*n+i] = (ud[i*n+j] / uil) / g
+				}
+				// sbuf[j] = Σ_k u[i,k]·v[k,j], then v[k,j] += sbuf[j]·v[k,i].
+				for j := l; j < n; j++ {
+					sbuf[j] = 0
+				}
+				for k := l; k < n; k++ {
+					uik := ud[i*n+k]
+					if uik == 0 {
+						continue
+					}
+					row := vd[k*n+l : k*n+n]
+					for t, rv := range row {
+						sbuf[l+t] += uik * rv
+					}
+				}
+				for k := l; k < n; k++ {
+					vki := vd[k*n+i]
+					if vki == 0 {
+						continue
+					}
+					row := vd[k*n+l : k*n+n]
+					for t := range row {
+						row[t] += sbuf[l+t] * vki
+					}
+				}
+			}
+			for j := l; j < n; j++ {
+				vd[i*n+j] = 0
+				vd[j*n+i] = 0
+			}
+		}
+		vd[i*n+i] = 1
+		g = rv1[i]
+	}
+
+	// Accumulate left-hand transformations.
+	for i := n - 1; i >= 0; i-- {
+		l := i + 1
+		g = s[i]
+		for j := l; j < n; j++ {
+			ud[i*n+j] = 0
+		}
+		if g != 0 {
+			g = 1 / g
+			if l < n {
+				// sbuf[j] = Σ_{k=l..m} u[k,i]·u[k,j]; f_j = (sbuf[j]/u[i,i])·g;
+				// then u[k,j] += f_j·u[k,i] for k = i..m.
+				for j := l; j < n; j++ {
+					sbuf[j] = 0
+				}
+				for k := l; k < m; k++ {
+					uki := ud[k*n+i]
+					if uki == 0 {
+						continue
+					}
+					row := ud[k*n+l : k*n+n]
+					for t, rv := range row {
+						sbuf[l+t] += uki * rv
+					}
+				}
+				uii := ud[i*n+i]
+				for j := l; j < n; j++ {
+					sbuf[j] = (sbuf[j] / uii) * g
+				}
+				for k := i; k < m; k++ {
+					uki := ud[k*n+i]
+					row := ud[k*n+l : k*n+n]
+					for t := range row {
+						row[t] += sbuf[l+t] * uki
+					}
+				}
+			}
+			for j := i; j < m; j++ {
+				ud[j*n+i] *= g
+			}
+		} else {
+			for j := i; j < m; j++ {
+				ud[j*n+i] = 0
+			}
+		}
+		ud[i*n+i]++
+	}
+
+	// Diagonalize the bidiagonal form: implicit-shift QR.
+	for k := n - 1; k >= 0; k-- {
+		for its := 0; its < 60; its++ {
+			flag := true
+			var l, nm int
+			for l = k; l >= 0; l-- {
+				nm = l - 1
+				if math.Abs(rv1[l])+anorm == anorm {
+					flag = false
+					break
+				}
+				if math.Abs(s[nm])+anorm == anorm {
+					break
+				}
+			}
+			if flag {
+				c, ss := 0.0, 1.0
+				for i := l; i <= k; i++ {
+					f := ss * rv1[i]
+					rv1[i] = c * rv1[i]
+					if math.Abs(f)+anorm == anorm {
+						break
+					}
+					g = s[i]
+					h := math.Hypot(f, g)
+					s[i] = h
+					h = 1 / h
+					c = g * h
+					ss = -f * h
+					for j := 0; j < m; j++ {
+						base := j * n
+						y := ud[base+nm]
+						z := ud[base+i]
+						ud[base+nm] = y*c + z*ss
+						ud[base+i] = z*c - y*ss
+					}
+				}
+			}
+			z := s[k]
+			if l == k {
+				if z < 0 {
+					s[k] = -z
+					for j := 0; j < n; j++ {
+						vd[j*n+k] = -vd[j*n+k]
+					}
+				}
+				break
+			}
+			if its == 59 {
+				panic("matrix: SVD failed to converge in 60 iterations")
+			}
+			x := s[l]
+			nm = k - 1
+			y := s[nm]
+			g = rv1[nm]
+			h := rv1[k]
+			f := ((y-z)*(y+z) + (g-h)*(g+h)) / (2 * h * y)
+			g = math.Hypot(f, 1)
+			f = ((x-z)*(x+z) + h*((y/(f+withSign(g, f)))-h)) / x
+			c, ss := 1.0, 1.0
+			for j := l; j <= nm; j++ {
+				i := j + 1
+				g = rv1[i]
+				y = s[i]
+				h = ss * g
+				g = c * g
+				zz := math.Hypot(f, h)
+				rv1[j] = zz
+				c = f / zz
+				ss = h / zz
+				f = x*c + g*ss
+				g = g*c - x*ss
+				h = y * ss
+				y *= c
+				for jj := 0; jj < n; jj++ {
+					base := jj * n
+					xx := vd[base+j]
+					zzv := vd[base+i]
+					vd[base+j] = xx*c + zzv*ss
+					vd[base+i] = zzv*c - xx*ss
+				}
+				zz = math.Hypot(f, h)
+				s[j] = zz
+				if zz != 0 {
+					zz = 1 / zz
+					c = f * zz
+					ss = h * zz
+				}
+				f = c*g + ss*y
+				x = c*y - ss*g
+				for jj := 0; jj < m; jj++ {
+					base := jj * n
+					yy := ud[base+j]
+					zzu := ud[base+i]
+					ud[base+j] = yy*c + zzu*ss
+					ud[base+i] = zzu*c - yy*ss
+				}
+			}
+			rv1[l] = 0
+			rv1[k] = f
+			s[k] = x
+		}
+	}
+
+	// Sort singular values in descending order, permuting U and V columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+	sorted := true
+	for i, id := range idx {
+		if id != i {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return u, s, v
+	}
+	us := NewDense(m, n)
+	vs := NewDense(n, n)
+	ssorted := make([]float64, n)
+	for out, in := range idx {
+		ssorted[out] = s[in]
+		for r := 0; r < m; r++ {
+			us.Data[r*n+out] = ud[r*n+in]
+		}
+		for r := 0; r < n; r++ {
+			vs.Data[r*n+out] = vd[r*n+in]
+		}
+	}
+	return us, ssorted, vs
+}
+
+// TopSVD returns the leading k singular triplets of a.
+func TopSVD(a *Dense, k int) (u *Dense, s []float64, v *Dense) {
+	uf, sf, vf := SVD(a)
+	n := len(sf)
+	if k > n {
+		k = n
+	}
+	u = NewDense(uf.R, k)
+	v = NewDense(vf.R, k)
+	for i := 0; i < uf.R; i++ {
+		copy(u.Row(i), uf.Row(i)[:k])
+	}
+	for i := 0; i < vf.R; i++ {
+		copy(v.Row(i), vf.Row(i)[:k])
+	}
+	return u, sf[:k], v
+}
+
+// Reconstruct returns U * diag(S) * Vᵀ for a thin SVD.
+func Reconstruct(u *Dense, s []float64, v *Dense) *Dense {
+	if u.C != len(s) || v.C != len(s) {
+		panic(fmt.Sprintf("matrix: Reconstruct dims U %dx%d, S %d, V %dx%d", u.R, u.C, len(s), v.R, v.C))
+	}
+	us := u.Clone()
+	for i := 0; i < us.R; i++ {
+		row := us.Row(i)
+		for j := range row {
+			row[j] *= s[j]
+		}
+	}
+	return us.MulBT(v)
+}

@@ -1,0 +1,157 @@
+package ppca
+
+import (
+	"fmt"
+
+	"spca/internal/matrix"
+)
+
+// FitLocal runs the PPCA EM algorithm (Algorithm 1) on a single machine.
+// It is the reference implementation the distributed variants are tested
+// against, and the engine behind SmartGuess initialization. Mean propagation
+// is always used here — the input is never densified.
+func FitLocal(y *matrix.Sparse, opt Options) (*Result, error) {
+	if err := opt.validate(y.R, y.C); err != nil {
+		return nil, err
+	}
+	mean := y.ColMeans()
+	ss1 := y.CenteredFrobeniusSq(mean)
+	em := newEMDriver(opt, y.R, y.C, mean, ss1)
+
+	if opt.SmartGuess {
+		if err := smartGuessLocal(y, opt, em); err != nil {
+			return nil, fmt.Errorf("ppca: smart guess: %w", err)
+		}
+	}
+
+	rows := sampleIdx(y.R, opt.sampleRows(), opt.Seed)
+	res := &Result{Mean: mean}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if err := em.prepare(); err != nil {
+			return nil, err
+		}
+		sums := localPass(y, em)
+		cNew, err := em.update(sums)
+		if err != nil {
+			return nil, err
+		}
+		em.finishVariance(localSS3(y, em, cNew))
+
+		e := reconstructionError(y, mean, em.c, em.cm, em.xm, rows)
+		res.History = append(res.History, IterationStat{
+			Iter:     iter,
+			Err:      e,
+			Accuracy: opt.accuracyOf(e),
+			SS:       em.ss,
+		})
+		if opt.converged(res.History) {
+			break
+		}
+	}
+	res.Components = em.c
+	res.SS = em.ss
+	res.Iterations = len(res.History)
+	return res, nil
+}
+
+// localPass is the consolidated YtX+XtX pass (one scan over the rows).
+func localPass(y *matrix.Sparse, em *emDriver) jobSums {
+	d := em.d
+	sums := jobSums{
+		ytx:  matrix.NewDense(y.C, d),
+		xtx:  matrix.NewDense(d, d),
+		sumX: make([]float64, d),
+	}
+	xi := make([]float64, d)
+	for i := 0; i < y.R; i++ {
+		row := y.Row(i)
+		computeLatentRow(row, em, xi)
+		for k, j := range row.Indices {
+			matrix.AXPY(row.Values[k], xi, sums.ytx.Row(j))
+		}
+		matrix.OuterAdd(sums.xtx, xi, xi)
+		matrix.AXPY(1, xi, sums.sumX)
+	}
+	return sums
+}
+
+// localSS3 recomputes X row by row and accumulates Σ Xi_c·(Cᵀ·Yiᵀ) with the
+// associativity trick of §4.1: multiply Cᵀ with the sparse Yiᵀ first.
+func localSS3(y *matrix.Sparse, em *emDriver, c *matrix.Dense) float64 {
+	d := em.d
+	xi := make([]float64, d)
+	ct := make([]float64, d)
+	var ss3 float64
+	for i := 0; i < y.R; i++ {
+		row := y.Row(i)
+		computeLatentRow(row, em, xi)
+		for k := range ct {
+			ct[k] = 0
+		}
+		for k, j := range row.Indices {
+			matrix.AXPY(row.Values[k], c.Row(j), ct)
+		}
+		ss3 += matrix.Dot(xi, ct)
+	}
+	return ss3
+}
+
+// computeLatentRow fills xi with the centered latent row
+// Xi_c = Yi·CM - Xm, touching only the row's non-zero entries.
+func computeLatentRow(row matrix.SparseVector, em *emDriver, xi []float64) {
+	for k := range xi {
+		xi[k] = -em.xm[k]
+	}
+	for k, j := range row.Indices {
+		matrix.AXPY(row.Values[k], em.cm.Row(j), xi)
+	}
+}
+
+// smartGuessLocal seeds em with the result of a fit on a row sample.
+func smartGuessLocal(y *matrix.Sparse, opt Options, em *emDriver) error {
+	n := smartGuessSize(opt, y.R)
+	if n >= y.R {
+		return nil // nothing to gain
+	}
+	sub := sampleSparseRows(y, n, opt.Seed+0x5A)
+	subOpt := opt
+	subOpt.SmartGuess = false
+	subOpt.TargetAccuracy = 0
+	subOpt.IdealError = 0
+	subOpt.MaxIter = 5
+	res, err := FitLocal(sub, subOpt)
+	if err != nil {
+		return err
+	}
+	em.c = res.Components
+	em.ss = res.SS
+	return nil
+}
+
+func smartGuessSize(opt Options, n int) int {
+	sz := opt.SmartGuessRows
+	if sz <= 0 {
+		sz = n / 10
+	}
+	if min := 2 * opt.Components; sz < min {
+		sz = min
+	}
+	if sz > 2000 {
+		sz = 2000
+	}
+	if sz > n {
+		sz = n
+	}
+	return sz
+}
+
+// sampleSparseRows builds a CSR matrix from a deterministic sample of rows.
+func sampleSparseRows(y *matrix.Sparse, n int, seed uint64) *matrix.Sparse {
+	idx := sampleIdx(y.R, n, seed)
+	b := matrix.NewSparseBuilder(y.C)
+	for _, i := range idx {
+		row := y.Row(i)
+		b.AddRow(row.Indices, row.Values)
+	}
+	return b.Build()
+}

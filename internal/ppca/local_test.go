@@ -1,0 +1,245 @@
+package ppca
+
+import (
+	"math"
+	"testing"
+
+	"spca/internal/dataset"
+	"spca/internal/matrix"
+)
+
+// lowRankSparse generates a planted low-rank sparse matrix for fit tests.
+func lowRankSparse(n, dims, rank int, seed uint64) *matrix.Sparse {
+	return dataset.MustGenerate(dataset.Spec{
+		Kind: dataset.KindDiabetes, Rows: n, Cols: dims, Rank: rank, Seed: seed,
+	})
+}
+
+func TestFitLocalRecoversPlantedSubspace(t *testing.T) {
+	y := lowRankSparse(200, 60, 4, 1)
+	opt := DefaultOptions(4)
+	opt.MaxIter = 60
+	opt.Tol = 1e-9
+	res, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact PCA subspace from the dense SVD of the centered matrix.
+	mean := y.ColMeans()
+	_, _, v := matrix.TopSVD(y.Dense().SubRowVec(mean), 4)
+	gap := matrix.SubspaceGap(res.Components, v)
+	if gap > 0.02 {
+		t.Fatalf("PPCA subspace gap vs exact PCA = %v", gap)
+	}
+}
+
+func TestFitLocalErrorDecreases(t *testing.T) {
+	y := lowRankSparse(150, 40, 3, 2)
+	opt := DefaultOptions(3)
+	opt.MaxIter = 20
+	opt.Tol = 0 // run all iterations
+	res, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) < 3 {
+		t.Fatalf("history too short: %d", len(res.History))
+	}
+	first := res.History[0].Err
+	last := res.History[len(res.History)-1].Err
+	if last >= first {
+		t.Fatalf("error did not decrease: %v -> %v", first, last)
+	}
+	if last > 0.5 {
+		t.Fatalf("final error too high: %v", last)
+	}
+}
+
+func TestFitLocalValidation(t *testing.T) {
+	y := lowRankSparse(10, 5, 2, 3)
+	if _, err := FitLocal(y, DefaultOptions(0)); err == nil {
+		t.Fatal("expected error for zero components")
+	}
+	if _, err := FitLocal(y, DefaultOptions(6)); err == nil {
+		t.Fatal("expected error for d > D")
+	}
+	bad := DefaultOptions(2)
+	bad.MaxIter = 0
+	if _, err := FitLocal(y, bad); err == nil {
+		t.Fatal("expected error for MaxIter 0")
+	}
+	empty := matrix.NewSparse(0, 5)
+	if _, err := FitLocal(empty, DefaultOptions(2)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestFitLocalDeterministic(t *testing.T) {
+	y := lowRankSparse(80, 30, 3, 4)
+	opt := DefaultOptions(3)
+	a, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Components.MaxAbsDiff(b.Components) != 0 || a.SS != b.SS {
+		t.Fatal("FitLocal not deterministic")
+	}
+}
+
+func TestFitLocalStopsOnTolerance(t *testing.T) {
+	y := lowRankSparse(100, 30, 2, 5)
+	opt := DefaultOptions(2)
+	opt.MaxIter = 100
+	opt.Tol = 0.05
+	res, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 100 {
+		t.Fatalf("tolerance stop never fired (%d iterations)", res.Iterations)
+	}
+}
+
+func TestFitLocalTargetAccuracyStop(t *testing.T) {
+	y := lowRankSparse(120, 30, 3, 6)
+	opt := DefaultOptions(3)
+	opt.MaxIter = 50
+	opt.Tol = 0
+	opt.IdealError = IdealError(y, 3, opt)
+	opt.TargetAccuracy = 0.95
+	res, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	if last.Accuracy < 0.95 {
+		t.Fatalf("final accuracy %v below target", last.Accuracy)
+	}
+	if res.Iterations == 50 {
+		t.Log("warning: accuracy target only reached at iteration cap")
+	}
+}
+
+func TestSmartGuessConvergesFaster(t *testing.T) {
+	y := lowRankSparse(600, 50, 4, 7)
+	base := DefaultOptions(4)
+	base.MaxIter = 1
+	base.Tol = 0
+	plain, err := FitLocal(y, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := base
+	sg.SmartGuess = true
+	smart, err := FitLocal(y, sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After a single iteration on the full data, the smart-guess start must
+	// be strictly better than the random start (§5.2, Figure 5).
+	if smart.History[0].Err >= plain.History[0].Err {
+		t.Fatalf("smart guess not better after 1 iter: %v vs %v",
+			smart.History[0].Err, plain.History[0].Err)
+	}
+}
+
+func TestTransformReconstructRoundTrip(t *testing.T) {
+	y := lowRankSparse(100, 40, 3, 8)
+	opt := DefaultOptions(3)
+	opt.MaxIter = 40
+	opt.Tol = 1e-8
+	res, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Transform(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.R != 100 || x.C != 3 {
+		t.Fatalf("latent dims %dx%d", x.R, x.C)
+	}
+	recon := res.Reconstruct(x)
+	dense := y.Dense()
+	// Relative reconstruction error should be small for rank-3 data.
+	relErr := recon.Sub(dense).Norm1() / dense.Norm1()
+	if relErr > 0.2 {
+		t.Fatalf("round-trip relative error %v", relErr)
+	}
+	// Dim mismatch is reported.
+	if _, err := res.Transform(matrix.NewSparse(5, 7)); err == nil {
+		t.Fatal("expected dims error")
+	}
+}
+
+func TestIdealErrorBeatsEMError(t *testing.T) {
+	y := lowRankSparse(150, 40, 3, 9)
+	opt := DefaultOptions(3)
+	ideal := IdealError(y, 3, opt)
+	if ideal <= 0 || ideal >= 1 {
+		t.Fatalf("ideal error %v out of range", ideal)
+	}
+	opt.MaxIter = 2
+	res, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An exact PCA cannot be worse than 2 EM iterations (allow tiny slack
+	// for the sampled metric).
+	if ideal > res.History[len(res.History)-1].Err+0.02 {
+		t.Fatalf("ideal %v worse than EM %v", ideal, res.History[len(res.History)-1].Err)
+	}
+}
+
+func TestAccuracyOfClamping(t *testing.T) {
+	o := Options{IdealError: 0.1}
+	if a := o.accuracyOf(0.1); math.Abs(a-1) > 1e-12 {
+		t.Fatalf("accuracy at ideal error = %v", a)
+	}
+	if a := o.accuracyOf(0.05); a != 1 {
+		t.Fatalf("better-than-ideal should clamp to 1: %v", a)
+	}
+	if a := o.accuracyOf(0.2); math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("accuracy at double the ideal error = %v, want 0.5", a)
+	}
+	if a := (Options{}).accuracyOf(0.5); a != 0 {
+		t.Fatal("accuracy without ideal error should be 0")
+	}
+}
+
+func TestSmartGuessSize(t *testing.T) {
+	o := DefaultOptions(10)
+	if got := smartGuessSize(o, 100000); got != 2000 {
+		t.Fatalf("cap: %d", got)
+	}
+	if got := smartGuessSize(o, 300); got != 30 {
+		t.Fatalf("tenth: %d", got)
+	}
+	if got := smartGuessSize(o, 50); got != 20 {
+		t.Fatalf("min 2d: %d", got)
+	}
+	o.SmartGuessRows = 77
+	if got := smartGuessSize(o, 1000); got != 77 {
+		t.Fatalf("explicit: %d", got)
+	}
+}
+
+func TestSampleIdx(t *testing.T) {
+	idx := sampleIdx(10, 100, 1)
+	if len(idx) != 10 {
+		t.Fatalf("want all rows, got %d", len(idx))
+	}
+	idx = sampleIdx(1000, 50, 1)
+	if len(idx) != 50 {
+		t.Fatalf("want 50, got %d", len(idx))
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatal("sample not sorted/unique")
+		}
+	}
+}

@@ -1,0 +1,711 @@
+package ppca
+
+import (
+	"fmt"
+
+	"spca/internal/cluster"
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+)
+
+// Special composite-key values for the consolidated YtXJob (§4.1 uses a
+// composite key to route all XtX partials to one reducer while YtX rows
+// spread across reducers).
+const (
+	keyXtX  = -1
+	keySumX = -2
+	keySS3  = -3
+	keyMean = -4
+	keyFro  = -5
+)
+
+// FitMapReduce runs sPCA on the MapReduce engine (Algorithm 4). rows are the
+// input matrix records; dims is D. The optimization switches in opt select
+// between the full sPCA jobs and the unoptimized baselines of Table 3.
+func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt Options) (*Result, error) {
+	if err := opt.validate(len(rows), dims); err != nil {
+		return nil, err
+	}
+	cl := eng.Cluster
+
+	// meanJob + FnormJob run once before the loop (Algorithm 4 lines 3-4).
+	mean, err := meanJob(eng, rows, dims)
+	if err != nil {
+		return nil, err
+	}
+	ss1, err := fnormJob(eng, rows, mean, opt.EfficientFrobenius)
+	if err != nil {
+		return nil, err
+	}
+
+	em := newEMDriver(opt, len(rows), dims, mean, ss1)
+	if opt.SmartGuess {
+		if err := smartGuessMapReduce(eng, rows, dims, opt, em); err != nil {
+			return nil, fmt.Errorf("ppca: smart guess: %w", err)
+		}
+	}
+
+	y := sparseFromRows(rows, dims)
+	sample := sampleIdx(len(rows), opt.sampleRows(), opt.Seed)
+	res := &Result{Mean: mean}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if err := em.prepare(); err != nil {
+			return nil, err
+		}
+		// Ship CM (and later C) to every node, like Hadoop's distributed cache.
+		broadcast(cl, "ytx/cache", mapred.BytesOfDense(em.cm))
+
+		var sums jobSums
+		if opt.MinimizeIntermediate {
+			sums, err = ytxJob(eng, rows, dims, em, opt)
+		} else {
+			sums, err = unoptimizedPasses(eng, rows, dims, em, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cNew, err := em.update(sums)
+		if err != nil {
+			return nil, err
+		}
+		// Driver-side small-matrix work: M, M⁻¹, the solve, ss2.
+		d := int64(opt.Components)
+		cl.AddDriverCompute(int64(dims)*d*d + d*d*d)
+
+		broadcast(cl, "ss3/cache", mapred.BytesOfDense(cNew))
+		ss3raw, err := ss3Job(eng, rows, em, cNew, opt)
+		if err != nil {
+			return nil, err
+		}
+		em.finishVariance(ss3raw)
+
+		e := reconstructionError(y, mean, em.c, em.cm, em.xm, sample)
+		res.History = append(res.History, IterationStat{
+			Iter:       iter,
+			Err:        e,
+			Accuracy:   opt.accuracyOf(e),
+			SS:         em.ss,
+			SimSeconds: cl.Metrics().SimSeconds,
+		})
+		if opt.converged(res.History) {
+			break
+		}
+	}
+	res.Components = em.c
+	res.SS = em.ss
+	res.Iterations = len(res.History)
+	res.Metrics = cl.Metrics()
+	return res, nil
+}
+
+// broadcast charges shipping driver state to every worker node.
+func broadcast(cl *cluster.Cluster, name string, bytes int64) {
+	cl.RunPhase(cluster.PhaseStats{
+		Name:         name,
+		ShuffleBytes: bytes * int64(cl.Config().Nodes),
+	})
+}
+
+// meanJob computes the column means with one MapReduce job. Mappers keep a
+// sparse in-memory partial (stateful combiner) and flush it in Cleanup.
+func meanJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int) ([]float64, error) {
+	job := mapred.Job[matrix.SparseVector, int, float64, float64]{
+		Name: "meanJob",
+		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, float64] {
+			return &meanMapper{partial: map[int]float64{}}
+		},
+		Combine: func(a, b float64) float64 { return a + b },
+		Reduce: func(k int, vs []float64, o mapred.Ops) float64 {
+			var s float64
+			for _, v := range vs {
+				s += v
+				o.AddOps(1)
+			}
+			return s
+		},
+		InputBytes: mapred.BytesOfSparseVec,
+		KeyBytes:   mapred.BytesOfInt,
+		ValueBytes: mapred.BytesOfFloat64,
+	}
+	out, err := mapred.Run(eng, job, rows)
+	if err != nil {
+		return nil, err
+	}
+	count := out[keyMean]
+	if count == 0 {
+		return nil, fmt.Errorf("ppca: meanJob produced no row count")
+	}
+	mean := make([]float64, dims)
+	for k, v := range out {
+		if k >= 0 {
+			mean[k] = v / count
+		}
+	}
+	return mean, nil
+}
+
+type meanMapper struct {
+	partial map[int]float64
+	count   float64
+}
+
+func (m *meanMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64]) {
+	for k, j := range row.Indices {
+		m.partial[j] += row.Values[k]
+	}
+	m.count++
+	out.AddOps(int64(row.NNZ()))
+}
+
+func (m *meanMapper) Cleanup(out mapred.Emitter[int, float64]) {
+	for j, v := range m.partial {
+		out.Emit(j, v)
+	}
+	out.Emit(keyMean, m.count)
+}
+
+// fnormJob computes ||Y - Ym||²_F. With efficient=true it uses the
+// sparsity-preserving Algorithm 3; otherwise the row-densifying Algorithm 2.
+func fnormJob(eng *mapred.Engine, rows []matrix.SparseVector, mean []float64, efficient bool) (float64, error) {
+	var msum float64
+	for _, mv := range mean {
+		msum += mv * mv
+	}
+	job := mapred.Job[matrix.SparseVector, int, float64, float64]{
+		Name: "FnormJob",
+		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, float64] {
+			return &fnormMapper{mean: mean, msum: msum, efficient: efficient}
+		},
+		Combine: func(a, b float64) float64 { return a + b },
+		Reduce: func(k int, vs []float64, o mapred.Ops) float64 {
+			var s float64
+			for _, v := range vs {
+				s += v
+				o.AddOps(1)
+			}
+			return s
+		},
+		InputBytes: mapred.BytesOfSparseVec,
+		KeyBytes:   mapred.BytesOfInt,
+		ValueBytes: mapred.BytesOfFloat64,
+	}
+	out, err := mapred.Run(eng, job, rows)
+	if err != nil {
+		return 0, err
+	}
+	return out[keyFro], nil
+}
+
+type fnormMapper struct {
+	mean      []float64
+	msum      float64
+	efficient bool
+	sum       float64
+}
+
+func (m *fnormMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64]) {
+	if m.efficient {
+		// Algorithm 3: msum covers the all-zero row; fix up non-zeros.
+		s := m.msum
+		for k, j := range row.Indices {
+			v := row.Values[k]
+			d := v - m.mean[j]
+			s += d*d - m.mean[j]*m.mean[j]
+		}
+		m.sum += s
+		out.AddOps(int64(2 * row.NNZ()))
+		return
+	}
+	// Algorithm 2: densify the row, then iterate all D entries.
+	dense := make([]float64, row.Len)
+	for k, j := range row.Indices {
+		dense[j] = row.Values[k]
+	}
+	var s float64
+	for j, v := range dense {
+		dv := v - m.mean[j]
+		s += dv * dv
+	}
+	m.sum += s
+	out.AddOps(int64(2 * row.Len))
+}
+
+func (m *fnormMapper) Cleanup(out mapred.Emitter[int, float64]) { out.Emit(keyFro, m.sum) }
+
+// ytxJob is the consolidated distributed job of Algorithm 4: it recomputes X
+// row by row and produces YtX, XtX, and ΣX in a single pass. Mappers hold
+// the partial matrices in memory (the stateful combiner of §4.1) and flush
+// them once per task, keyed so all XtX partials meet at one reducer.
+func ytxJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int, em *emDriver, opt Options) (jobSums, error) {
+	d := em.d
+	job := mapred.Job[matrix.SparseVector, int, []float64, []float64]{
+		Name: "YtXJob",
+		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, []float64] {
+			if opt.StatefulCombiner {
+				return &ytxMapper{em: em, meanProp: opt.MeanPropagation, d: d}
+			}
+			return &ytxNaiveMapper{em: em, meanProp: opt.MeanPropagation, d: d}
+		},
+		Combine:     sumVec,
+		Reduce:      reduceSumVec,
+		InputBytes:  mapred.BytesOfSparseVec,
+		KeyBytes:    mapred.BytesOfInt,
+		ValueBytes:  mapred.BytesOfVec,
+		ResultBytes: mapred.BytesOfVec,
+	}
+	if !opt.StatefulCombiner {
+		// Without in-mapper combining every per-row partial is mapper
+		// output that must be spilled and shuffled (the §4.1 problem:
+		// "each mapper generate[s] an entire dense matrix after processing
+		// each sparse row").
+		job.Combine = nil
+	}
+	out, err := mapred.Run(eng, job, rows)
+	if err != nil {
+		return jobSums{}, err
+	}
+	return assembleSums(out, dims, d)
+}
+
+// ytxNaiveMapper emits one partial per non-zero per row with no in-mapper
+// state — the baseline the stateful-combiner technique replaces.
+type ytxNaiveMapper struct {
+	em       *emDriver
+	meanProp bool
+	d        int
+	xi       []float64
+}
+
+func (m *ytxNaiveMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, []float64]) {
+	if m.xi == nil {
+		m.xi = make([]float64, m.d)
+	}
+	if !m.meanProp {
+		row = densifyCentered(row, m.em.mean)
+	}
+	computeRowLatent(row, m.em, m.meanProp, m.xi)
+	for k, j := range row.Indices {
+		p := make([]float64, m.d)
+		matrix.AXPY(row.Values[k], m.xi, p)
+		out.Emit(j, p)
+	}
+	xtx := make([]float64, m.d*m.d)
+	for a := 0; a < m.d; a++ {
+		va := m.xi[a]
+		base := a * m.d
+		for b := 0; b < m.d; b++ {
+			xtx[base+b] = va * m.xi[b]
+		}
+	}
+	out.Emit(keyXtX, xtx)
+	sum := make([]float64, m.d)
+	copy(sum, m.xi)
+	out.Emit(keySumX, sum)
+	out.AddOps(int64(2*row.NNZ()*m.d + m.d*m.d + m.d))
+}
+
+func (m *ytxNaiveMapper) Cleanup(out mapred.Emitter[int, []float64]) {}
+
+// assembleSums rebuilds the jobSums matrices from reducer output.
+func assembleSums(out map[int][]float64, dims, d int) (jobSums, error) {
+	sums := jobSums{
+		ytx:  matrix.NewDense(dims, d),
+		xtx:  matrix.NewDense(d, d),
+		sumX: make([]float64, d),
+	}
+	for k, v := range out {
+		switch {
+		case k >= 0:
+			copy(sums.ytx.Row(k), v)
+		case k == keyXtX:
+			copy(sums.xtx.Data, v)
+		case k == keySumX:
+			copy(sums.sumX, v)
+		default:
+			return jobSums{}, fmt.Errorf("ppca: unexpected YtXJob key %d", k)
+		}
+	}
+	return sums, nil
+}
+
+func sumVec(a, b []float64) []float64 {
+	matrix.AXPY(1, b, a)
+	return a
+}
+
+func reduceSumVec(k int, vs [][]float64, o mapred.Ops) []float64 {
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		matrix.AXPY(1, v, out)
+		o.AddOps(int64(len(v)))
+	}
+	return out
+}
+
+type ytxMapper struct {
+	em       *emDriver
+	meanProp bool
+	d        int
+
+	ytx  map[int][]float64
+	xtx  []float64
+	sumX []float64
+	xi   []float64
+}
+
+func (m *ytxMapper) init() {
+	if m.ytx == nil {
+		m.ytx = make(map[int][]float64)
+		m.xtx = make([]float64, m.d*m.d)
+		m.sumX = make([]float64, m.d)
+		m.xi = make([]float64, m.d)
+	}
+}
+
+func (m *ytxMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, []float64]) {
+	m.init()
+	if !m.meanProp {
+		row = densifyCentered(row, m.em.mean)
+	}
+	computeRowLatent(row, m.em, m.meanProp, m.xi)
+	nnz := row.NNZ()
+	// YtX partial: only rows of Y's non-zeros are touched (for the
+	// mean-propagated path this is what keeps the partial sparse).
+	for k, j := range row.Indices {
+		p := m.ytx[j]
+		if p == nil {
+			p = make([]float64, m.d)
+			m.ytx[j] = p
+		}
+		matrix.AXPY(row.Values[k], m.xi, p)
+	}
+	for a := 0; a < m.d; a++ {
+		va := m.xi[a]
+		if va == 0 {
+			continue
+		}
+		base := a * m.d
+		for b := 0; b < m.d; b++ {
+			m.xtx[base+b] += va * m.xi[b]
+		}
+	}
+	matrix.AXPY(1, m.xi, m.sumX)
+	out.AddOps(int64(2*nnz*m.d + m.d*m.d + m.d))
+}
+
+func (m *ytxMapper) Cleanup(out mapred.Emitter[int, []float64]) {
+	m.init()
+	for j, p := range m.ytx {
+		out.Emit(j, p)
+	}
+	out.Emit(keyXtX, m.xtx)
+	out.Emit(keySumX, m.sumX)
+}
+
+// computeRowLatent fills xi with the centered latent row. With mean
+// propagation the Xm correction applies; without it the row is already
+// centered and dense, so no correction is needed.
+func computeRowLatent(row matrix.SparseVector, em *emDriver, meanProp bool, xi []float64) {
+	if meanProp {
+		for k := range xi {
+			xi[k] = -em.xm[k]
+		}
+	} else {
+		for k := range xi {
+			xi[k] = 0
+		}
+	}
+	for k, j := range row.Indices {
+		matrix.AXPY(row.Values[k], em.cm.Row(j), xi)
+	}
+}
+
+// densifyCentered materializes Yi - Ym as a fully dense "sparse" vector —
+// exactly the cost the mean-propagation optimization avoids.
+func densifyCentered(row matrix.SparseVector, mean []float64) matrix.SparseVector {
+	idx := make([]int, row.Len)
+	vals := make([]float64, row.Len)
+	for j := range idx {
+		idx[j] = j
+		vals[j] = -mean[j]
+	}
+	for k, j := range row.Indices {
+		vals[j] += row.Values[k]
+	}
+	return matrix.SparseVector{Len: row.Len, Indices: idx, Values: vals}
+}
+
+// ss3Job recomputes X on demand and accumulates Σ Xi_c·(Cᵀ·Yiᵀ) using the
+// associativity trick: multiply Cᵀ with the sparse Yiᵀ first (§4.1, Eq. 3).
+func ss3Job(eng *mapred.Engine, rows []matrix.SparseVector, em *emDriver, cNew *matrix.Dense, opt Options) (float64, error) {
+	job := mapred.Job[matrix.SparseVector, int, float64, float64]{
+		Name: "ss3Job",
+		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, float64] {
+			return &ss3Mapper{
+				em: em, c: cNew, meanProp: opt.MeanPropagation,
+				assoc: opt.AssociativeSS3, d: em.d,
+			}
+		},
+		Combine: func(a, b float64) float64 { return a + b },
+		Reduce: func(k int, vs []float64, o mapred.Ops) float64 {
+			var s float64
+			for _, v := range vs {
+				s += v
+				o.AddOps(1)
+			}
+			return s
+		},
+		InputBytes: mapred.BytesOfSparseVec,
+		KeyBytes:   mapred.BytesOfInt,
+		ValueBytes: mapred.BytesOfFloat64,
+	}
+	out, err := mapred.Run(eng, job, rows)
+	if err != nil {
+		return 0, err
+	}
+	return out[keySS3], nil
+}
+
+type ss3Mapper struct {
+	em       *emDriver
+	c        *matrix.Dense
+	meanProp bool
+	assoc    bool
+	d        int
+
+	sum float64
+	xi  []float64
+	ct  []float64
+	xc  []float64 // D-length scratch for the non-associative order
+}
+
+func (m *ss3Mapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64]) {
+	if m.xi == nil {
+		m.xi = make([]float64, m.d)
+		m.ct = make([]float64, m.d)
+	}
+	if !m.meanProp {
+		row = densifyCentered(row, m.em.mean)
+	}
+	computeRowLatent(row, m.em, m.meanProp, m.xi)
+	if m.assoc {
+		// Eq. 3 with associativity: ct = Cᵀ·Yiᵀ touches only non-zeros.
+		for k := range m.ct {
+			m.ct[k] = 0
+		}
+		for k, j := range row.Indices {
+			matrix.AXPY(row.Values[k], m.c.Row(j), m.ct)
+		}
+		m.sum += matrix.Dot(m.xi, m.ct)
+		out.AddOps(int64(row.NNZ()*m.d + row.NNZ()*m.d + m.d))
+		return
+	}
+	// Default order: (Xi·Cᵀ) is a dense D-vector; "most of the work ...
+	// will be wasted since most of these elements will be multiplied with
+	// zero elements" (§4.1).
+	if m.xc == nil {
+		m.xc = make([]float64, m.c.R)
+	}
+	for j := 0; j < m.c.R; j++ {
+		m.xc[j] = matrix.Dot(m.xi, m.c.Row(j))
+	}
+	var s float64
+	for k, j := range row.Indices {
+		s += m.xc[j] * row.Values[k]
+	}
+	m.sum += s
+	out.AddOps(int64(row.NNZ()*m.d + m.c.R*m.d + row.NNZ()))
+}
+
+func (m *ss3Mapper) Cleanup(out mapred.Emitter[int, float64]) { out.Emit(keySS3, m.sum) }
+
+// pairYX is the record type of the unoptimized pipeline, where the
+// materialized X must be read back alongside Y.
+type pairYX struct {
+	y matrix.SparseVector
+	x []float64
+}
+
+// unoptimizedPasses implements the naive job graph of Figure 1: a dedicated
+// job materializes X as intermediate data, and separate XtX and YtX jobs
+// read it back — tracing the intermediate-data cost sPCA's §3.2 eliminates.
+func unoptimizedPasses(eng *mapred.Engine, rows []matrix.SparseVector, dims int, em *emDriver, opt Options) (jobSums, error) {
+	d := em.d
+	// Job 1: compute and materialize X (one emitted record per input row).
+	xJob := mapred.Job[matrix.SparseVector, int, []float64, []float64]{
+		Name: "XJob",
+		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, []float64] {
+			i := -1
+			return mapred.MapperFunc[matrix.SparseVector, int, []float64](
+				func(row matrix.SparseVector, out mapred.Emitter[int, []float64]) {
+					i++
+					if !opt.MeanPropagation {
+						row = densifyCentered(row, em.mean)
+					}
+					xi := make([]float64, d)
+					computeRowLatent(row, em, opt.MeanPropagation, xi)
+					out.Emit(i, xi) // not combinable: every row is distinct
+					out.AddOps(int64(row.NNZ() * d))
+				})
+		},
+		Reduce:      func(k int, vs [][]float64, _ mapred.Ops) []float64 { return vs[0] },
+		InputBytes:  mapred.BytesOfSparseVec,
+		KeyBytes:    mapred.BytesOfInt,
+		ValueBytes:  mapred.BytesOfVec,
+		ResultBytes: mapred.BytesOfVec,
+	}
+	// The per-task row counter above is only unique within a task, so key
+	// collisions across tasks would corrupt X. Run the job with one split,
+	// which also mirrors how expensive the naive pipeline is to coordinate.
+	savedSplits := eng.Splits
+	eng.Splits = 1
+	xOut, err := mapred.Run(eng, xJob, rows)
+	eng.Splits = savedSplits
+	if err != nil {
+		return jobSums{}, err
+	}
+
+	pairs := make([]pairYX, len(rows))
+	for i, row := range rows {
+		pairs[i] = pairYX{y: row, x: xOut[i]}
+	}
+	pairBytes := func(p pairYX) int64 {
+		return mapred.BytesOfSparseVec(p.y) + mapred.BytesOfVec(p.x)
+	}
+
+	// Job 2: XtX (+ ΣX) from the stored X.
+	xtxJob := mapred.Job[pairYX, int, []float64, []float64]{
+		Name: "XtXJob",
+		NewMapper: func(int) mapred.Mapper[pairYX, int, []float64] {
+			return &xtxMapper{d: d}
+		},
+		Combine:     sumVec,
+		Reduce:      reduceSumVec,
+		InputBytes:  pairBytes,
+		KeyBytes:    mapred.BytesOfInt,
+		ValueBytes:  mapred.BytesOfVec,
+		ResultBytes: mapred.BytesOfVec,
+	}
+	xtxOut, err := mapred.Run(eng, xtxJob, pairs)
+	if err != nil {
+		return jobSums{}, err
+	}
+
+	// Job 3: YtX from Y joined with the stored X.
+	ytxJob := mapred.Job[pairYX, int, []float64, []float64]{
+		Name: "YtXJoinJob",
+		NewMapper: func(int) mapred.Mapper[pairYX, int, []float64] {
+			return &ytxJoinMapper{d: d, meanProp: opt.MeanPropagation, mean: em.mean}
+		},
+		Combine:     sumVec,
+		Reduce:      reduceSumVec,
+		InputBytes:  pairBytes,
+		KeyBytes:    mapred.BytesOfInt,
+		ValueBytes:  mapred.BytesOfVec,
+		ResultBytes: mapred.BytesOfVec,
+	}
+	ytxOut, err := mapred.Run(eng, ytxJob, pairs)
+	if err != nil {
+		return jobSums{}, err
+	}
+	for k, v := range xtxOut {
+		ytxOut[k] = v
+	}
+	return assembleSums(ytxOut, dims, d)
+}
+
+type xtxMapper struct {
+	d    int
+	xtx  []float64
+	sumX []float64
+}
+
+func (m *xtxMapper) Map(p pairYX, out mapred.Emitter[int, []float64]) {
+	if m.xtx == nil {
+		m.xtx = make([]float64, m.d*m.d)
+		m.sumX = make([]float64, m.d)
+	}
+	for a := 0; a < m.d; a++ {
+		va := p.x[a]
+		base := a * m.d
+		for b := 0; b < m.d; b++ {
+			m.xtx[base+b] += va * p.x[b]
+		}
+	}
+	matrix.AXPY(1, p.x, m.sumX)
+	out.AddOps(int64(m.d*m.d + m.d))
+}
+
+func (m *xtxMapper) Cleanup(out mapred.Emitter[int, []float64]) {
+	if m.xtx == nil {
+		return
+	}
+	out.Emit(keyXtX, m.xtx)
+	out.Emit(keySumX, m.sumX)
+}
+
+type ytxJoinMapper struct {
+	d        int
+	meanProp bool
+	mean     []float64
+	ytx      map[int][]float64
+}
+
+func (m *ytxJoinMapper) Map(p pairYX, out mapred.Emitter[int, []float64]) {
+	if m.ytx == nil {
+		m.ytx = make(map[int][]float64)
+	}
+	row := p.y
+	if !m.meanProp {
+		row = densifyCentered(row, m.mean)
+	}
+	for k, j := range row.Indices {
+		part := m.ytx[j]
+		if part == nil {
+			part = make([]float64, m.d)
+			m.ytx[j] = part
+		}
+		matrix.AXPY(row.Values[k], p.x, part)
+	}
+	out.AddOps(int64(row.NNZ() * m.d))
+}
+
+func (m *ytxJoinMapper) Cleanup(out mapred.Emitter[int, []float64]) {
+	for j, p := range m.ytx {
+		out.Emit(j, p)
+	}
+}
+
+// smartGuessMapReduce seeds em from a local fit on a row sample; the sample
+// fit's cost is charged to the driver (it is small by construction).
+func smartGuessMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt Options, em *emDriver) error {
+	n := smartGuessSize(opt, len(rows))
+	if n >= len(rows) {
+		return nil
+	}
+	sub := sparseFromRows(rows, dims)
+	sample := sampleSparseRows(sub, n, opt.Seed+0x5A)
+	subOpt := opt
+	subOpt.SmartGuess = false
+	subOpt.TargetAccuracy = 0
+	subOpt.IdealError = 0
+	subOpt.MaxIter = 5
+	res, err := FitLocal(sample, subOpt)
+	if err != nil {
+		return err
+	}
+	// Charge the sample fit: ~5 iterations x (2·nnz·d) on one driver core.
+	eng.Cluster.AddDriverCompute(int64(subOpt.MaxIter) * 2 * int64(sample.NNZ()) * int64(opt.Components))
+	em.c = res.Components
+	em.ss = res.SS
+	return nil
+}
+
+// sparseFromRows reassembles a CSR matrix from engine records.
+func sparseFromRows(rows []matrix.SparseVector, dims int) *matrix.Sparse {
+	b := matrix.NewSparseBuilder(dims)
+	for _, r := range rows {
+		b.AddRow(r.Indices, r.Values)
+	}
+	return b.Build()
+}

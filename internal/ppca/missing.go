@@ -1,0 +1,193 @@
+package ppca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spca/internal/matrix"
+)
+
+// The paper singles out two desirable properties of PPCA over deterministic
+// PCA (§2.4); the first is that "since PPCA uses expectation maximization,
+// the projections of principal components can be obtained even when some
+// data values are missing". This file implements that: EM for PPCA where
+// every row may observe only a subset of the dimensions.
+
+// MissingResult is the output of FitMissing.
+type MissingResult struct {
+	// Components holds the d principal directions as columns (D x d).
+	Components *matrix.Dense
+	// Mean is the per-dimension mean estimated from observed entries.
+	Mean []float64
+	// SS is the fitted noise variance.
+	SS float64
+	// Latent holds the posterior-mean latent position of every row (N x d).
+	Latent *matrix.Dense
+	// Iterations executed.
+	Iterations int
+	// LogLikeTrace records the (scaled) observed-data objective per
+	// iteration; it must be non-decreasing for a correct EM.
+	LogLikeTrace []float64
+}
+
+// FitMissing runs PPCA EM on a dense matrix where NaN marks missing entries.
+// Rows with no observed entries are allowed (their latent position is the
+// prior mean, zero). It returns an error if an entire column is unobserved,
+// since that dimension's loadings are unidentifiable.
+func FitMissing(y *matrix.Dense, opt Options) (*MissingResult, error) {
+	n, dims := y.Dims()
+	if err := opt.validate(n, dims); err != nil {
+		return nil, err
+	}
+	d := opt.Components
+
+	// Observed-entry mean per column.
+	mean := make([]float64, dims)
+	counts := make([]int, dims)
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				mean[j] += v
+				counts[j]++
+			}
+		}
+	}
+	for j := range mean {
+		if counts[j] == 0 {
+			return nil, fmt.Errorf("ppca: column %d has no observed entries", j)
+		}
+		mean[j] /= float64(counts[j])
+	}
+
+	rng := matrix.NewRNG(opt.Seed + 0x3155)
+	c := matrix.NormRnd(rng, dims, d)
+	ss := 1.0
+
+	var totalObs int
+	for i := 0; i < n; i++ {
+		for _, v := range y.Row(i) {
+			if !math.IsNaN(v) {
+				totalObs++
+			}
+		}
+	}
+	if totalObs == 0 {
+		return nil, errors.New("ppca: no observed entries at all")
+	}
+
+	res := &MissingResult{Mean: mean}
+	x := matrix.NewDense(n, d)
+	// Per-row posterior second moments E[x xᵀ] = ss·M_i⁻¹ + x_i·x_iᵀ.
+	exx := make([]*matrix.Dense, n)
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		// ---- E-step: per-row posterior over the latent variable, using
+		// only that row's observed dimensions.
+		var rss float64 // residual sum of squares for the objective/ss
+		for i := 0; i < n; i++ {
+			row := y.Row(i)
+			// M_i = C_Oᵀ C_O + ss·I over observed dims O.
+			mi := matrix.Identity(d)
+			mi.ScaleInPlace(ss)
+			rhs := make([]float64, d)
+			for j, v := range row {
+				if math.IsNaN(v) {
+					continue
+				}
+				cj := c.Row(j)
+				matrix.OuterAdd(mi, cj, cj)
+				matrix.AXPY(v-mean[j], cj, rhs)
+			}
+			minv, err := matrix.Inverse(mi)
+			if err != nil {
+				return nil, fmt.Errorf("ppca: per-row M singular at row %d: %w", i, err)
+			}
+			xi := minv.MulVec(rhs)
+			copy(x.Row(i), xi)
+			e := minv.Scale(ss)
+			matrix.OuterAdd(e, xi, xi)
+			exx[i] = e
+		}
+
+		// ---- M-step: per-dimension loading update.
+		// C_j = (Σ_{i∋j} (y_ij-µ_j)·x_iᵀ) · (Σ_{i∋j} E[x_i x_iᵀ])⁻¹
+		for j := 0; j < dims; j++ {
+			num := make([]float64, d)
+			den := matrix.NewDense(d, d)
+			seen := false
+			for i := 0; i < n; i++ {
+				v := y.At(i, j)
+				if math.IsNaN(v) {
+					continue
+				}
+				seen = true
+				matrix.AXPY(v-mean[j], x.Row(i), num)
+				den.AddInPlace(exx[i])
+			}
+			if !seen {
+				continue
+			}
+			sol, err := matrix.SolveSPD(den, matrix.NewDenseFromRows([][]float64{num}))
+			if err != nil {
+				return nil, fmt.Errorf("ppca: M-step solve failed at dim %d: %w", j, err)
+			}
+			copy(c.Row(j), sol.Row(0))
+		}
+
+		// ---- Noise variance from observed residuals.
+		rss = 0
+		for i := 0; i < n; i++ {
+			row := y.Row(i)
+			xi := x.Row(i)
+			for j, v := range row {
+				if math.IsNaN(v) {
+					continue
+				}
+				cj := c.Row(j)
+				r := v - mean[j] - matrix.Dot(cj, xi)
+				// E[(y - µ - C x)²] = r² + C_j E[xxᵀ]C_jᵀ - (C_j x)².
+				cx := matrix.Dot(cj, xi)
+				quad := matrix.Dot(cj, exx[i].MulVec(cj)) - cx*cx
+				rss += r*r + quad
+			}
+		}
+		ss = rss / float64(totalObs)
+		if ss < 1e-12 {
+			ss = 1e-12
+		}
+
+		// Objective surrogate: negative mean residual (higher is better);
+		// monotone for EM up to the variance floor.
+		res.LogLikeTrace = append(res.LogLikeTrace, -rss/float64(totalObs))
+		res.Iterations = iter
+		if iter >= 2 {
+			prev := res.LogLikeTrace[iter-2]
+			cur := res.LogLikeTrace[iter-1]
+			if math.Abs(cur-prev) < opt.Tol*math.Abs(prev)+1e-15 {
+				break
+			}
+		}
+	}
+	res.Components = c
+	res.SS = ss
+	res.Latent = x
+	return res, nil
+}
+
+// Impute fills the missing entries of y (NaN-marked) with the model's
+// reconstruction C·x_i + µ, leaving observed entries untouched.
+func (r *MissingResult) Impute(y *matrix.Dense) *matrix.Dense {
+	out := y.Clone()
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		xi := r.Latent.Row(i)
+		for j, v := range row {
+			if math.IsNaN(v) {
+				row[j] = r.Mean[j] + matrix.Dot(r.Components.Row(j), xi)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package ppca
+
+import (
+	"math"
+	"testing"
+
+	"spca/internal/matrix"
+)
+
+// lowRankDenseWithHoles builds planted low-rank data and hides a fraction of
+// entries, returning the holed matrix and the complete ground truth.
+func lowRankDenseWithHoles(n, dims, rank int, missFrac float64, seed uint64) (holed, truth *matrix.Dense) {
+	rng := matrix.NewRNG(seed)
+	basis := matrix.NormRnd(rng, dims, rank)
+	coef := matrix.NormRnd(rng, n, rank)
+	truth = coef.MulBT(basis)
+	for i := range truth.Data {
+		truth.Data[i] += 0.05 * rng.NormFloat64()
+	}
+	holed = truth.Clone()
+	for i := range holed.Data {
+		if rng.Float64() < missFrac {
+			holed.Data[i] = math.NaN()
+		}
+	}
+	return holed, truth
+}
+
+func TestFitMissingImputesLowRankData(t *testing.T) {
+	holed, truth := lowRankDenseWithHoles(120, 30, 3, 0.25, 1)
+	opt := DefaultOptions(3)
+	opt.MaxIter = 60
+	opt.Tol = 1e-8
+	res, err := FitMissing(holed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imputed := res.Impute(holed)
+
+	// Baseline: impute with column means.
+	meanBase := holed.Clone()
+	for i := 0; i < meanBase.R; i++ {
+		row := meanBase.Row(i)
+		for j, v := range row {
+			if math.IsNaN(v) {
+				row[j] = res.Mean[j]
+			}
+		}
+	}
+	var ppcaErr, meanErr float64
+	var holes int
+	for i, v := range holed.Data {
+		if !math.IsNaN(v) {
+			continue
+		}
+		holes++
+		ppcaErr += math.Abs(imputed.Data[i] - truth.Data[i])
+		meanErr += math.Abs(meanBase.Data[i] - truth.Data[i])
+	}
+	if holes == 0 {
+		t.Fatal("no holes generated")
+	}
+	if ppcaErr >= 0.5*meanErr {
+		t.Fatalf("PPCA imputation (%v) should beat mean imputation (%v) decisively", ppcaErr/float64(holes), meanErr/float64(holes))
+	}
+	// Observed entries untouched.
+	for i, v := range holed.Data {
+		if !math.IsNaN(v) && imputed.Data[i] != v {
+			t.Fatal("Impute modified an observed entry")
+		}
+	}
+}
+
+func TestFitMissingObjectiveMonotone(t *testing.T) {
+	holed, _ := lowRankDenseWithHoles(80, 20, 2, 0.2, 2)
+	opt := DefaultOptions(2)
+	opt.MaxIter = 30
+	opt.Tol = 0
+	res, err := FitMissing(holed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.LogLikeTrace); i++ {
+		if res.LogLikeTrace[i] < res.LogLikeTrace[i-1]-1e-9 {
+			t.Fatalf("EM objective decreased at iter %d: %v -> %v",
+				i, res.LogLikeTrace[i-1], res.LogLikeTrace[i])
+		}
+	}
+}
+
+func TestFitMissingNoHolesMatchesSubspace(t *testing.T) {
+	// With zero missing entries, FitMissing solves the same problem as
+	// FitLocal; the recovered subspaces must agree.
+	holed, _ := lowRankDenseWithHoles(150, 25, 3, 0, 3)
+	opt := DefaultOptions(3)
+	opt.MaxIter = 80
+	opt.Tol = 1e-10
+	dense, err := FitMissing(holed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := matrix.FromDense(holed)
+	ref, err := FitLocal(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := matrix.SubspaceGap(dense.Components, ref.Components); gap > 0.02 {
+		t.Fatalf("subspace gap vs FitLocal: %v", gap)
+	}
+}
+
+func TestFitMissingFullyUnobservedColumn(t *testing.T) {
+	y := matrix.NewDense(5, 3)
+	for i := 0; i < 5; i++ {
+		y.Set(i, 1, math.NaN())
+	}
+	if _, err := FitMissing(y, DefaultOptions(2)); err == nil {
+		t.Fatal("expected error for unobserved column")
+	}
+}
+
+func TestFitMissingEmptyRowAllowed(t *testing.T) {
+	holed, _ := lowRankDenseWithHoles(40, 10, 2, 0.2, 4)
+	for j := 0; j < 10; j++ {
+		holed.Set(7, j, math.NaN()) // one fully-missing row
+	}
+	res, err := FitMissing(holed, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty row's latent position is the prior mean (zero).
+	for _, v := range res.Latent.Row(7) {
+		if v != 0 {
+			t.Fatalf("empty row latent = %v, want zeros", res.Latent.Row(7))
+		}
+	}
+	// And its imputation is finite.
+	imp := res.Impute(holed)
+	for _, v := range imp.Row(7) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("imputation of empty row not finite")
+		}
+	}
+}
+
+func TestFitMissingValidation(t *testing.T) {
+	y := matrix.NewDense(4, 3)
+	if _, err := FitMissing(y, DefaultOptions(0)); err == nil {
+		t.Fatal("expected error for zero components")
+	}
+	all := matrix.NewDense(2, 2)
+	for i := range all.Data {
+		all.Data[i] = math.NaN()
+	}
+	if _, err := FitMissing(all, DefaultOptions(1)); err == nil {
+		t.Fatal("expected error when nothing is observed")
+	}
+}

@@ -1,0 +1,424 @@
+package ppca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spca/internal/matrix"
+)
+
+// The paper's §2.4 lists a second desirable PPCA property: "multiple PPCA
+// models can be combined as a probabilistic mixture for better accuracy and
+// to express complex models" (Tipping & Bishop's MPPCA). This file
+// implements that extension: an EM fit of a mixture of local PPCA models,
+// each with its own mean, loading matrix and noise variance. All densities
+// are evaluated through the Woodbury identity so no D x D matrix is ever
+// formed.
+
+// MixtureOptions configures FitMixture.
+type MixtureOptions struct {
+	// Models is the number of mixture components M.
+	Models int
+	// Components is the latent dimensionality d of each local model.
+	Components int
+	// MaxIter caps EM iterations.
+	MaxIter int
+	// Tol stops when the relative log-likelihood improvement falls below it.
+	Tol float64
+	// Seed drives the initialization.
+	Seed uint64
+}
+
+// DefaultMixtureOptions returns sensible defaults for m local models of
+// d components each.
+func DefaultMixtureOptions(m, d int) MixtureOptions {
+	return MixtureOptions{Models: m, Components: d, MaxIter: 50, Tol: 1e-6, Seed: 42}
+}
+
+// MixtureResult is the output of FitMixture.
+type MixtureResult struct {
+	// Weights are the mixing proportions (length M, summing to 1).
+	Weights []float64
+	// Means holds each model's mean as a row (M x D).
+	Means *matrix.Dense
+	// Components holds each model's D x d loading matrix.
+	Components []*matrix.Dense
+	// Variances are the per-model noise variances.
+	Variances []float64
+	// Responsibilities is the N x M posterior assignment matrix.
+	Responsibilities *matrix.Dense
+	// LogLikelihood per iteration (must be non-decreasing).
+	LogLikelihood []float64
+	// Iterations executed.
+	Iterations int
+}
+
+// Assign returns each row's most responsible mixture component.
+func (r *MixtureResult) Assign() []int {
+	out := make([]int, r.Responsibilities.R)
+	for i := range out {
+		row := r.Responsibilities.Row(i)
+		best := 0
+		for m, v := range row {
+			if v > row[best] {
+				best = m
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// mixtureModel is the per-component state during EM.
+type mixtureModel struct {
+	mean []float64
+	c    *matrix.Dense // D x d
+	ss   float64
+
+	// Derived per iteration.
+	minv   *matrix.Dense // (CᵀC + ss I)⁻¹
+	logDet float64       // log |Σ| via Woodbury
+}
+
+// refresh recomputes the Woodbury terms. D is the data dimensionality.
+func (m *mixtureModel) refresh(dims int) error {
+	mm := m.c.MulT(m.c).AddScaledIdentity(m.ss)
+	l, err := matrix.Cholesky(mm)
+	if err != nil {
+		return fmt.Errorf("ppca: mixture M matrix not SPD: %w", err)
+	}
+	var logDetM float64
+	for i := 0; i < l.R; i++ {
+		logDetM += 2 * math.Log(l.At(i, i))
+	}
+	m.minv, err = matrix.Inverse(mm)
+	if err != nil {
+		return err
+	}
+	d := m.c.C
+	// |Σ| = ss^(D-d) · |M|  (matrix determinant lemma).
+	m.logDet = float64(dims-d)*math.Log(m.ss) + logDetM
+	return nil
+}
+
+// logDensity returns log N(y | mean, C Cᵀ + ss I) using Woodbury:
+// quad = (‖r‖² - tᵀ M⁻¹ t)/ss with r = y - mean, t = Cᵀ r.
+func (m *mixtureModel) logDensity(y []float64) float64 {
+	dims := len(y)
+	r := make([]float64, dims)
+	var rr float64
+	for j, v := range y {
+		r[j] = v - m.mean[j]
+		rr += r[j] * r[j]
+	}
+	t := m.c.MulVecT(r)
+	quad := (rr - matrix.Dot(t, m.minv.MulVec(t))) / m.ss
+	return -0.5 * (float64(dims)*math.Log(2*math.Pi) + m.logDet + quad)
+}
+
+// FitMixture fits a mixture of PPCA models to the rows of y (dense, fully
+// observed) with EM.
+func FitMixture(y *matrix.Dense, opt MixtureOptions) (*MixtureResult, error) {
+	n, dims := y.Dims()
+	if opt.Models <= 0 {
+		return nil, errors.New("ppca: mixture needs at least one model")
+	}
+	if opt.Components <= 0 || opt.Components >= dims {
+		return nil, fmt.Errorf("ppca: mixture components %d must be in (0, %d)", opt.Components, dims)
+	}
+	if n < opt.Models {
+		return nil, errors.New("ppca: fewer rows than mixture models")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 50
+	}
+	M, d := opt.Models, opt.Components
+	rng := matrix.NewRNG(opt.Seed + 0x3C3C)
+
+	globalMean := y.ColMeans()
+	var globalVar float64
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		for j, v := range row {
+			dv := v - globalMean[j]
+			globalVar += dv * dv
+		}
+	}
+	globalVar /= float64(n * dims)
+	if globalVar <= 0 {
+		globalVar = 1
+	}
+
+	// Initialize from a hard partition (k-means++-style seeding followed by
+	// a few Lloyd assignments) so EM starts near a sensible local optimum:
+	// each model gets its cluster's mean and spread.
+	assign := seedPartition(y, M, rng)
+	models := make([]*mixtureModel, M)
+	weights := make([]float64, M)
+	for m := 0; m < M; m++ {
+		mean := make([]float64, dims)
+		var count float64
+		var spread float64
+		for i := 0; i < n; i++ {
+			if assign[i] != m {
+				continue
+			}
+			count++
+			matrix.AXPY(1, y.Row(i), mean)
+		}
+		if count == 0 {
+			copy(mean, y.Row(rng.Intn(n)))
+			count = 1
+		} else {
+			matrix.VecScale(1/count, mean)
+		}
+		for i := 0; i < n; i++ {
+			if assign[i] != m {
+				continue
+			}
+			row := y.Row(i)
+			for j, v := range row {
+				dv := v - mean[j]
+				spread += dv * dv
+			}
+		}
+		variance := spread / (count * float64(dims))
+		if variance <= 0 {
+			variance = globalVar
+		}
+		models[m] = &mixtureModel{
+			mean: mean,
+			c:    matrix.NormRnd(rng, dims, d).Scale(math.Sqrt(variance)),
+			ss:   variance,
+		}
+		weights[m] = count / float64(n)
+	}
+
+	res := &MixtureResult{}
+	resp := matrix.NewDense(n, M)
+	logp := make([]float64, M)
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		for _, m := range models {
+			if err := m.refresh(dims); err != nil {
+				return nil, err
+			}
+		}
+
+		// ---- E-step: responsibilities and data log-likelihood.
+		var ll float64
+		for i := 0; i < n; i++ {
+			row := y.Row(i)
+			maxLog := math.Inf(-1)
+			for m, mod := range models {
+				logp[m] = math.Log(weights[m]) + mod.logDensity(row)
+				if logp[m] > maxLog {
+					maxLog = logp[m]
+				}
+			}
+			var sum float64
+			for m := range logp {
+				logp[m] = math.Exp(logp[m] - maxLog)
+				sum += logp[m]
+			}
+			r := resp.Row(i)
+			for m := range logp {
+				r[m] = logp[m] / sum
+			}
+			ll += maxLog + math.Log(sum)
+		}
+		res.LogLikelihood = append(res.LogLikelihood, ll)
+		res.Iterations = iter
+
+		// ---- M-step: weighted PPCA update per model.
+		for m, mod := range models {
+			var rsum float64
+			newMean := make([]float64, dims)
+			for i := 0; i < n; i++ {
+				ri := resp.At(i, m)
+				rsum += ri
+				matrix.AXPY(ri, y.Row(i), newMean)
+			}
+			if rsum < 1e-10 {
+				// Dead component: re-seed at a random row.
+				copy(mod.mean, y.Row(rng.Intn(n)))
+				weights[m] = 1e-6
+				continue
+			}
+			weights[m] = rsum / float64(n)
+			matrix.VecScale(1/rsum, newMean)
+			mod.mean = newMean
+
+			// Weighted latent statistics with the CURRENT loading.
+			cm := mod.c.Mul(mod.minv) // D x d: maps centered rows to x̂
+			sumYX := matrix.NewDense(dims, d)
+			sumXX := matrix.NewDense(d, d)
+			var sumRR float64
+			r := make([]float64, dims)
+			for i := 0; i < n; i++ {
+				ri := resp.At(i, m)
+				if ri == 0 {
+					continue
+				}
+				row := y.Row(i)
+				var rr float64
+				for j, v := range row {
+					r[j] = v - newMean[j]
+					rr += r[j] * r[j]
+				}
+				x := cm.MulVecT(r) // x̂ = M⁻¹Cᵀ(y-µ) = (C·M⁻¹)ᵀ·r
+				for j := 0; j < dims; j++ {
+					if r[j] != 0 {
+						matrix.AXPY(ri*r[j], x, sumYX.Row(j))
+					}
+				}
+				for a := 0; a < d; a++ {
+					base := a * d
+					wxa := ri * x[a]
+					for b := 0; b < d; b++ {
+						sumXX.Data[base+b] += wxa * x[b]
+					}
+				}
+				sumRR += ri * rr
+			}
+			// E[x xᵀ] sum = rsum·ss·M⁻¹ + Σ r_i x̂ x̂ᵀ.
+			exx := sumXX.Add(mod.minv.Scale(rsum * mod.ss))
+			cNew, err := matrix.SolveSPD(exx, sumYX)
+			if err != nil {
+				return nil, fmt.Errorf("ppca: mixture M-step solve: %w", err)
+			}
+			// ss update: (1/(D·rsum))·[Σ r‖y-µ‖² - tr(Cnewᵀ·(ΣYX))].
+			var crossTrace float64
+			for j := 0; j < dims; j++ {
+				crossTrace += matrix.Dot(cNew.Row(j), sumYX.Row(j))
+			}
+			ssNew := (sumRR - crossTrace) / (float64(dims) * rsum)
+			// Floor relative to the data scale: a collapsing variance turns
+			// the component into a density spike, the classic mixture-EM
+			// degeneracy.
+			if floor := 1e-6 * globalVar; ssNew < floor || math.IsNaN(ssNew) {
+				ssNew = floor
+			}
+			mod.c = cNew
+			mod.ss = ssNew
+		}
+		// Renormalize weights (dead-component reseeding may break the sum).
+		var wsum float64
+		for _, w := range weights {
+			wsum += w
+		}
+		for m := range weights {
+			weights[m] /= wsum
+		}
+
+		if iter >= 2 {
+			prev := res.LogLikelihood[iter-2]
+			if math.Abs(ll-prev) < opt.Tol*math.Abs(prev)+1e-12 {
+				break
+			}
+		}
+	}
+
+	res.Weights = weights
+	res.Means = matrix.NewDense(M, dims)
+	res.Components = make([]*matrix.Dense, M)
+	res.Variances = make([]float64, M)
+	for m, mod := range models {
+		copy(res.Means.Row(m), mod.mean)
+		res.Components[m] = mod.c
+		res.Variances[m] = mod.ss
+	}
+	res.Responsibilities = resp
+	return res, nil
+}
+
+// seedPartition produces a hard K-way partition of the rows, used only for
+// EM initialization: several k-means++ restarts, keeping the lowest-inertia
+// result (single-start Lloyd can land in poor local optima that mixture EM
+// then cannot escape).
+func seedPartition(y *matrix.Dense, k int, rng *matrix.RNG) []int {
+	var best []int
+	bestInertia := math.Inf(1)
+	for restart := 0; restart < 5; restart++ {
+		assign, inertia := seedPartitionOnce(y, k, rng)
+		if inertia < bestInertia {
+			bestInertia = inertia
+			best = assign
+		}
+	}
+	return best
+}
+
+func seedPartitionOnce(y *matrix.Dense, k int, rng *matrix.RNG) ([]int, float64) {
+	n, dims := y.Dims()
+	centers := matrix.NewDense(k, dims)
+	copy(centers.Row(0), y.Row(rng.Intn(n)))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(y.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range dist {
+			total += d
+		}
+		pick := rng.Intn(n)
+		if total > 0 {
+			target := rng.Float64() * total
+			var cum float64
+			for i, d := range dist {
+				cum += d
+				if cum >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centers.Row(c), y.Row(pick))
+		for i := range dist {
+			if d := sqDist(y.Row(i), centers.Row(c)); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	assign := make([]int, n)
+	var inertia float64
+	for pass := 0; pass < 10; pass++ {
+		inertia = 0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := sqDist(y.Row(i), centers.Row(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			inertia += bestD
+		}
+		next := matrix.NewDense(k, dims)
+		counts := make([]float64, k)
+		for i := 0; i < n; i++ {
+			counts[assign[i]]++
+			matrix.AXPY(1, y.Row(i), next.Row(assign[i]))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				matrix.VecScale(1/counts[c], next.Row(c))
+			} else {
+				copy(next.Row(c), y.Row(rng.Intn(n)))
+			}
+		}
+		centers = next
+	}
+	return assign, inertia
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package ppca
+
+import (
+	"math"
+	"testing"
+
+	"spca/internal/matrix"
+)
+
+// twoSubspaceData builds rows drawn from two distinct low-rank Gaussian
+// clusters, returning the data and the true cluster of each row.
+func twoSubspaceData(perCluster, dims, rank int, seed uint64) (*matrix.Dense, []int) {
+	rng := matrix.NewRNG(seed)
+	y := matrix.NewDense(2*perCluster, dims)
+	truth := make([]int, 2*perCluster)
+	for c := 0; c < 2; c++ {
+		basis := matrix.NormRnd(rng, dims, rank)
+		center := make([]float64, dims)
+		for j := range center {
+			center[j] = float64(10*c) + rng.NormFloat64()
+		}
+		for i := 0; i < perCluster; i++ {
+			r := c*perCluster + i
+			truth[r] = c
+			row := y.Row(r)
+			copy(row, center)
+			for b := 0; b < rank; b++ {
+				matrix.AXPY(rng.NormFloat64(), basis.Col(b), row)
+			}
+			for j := range row {
+				row[j] += 0.1 * rng.NormFloat64()
+			}
+		}
+	}
+	return y, truth
+}
+
+func TestFitMixtureSeparatesClusters(t *testing.T) {
+	y, truth := twoSubspaceData(80, 20, 3, 1)
+	res, err := FitMixture(y, DefaultMixtureOptions(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := res.Assign()
+	// Cluster ids are arbitrary: count agreement both ways.
+	var same, flip int
+	for i := range truth {
+		if assign[i] == truth[i] {
+			same++
+		} else {
+			flip++
+		}
+	}
+	agree := same
+	if flip > same {
+		agree = flip
+	}
+	if agree < len(truth)*95/100 {
+		t.Fatalf("mixture separated only %d/%d rows", agree, len(truth))
+	}
+	// Weights near 0.5 each.
+	if math.Abs(res.Weights[0]-0.5) > 0.1 {
+		t.Fatalf("weights = %v", res.Weights)
+	}
+}
+
+func TestFitMixtureLogLikelihoodMonotone(t *testing.T) {
+	y, _ := twoSubspaceData(50, 15, 2, 2)
+	opt := DefaultMixtureOptions(2, 2)
+	opt.Tol = 0
+	opt.MaxIter = 25
+	res, err := FitMixture(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.LogLikelihood); i++ {
+		if res.LogLikelihood[i] < res.LogLikelihood[i-1]-1e-6 {
+			t.Fatalf("log-likelihood decreased at iter %d: %v -> %v",
+				i, res.LogLikelihood[i-1], res.LogLikelihood[i])
+		}
+	}
+}
+
+func TestFitMixtureSingleModelMatchesPPCASubspace(t *testing.T) {
+	// M=1 degenerates to plain PPCA: the subspace must agree with FitLocal.
+	y := lowRankSparse(150, 25, 3, 3)
+	dense := y.Dense()
+	mix, err := FitMixture(dense, DefaultMixtureOptions(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(3)
+	opt.MaxIter = 60
+	opt.Tol = 1e-10
+	ref, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := matrix.SubspaceGap(mix.Components[0], ref.Components); gap > 0.03 {
+		t.Fatalf("single-model mixture subspace gap %v", gap)
+	}
+	if len(mix.Weights) != 1 || math.Abs(mix.Weights[0]-1) > 1e-12 {
+		t.Fatalf("weights = %v", mix.Weights)
+	}
+}
+
+func TestFitMixtureBeatsSinglePPCAOnClusteredData(t *testing.T) {
+	// On two well-separated subspace clusters, a 2-model mixture must reach
+	// a higher log-likelihood than a 1-model fit of the same total latent
+	// capacity.
+	y, _ := twoSubspaceData(60, 20, 2, 4)
+	one, err := FitMixture(y, DefaultMixtureOptions(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := FitMixture(y, DefaultMixtureOptions(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	llOne := one.LogLikelihood[len(one.LogLikelihood)-1]
+	llTwo := two.LogLikelihood[len(two.LogLikelihood)-1]
+	if llTwo <= llOne {
+		t.Fatalf("mixture ll %v should beat single-model ll %v", llTwo, llOne)
+	}
+}
+
+func TestFitMixtureValidation(t *testing.T) {
+	y := matrix.NewDense(10, 5)
+	if _, err := FitMixture(y, DefaultMixtureOptions(0, 2)); err == nil {
+		t.Fatal("expected error for zero models")
+	}
+	if _, err := FitMixture(y, DefaultMixtureOptions(2, 0)); err == nil {
+		t.Fatal("expected error for zero components")
+	}
+	if _, err := FitMixture(y, DefaultMixtureOptions(2, 5)); err == nil {
+		t.Fatal("expected error for d >= D")
+	}
+	if _, err := FitMixture(y, DefaultMixtureOptions(11, 2)); err == nil {
+		t.Fatal("expected error for more models than rows")
+	}
+}
+
+func TestFitMixtureResponsibilitiesNormalized(t *testing.T) {
+	y, _ := twoSubspaceData(30, 12, 2, 5)
+	res, err := FitMixture(y, DefaultMixtureOptions(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < res.Responsibilities.R; i++ {
+		var sum float64
+		for _, v := range res.Responsibilities.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("responsibility out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d responsibilities sum to %v", i, sum)
+		}
+	}
+	var wsum float64
+	for _, w := range res.Weights {
+		wsum += w
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", wsum)
+	}
+}

@@ -1,0 +1,396 @@
+// Package ppca implements the paper's contribution: Probabilistic PCA
+// (Tipping & Bishop's EM algorithm, Algorithm 1) and its scalable
+// distributed variant sPCA (Algorithm 4/5) with the four optimizations of
+// §3 — mean propagation, intermediate-data minimization via redundant
+// recomputation of X and job consolidation, broadcast-style in-memory matrix
+// multiplication, and the streaming sparse Frobenius norm. Each optimization
+// is individually switchable so the Table 3 ablations can be reproduced.
+//
+// Three fit paths share the same driver-side math:
+//
+//   - FitLocal:     single-machine reference (Algorithm 1)
+//   - FitMapReduce: sPCA on the internal/mapred engine (Algorithm 4)
+//   - FitSpark:     sPCA on the internal/rdd engine (Algorithm 5)
+package ppca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spca/internal/cluster"
+	"spca/internal/matrix"
+)
+
+// Options configures a PPCA/sPCA fit. The zero value is not valid; start
+// from DefaultOptions.
+type Options struct {
+	// Components is d, the number of principal components to extract.
+	Components int
+	// MaxIter caps EM iterations (the paper limits runs to 10).
+	MaxIter int
+	// Tol stops iterating when the relative change in reconstruction error
+	// falls below it.
+	Tol float64
+	// TargetAccuracy, if positive, stops as soon as the fit reaches this
+	// fraction (e.g. 0.95) of the ideal accuracy. Requires IdealError.
+	TargetAccuracy float64
+	// IdealError is the reconstruction error of an exact rank-d PCA on the
+	// same sampled rows, used to convert errors into "% of ideal accuracy".
+	// Compute it with IdealError(); zero disables accuracy reporting.
+	IdealError float64
+	// SampleRows bounds how many rows the error metric touches (§5: the
+	// error is measured on a random subset of rows). Zero means 256.
+	SampleRows int
+	// Seed makes the random initialization reproducible.
+	Seed uint64
+
+	// Optimization switches (§3). All true = full sPCA; flipping one off
+	// reproduces the corresponding row of Table 3.
+	MeanPropagation      bool // §3.1: never densify Y - Ym
+	MinimizeIntermediate bool // §3.2: recompute X, consolidate XtX+YtX
+	EfficientFrobenius   bool // §3.4: Algorithm 3 instead of Algorithm 2
+	// StatefulCombiner (§4.1, MapReduce only): accumulate YtX/XtX partials
+	// in mapper memory and flush once per task. When false, mappers emit a
+	// partial per input row with no combining — the naive behaviour whose
+	// mapper-output volume sinks Mahout-PCA in §5.2.
+	StatefulCombiner bool
+	// AssociativeSS3 (§4.1, Eq. 3): compute Xi·(Cᵀ·Yiᵀ) so the sparse
+	// vector is multiplied first. When false, the dense (Xi·Cᵀ)·Yiᵀ order
+	// is used, costing O(D·d) per row instead of O(nnz·d).
+	AssociativeSS3 bool
+
+	// SmartGuess enables sPCA-SG (§5.2): initialize C and ss by first
+	// running the fit on a small sample of rows.
+	SmartGuess bool
+	// SmartGuessRows is the sample size for SmartGuess (default N/10,
+	// clamped to [2d, 2000]).
+	SmartGuessRows int
+}
+
+// DefaultOptions returns the paper's settings: d components, at most 10
+// iterations, all optimizations on.
+func DefaultOptions(d int) Options {
+	return Options{
+		Components:           d,
+		MaxIter:              10,
+		Tol:                  1e-3,
+		SampleRows:           256,
+		Seed:                 42,
+		MeanPropagation:      true,
+		MinimizeIntermediate: true,
+		EfficientFrobenius:   true,
+		StatefulCombiner:     true,
+		AssociativeSS3:       true,
+	}
+}
+
+func (o Options) validate(n, dims int) error {
+	if o.Components <= 0 {
+		return errors.New("ppca: Components must be positive")
+	}
+	if o.Components > dims {
+		return fmt.Errorf("ppca: Components %d exceeds dimensionality %d", o.Components, dims)
+	}
+	if n == 0 {
+		return errors.New("ppca: empty input")
+	}
+	if o.MaxIter <= 0 {
+		return errors.New("ppca: MaxIter must be positive")
+	}
+	return nil
+}
+
+func (o Options) sampleRows() int {
+	if o.SampleRows <= 0 {
+		return 256
+	}
+	return o.SampleRows
+}
+
+// IterationStat records the state after one EM iteration.
+type IterationStat struct {
+	Iter       int
+	Err        float64 // sampled relative 1-norm reconstruction error
+	Accuracy   float64 // fraction of ideal accuracy (0 when IdealError unset)
+	SS         float64 // noise variance estimate
+	SimSeconds float64 // cumulative simulated seconds (engine fits only)
+}
+
+// Result is the output of a fit.
+type Result struct {
+	// Components holds the d principal directions as columns (D x d).
+	Components *matrix.Dense
+	// Mean is the column-mean vector the model centers with.
+	Mean []float64
+	// SS is the fitted noise variance.
+	SS float64
+	// Iterations is the number of EM iterations executed.
+	Iterations int
+	// History has one entry per iteration.
+	History []IterationStat
+	// Metrics holds the simulated-cluster accounting (engine fits only).
+	Metrics cluster.Metrics
+}
+
+// Transform projects rows of y (sparse, uncentered) onto the fitted
+// components: X = (Y - mean) * C * M⁻¹, the posterior-mean latent positions.
+func (r *Result) Transform(y *matrix.Sparse) (*matrix.Dense, error) {
+	if y.C != r.Components.R {
+		return nil, fmt.Errorf("ppca: Transform dims %d vs model %d", y.C, r.Components.R)
+	}
+	cm, _, err := latentMap(r.Components, r.SS)
+	if err != nil {
+		return nil, err
+	}
+	return y.CenteredMulDense(r.Mean, cm), nil
+}
+
+// Reconstruct maps latent positions back to data space: X*Cᵀ + mean.
+func (r *Result) Reconstruct(x *matrix.Dense) *matrix.Dense {
+	out := x.MulBT(r.Components)
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += r.Mean[j]
+		}
+	}
+	return out
+}
+
+// latentMap returns CM = C*M⁻¹ and M⁻¹ for M = CᵀC + ss·I.
+func latentMap(c *matrix.Dense, ss float64) (cm, minv *matrix.Dense, err error) {
+	m := c.MulT(c).AddScaledIdentity(ss)
+	minv, err = matrix.Inverse(m)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ppca: M = CᵀC+ss·I singular: %w", err)
+	}
+	return c.Mul(minv), minv, nil
+}
+
+// emDriver holds the driver-side state shared by all three fit paths.
+type emDriver struct {
+	opt  Options
+	n, d int
+	dims int
+
+	c    *matrix.Dense // current D x d components
+	ss   float64
+	mean []float64
+	ss1  float64 // ||Yc||²_F, fixed across iterations
+
+	// Per-iteration broadcast state.
+	cm   *matrix.Dense // C*M⁻¹ (D x d)
+	minv *matrix.Dense // M⁻¹ (d x d)
+	xm   []float64     // mean's latent image Ym*CM (1 x d)
+
+	// Carried between update and finishVariance within one iteration.
+	pendingSS2  float64
+	pendingSumX []float64
+}
+
+func newEMDriver(opt Options, n, dims int, mean []float64, ss1 float64) *emDriver {
+	rng := matrix.NewRNG(opt.Seed + 0x5354)
+	return &emDriver{
+		opt:  opt,
+		n:    n,
+		d:    opt.Components,
+		dims: dims,
+		c:    matrix.NormRnd(rng, dims, opt.Components),
+		ss:   math.Abs(matrix.NewRNG(opt.Seed+0x9999).NormFloat64()) + 1,
+		mean: mean,
+		ss1:  ss1,
+	}
+}
+
+// prepare computes the per-iteration broadcast matrices (CM, M⁻¹, Xm).
+func (em *emDriver) prepare() error {
+	cm, minv, err := latentMap(em.c, em.ss)
+	if err != nil {
+		return err
+	}
+	em.cm, em.minv = cm, minv
+	em.xm = make([]float64, em.d)
+	for j, mj := range em.mean {
+		if mj != 0 {
+			matrix.AXPY(mj, cm.Row(j), em.xm)
+		}
+	}
+	return nil
+}
+
+// jobSums is what one pass over the data must produce: the consolidated
+// YtXJob outputs of Algorithm 4.
+type jobSums struct {
+	ytx  *matrix.Dense // Σ Yiᵀ·Xi_c (D x d), mean term NOT yet subtracted
+	xtx  *matrix.Dense // Σ Xi_cᵀ·Xi_c (d x d), ss·M⁻¹ NOT yet added
+	sumX []float64     // Σ Xi_c (d)
+}
+
+// update performs the driver-side M-step given the job sums, returning the
+// new C. ss is updated after the ss3 pass via finishVariance.
+func (em *emDriver) update(s jobSums) (*matrix.Dense, error) {
+	// YtX = Σ Yiᵀ Xi_c - Ymᵀ (Σ Xi_c)   (mean propagation, §3.1)
+	ytx := s.ytx.Clone()
+	for j, mj := range em.mean {
+		if mj != 0 {
+			matrix.AXPY(-mj, s.sumX, ytx.Row(j))
+		}
+	}
+	// XtX = Σ Xi_cᵀ Xi_c + ss·M⁻¹
+	xtx := s.xtx.Add(em.minv.Scale(em.ss))
+	cNew, err := matrix.SolveSPD(xtx, ytx) // C = YtX / XtX
+	if err != nil {
+		return nil, fmt.Errorf("ppca: XtX solve failed: %w", err)
+	}
+	em.c = cNew
+
+	// ss2 = trace(XtX · Cᵀ·C)
+	em.pendingSS2 = xtx.Mul(cNew.MulT(cNew)).Trace()
+	em.pendingSumX = s.sumX
+	return cNew, nil
+}
+
+// finishVariance folds the ss3 job result into the noise variance:
+// ss = (ss1 + ss2 - 2·ss3)/(N·D). ss3Raw is Σ Xi_c·(Cᵀ·Yiᵀ); the mean
+// correction -(Σ Xi_c)·(Cᵀ·Ym) is applied here.
+func (em *emDriver) finishVariance(ss3Raw float64) {
+	ctym := em.c.MulVecT(em.mean) // Cᵀ·Ym (d)
+	ss3 := ss3Raw - matrix.Dot(em.pendingSumX, ctym)
+	ss := (em.ss1 + em.pendingSS2 - 2*ss3) / (float64(em.n) * float64(em.dims))
+	if ss < 1e-12 || math.IsNaN(ss) {
+		ss = 1e-12 // numerical floor; PPCA's ss is a variance and must stay positive
+	}
+	em.ss = ss
+}
+
+// sampleIdx returns the deterministic row sample used by the error metric.
+func sampleIdx(n, want int, seed uint64) []int {
+	if want >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	perm := matrix.NewRNG(seed + 0xACC).Perm(n)
+	idx := perm[:want]
+	sortInts(idx)
+	return idx
+}
+
+// reconstructionError computes the paper's accuracy metric on the given
+// rows: e = ||Yr - reconstruction||₁ / ||Yr||₁, reconstructing each sampled
+// row as Xi_c·Cᵀ + Ym without materializing any large matrix.
+func reconstructionError(y *matrix.Sparse, mean []float64, c *matrix.Dense, cm *matrix.Dense, xm []float64, rows []int) float64 {
+	var num, den float64
+	d := cm.C
+	xi := make([]float64, d)
+	for _, i := range rows {
+		row := y.Row(i)
+		// Xi_c = Yi·CM - Xm
+		for k := range xi {
+			xi[k] = -xm[k]
+		}
+		for k, j := range row.Indices {
+			matrix.AXPY(row.Values[k], cm.Row(j), xi)
+		}
+		// Reconstruction ŷ = Xi_c·Cᵀ + Ym, compared column by column.
+		nz := 0
+		for j := 0; j < y.C; j++ {
+			recon := mean[j] + matrix.Dot(xi, c.Row(j))
+			var yv float64
+			if nz < row.NNZ() && row.Indices[nz] == j {
+				yv = row.Values[nz]
+				nz++
+			}
+			num += math.Abs(yv - recon)
+			den += math.Abs(yv)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// IdealError computes the reconstruction error an exact rank-d PCA achieves
+// on the sampled rows — the "ideal accuracy" baseline of §5. It uses Lanczos
+// on the mean-propagated operator so the input is never densified.
+func IdealError(y *matrix.Sparse, d int, opt Options) float64 {
+	mean := y.ColMeans()
+	steps := 3*d + 10
+	_, _, v := matrix.LanczosSVD(matrix.CenteredOp{M: y, Mean: mean}, d, steps, matrix.NewRNG(opt.Seed+0x1DEA))
+	rows := sampleIdx(y.R, opt.sampleRows(), opt.Seed)
+	// Exact PCA reconstruction: ŷ = ((Yi-Ym)·V)·Vᵀ + Ym.
+	var num, den float64
+	k := v.C
+	xi := make([]float64, k)
+	vm := v.MulVecT(mean) // Ym·V
+	for _, i := range rows {
+		row := y.Row(i)
+		for t := range xi {
+			xi[t] = -vm[t]
+		}
+		for t, j := range row.Indices {
+			matrix.AXPY(row.Values[t], v.Row(j), xi)
+		}
+		nz := 0
+		for j := 0; j < y.C; j++ {
+			recon := mean[j] + matrix.Dot(xi, v.Row(j))
+			var yv float64
+			if nz < row.NNZ() && row.Indices[nz] == j {
+				yv = row.Values[nz]
+				nz++
+			}
+			num += math.Abs(yv - recon)
+			den += math.Abs(yv)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// accuracyOf converts an error into a fraction of ideal accuracy, defined
+// as IdealError/err: it approaches 1 as the fit's reconstruction error
+// approaches the exact rank-d PCA's, and is well defined for any error
+// scale (the sampled 1-norm error exceeds 1 on very sparse binary data,
+// where reconstructions smear mass across the zero entries).
+func (o Options) accuracyOf(err float64) float64 {
+	if o.IdealError <= 0 {
+		return 0
+	}
+	if err <= o.IdealError {
+		return 1
+	}
+	return o.IdealError / err
+}
+
+// converged applies the STOP_CONDITION of §5.1.
+func (o Options) converged(hist []IterationStat) bool {
+	n := len(hist)
+	if n == 0 {
+		return false
+	}
+	last := hist[n-1]
+	if o.TargetAccuracy > 0 && last.Accuracy >= o.TargetAccuracy {
+		return true
+	}
+	if n >= 2 {
+		prev := hist[n-2]
+		if prev.Err > 0 && math.Abs(prev.Err-last.Err)/prev.Err < o.Tol {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package ppca
+
+import (
+	"fmt"
+
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+	"spca/internal/rdd"
+)
+
+// FitSpark runs sPCA on the Spark-like engine (Algorithm 5, YtXSparkJob).
+// The input matrix is persisted in the cluster's aggregate memory and
+// scanned once (YtXJob) plus once more (ss3Job) per iteration; per-row
+// partial results are folded into accumulators, and only the sparse entries
+// of each YtX partial cross the network (§4.2).
+func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Options) (*Result, error) {
+	if err := opt.validate(len(rows), dims); err != nil {
+		return nil, err
+	}
+	cl := ctx.Cluster()
+
+	y := rdd.Parallelize(ctx, "Y", rows, mapred.BytesOfSparseVec)
+	y.Persist()
+	defer y.Unpersist()
+
+	mean, err := sparkMean(ctx, y, dims)
+	if err != nil {
+		return nil, err
+	}
+	ss1, err := sparkFnorm(ctx, y, mean, opt.EfficientFrobenius)
+	if err != nil {
+		return nil, err
+	}
+
+	em := newEMDriver(opt, len(rows), dims, mean, ss1)
+	if opt.SmartGuess {
+		if err := smartGuessSpark(ctx, rows, dims, opt, em); err != nil {
+			return nil, fmt.Errorf("ppca: smart guess: %w", err)
+		}
+	}
+
+	ymat := sparseFromRows(rows, dims)
+	sample := sampleIdx(len(rows), opt.sampleRows(), opt.Seed)
+	res := &Result{Mean: mean}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if err := em.prepare(); err != nil {
+			return nil, err
+		}
+		rdd.Broadcast(ctx, "CM", mapred.BytesOfDense(em.cm))
+
+		var sums jobSums
+		if opt.MinimizeIntermediate {
+			sums = sparkYtXJob(ctx, y, dims, em, opt)
+		} else {
+			sums = sparkUnoptimized(ctx, y, dims, em, opt)
+		}
+		cNew, err := em.update(sums)
+		if err != nil {
+			return nil, err
+		}
+		d := int64(opt.Components)
+		cl.AddDriverCompute(int64(dims)*d*d + d*d*d)
+
+		rdd.Broadcast(ctx, "C", mapred.BytesOfDense(cNew))
+		ss3raw := sparkSS3Job(ctx, y, em, cNew, opt)
+		em.finishVariance(ss3raw)
+
+		e := reconstructionError(ymat, mean, em.c, em.cm, em.xm, sample)
+		res.History = append(res.History, IterationStat{
+			Iter:       iter,
+			Err:        e,
+			Accuracy:   opt.accuracyOf(e),
+			SS:         em.ss,
+			SimSeconds: cl.Metrics().SimSeconds,
+		})
+		if opt.converged(res.History) {
+			break
+		}
+	}
+	res.Components = em.c
+	res.SS = em.ss
+	res.Iterations = len(res.History)
+	res.Metrics = cl.Metrics()
+	return res, nil
+}
+
+// meanPartial is the per-partition state of the mean computation.
+type meanPartial struct {
+	sums  map[int]float64
+	count float64
+}
+
+func meanPartialBytes(p *meanPartial) int64 {
+	if p == nil {
+		return 8
+	}
+	return 16 + int64(len(p.sums))*16
+}
+
+func sparkMean(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int) ([]float64, error) {
+	agg, err := rdd.Aggregate(y, "meanJob",
+		func() *meanPartial { return &meanPartial{sums: map[int]float64{}} },
+		func(p *meanPartial, row matrix.SparseVector, ops *rdd.TaskOps) *meanPartial {
+			for k, j := range row.Indices {
+				p.sums[j] += row.Values[k]
+			}
+			p.count++
+			ops.AddOps(int64(row.NNZ()))
+			return p
+		},
+		func(a, b *meanPartial) *meanPartial {
+			for j, v := range b.sums {
+				a.sums[j] += v
+			}
+			a.count += b.count
+			return a
+		},
+		meanPartialBytes,
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Cluster().FreeDriver(meanPartialBytes(agg))
+	if agg.count == 0 {
+		return nil, fmt.Errorf("ppca: sparkMean saw no rows")
+	}
+	mean := make([]float64, dims)
+	for j, v := range agg.sums {
+		mean[j] = v / agg.count
+	}
+	return mean, nil
+}
+
+func sparkFnorm(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], mean []float64, efficient bool) (float64, error) {
+	var msum float64
+	for _, mv := range mean {
+		msum += mv * mv
+	}
+	sum, err := rdd.Aggregate(y, "FnormJob",
+		func() float64 { return 0 },
+		func(acc float64, row matrix.SparseVector, ops *rdd.TaskOps) float64 {
+			if efficient {
+				s := msum
+				for k, j := range row.Indices {
+					v := row.Values[k]
+					dv := v - mean[j]
+					s += dv*dv - mean[j]*mean[j]
+				}
+				ops.AddOps(int64(2 * row.NNZ()))
+				return acc + s
+			}
+			dense := make([]float64, row.Len)
+			for k, j := range row.Indices {
+				dense[j] = row.Values[k]
+			}
+			var s float64
+			for j, v := range dense {
+				dv := v - mean[j]
+				s += dv * dv
+			}
+			ops.AddOps(int64(2 * row.Len))
+			return acc + s
+		},
+		func(a, b float64) float64 { return a + b },
+		func(float64) int64 { return 8 },
+	)
+	if err != nil {
+		return 0, err
+	}
+	ctx.Cluster().FreeDriver(8)
+	return sum, nil
+}
+
+// sparkSums is the per-partition partial of the consolidated YtX job.
+type sparkSums struct {
+	ytx  map[int][]float64
+	xtx  []float64
+	sumX []float64
+}
+
+func newSparkSums(d int) *sparkSums {
+	return &sparkSums{
+		ytx:  make(map[int][]float64),
+		xtx:  make([]float64, d*d),
+		sumX: make([]float64, d),
+	}
+}
+
+// bytes models the wire size when only sparse YtX entries are shipped.
+func (s *sparkSums) bytes(d int) int64 {
+	return int64(len(s.ytx))*(8+int64(d)*8) + int64(d*d)*8 + int64(d)*8
+}
+
+func (s *sparkSums) merge(o *sparkSums) {
+	for j, v := range o.ytx {
+		if p := s.ytx[j]; p != nil {
+			matrix.AXPY(1, v, p)
+		} else {
+			s.ytx[j] = v
+		}
+	}
+	matrix.AXPY(1, o.xtx, s.xtx)
+	matrix.AXPY(1, o.sumX, s.sumX)
+}
+
+// sparkYtXJob is Algorithm 5: one map pass computing X on demand, folding
+// XtX/YtX/ΣX partials into accumulators inside the map (no reduce stage).
+func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options) jobSums {
+	d := em.d
+	acc := rdd.NewAccumulator(ctx, "YtXSum", newSparkSums(d),
+		func(into, from *sparkSums) *sparkSums { into.merge(from); return into },
+		func(s *sparkSums) int64 { return s.bytes(d) },
+	)
+	y.ForeachPartition("YtXJob", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
+		local := newSparkSums(d)
+		xi := make([]float64, d)
+		for _, row := range part {
+			if !opt.MeanPropagation {
+				row = densifyCentered(row, em.mean)
+			}
+			computeRowLatent(row, em, opt.MeanPropagation, xi)
+			for k, j := range row.Indices {
+				p := local.ytx[j]
+				if p == nil {
+					p = make([]float64, d)
+					local.ytx[j] = p
+				}
+				matrix.AXPY(row.Values[k], xi, p)
+			}
+			for a := 0; a < d; a++ {
+				va := xi[a]
+				base := a * d
+				for b := 0; b < d; b++ {
+					local.xtx[base+b] += va * xi[b]
+				}
+			}
+			matrix.AXPY(1, xi, local.sumX)
+			ops.AddOps(int64(2*row.NNZ()*d + d*d + d))
+		}
+		acc.Merge(local)
+	})
+	total := acc.Value()
+	sums := jobSums{
+		ytx:  matrix.NewDense(dims, d),
+		xtx:  matrix.NewDense(d, d),
+		sumX: total.sumX,
+	}
+	for j, v := range total.ytx {
+		copy(sums.ytx.Row(j), v)
+	}
+	copy(sums.xtx.Data, total.xtx)
+	return sums
+}
+
+func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver, cNew *matrix.Dense, opt Options) float64 {
+	d := em.d
+	acc := rdd.NewAccumulator(ctx, "ss3", 0.0,
+		func(a, b float64) float64 { return a + b },
+		func(float64) int64 { return 8 },
+	)
+	y.ForeachPartition("ss3Job", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
+		xi := make([]float64, d)
+		ct := make([]float64, d)
+		var xc []float64
+		var local float64
+		for _, row := range part {
+			if !opt.MeanPropagation {
+				row = densifyCentered(row, em.mean)
+			}
+			computeRowLatent(row, em, opt.MeanPropagation, xi)
+			if opt.AssociativeSS3 {
+				// Eq. 3 with associativity: Cᵀ·Yiᵀ touches only non-zeros.
+				for k := range ct {
+					ct[k] = 0
+				}
+				for k, j := range row.Indices {
+					matrix.AXPY(row.Values[k], cNew.Row(j), ct)
+				}
+				local += matrix.Dot(xi, ct)
+				ops.AddOps(int64(2*row.NNZ()*d + d))
+				continue
+			}
+			// Dense order (Xi·Cᵀ)·Yiᵀ: O(D·d) per row.
+			if xc == nil {
+				xc = make([]float64, cNew.R)
+			}
+			for j := 0; j < cNew.R; j++ {
+				xc[j] = matrix.Dot(xi, cNew.Row(j))
+			}
+			var s float64
+			for k, j := range row.Indices {
+				s += xc[j] * row.Values[k]
+			}
+			local += s
+			ops.AddOps(int64(row.NNZ()*d + cNew.R*d + row.NNZ()))
+		}
+		acc.Merge(local)
+	})
+	return acc.Value()
+}
+
+// sparkUnoptimized materializes X as a (never-cached, so disk-resident) RDD
+// and runs separate XtX and YtX passes over it — the baseline of Table 3's
+// "intermediate data" row.
+func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options) jobSums {
+	d := em.d
+	// Materialize X alongside Y so later passes can join them.
+	pairs := rdd.Map(y, "XJob", func(row matrix.SparseVector) pairYX {
+		r := row
+		if !opt.MeanPropagation {
+			r = densifyCentered(row, em.mean)
+		}
+		xi := make([]float64, d)
+		computeRowLatent(r, em, opt.MeanPropagation, xi)
+		return pairYX{y: row, x: xi}
+	}, func(p pairYX) int64 {
+		return mapred.BytesOfSparseVec(p.y) + mapred.BytesOfVec(p.x)
+	}, int64(d)*8)
+
+	// Pass 1: XtX and ΣX from the stored X.
+	xtxAcc := rdd.NewAccumulator(ctx, "XtXSum", newSparkSums(d),
+		func(into, from *sparkSums) *sparkSums { into.merge(from); return into },
+		func(s *sparkSums) int64 { return s.bytes(d) },
+	)
+	pairs.ForeachPartition("XtXJob", func(task int, part []pairYX, ops *rdd.TaskOps) {
+		local := newSparkSums(d)
+		for _, p := range part {
+			for a := 0; a < d; a++ {
+				va := p.x[a]
+				base := a * d
+				for b := 0; b < d; b++ {
+					local.xtx[base+b] += va * p.x[b]
+				}
+			}
+			matrix.AXPY(1, p.x, local.sumX)
+			ops.AddOps(int64(d*d + d))
+		}
+		xtxAcc.Merge(local)
+	})
+
+	// Pass 2: YtX from Y joined with the stored X.
+	ytxAcc := rdd.NewAccumulator(ctx, "YtXSum", newSparkSums(d),
+		func(into, from *sparkSums) *sparkSums { into.merge(from); return into },
+		func(s *sparkSums) int64 { return s.bytes(d) },
+	)
+	pairs.ForeachPartition("YtXJoinJob", func(task int, part []pairYX, ops *rdd.TaskOps) {
+		local := newSparkSums(d)
+		for _, p := range part {
+			row := p.y
+			if !opt.MeanPropagation {
+				row = densifyCentered(row, em.mean)
+			}
+			for k, j := range row.Indices {
+				q := local.ytx[j]
+				if q == nil {
+					q = make([]float64, d)
+					local.ytx[j] = q
+				}
+				matrix.AXPY(row.Values[k], p.x, q)
+			}
+			ops.AddOps(int64(row.NNZ() * d))
+		}
+		ytxAcc.Merge(local)
+	})
+
+	xres := xtxAcc.Value()
+	yres := ytxAcc.Value()
+	sums := jobSums{
+		ytx:  matrix.NewDense(dims, d),
+		xtx:  matrix.NewDense(d, d),
+		sumX: xres.sumX,
+	}
+	for j, v := range yres.ytx {
+		copy(sums.ytx.Row(j), v)
+	}
+	copy(sums.xtx.Data, xres.xtx)
+	return sums
+}
+
+func smartGuessSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Options, em *emDriver) error {
+	n := smartGuessSize(opt, len(rows))
+	if n >= len(rows) {
+		return nil
+	}
+	sample := sampleSparseRows(sparseFromRows(rows, dims), n, opt.Seed+0x5A)
+	subOpt := opt
+	subOpt.SmartGuess = false
+	subOpt.TargetAccuracy = 0
+	subOpt.IdealError = 0
+	subOpt.MaxIter = 5
+	res, err := FitLocal(sample, subOpt)
+	if err != nil {
+		return err
+	}
+	ctx.Cluster().AddDriverCompute(int64(subOpt.MaxIter) * 2 * int64(sample.NNZ()) * int64(opt.Components))
+	em.c = res.Components
+	em.ss = res.SS
+	return nil
+}

@@ -1,0 +1,138 @@
+package ppca
+
+import (
+	"fmt"
+
+	"spca/internal/matrix"
+)
+
+// FitStream runs the PPCA EM algorithm over a row source — typically a
+// disk-resident matrix streamed one row at a time — so inputs far larger
+// than memory can be fitted on a single machine. Each EM iteration makes
+// two sequential passes over the source (the consolidated YtX pass and the
+// ss3 pass), mirroring sPCA's two distributed jobs; memory use is O(D·d)
+// regardless of N.
+//
+// The reconstruction-error metric is computed on a row sample captured
+// during the first pass. TargetAccuracy/IdealError are not supported in
+// streaming mode (computing the ideal error needs a Lanczos solver with
+// dozens of passes); stopping is by Tol and MaxIter.
+func FitStream(src matrix.RowSource, opt Options) (*Result, error) {
+	n, dims := src.Dims()
+	if err := opt.validate(n, dims); err != nil {
+		return nil, err
+	}
+	if opt.TargetAccuracy > 0 {
+		return nil, fmt.Errorf("ppca: TargetAccuracy is not supported in streaming mode (stop by Tol/MaxIter)")
+	}
+
+	// Pass 0: column means, Frobenius norm (Algorithm 3 streamed), and the
+	// error-metric row sample, all in one scan.
+	mean := make([]float64, dims)
+	var count float64
+	if err := src.Scan(func(i int, row matrix.SparseVector) error {
+		for k, j := range row.Indices {
+			mean[j] += row.Values[k]
+		}
+		count++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("ppca: stream source yielded no rows")
+	}
+	matrix.VecScale(1/count, mean)
+
+	var msum float64
+	for _, mv := range mean {
+		msum += mv * mv
+	}
+	sampleWant := sampleIdx(n, opt.sampleRows(), opt.Seed)
+	sampleSet := make(map[int]int, len(sampleWant))
+	for k, i := range sampleWant {
+		sampleSet[i] = k
+	}
+	sampleBuilder := matrix.NewSparseBuilder(dims)
+	nextSample := 0
+	ss1 := msum * count
+	if err := src.Scan(func(i int, row matrix.SparseVector) error {
+		for k, j := range row.Indices {
+			v := row.Values[k]
+			d := v - mean[j]
+			ss1 += d*d - mean[j]*mean[j]
+		}
+		if nextSample < len(sampleWant) && sampleWant[nextSample] == i {
+			sampleBuilder.AddRow(append([]int(nil), row.Indices...), append([]float64(nil), row.Values...))
+			nextSample++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sample := sampleBuilder.Build()
+	sampleRows := make([]int, sample.R)
+	for i := range sampleRows {
+		sampleRows[i] = i
+	}
+
+	em := newEMDriver(opt, n, dims, mean, ss1)
+	res := &Result{Mean: mean}
+	d := em.d
+	xi := make([]float64, d)
+	ct := make([]float64, d)
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if err := em.prepare(); err != nil {
+			return nil, err
+		}
+		// Pass 1 of the iteration: consolidated YtX/XtX/ΣX.
+		sums := jobSums{
+			ytx:  matrix.NewDense(dims, d),
+			xtx:  matrix.NewDense(d, d),
+			sumX: make([]float64, d),
+		}
+		if err := src.Scan(func(i int, row matrix.SparseVector) error {
+			computeLatentRow(row, em, xi)
+			for k, j := range row.Indices {
+				matrix.AXPY(row.Values[k], xi, sums.ytx.Row(j))
+			}
+			matrix.OuterAdd(sums.xtx, xi, xi)
+			matrix.AXPY(1, xi, sums.sumX)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		cNew, err := em.update(sums)
+		if err != nil {
+			return nil, err
+		}
+		// Pass 2: ss3 with the new C.
+		var ss3 float64
+		if err := src.Scan(func(i int, row matrix.SparseVector) error {
+			computeLatentRow(row, em, xi)
+			for k := range ct {
+				ct[k] = 0
+			}
+			for k, j := range row.Indices {
+				matrix.AXPY(row.Values[k], cNew.Row(j), ct)
+			}
+			ss3 += matrix.Dot(xi, ct)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		em.finishVariance(ss3)
+
+		e := reconstructionError(sample, mean, em.c, em.cm, em.xm, sampleRows)
+		res.History = append(res.History, IterationStat{
+			Iter: iter, Err: e, SS: em.ss,
+		})
+		if opt.converged(res.History) {
+			break
+		}
+	}
+	res.Components = em.c
+	res.SS = em.ss
+	res.Iterations = len(res.History)
+	return res, nil
+}

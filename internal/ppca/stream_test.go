@@ -1,0 +1,131 @@
+package ppca
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spca/internal/matrix"
+)
+
+func TestFitStreamMatchesFitLocal(t *testing.T) {
+	y := lowRankSparse(200, 40, 3, 61)
+	opt := DefaultOptions(3)
+	opt.MaxIter = 8
+	opt.Tol = 0
+
+	ref, err := FitLocal(y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FitStream(matrix.SparseSource{M: y}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same math, same pass structure: results are identical.
+	if got.Components.MaxAbsDiff(ref.Components) > 1e-12 {
+		t.Fatalf("stream differs from local: %v", got.Components.MaxAbsDiff(ref.Components))
+	}
+	if diff := got.SS - ref.SS; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("SS %v vs %v", got.SS, ref.SS)
+	}
+}
+
+func TestFitStreamFromFile(t *testing.T) {
+	y := lowRankSparse(150, 30, 3, 62)
+	path := filepath.Join(t.TempDir(), "y.spmx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.WriteSparse(f, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := matrix.OpenFileRowSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, d := src.Dims(); n != 150 || d != 30 {
+		t.Fatalf("dims %dx%d", n, d)
+	}
+	opt := DefaultOptions(3)
+	opt.MaxIter = 6
+	opt.Tol = 0
+	got, err := FitStream(src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FitStream(matrix.SparseSource{M: y}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File streaming is bit-identical to in-memory streaming (values round-
+	// trip exactly through the text format).
+	if got.Components.MaxAbsDiff(ref.Components) != 0 {
+		t.Fatal("file-streamed fit differs from in-memory fit")
+	}
+}
+
+func TestFitStreamRejectsTargetAccuracy(t *testing.T) {
+	y := lowRankSparse(30, 10, 2, 63)
+	opt := DefaultOptions(2)
+	opt.TargetAccuracy = 0.95
+	if _, err := FitStream(matrix.SparseSource{M: y}, opt); err == nil {
+		t.Fatal("expected error for TargetAccuracy in streaming mode")
+	}
+}
+
+func TestFileRowSourceErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := matrix.OpenFileRowSource(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not a header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := matrix.OpenFileRowSource(bad); err == nil {
+		t.Fatal("expected error for bad header")
+	}
+}
+
+func TestFileRowSourceScanMatchesMatrix(t *testing.T) {
+	y := lowRankSparse(40, 12, 2, 64)
+	path := filepath.Join(t.TempDir(), "m.spmx")
+	f, _ := os.Create(path)
+	if err := matrix.WriteSparse(f, y); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	src, err := matrix.OpenFileRowSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two scans must both visit every row with identical content.
+	for pass := 0; pass < 2; pass++ {
+		seen := 0
+		err := src.Scan(func(i int, row matrix.SparseVector) error {
+			want := y.Row(i)
+			if row.NNZ() != want.NNZ() {
+				t.Fatalf("pass %d row %d nnz %d != %d", pass, i, row.NNZ(), want.NNZ())
+			}
+			for k := range row.Indices {
+				if row.Indices[k] != want.Indices[k] || row.Values[k] != want.Values[k] {
+					t.Fatalf("pass %d row %d differs", pass, i)
+				}
+			}
+			seen++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen != 40 {
+			t.Fatalf("pass %d visited %d rows", pass, seen)
+		}
+	}
+}

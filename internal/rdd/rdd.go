@@ -1,0 +1,392 @@
+// Package rdd implements a miniature Spark-like engine: partitioned resilient
+// distributed datasets with in-memory persistence, parallel actions,
+// broadcast variables and accumulators — the abstractions Algorithm 5 of the
+// paper (YtXSparkJob) is written against.
+//
+// As with internal/mapred, the computation is real (partitions are processed
+// concurrently) while time and memory are simulated: caching charges the
+// cluster's aggregate worker memory with spill-to-disk beyond it, actions are
+// charged as phases to the cost model, and accumulator merges and broadcasts
+// are charged as network traffic. Driver-side allocations go through the
+// cluster's driver-memory accounting, which is what makes the MLlib-PCA
+// out-of-memory failure reproducible.
+package rdd
+
+import (
+	"fmt"
+	"sync"
+
+	"spca/internal/cluster"
+)
+
+// Context owns the simulated cluster state shared by all RDDs of a session.
+type Context struct {
+	cl         *cluster.Cluster
+	partitions int
+
+	mu          sync.Mutex
+	cachedBytes int64 // aggregate worker memory currently used for caching
+}
+
+// NewContext returns a Spark-like context over cl. Actions schedule one task
+// per partition; the default partition count is 2x the total cores.
+func NewContext(cl *cluster.Cluster) *Context {
+	return &Context{cl: cl, partitions: 2 * cl.TotalCores()}
+}
+
+// WithPartitions overrides the default partition count for new RDDs.
+func (c *Context) WithPartitions(n int) *Context {
+	if n <= 0 {
+		panic("rdd: partitions must be positive")
+	}
+	c.partitions = n
+	return c
+}
+
+// Cluster returns the underlying simulated cluster.
+func (c *Context) Cluster() *cluster.Cluster { return c.cl }
+
+// aggregateMemory is the total worker memory available for caching.
+func (c *Context) aggregateMemory() int64 {
+	cfg := c.cl.Config()
+	return int64(cfg.Nodes) * cfg.NodeMemory
+}
+
+// reserveCache claims up to want bytes of aggregate cache memory, returning
+// the number of bytes actually granted (the rest spills to disk).
+func (c *Context) reserveCache(want int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	free := c.aggregateMemory() - c.cachedBytes
+	if free <= 0 {
+		return 0
+	}
+	granted := want
+	if granted > free {
+		granted = free
+	}
+	c.cachedBytes += granted
+	return granted
+}
+
+// releaseCache returns bytes to the cache pool.
+func (c *Context) releaseCache(bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cachedBytes -= bytes
+	if c.cachedBytes < 0 {
+		c.cachedBytes = 0
+	}
+}
+
+// CachedBytes reports the aggregate memory currently used for cached RDDs.
+func (c *Context) CachedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cachedBytes
+}
+
+// TaskOps is handed to task functions so they can charge arithmetic work.
+type TaskOps struct{ ops int64 }
+
+// AddOps charges n arithmetic operations to the running phase.
+func (t *TaskOps) AddOps(n int64) { t.ops += n }
+
+// RDD is a partitioned dataset of T records.
+type RDD[T any] struct {
+	ctx    *Context
+	name   string
+	parts  [][]T
+	sizeOf func(T) int64
+
+	persisted  bool
+	memBytes   int64 // resident in aggregate cluster memory
+	spillBytes int64 // overflow that re-reads from disk on every scan
+}
+
+// Parallelize distributes data across the context's partitions. sizeOf gives
+// the serialized size of a record and drives all byte accounting. Loading is
+// charged as one disk-read phase (the paper's datasets start in HDFS).
+func Parallelize[T any](ctx *Context, name string, data []T, sizeOf func(T) int64) *RDD[T] {
+	n := ctx.partitions
+	if n > len(data) {
+		n = len(data)
+	}
+	if n == 0 {
+		n = 1
+	}
+	parts := make([][]T, n)
+	for p := 0; p < n; p++ {
+		lo := p * len(data) / n
+		hi := (p + 1) * len(data) / n
+		parts[p] = data[lo:hi]
+	}
+	r := &RDD[T]{ctx: ctx, name: name, parts: parts, sizeOf: sizeOf}
+	ctx.cl.RunPhase(cluster.PhaseStats{
+		Name:      name + "/load",
+		DiskBytes: r.totalBytes(),
+		Tasks:     int64(n),
+	})
+	return r
+}
+
+func (r *RDD[T]) totalBytes() int64 {
+	var b int64
+	for _, part := range r.parts {
+		for _, rec := range part {
+			b += r.sizeOf(rec)
+		}
+	}
+	return b
+}
+
+// Count returns the number of records.
+func (r *RDD[T]) Count() int {
+	var n int
+	for _, p := range r.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return len(r.parts) }
+
+// Persist pins the RDD in the cluster's aggregate memory. Bytes that do not
+// fit spill to disk and are re-read (and charged) on every subsequent scan,
+// matching Spark's MEMORY_AND_DISK behaviour the paper relies on ("the disk
+// I/O is limited to the amount of data that does not fit in the aggregate
+// memory of the cluster").
+func (r *RDD[T]) Persist() *RDD[T] {
+	if r.persisted {
+		return r
+	}
+	total := r.totalBytes()
+	r.memBytes = r.ctx.reserveCache(total)
+	r.spillBytes = total - r.memBytes
+	r.persisted = true
+	return r
+}
+
+// Unpersist releases the cached memory.
+func (r *RDD[T]) Unpersist() {
+	if !r.persisted {
+		return
+	}
+	r.ctx.releaseCache(r.memBytes)
+	r.persisted = false
+	r.memBytes, r.spillBytes = 0, 0
+}
+
+// scanDiskBytes is the disk traffic charged per full scan of this RDD.
+func (r *RDD[T]) scanDiskBytes() int64 {
+	if !r.persisted {
+		return r.totalBytes() // uncached RDDs re-read everything
+	}
+	return r.spillBytes
+}
+
+// ForeachPartition runs f once per partition in parallel and charges one
+// phase: the tasks' arithmetic, a scan's disk traffic, and task overheads.
+// It is the engine primitive behind every distributed job in this repo.
+func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *TaskOps)) {
+	opsPer := make([]TaskOps, len(r.parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.ctx.cl.TotalCores())
+	for p := range r.parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f(p, r.parts[p], &opsPer[p])
+		}(p)
+	}
+	wg.Wait()
+	var totalOps int64
+	for i := range opsPer {
+		totalOps += opsPer[i].ops
+	}
+	r.ctx.cl.RunPhase(cluster.PhaseStats{
+		Name:       name,
+		ComputeOps: totalOps,
+		DiskBytes:  r.scanDiskBytes(),
+		Tasks:      int64(len(r.parts)),
+		Records:    int64(r.Count()),
+	})
+}
+
+// Map transforms every record, returning a new (uncached) RDD. The
+// transformation is charged as one phase; opsPerRec charges arithmetic.
+func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, opsPerRec int64) *RDD[U] {
+	out := &RDD[U]{ctx: r.ctx, name: name, sizeOf: sizeOf, parts: make([][]U, len(r.parts))}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.ctx.cl.TotalCores())
+	for p := range r.parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dst := make([]U, len(r.parts[p]))
+			for i, rec := range r.parts[p] {
+				dst[i] = f(rec)
+			}
+			out.parts[p] = dst
+		}(p)
+	}
+	wg.Wait()
+	outBytes := out.totalBytes()
+	r.ctx.cl.RunPhase(cluster.PhaseStats{
+		Name:       name,
+		ComputeOps: int64(r.Count()) * opsPerRec,
+		// The derived RDD is materialized for later passes (it is not
+		// cached, so it lives on disk) — intermediate data in the paper's
+		// sense.
+		DiskBytes:         r.scanDiskBytes() + outBytes,
+		MaterializedBytes: outBytes,
+		Tasks:             int64(len(r.parts)),
+		Records:           int64(r.Count()),
+	})
+	return out
+}
+
+// Collect gathers all records at the driver, charging their network transfer
+// and driver memory. It returns cluster.ErrDriverOOM (wrapped) if the driver
+// cannot hold the result.
+func (r *RDD[T]) Collect() ([]T, error) {
+	bytes := r.totalBytes()
+	if err := r.ctx.cl.AllocDriver(bytes); err != nil {
+		return nil, fmt.Errorf("rdd: collect %s: %w", r.name, err)
+	}
+	r.ctx.cl.RunPhase(cluster.PhaseStats{
+		Name:         r.name + "/collect",
+		ShuffleBytes: bytes,
+		DiskBytes:    r.scanDiskBytes(),
+		Tasks:        int64(len(r.parts)),
+		Records:      int64(r.Count()),
+	})
+	out := make([]T, 0, r.Count())
+	for _, p := range r.parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Aggregate computes a per-partition partial with seq and merges partials
+// with comb, Spark treeAggregate-style. Each partial's bytes are charged as
+// shuffle traffic and the final result is allocated on the driver (and must
+// be freed by the caller via FreeDriverResult when no longer needed).
+// This is the communication pattern of MLlib's Gramian computation.
+func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *TaskOps) U, comb func(U, U) U, sizeOf func(U) int64) (U, error) {
+	partials := make([]U, len(r.parts))
+	opsPer := make([]TaskOps, len(r.parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.ctx.cl.TotalCores())
+	for p := range r.parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			acc := zero()
+			for _, rec := range r.parts[p] {
+				acc = seq(acc, rec, &opsPer[p])
+			}
+			partials[p] = acc
+		}(p)
+	}
+	wg.Wait()
+
+	var totalOps, shuffle int64
+	for i := range opsPer {
+		totalOps += opsPer[i].ops
+	}
+	result := zero()
+	for _, part := range partials {
+		shuffle += sizeOf(part)
+		result = comb(result, part)
+	}
+	resBytes := sizeOf(result)
+	if err := r.ctx.cl.AllocDriver(resBytes); err != nil {
+		var zeroU U
+		// The phase still ran before the driver fell over.
+		r.ctx.cl.RunPhase(cluster.PhaseStats{
+			Name:         name,
+			ComputeOps:   totalOps,
+			ShuffleBytes: shuffle,
+			DiskBytes:    r.scanDiskBytes(),
+			Tasks:        int64(len(r.parts)),
+			Records:      int64(r.Count()),
+		})
+		return zeroU, fmt.Errorf("rdd: aggregate %s: %w", name, err)
+	}
+	r.ctx.cl.RunPhase(cluster.PhaseStats{
+		Name:              name,
+		ComputeOps:        totalOps,
+		ShuffleBytes:      shuffle,
+		DiskBytes:         r.scanDiskBytes(),
+		MaterializedBytes: resBytes,
+		Tasks:             int64(len(r.parts)),
+		Records:           int64(r.Count()),
+	})
+	return result, nil
+}
+
+// Broadcast charges shipping bytes of driver state to every worker node
+// (e.g. the small CM = C*M⁻¹ matrix sPCA broadcasts each iteration).
+func Broadcast(ctx *Context, name string, bytes int64) {
+	ctx.cl.RunPhase(cluster.PhaseStats{
+		Name:         name + "/broadcast",
+		ShuffleBytes: bytes * int64(ctx.cl.Config().Nodes),
+	})
+}
+
+// Accumulator is a write-only-from-workers, read-from-driver variable with an
+// associative merge, mirroring Spark accumulators (§4.2 of the paper). Tasks
+// build a local value and publish it with Merge, which charges the value's
+// serialized size as network traffic to the driver.
+type Accumulator[T any] struct {
+	ctx   *Context
+	name  string
+	merge func(into, from T) T
+	size  func(T) int64
+
+	mu      sync.Mutex
+	value   T
+	pending int64 // shuffle bytes accumulated since last Value() read
+}
+
+// NewAccumulator creates an accumulator with initial value zero.
+func NewAccumulator[T any](ctx *Context, name string, zero T, merge func(into, from T) T, size func(T) int64) *Accumulator[T] {
+	return &Accumulator[T]{ctx: ctx, name: name, merge: merge, size: size, value: zero}
+}
+
+// Merge folds a task-local partial into the accumulator.
+func (a *Accumulator[T]) Merge(local T) {
+	b := a.size(local)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.value = a.merge(a.value, local)
+	a.pending += b
+}
+
+// Value reads the accumulated value at the driver, charging the pending
+// network traffic of all merges since the previous read.
+func (a *Accumulator[T]) Value() T {
+	a.mu.Lock()
+	pending := a.pending
+	a.pending = 0
+	v := a.value
+	a.mu.Unlock()
+	if pending > 0 {
+		a.ctx.cl.RunPhase(cluster.PhaseStats{
+			Name:         a.name + "/acc",
+			ShuffleBytes: pending,
+			// The aggregated value is this job's output, handed to the
+			// driver for the next phase.
+			MaterializedBytes: a.size(v),
+		})
+	}
+	return v
+}

@@ -1,0 +1,127 @@
+package svdbidiag
+
+import (
+	"testing"
+
+	"spca/internal/cluster"
+	"spca/internal/dataset"
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+)
+
+func testEngine() *mapred.Engine {
+	return mapred.NewEngine(cluster.MustNew(cluster.DefaultConfig()))
+}
+
+func plantedData(n, dims, rank int, seed uint64) (*matrix.Sparse, []matrix.SparseVector) {
+	y := dataset.MustGenerate(dataset.Spec{
+		Kind: dataset.KindDiabetes, Rows: n, Cols: dims, Rank: rank, Seed: seed,
+	})
+	return y, dataset.Rows(y)
+}
+
+func TestSVDBidiagMatchesExactPCA(t *testing.T) {
+	y, rows := plantedData(300, 40, 4, 51)
+	res, err := FitMapReduce(testEngine(), rows, 40, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := y.ColMeans()
+	u, s, v := matrix.TopSVD(y.Dense().SubRowVec(mean), 4)
+	_ = u
+	if gap := matrix.SubspaceGap(res.Components, v); gap > 1e-8 {
+		t.Fatalf("SVD-Bidiag subspace gap %v", gap)
+	}
+	// TSQR must preserve singular values exactly (R'R = Yc'Yc).
+	for i := range res.Singular {
+		if d := res.Singular[i] - s[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("singular value %d: %v vs exact %v", i, res.Singular[i], s[i])
+		}
+	}
+	if res.Err <= 0 || res.Err > 1 {
+		t.Fatalf("err %v out of range", res.Err)
+	}
+}
+
+func TestSVDBidiagValidation(t *testing.T) {
+	_, rows := plantedData(50, 10, 2, 52)
+	if _, err := FitMapReduce(testEngine(), rows, 10, DefaultOptions(0)); err == nil {
+		t.Fatal("expected error for zero components")
+	}
+	if _, err := FitMapReduce(testEngine(), rows, 10, DefaultOptions(11)); err == nil {
+		t.Fatal("expected error for d > D")
+	}
+	if _, err := FitMapReduce(testEngine(), nil, 10, DefaultOptions(2)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	// rows < cols is rejected (thin QR undefined).
+	_, wide := plantedData(5, 10, 2, 53)
+	if _, err := FitMapReduce(testEngine(), wide, 10, DefaultOptions(2)); err == nil {
+		t.Fatal("expected error for rows < cols")
+	}
+}
+
+func TestSVDBidiagIntermediateQuadraticInD(t *testing.T) {
+	// The paper's complexity: step-2/3 intermediate data is O(D²), so the
+	// total intermediate grows superlinearly in D at fixed N.
+	inter := map[int]int64{}
+	for _, dims := range []int{30, 60} {
+		_, rows := plantedData(200, dims, 4, 54)
+		eng := testEngine()
+		if _, err := FitMapReduce(eng, rows, dims, DefaultOptions(4)); err != nil {
+			t.Fatal(err)
+		}
+		inter[dims] = eng.Cluster.Metrics().MaterializedBytes
+	}
+	if ratio := float64(inter[60]) / float64(inter[30]); ratio < 2.2 {
+		t.Fatalf("intermediate data should grow superlinearly with D: %v", inter)
+	}
+}
+
+func TestSVDBidiagComputeQuadraticInD(t *testing.T) {
+	// Time complexity O(ND² + D³): doubling D should ~quadruple map-side ops.
+	ops := map[int]int64{}
+	for _, dims := range []int{30, 60} {
+		_, rows := plantedData(300, dims, 4, 55)
+		eng := testEngine()
+		if _, err := FitMapReduce(eng, rows, dims, DefaultOptions(4)); err != nil {
+			t.Fatal(err)
+		}
+		ops[dims] = eng.Cluster.Metrics().ComputeOps
+	}
+	if ratio := float64(ops[60]) / float64(ops[30]); ratio < 3 {
+		t.Fatalf("ops should grow ~quadratically with D: %v (ratio %.2f)", ops, ratio)
+	}
+}
+
+func TestSVDBidiagDeterministic(t *testing.T) {
+	_, rows := plantedData(150, 25, 3, 56)
+	a, err := FitMapReduce(testEngine(), rows, 25, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitMapReduce(testEngine(), rows, 25, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Components.MaxAbsDiff(b.Components) != 0 {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestSVDBidiagWithFewSplits(t *testing.T) {
+	// Blocks shorter than D exercise the zero-padding path.
+	_, rows := plantedData(130, 60, 3, 57)
+	eng := testEngine()
+	eng.Splits = 64 // ~2 rows per block << 60 columns
+	res, err := FitMapReduce(eng, rows, 60, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := plantedData(130, 60, 3, 57)
+	mean := y.ColMeans()
+	_, _, v := matrix.TopSVD(y.Dense().SubRowVec(mean), 3)
+	if gap := matrix.SubspaceGap(res.Components, v); gap > 1e-8 {
+		t.Fatalf("padded-block TSQR wrong: gap %v", gap)
+	}
+}

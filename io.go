@@ -1,0 +1,61 @@
+package spca
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"spca/internal/matrix"
+)
+
+// ReadSparse parses a sparse matrix in the spmx text format
+// ("spmx R C NNZ" header followed by "row col value" triplets).
+func ReadSparse(r io.Reader) (*Sparse, error) { return matrix.ReadSparse(r) }
+
+// WriteSparse writes a sparse matrix in the spmx text format.
+func WriteSparse(w io.Writer, m *Sparse) error { return matrix.WriteSparse(w, m) }
+
+// ReadDense parses a dense matrix in the dmx text format.
+func ReadDense(r io.Reader) (*Dense, error) { return matrix.ReadDense(r) }
+
+// WriteDense writes a dense matrix in the dmx text format.
+func WriteDense(w io.Writer, m *Dense) error { return matrix.WriteDense(w, m) }
+
+// LoadSparseFile reads a sparse matrix from path, auto-detecting the text
+// (spmx) or binary (SPMB) container.
+func LoadSparseFile(path string) (*Sparse, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, fmt.Errorf("spca: reading %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if string(magic) == "SPMB" {
+		return matrix.ReadSparseBinary(f)
+	}
+	return matrix.ReadSparse(f)
+}
+
+// SaveSparseFile writes a sparse matrix to path; binary selects the compact
+// SPMB container instead of the spmx text format.
+func SaveSparseFile(path string, m *Sparse, binary bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if binary {
+		if err := matrix.WriteSparseBinary(f, m); err != nil {
+			return err
+		}
+	} else if err := matrix.WriteSparse(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}

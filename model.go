@@ -1,0 +1,129 @@
+package spca
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"spca/internal/matrix"
+)
+
+// Model persistence: a fitted PCA model (components, mean, noise variance)
+// saved as a small self-describing text file, so a model trained once can
+// be reused for Transform/Reconstruct without re-fitting. The format is
+//
+//	spcamodel 1
+//	algorithm <name>
+//	orthonormal <bool>
+//	noise <float>
+//	mean <D space-separated floats>
+//	components            (followed by a dmx dense matrix)
+//	dmx D d
+//	...
+
+const modelMagic = "spcamodel 1"
+
+// SaveModel writes the fitted model to w.
+func (r *Result) SaveModel(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, modelMagic)
+	fmt.Fprintf(bw, "algorithm %s\n", r.Algorithm)
+	fmt.Fprintf(bw, "orthonormal %v\n", r.orthonormal)
+	fmt.Fprintf(bw, "noise %s\n", strconv.FormatFloat(r.NoiseVariance, 'g', -1, 64))
+	fmt.Fprint(bw, "mean")
+	for _, v := range r.Mean {
+		fmt.Fprintf(bw, " %s", strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "components")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return matrix.WriteDense(w, r.Components)
+}
+
+// SaveModelFile writes the fitted model to path.
+func (r *Result) SaveModelFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.SaveModel(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model previously written with SaveModel. The returned
+// Result supports Transform, Reconstruct and ExplainedVariance; its History
+// and Metrics are empty (they belong to the fitting run, not the model).
+func LoadModel(r io.Reader) (*Result, error) {
+	br := bufio.NewReader(r)
+	line := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err != nil && s == "" {
+			return "", err
+		}
+		return strings.TrimRight(s, "\n"), nil
+	}
+	header, err := line()
+	if err != nil || header != modelMagic {
+		return nil, fmt.Errorf("spca: not a model file (header %q)", header)
+	}
+	res := &Result{}
+	for {
+		l, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("spca: truncated model: %w", err)
+		}
+		switch {
+		case strings.HasPrefix(l, "algorithm "):
+			res.Algorithm = Algorithm(strings.TrimPrefix(l, "algorithm "))
+		case strings.HasPrefix(l, "orthonormal "):
+			res.orthonormal = strings.TrimPrefix(l, "orthonormal ") == "true"
+		case strings.HasPrefix(l, "noise "):
+			v, err := strconv.ParseFloat(strings.TrimPrefix(l, "noise "), 64)
+			if err != nil {
+				return nil, fmt.Errorf("spca: bad noise line: %w", err)
+			}
+			res.NoiseVariance = v
+		case strings.HasPrefix(l, "mean"):
+			fields := strings.Fields(strings.TrimPrefix(l, "mean"))
+			res.Mean = make([]float64, len(fields))
+			for i, f := range fields {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("spca: bad mean entry: %w", err)
+				}
+				res.Mean[i] = v
+			}
+		case l == "components":
+			comps, err := matrix.ReadDense(br)
+			if err != nil {
+				return nil, fmt.Errorf("spca: bad components: %w", err)
+			}
+			res.Components = comps
+			if len(res.Mean) != comps.R {
+				return nil, fmt.Errorf("spca: model mean length %d != components rows %d",
+					len(res.Mean), comps.R)
+			}
+			return res, nil
+		default:
+			return nil, fmt.Errorf("spca: unexpected model line %q", l)
+		}
+	}
+}
+
+// LoadModelFile reads a model from path.
+func LoadModelFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

@@ -1,0 +1,91 @@
+package spca
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	y := smallDataset(t)
+	res, err := Fit(y, Config{Algorithm: SPCASpark, Components: 3, MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != res.Algorithm {
+		t.Fatalf("algorithm %q != %q", got.Algorithm, res.Algorithm)
+	}
+	if got.Components.MaxAbsDiff(res.Components) != 0 {
+		t.Fatal("components not preserved exactly")
+	}
+	if got.NoiseVariance != res.NoiseVariance {
+		t.Fatalf("noise %v != %v", got.NoiseVariance, res.NoiseVariance)
+	}
+	for i, v := range res.Mean {
+		if got.Mean[i] != v {
+			t.Fatal("mean not preserved exactly")
+		}
+	}
+	// The loaded model transforms identically.
+	a, err := res.Transform(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Transform(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("loaded model transforms differently")
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	y := smallDataset(t)
+	res, err := Fit(y, Config{Algorithm: MLlibPCA, Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.spca")
+	if err := res.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orthonormal flag survives: baseline models transform by projection.
+	a, _ := res.Transform(y)
+	b, _ := got.Transform(y)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("orthonormal flag lost in round trip")
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a model",
+		"spcamodel 1\nbogus line\n",
+		"spcamodel 1\nnoise abc\n",
+		"spcamodel 1\nmean 1 2\ncomponents\ndmx 3 1\n1\n2\n3\n", // mean/components mismatch
+		"spcamodel 1\nalgorithm x\n",                            // truncated
+	}
+	for _, c := range cases {
+		if _, err := LoadModel(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+	if _, err := LoadModelFile("/nonexistent/model"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,500 @@
+// Package spca is a Go reproduction of "sPCA: Scalable Principal Component
+// Analysis for Big Data on Distributed Platforms" (SIGMOD 2015). It provides
+// the paper's scalable probabilistic PCA (sPCA) on two simulated distributed
+// platforms — a Hadoop-like MapReduce engine and a Spark-like RDD engine —
+// together with the baselines the paper analyzes (Mahout-PCA, i.e.
+// stochastic SVD on MapReduce; MLlib-PCA, i.e. covariance +
+// eigendecomposition on Spark; and the §2.2 SVD-Bidiag pipeline), synthetic
+// generators for the paper's four dataset families, and a benchmark harness
+// regenerating every table and figure of the evaluation (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	y := spca.GenerateDataset(spca.DatasetSpec{
+//		Kind: spca.Tweets, Rows: 10000, Cols: 1000, Seed: 1,
+//	})
+//	res, err := spca.Fit(y, spca.Config{Algorithm: spca.SPCASpark, Components: 50})
+//	// res.Components: D x 50 principal directions
+//	// res.Metrics:    simulated running time, shuffle bytes, ...
+package spca
+
+import (
+	"fmt"
+
+	"spca/internal/cluster"
+	"spca/internal/covpca"
+	"spca/internal/dataset"
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+	"spca/internal/ppca"
+	"spca/internal/rdd"
+	"spca/internal/ssvd"
+	"spca/internal/svdbidiag"
+)
+
+// Matrix and vector types used throughout the public API.
+type (
+	// Dense is a row-major dense matrix.
+	Dense = matrix.Dense
+	// Sparse is a compressed-sparse-row matrix.
+	Sparse = matrix.Sparse
+	// SparseVector is one sparse row.
+	SparseVector = matrix.SparseVector
+)
+
+// Algorithm selects which PCA implementation Fit runs.
+type Algorithm string
+
+// The four algorithms compared in the paper's evaluation, plus the
+// single-machine PPCA reference.
+const (
+	// SPCAMapReduce is sPCA on the Hadoop-like engine (Algorithm 4).
+	SPCAMapReduce Algorithm = "spca-mapreduce"
+	// SPCASpark is sPCA on the Spark-like engine (Algorithm 5).
+	SPCASpark Algorithm = "spca-spark"
+	// MahoutPCA is the stochastic-SVD baseline on MapReduce (§2.3).
+	MahoutPCA Algorithm = "mahout-pca"
+	// MLlibPCA is the covariance-eigendecomposition baseline on Spark (§2.1).
+	MLlibPCA Algorithm = "mllib-pca"
+	// SVDBidiag is the dense QR + bidiagonal-SVD pipeline on MapReduce
+	// (§2.2, the method RScaLAPACK exposes), with a distributed TSQR step.
+	SVDBidiag Algorithm = "svd-bidiag"
+	// LocalPPCA is the single-machine PPCA reference (Algorithm 1).
+	LocalPPCA Algorithm = "ppca-local"
+)
+
+// Dataset kinds, mirroring the paper's four evaluation datasets.
+const (
+	Tweets   = dataset.KindTweets
+	BioText  = dataset.KindBioText
+	Diabetes = dataset.KindDiabetes
+	Images   = dataset.KindImages
+)
+
+// DatasetSpec describes a synthetic dataset to generate.
+type DatasetSpec = dataset.Spec
+
+// DatasetKind names one of the paper's dataset families.
+type DatasetKind = dataset.Kind
+
+// GenerateDataset builds a synthetic dataset with the statistical skeleton
+// of the requested paper dataset (see internal/dataset). It panics on an
+// invalid spec; use NewDataset to receive the error instead.
+func GenerateDataset(spec DatasetSpec) *Sparse { return dataset.MustGenerate(spec) }
+
+// NewDataset is GenerateDataset returning spec errors instead of panicking.
+func NewDataset(spec DatasetSpec) (*Sparse, error) { return dataset.Generate(spec) }
+
+// ClusterConfig describes the simulated cluster a fit runs on.
+type ClusterConfig struct {
+	// Nodes and CoresPerNode shape the worker pool (default 8 x 8, the
+	// paper's testbed).
+	Nodes        int
+	CoresPerNode int
+	// NodeMemoryGB and DriverMemoryGB set the simulated memory limits
+	// (default 32 GB each). DriverMemoryGB is what makes MLlib-PCA fail on
+	// wide matrices.
+	NodeMemoryGB   float64
+	DriverMemoryGB float64
+	// Cost-model overrides (zero keeps the default rates). The experiment
+	// harness lowers the bandwidths and raises RecordCostSec to restore the
+	// paper's cost balance on scaled-down datasets; see DESIGN.md.
+	NetworkMBps   float64 // aggregate shuffle bandwidth, MB/s
+	DiskMBps      float64 // aggregate disk bandwidth, MB/s
+	RecordCostSec float64 // seconds per scanned record, shared across cores
+}
+
+// Metrics re-exports the simulated-cluster accounting.
+type Metrics = cluster.Metrics
+
+// IterationStat mirrors ppca.IterationStat for the unified result.
+type IterationStat struct {
+	Iter       int
+	Err        float64
+	Accuracy   float64
+	SimSeconds float64
+}
+
+// Config configures Fit. Zero values select paper defaults.
+type Config struct {
+	// Algorithm defaults to SPCASpark.
+	Algorithm Algorithm
+	// Components is d (default 50, the paper's setting, clamped to D).
+	Components int
+	// MaxIter caps refinement rounds (default 10, per §5.1).
+	MaxIter int
+	// TargetAccuracy stops at this fraction of ideal accuracy (e.g. 0.95).
+	// When set, Fit computes the ideal error with an exact rank-d PCA first.
+	TargetAccuracy float64
+	// Seed drives all randomness (default 42).
+	Seed uint64
+	// Cluster overrides the simulated cluster (default: paper testbed).
+	Cluster ClusterConfig
+
+	// Optimization switches for sPCA ablations. DisableX turns an
+	// optimization OFF (the zero value keeps full sPCA behaviour).
+	DisableMeanPropagation      bool
+	DisableMinimizeIntermediate bool
+	DisableEfficientFrobenius   bool
+	DisableStatefulCombiner     bool // §4.1 in-mapper combining (MapReduce)
+	DisableAssociativeSS3       bool // §4.1 Eq. 3 multiplication order
+	// SmartGuess enables sPCA-SG initialization (§5.2).
+	SmartGuess bool
+}
+
+// Result is the unified output of Fit.
+type Result struct {
+	// Algorithm that produced this result.
+	Algorithm Algorithm
+	// Components holds the d principal directions as columns (D x d).
+	Components *Dense
+	// Mean is the column-mean vector.
+	Mean []float64
+	// NoiseVariance is PPCA's fitted ss (zero for the baselines).
+	NoiseVariance float64
+	// Err is the final sampled relative 1-norm reconstruction error.
+	Err float64
+	// Iterations counts refinement rounds.
+	Iterations int
+	// History traces error/accuracy per round (empty for MLlibPCA, which is
+	// a fixed sequence of matrix operations).
+	History []IterationStat
+	// Metrics is the simulated-cluster accounting of the run.
+	Metrics Metrics
+
+	orthonormal bool // baselines produce orthonormal components
+}
+
+// Transform projects rows of y onto the fitted components. For PPCA-family
+// results this is the posterior-mean latent position; for the baselines it
+// is the orthogonal projection (Y - mean) * C.
+func (r *Result) Transform(y *Sparse) (*Dense, error) {
+	if y.C != r.Components.R {
+		return nil, fmt.Errorf("spca: Transform dims %d vs model %d", y.C, r.Components.R)
+	}
+	if r.orthonormal || r.NoiseVariance == 0 {
+		return y.CenteredMulDense(r.Mean, r.Components), nil
+	}
+	p := &ppca.Result{Components: r.Components, Mean: r.Mean, SS: r.NoiseVariance}
+	return p.Transform(y)
+}
+
+// ExplainedVariance returns, for each component, the fraction of the total
+// centered variance of y that projecting onto the fitted components
+// explains (cumulative over components, ending at the fraction the whole
+// rank-d model captures).
+func (r *Result) ExplainedVariance(y *Sparse) ([]float64, error) {
+	if y.C != r.Components.R {
+		return nil, fmt.Errorf("spca: ExplainedVariance dims %d vs model %d", y.C, r.Components.R)
+	}
+	total := y.CenteredFrobeniusSq(r.Mean)
+	if total == 0 {
+		return make([]float64, r.Components.C), nil
+	}
+	// Orthonormalize so per-component energies are well defined.
+	q := r.Components.Clone()
+	matrix.GramSchmidt(q)
+	// Energy along component k: ‖Yc·q_k‖².
+	out := make([]float64, q.C)
+	proj := y.CenteredMulDense(r.Mean, q)
+	var cum float64
+	for k := 0; k < q.C; k++ {
+		var e float64
+		for i := 0; i < proj.R; i++ {
+			v := proj.At(i, k)
+			e += v * v
+		}
+		cum += e / total
+		out[k] = cum
+	}
+	return out, nil
+}
+
+// Reconstruct maps latent positions back to data space: X*Cᵀ + mean.
+func (r *Result) Reconstruct(x *Dense) *Dense {
+	out := x.MulBT(r.Components)
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += r.Mean[j]
+		}
+	}
+	return out
+}
+
+func (c ClusterConfig) build(alg Algorithm) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	if c.Nodes > 0 {
+		cfg.Nodes = c.Nodes
+	}
+	if c.CoresPerNode > 0 {
+		cfg.CoresPerNode = c.CoresPerNode
+	}
+	if c.NodeMemoryGB > 0 {
+		cfg.NodeMemory = int64(c.NodeMemoryGB * float64(1<<30))
+	}
+	if c.DriverMemoryGB > 0 {
+		cfg.DriverMemory = int64(c.DriverMemoryGB * float64(1<<30))
+	}
+	if c.NetworkMBps > 0 {
+		cfg.NetworkBps = c.NetworkMBps * 1e6
+	}
+	if c.DiskMBps > 0 {
+		cfg.DiskBps = c.DiskMBps * 1e6
+	}
+	if c.RecordCostSec > 0 {
+		cfg.RecordCost = c.RecordCostSec
+	}
+	// Spark-style engines schedule tasks far more cheaply than Hadoop's
+	// JVM-per-task model.
+	if alg == SPCASpark || alg == MLlibPCA {
+		cfg = cfg.WithTaskOverhead(0.05)
+	}
+	return cfg
+}
+
+func (c Config) normalize(dims int) Config {
+	if c.Algorithm == "" {
+		c.Algorithm = SPCASpark
+	}
+	if c.Components <= 0 {
+		c.Components = 50
+	}
+	if c.Components > dims {
+		c.Components = dims
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Fit computes the principal components of y with the configured algorithm
+// on a fresh simulated cluster, returning the components together with the
+// run's accuracy history and cluster metrics.
+func Fit(y *Sparse, cfg Config) (*Result, error) {
+	cfg = cfg.normalize(y.C)
+	rows := dataset.Rows(y)
+
+	switch cfg.Algorithm {
+	case LocalPPCA:
+		opt := cfg.ppcaOptions(y)
+		res, err := ppca.FitLocal(y, opt)
+		if err != nil {
+			return nil, err
+		}
+		return fromPPCA(cfg.Algorithm, res), nil
+
+	case SPCAMapReduce:
+		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		if err != nil {
+			return nil, err
+		}
+		res, err := ppca.FitMapReduce(mapred.NewEngine(cl), rows, y.C, cfg.ppcaOptions(y))
+		if err != nil {
+			return nil, err
+		}
+		return fromPPCA(cfg.Algorithm, res), nil
+
+	case SPCASpark:
+		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		if err != nil {
+			return nil, err
+		}
+		res, err := ppca.FitSpark(rdd.NewContext(cl), rows, y.C, cfg.ppcaOptions(y))
+		if err != nil {
+			return nil, err
+		}
+		return fromPPCA(cfg.Algorithm, res), nil
+
+	case MahoutPCA:
+		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		if err != nil {
+			return nil, err
+		}
+		opt := ssvd.DefaultOptions(cfg.Components)
+		opt.Seed = cfg.Seed
+		opt.MaxRounds = cfg.MaxIter
+		if cfg.TargetAccuracy > 0 {
+			opt.TargetAccuracy = cfg.TargetAccuracy
+			opt.IdealError = ppca.IdealError(y, cfg.Components, cfg.ppcaBaseOptions())
+		}
+		res, err := ssvd.FitMapReduce(mapred.NewEngine(cl), rows, y.C, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{
+			Algorithm:   cfg.Algorithm,
+			Components:  res.Components,
+			Mean:        y.ColMeans(),
+			Iterations:  res.Iterations,
+			Metrics:     res.Metrics,
+			orthonormal: true,
+		}
+		for _, h := range res.History {
+			out.History = append(out.History, IterationStat(h))
+		}
+		if len(out.History) > 0 {
+			out.Err = out.History[len(out.History)-1].Err
+		}
+		return out, nil
+
+	case MLlibPCA:
+		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		if err != nil {
+			return nil, err
+		}
+		opt := covpca.DefaultOptions(cfg.Components)
+		opt.Seed = cfg.Seed
+		res, err := covpca.FitSpark(rdd.NewContext(cl), rows, y.C, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algorithm:   cfg.Algorithm,
+			Components:  res.Components,
+			Mean:        y.ColMeans(),
+			Err:         res.Err,
+			Iterations:  1,
+			Metrics:     res.Metrics,
+			orthonormal: true,
+		}, nil
+
+	case SVDBidiag:
+		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		if err != nil {
+			return nil, err
+		}
+		opt := svdbidiag.DefaultOptions(cfg.Components)
+		opt.Seed = cfg.Seed
+		res, err := svdbidiag.FitMapReduce(mapred.NewEngine(cl), rows, y.C, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algorithm:   cfg.Algorithm,
+			Components:  res.Components,
+			Mean:        y.ColMeans(),
+			Err:         res.Err,
+			Iterations:  1,
+			Metrics:     res.Metrics,
+			orthonormal: true,
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("spca: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+func (c Config) ppcaBaseOptions() ppca.Options {
+	opt := ppca.DefaultOptions(c.Components)
+	opt.MaxIter = c.MaxIter
+	opt.Seed = c.Seed
+	opt.MeanPropagation = !c.DisableMeanPropagation
+	opt.MinimizeIntermediate = !c.DisableMinimizeIntermediate
+	opt.EfficientFrobenius = !c.DisableEfficientFrobenius
+	opt.StatefulCombiner = !c.DisableStatefulCombiner
+	opt.AssociativeSS3 = !c.DisableAssociativeSS3
+	opt.SmartGuess = c.SmartGuess
+	return opt
+}
+
+func (c Config) ppcaOptions(y *Sparse) ppca.Options {
+	opt := c.ppcaBaseOptions()
+	if c.TargetAccuracy > 0 {
+		opt.TargetAccuracy = c.TargetAccuracy
+		opt.IdealError = ppca.IdealError(y, c.Components, opt)
+	}
+	return opt
+}
+
+func fromPPCA(alg Algorithm, res *ppca.Result) *Result {
+	out := &Result{
+		Algorithm:     alg,
+		Components:    res.Components,
+		Mean:          res.Mean,
+		NoiseVariance: res.SS,
+		Iterations:    res.Iterations,
+		Metrics:       res.Metrics,
+	}
+	for _, h := range res.History {
+		out.History = append(out.History, IterationStat{
+			Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SimSeconds: h.SimSeconds,
+		})
+	}
+	if len(out.History) > 0 {
+		out.Err = out.History[len(out.History)-1].Err
+	}
+	return out
+}
+
+// MissingResult is the output of FitMissing.
+type MissingResult = ppca.MissingResult
+
+// FitMissing runs PPCA EM on a dense matrix whose missing entries are
+// marked with NaN — the §2.4 property that PPCA "can be obtained even when
+// some data values are missing". See the examples/missingdata program.
+func FitMissing(y *Dense, components, maxIter int, seed uint64) (*MissingResult, error) {
+	opt := ppca.DefaultOptions(components)
+	if maxIter > 0 {
+		opt.MaxIter = maxIter
+	}
+	if seed != 0 {
+		opt.Seed = seed
+	}
+	return ppca.FitMissing(y, opt)
+}
+
+// FitStreamFile fits PPCA over a disk-resident spmx matrix without loading
+// it into memory: every EM pass streams the file row by row, so the input
+// may be far larger than RAM. Stopping is by tolerance and maxIter
+// (accuracy targets need an in-memory ideal-error solve; use Fit for that).
+func FitStreamFile(path string, components, maxIter int, seed uint64) (*Result, error) {
+	src, err := matrix.OpenFileRowSource(path)
+	if err != nil {
+		return nil, err
+	}
+	opt := ppca.DefaultOptions(components)
+	if maxIter > 0 {
+		opt.MaxIter = maxIter
+	}
+	if seed != 0 {
+		opt.Seed = seed
+	}
+	res, err := ppca.FitStream(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return fromPPCA(LocalPPCA, res), nil
+}
+
+// MixtureResult is the output of FitMixture.
+type MixtureResult = ppca.MixtureResult
+
+// MixtureOptions configures FitMixture.
+type MixtureOptions = ppca.MixtureOptions
+
+// DefaultMixtureOptions returns defaults for m local PPCA models of d
+// components each.
+func DefaultMixtureOptions(m, d int) MixtureOptions { return ppca.DefaultMixtureOptions(m, d) }
+
+// FitMixture fits a mixture of PPCA models (§2.4's second desirable
+// property: "multiple PPCA models can be combined as a probabilistic
+// mixture for better accuracy and to express complex models").
+func FitMixture(y *Dense, opt MixtureOptions) (*MixtureResult, error) {
+	return ppca.FitMixture(y, opt)
+}
+
+// IdealError computes the reconstruction error of an exact rank-d PCA on a
+// sampled subset of y's rows — the baseline for "percentage of ideal
+// accuracy" in the paper's figures.
+func IdealError(y *Sparse, d int, seed uint64) float64 {
+	opt := ppca.DefaultOptions(d)
+	if seed != 0 {
+		opt.Seed = seed
+	}
+	return ppca.IdealError(y, d, opt)
+}
