@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-kernels experiments
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The two distributed engines run real goroutines; keep them race-clean.
+race:
+	$(GO) test -race ./internal/rdd ./internal/mapred ./internal/parallel
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+bench-kernels:
+	$(GO) test ./internal/matrix -run '^$$' -bench BenchmarkKernels
+	$(GO) test . -run '^$$' -bench BenchmarkParallelSpeedup
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all -profile quick

@@ -15,6 +15,7 @@ import (
 	"spca/internal/cluster"
 	"spca/internal/mapred"
 	"spca/internal/matrix"
+	"spca/internal/parallel"
 	"spca/internal/rdd"
 )
 
@@ -118,13 +119,17 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 		denom = 1
 	}
 	cov := gram.Clone()
-	for i := 0; i < dims; i++ {
-		r := cov.Row(i)
-		mi := mean[i]
-		for j := 0; j < dims; j++ {
-			r[j] = (r[j] - float64(n)*mi*mean[j]) / denom
+	// Rows of the covariance are independent, so the densify loop runs on
+	// the parallel pool (each element computed exactly as before).
+	parallel.For(dims, 4096/(dims+1)+1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := cov.Row(i)
+			mi := mean[i]
+			for j := 0; j < dims; j++ {
+				r[j] = (r[j] - float64(n)*mi*mean[j]) / denom
+			}
 		}
-	}
+	})
 	// A second D x D matrix lives in the driver during this step.
 	if err := cl.AllocDriver(gramBytes); err != nil {
 		return nil, fmt.Errorf("covpca: covariance buffer: %w", err)
@@ -170,6 +175,8 @@ func reconstructionError(y *matrix.Sparse, mean []float64, w *matrix.Dense, rows
 	k := w.C
 	xi := make([]float64, k)
 	wm := w.MulVecT(mean)
+	tNum := make([]float64, y.C)
+	tDen := make([]float64, y.C)
 	for _, i := range rows {
 		row := y.Row(i)
 		for t := range xi {
@@ -178,29 +185,16 @@ func reconstructionError(y *matrix.Sparse, mean []float64, w *matrix.Dense, rows
 		for t, j := range row.Indices {
 			matrix.AXPY(row.Values[t], w.Row(j), xi)
 		}
-		nz := 0
+		matrix.ReconTerms(row, mean, w, xi, tNum, tDen)
 		for j := 0; j < y.C; j++ {
-			recon := mean[j] + matrix.Dot(xi, w.Row(j))
-			var yv float64
-			if nz < row.NNZ() && row.Indices[nz] == j {
-				yv = row.Values[nz]
-				nz++
-			}
-			num += abs(yv - recon)
-			den += abs(yv)
+			num += tNum[j]
+			den += tDen[j]
 		}
 	}
 	if den == 0 {
 		return 0
 	}
 	return num / den
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }
 
 func sampleIdx(n, want int, seed uint64) []int {

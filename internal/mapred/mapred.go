@@ -118,8 +118,10 @@ type emitter[K comparable, V any] struct {
 
 func (em *emitter[K, V]) Emit(k K, v V) {
 	if em.merge != nil {
+		// Combiner path: keep a single-slot value per key and merge in
+		// place, rather than allocating a fresh one-element slice per emit.
 		if cur, ok := em.pairs[k]; ok {
-			em.pairs[k] = []V{em.merge(cur[0], v)}
+			cur[0] = em.merge(cur[0], v)
 			return
 		}
 		em.pairs[k] = []V{v}
@@ -250,44 +252,61 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
 	})
 
-	result := make(map[K]R, len(keys))
-	var resMu sync.Mutex
-	var redOps, outBytes int64
-	var redWg sync.WaitGroup
-	redSem := make(chan struct{}, e.Cluster.TotalCores())
-	for _, k := range keys {
-		k := k
-		redWg.Add(1)
-		go func() {
-			defer redWg.Done()
-			redSem <- struct{}{}
-			defer func() { <-redSem }()
-			oc := &opsCounter{}
-			r := job.Reduce(k, grouped[k], oc)
-			var rb int64 = 8
-			if job.ResultBytes != nil {
-				rb = job.ResultBytes(r)
-			}
-			resMu.Lock()
-			result[k] = r
-			redOps += oc.n
-			outBytes += rb
-			resMu.Unlock()
-		}()
-	}
-	redWg.Wait()
-	redTasks := int64(reducers)
-	if int64(len(keys)) < redTasks {
-		redTasks = int64(len(keys))
+	// Keys are partitioned into the configured number of reduce tasks (like
+	// Hadoop's partitioner), so Engine.Reducers governs scheduling, not just
+	// the charged task overhead. Task concurrency is bounded by the reduce
+	// slots and the cluster's cores, whichever is smaller.
+	redTasks := reducers
+	if len(keys) < redTasks {
+		redTasks = len(keys)
 	}
 	if redTasks == 0 {
 		redTasks = 1
 	}
+	result := make(map[K]R, len(keys))
+	var resMu sync.Mutex
+	var redOps, outBytes int64
+	var redWg sync.WaitGroup
+	slots := reducers
+	if tc := e.Cluster.TotalCores(); tc < slots {
+		slots = tc
+	}
+	redSem := make(chan struct{}, slots)
+	for t := 0; t < redTasks; t++ {
+		lo := t * len(keys) / redTasks
+		hi := (t + 1) * len(keys) / redTasks
+		redWg.Add(1)
+		go func(taskKeys []K) {
+			defer redWg.Done()
+			redSem <- struct{}{}
+			defer func() { <-redSem }()
+			oc := &opsCounter{}
+			var taskBytes int64
+			partial := make(map[K]R, len(taskKeys))
+			for _, k := range taskKeys {
+				r := job.Reduce(k, grouped[k], oc)
+				var rb int64 = 8
+				if job.ResultBytes != nil {
+					rb = job.ResultBytes(r)
+				}
+				taskBytes += rb
+				partial[k] = r
+			}
+			resMu.Lock()
+			for k, r := range partial {
+				result[k] = r
+			}
+			redOps += oc.n
+			outBytes += taskBytes
+			resMu.Unlock()
+		}(keys[lo:hi])
+	}
+	redWg.Wait()
 	e.Cluster.RunPhase(cluster.PhaseStats{
 		Name:       job.Name + "/reduce",
 		ComputeOps: redOps,
 		DiskBytes:  outBytes, // reducers write results to HDFS
-		Tasks:      redTasks,
+		Tasks:      int64(redTasks),
 		// Job output is inter-job intermediate data: the next job (or the
 		// driver) reads it back. This is the paper's intermediate-data
 		// metric.

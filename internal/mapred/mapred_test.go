@@ -2,6 +2,8 @@ package mapred
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -55,6 +57,61 @@ func TestWordCount(t *testing.T) {
 		if got[k] != v {
 			t.Fatalf("count[%q] = %d want %d", k, got[k], v)
 		}
+	}
+}
+
+// TestReducersGovernScheduling pins the fix for Engine.Reducers being pure
+// accounting: keys must be partitioned into Reducers reduce tasks, so no
+// more than Reducers Reduce calls run concurrently.
+func TestReducersGovernScheduling(t *testing.T) {
+	var inFlight, maxInFlight int64
+	var mu sync.Mutex
+	job := Job[int, int, int64, int64]{
+		Name: "width",
+		NewMapper: func(int) Mapper[int, int, int64] {
+			return MapperFunc[int, int, int64](func(v int, out Emitter[int, int64]) {
+				out.Emit(v, int64(v))
+			})
+		},
+		Reduce: func(k int, vs []int64, _ Ops) int64 {
+			cur := atomic.AddInt64(&inFlight, 1)
+			mu.Lock()
+			if cur > maxInFlight {
+				maxInFlight = cur
+			}
+			mu.Unlock()
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			atomic.AddInt64(&inFlight, -1)
+			return s
+		},
+	}
+	input := make([]int, 64)
+	for i := range input {
+		input[i] = i
+	}
+	e := testEngine()
+	e.Reducers = 2
+	got, err := Run(e, job, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("got %d keys", len(got))
+	}
+	for k, v := range got {
+		if v != int64(k) {
+			t.Fatalf("result[%d] = %d", k, v)
+		}
+	}
+	if maxInFlight > 2 {
+		t.Fatalf("observed %d concurrent reducers, configured 2", maxInFlight)
+	}
+	log := e.Cluster.PhaseLog()
+	if reduce := log[len(log)-1]; reduce.Tasks != 2 {
+		t.Fatalf("reduce phase charged %d tasks, want 2", reduce.Tasks)
 	}
 }
 

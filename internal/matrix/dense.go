@@ -8,7 +8,26 @@ package matrix
 import (
 	"fmt"
 	"math"
+
+	"spca/internal/parallel"
 )
+
+// minParallelFlops is roughly how much arithmetic one parallel chunk should
+// amortize before goroutine hand-off pays for itself. Kernels derive their
+// parallel.For grain from it so small matrices stay on the inline fast path.
+const minParallelFlops = 1 << 15
+
+// flopGrain converts per-index work (in flops) into a parallel.For grain.
+func flopGrain(perItem int) int {
+	if perItem <= 0 {
+		perItem = 1
+	}
+	g := minParallelFlops / perItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // Dense is a row-major dense matrix with R rows and C columns.
 // The zero value is an empty 0x0 matrix.
@@ -168,19 +187,36 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		panic(fmt.Sprintf("matrix: Mul dims %dx%d * %dx%d", m.R, m.C, b.R, b.C))
 	}
 	out := NewDense(m.R, b.C)
-	for i := 0; i < m.R; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for k, a := range arow {
-			if a == 0 {
-				continue
+	// Row-panel parallel: each chunk owns a disjoint band of output rows.
+	// Within a chunk the k loop is blocked so a panel of b stays cache-hot
+	// across the chunk's rows; blocks are visited in ascending k, so every
+	// out[i][j] accumulates in exactly the sequential order (bit-identical).
+	kBlock := minParallelFlops / (2 * (b.C + 1))
+	if kBlock < 8 {
+		kBlock = 8
+	}
+	parallel.For(m.R, flopGrain(2*m.C*b.C), func(lo, hi int) {
+		for k0 := 0; k0 < m.C; k0 += kBlock {
+			k1 := k0 + kBlock
+			if k1 > m.C {
+				k1 = m.C
 			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += a * bv
+			for i := lo; i < hi; i++ {
+				arow := m.Row(i)
+				orow := out.Row(i)
+				for k := k0; k < k1; k++ {
+					a := arow[k]
+					if a == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j, bv := range brow {
+						orow[j] += a * bv
+					}
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -192,19 +228,26 @@ func (m *Dense) MulT(b *Dense) *Dense {
 		panic(fmt.Sprintf("matrix: MulT dims %dx%d ᵀ* %dx%d", m.R, m.C, b.R, b.C))
 	}
 	out := NewDense(m.C, b.C)
-	for i := 0; i < m.R; i++ {
-		arow := m.Row(i)
-		brow := b.Row(i)
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			orow := out.Row(k)
-			for j, bv := range brow {
-				orow[j] += a * bv
+	// Parallel over bands of output rows (columns of m): chunk [lo,hi) only
+	// touches out rows lo..hi-1, and each out[k][j] still accumulates over i
+	// in ascending order, so the sum is bit-identical to the sequential
+	// row-streaming loop.
+	parallel.For(m.C, flopGrain(2*m.R*b.C), func(lo, hi int) {
+		for i := 0; i < m.R; i++ {
+			arow := m.Row(i)
+			brow := b.Row(i)
+			for k := lo; k < hi; k++ {
+				a := arow[k]
+				if a == 0 {
+					continue
+				}
+				orow := out.Row(k)
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -214,13 +257,28 @@ func (m *Dense) MulBT(b *Dense) *Dense {
 		panic(fmt.Sprintf("matrix: MulBT dims %dx%d * %dx%dᵀ", m.R, m.C, b.R, b.C))
 	}
 	out := NewDense(m.R, b.R)
-	for i := 0; i < m.R; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.R; j++ {
-			orow[j] = dot(arow, b.Row(j))
-		}
+	// Row-parallel with j-tiling: a tile of b's rows stays cache-hot across
+	// the chunk's rows. Each out[i][j] is one dot product, computed exactly
+	// as in the sequential kernel.
+	jTile := minParallelFlops / (2 * (m.C + 1))
+	if jTile < 8 {
+		jTile = 8
 	}
+	parallel.For(m.R, flopGrain(2*m.C*b.R), func(lo, hi int) {
+		for j0 := 0; j0 < b.R; j0 += jTile {
+			j1 := j0 + jTile
+			if j1 > b.R {
+				j1 = b.R
+			}
+			for i := lo; i < hi; i++ {
+				arow := m.Row(i)
+				orow := out.Row(i)
+				for j := j0; j < j1; j++ {
+					orow[j] = dot(arow, b.Row(j))
+				}
+			}
+		}
+	})
 	return out
 }
 

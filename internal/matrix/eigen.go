@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"spca/internal/parallel"
 )
 
 // SymEigen computes the eigendecomposition of a symmetric matrix a,
@@ -72,28 +74,44 @@ func tred2(z *Dense, d, e []float64) {
 				e[i] = scale * g
 				h -= f * g
 				z.Set(i, l, f-g)
+				// e[j] = (A·v)_j / h: each j reads only row/column data
+				// untouched by other j's (writes go to column i, which no
+				// inner sum reads), so the loop parallelizes with every g
+				// accumulated in its original k order.
+				parallel.For(l+1, flopGrain(2*(l+1)), func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						z.Set(j, i, z.At(i, j)/h)
+						var g float64
+						for k := 0; k <= j; k++ {
+							g += z.At(j, k) * z.At(i, k)
+						}
+						for k := j + 1; k <= l; k++ {
+							g += z.At(k, j) * z.At(i, k)
+						}
+						e[j] = g / h
+					}
+				})
 				f = 0
 				for j := 0; j <= l; j++ {
-					z.Set(j, i, z.At(i, j)/h)
-					g = 0
-					for k := 0; k <= j; k++ {
-						g += z.At(j, k) * z.At(i, k)
-					}
-					for k := j + 1; k <= l; k++ {
-						g += z.At(k, j) * z.At(i, k)
-					}
-					e[j] = g / h
 					f += e[j] * z.At(i, j)
 				}
 				hh := f / (h + h)
+				// Finish the e update first (the sequential loop interleaved
+				// it, but row sweep j only reads e[k] for k <= j, which are
+				// final by then — the values are identical), then apply the
+				// symmetric rank-2 update with each chunk owning its rows.
 				for j := 0; j <= l; j++ {
-					f = z.At(i, j)
-					g = e[j] - hh*f
-					e[j] = g
-					for k := 0; k <= j; k++ {
-						z.Set(j, k, z.At(j, k)-f*e[k]-g*z.At(i, k))
-					}
+					e[j] -= hh * z.At(i, j)
 				}
+				parallel.For(l+1, flopGrain(2*(l+1)), func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						fj := z.At(i, j)
+						gj := e[j]
+						for k := 0; k <= j; k++ {
+							z.Set(j, k, z.At(j, k)-fj*e[k]-gj*z.At(i, k))
+						}
+					}
+				})
 			}
 		} else {
 			e[i] = z.At(i, l)
@@ -105,15 +123,20 @@ func tred2(z *Dense, d, e []float64) {
 	for i := 0; i < n; i++ {
 		l := i - 1
 		if d[i] != 0 {
-			for j := 0; j <= l; j++ {
-				var g float64
-				for k := 0; k <= l; k++ {
-					g += z.At(i, k) * z.At(k, j)
+			// Transformation accumulation: column j of z is read and written
+			// only by its own iteration (rows i and columns i are read but
+			// never written here since j <= l < i), so columns parallelize.
+			parallel.For(l+1, flopGrain(4*(l+1)), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					var g float64
+					for k := 0; k <= l; k++ {
+						g += z.At(i, k) * z.At(k, j)
+					}
+					for k := 0; k <= l; k++ {
+						z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+					}
 				}
-				for k := 0; k <= l; k++ {
-					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
-				}
-			}
+			})
 		}
 		d[i] = z.At(i, i)
 		z.Set(i, i, 1)

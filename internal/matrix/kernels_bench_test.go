@@ -1,0 +1,83 @@
+package matrix
+
+import (
+	"fmt"
+	"testing"
+
+	"spca/internal/parallel"
+)
+
+// benchSeqPar runs the kernel once per iteration under both pool modes so
+// per-kernel speedup can be read straight off the seq/par sub-benchmark pair.
+func benchSeqPar(b *testing.B, fn func()) {
+	b.Run("seq", func(b *testing.B) {
+		parallel.SetSequential(true)
+		defer parallel.SetSequential(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+}
+
+func BenchmarkKernelsMul(b *testing.B) {
+	rng := NewRNG(1)
+	for _, n := range []int{128, 384} {
+		a := NormRnd(rng, n, n)
+		c := NormRnd(rng, n, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSeqPar(b, func() { a.Mul(c) })
+		})
+	}
+}
+
+func BenchmarkKernelsMulT(b *testing.B) {
+	rng := NewRNG(2)
+	a := NormRnd(rng, 2048, 64)
+	c := NormRnd(rng, 2048, 64)
+	benchSeqPar(b, func() { a.MulT(c) })
+}
+
+func BenchmarkKernelsMulBT(b *testing.B) {
+	rng := NewRNG(3)
+	a := NormRnd(rng, 1024, 64)
+	c := NormRnd(rng, 1024, 64)
+	benchSeqPar(b, func() { a.MulBT(c) })
+}
+
+func BenchmarkKernelsSparseMulDense(b *testing.B) {
+	rng := NewRNG(4)
+	const d, n, k = 4096, 2048, 32
+	sb := NewSparseBuilder(d)
+	for i := 0; i < n; i++ {
+		var idx []int
+		var vals []float64
+		for j := i % 7; j < d; j += 29 {
+			idx = append(idx, j)
+			vals = append(vals, rng.NormFloat64())
+		}
+		sb.AddRow(idx, vals)
+	}
+	sp := sb.Build()
+	dense := NormRnd(rng, d, k)
+	benchSeqPar(b, func() { sp.MulDense(dense) })
+}
+
+func BenchmarkKernelsQRR(b *testing.B) {
+	rng := NewRNG(5)
+	a := NormRnd(rng, 1024, 48)
+	benchSeqPar(b, func() { QRR(a) })
+}
+
+func BenchmarkKernelsSymEigen(b *testing.B) {
+	rng := NewRNG(6)
+	g := NormRnd(rng, 96, 96)
+	sym := g.MulT(g)
+	benchSeqPar(b, func() { SymEigen(sym) })
+}

@@ -3,6 +3,8 @@ package matrix
 import (
 	"fmt"
 	"math"
+
+	"spca/internal/parallel"
 )
 
 // QR computes the thin QR decomposition of an r-by-c matrix with r >= c using
@@ -65,34 +67,42 @@ func householder(w *Dense) []float64 {
 		betas[k] = beta
 
 		// s = beta · (vᵀ · A[k:m, k+1:n]) with v_k = 1, row-major sweep.
+		// Parallel over trailing columns: each chunk owns tail[lo:hi) and
+		// accumulates its columns over i in ascending order, bit-identical
+		// to the sequential sweep.
 		tail := s[k+1 : n]
 		for t := range tail {
 			tail[t] = 0
 		}
-		for i := k; i < m; i++ {
-			vi := 1.0
-			if i > k {
-				vi = w.Data[i*n+k]
+		parallel.For(len(tail), flopGrain(2*(m-k)), func(lo, hi int) {
+			for i := k; i < m; i++ {
+				vi := 1.0
+				if i > k {
+					vi = w.Data[i*n+k]
+				}
+				row := w.Data[i*n+k+1+lo : i*n+k+1+hi]
+				for t, rv := range row {
+					tail[lo+t] += vi * rv
+				}
 			}
-			row := w.Data[i*n+k+1 : i*n+n]
-			for t, rv := range row {
-				tail[t] += vi * rv
-			}
-		}
+		})
 		for t := range tail {
 			tail[t] *= beta
 		}
-		// A -= v · sᵀ, second row-major sweep.
-		for i := k; i < m; i++ {
-			vi := 1.0
-			if i > k {
-				vi = w.Data[i*n+k]
+		// A -= v · sᵀ, second row-major sweep; rows are independent, so this
+		// one parallelizes over row bands.
+		parallel.For(m-k, flopGrain(2*(n-k-1)), func(lo, hi int) {
+			for i := k + lo; i < k+hi; i++ {
+				vi := 1.0
+				if i > k {
+					vi = w.Data[i*n+k]
+				}
+				row := w.Data[i*n+k+1 : i*n+n]
+				for t := range row {
+					row[t] -= vi * tail[t]
+				}
 			}
-			row := w.Data[i*n+k+1 : i*n+n]
-			for t := range row {
-				row[t] -= vi * tail[t]
-			}
-		}
+		})
 	}
 	return betas
 }
@@ -117,17 +127,21 @@ func formThinQ(w *Dense, betas []float64) *Dense {
 		if betas[k] == 0 {
 			continue
 		}
-		for j := 0; j < n; j++ {
-			s := q.Data[k*n+j]
-			for i := k + 1; i < m; i++ {
-				s += w.Data[i*n+k] * q.Data[i*n+j]
+		// Each column j of Q is updated independently by reflection k, so
+		// chunks over j are disjoint and values match the sequential loop.
+		parallel.For(n, flopGrain(4*(m-k)), func(jlo, jhi int) {
+			for j := jlo; j < jhi; j++ {
+				s := q.Data[k*n+j]
+				for i := k + 1; i < m; i++ {
+					s += w.Data[i*n+k] * q.Data[i*n+j]
+				}
+				s *= betas[k]
+				q.Data[k*n+j] -= s
+				for i := k + 1; i < m; i++ {
+					q.Data[i*n+j] -= s * w.Data[i*n+k]
+				}
 			}
-			s *= betas[k]
-			q.Data[k*n+j] -= s
-			for i := k + 1; i < m; i++ {
-				q.Data[i*n+j] -= s * w.Data[i*n+k]
-			}
-		}
+		})
 	}
 	return q
 }

@@ -1,0 +1,47 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spca/internal/parallel"
+)
+
+// ReconTerms fills the per-column reconstruction-error terms of one sparse
+// row against the rank-k model (mean, w): for every column j,
+//
+//	num[j] = |y_j - (mean[j] + xi · w_j)|   and   den[j] = |y_j|,
+//
+// where w_j is row j of the D-by-k loading matrix w and xi is the row's
+// k-dimensional latent representation. Every algorithm package shares this
+// inner loop for its sampled relative 1-norm error metric.
+//
+// Column chunks are independent (each chunk enters the row's index list by
+// binary search and writes only its own num/den range), so the fill runs on
+// the parallel pool; callers then accumulate num and den in ascending j,
+// which keeps the final sums bit-identical to the historical sequential
+// evaluation.
+func ReconTerms(row SparseVector, mean []float64, w *Dense, xi, num, den []float64) {
+	d := w.R
+	if len(mean) != d || row.Len != d || len(num) < d || len(den) < d {
+		panic(fmt.Sprintf("matrix: ReconTerms dims w %dx%d, mean %d, row %d, num %d, den %d",
+			w.R, w.C, len(mean), row.Len, len(num), len(den)))
+	}
+	if len(xi) != w.C {
+		panic(fmt.Sprintf("matrix: ReconTerms latent length %d, want %d", len(xi), w.C))
+	}
+	parallel.For(d, flopGrain(2*w.C), func(lo, hi int) {
+		nz := sort.SearchInts(row.Indices, lo)
+		for j := lo; j < hi; j++ {
+			recon := mean[j] + dot(xi, w.Row(j))
+			var yv float64
+			if nz < row.NNZ() && row.Indices[nz] == j {
+				yv = row.Values[nz]
+				nz++
+			}
+			num[j] = math.Abs(yv - recon)
+			den[j] = math.Abs(yv)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"spca/internal/parallel"
 )
 
 // ErrSingular is returned when a solve or inverse encounters a (numerically)
@@ -138,8 +140,12 @@ func SolveSPD(a *Dense, b *Dense) (*Dense, error) {
 		return b.Mul(inv), nil
 	}
 	out := NewDense(b.R, b.C)
-	for i := 0; i < b.R; i++ {
-		copy(out.Row(i), CholeskySolve(l, b.Row(i)))
-	}
+	// Each right-hand-side row solves independently against the shared
+	// (read-only) factor, so rows parallelize bit-identically.
+	parallel.For(b.R, flopGrain(2*b.C*b.C), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i), CholeskySolve(l, b.Row(i)))
+		}
+	})
 	return out, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"spca/internal/parallel"
 )
 
 // SparseVector is a sparse row: parallel slices of column indices (strictly
@@ -188,13 +190,21 @@ func (m *Sparse) MulDense(b *Dense) *Dense {
 		panic(fmt.Sprintf("matrix: Sparse.MulDense dims %dx%d * %dx%d", m.R, m.C, b.R, b.C))
 	}
 	out := NewDense(m.R, b.C)
-	for i := 0; i < m.R; i++ {
-		row := m.Row(i)
-		orow := out.Row(i)
-		for k, j := range row.Indices {
-			AXPY(row.Values[k], b.Row(j), orow)
-		}
+	// Row-parallel: every output row depends only on its own sparse row, so
+	// chunks are disjoint and each row's AXPY sequence is unchanged.
+	perRow := 2 * b.C
+	if m.R > 0 {
+		perRow = 2 * (m.NNZ()/m.R + 1) * b.C
 	}
+	parallel.For(m.R, flopGrain(perRow), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			orow := out.Row(i)
+			for k, j := range row.Indices {
+				AXPY(row.Values[k], b.Row(j), orow)
+			}
+		}
+	})
 	return out
 }
 
@@ -216,15 +226,35 @@ func (m *Sparse) MulVecT(x []float64) []float64 {
 		panic("matrix: Sparse.MulVecT dims mismatch")
 	}
 	out := make([]float64, m.C)
-	for i, xi := range x {
-		if xi == 0 {
-			continue
-		}
-		row := m.Row(i)
-		for k, j := range row.Indices {
-			out[j] += xi * row.Values[k]
-		}
+	// Column-range parallel: chunk [lo,hi) owns out[lo:hi) and scans every
+	// row in ascending i, entering each row's index list by binary search.
+	// Per column the accumulation order over i is therefore exactly the
+	// sequential order. The per-row search overhead only pays off when the
+	// matrix carries real work, so small or ultra-sparse inputs stay inline.
+	grain := m.C
+	if nnz := m.NNZ(); nnz >= minParallelFlops && nnz >= 4*m.R && m.C > 1 {
+		grain = flopGrain(2*nnz/m.C + 1)
 	}
+	parallel.For(m.C, grain, func(lo, hi int) {
+		full := lo == 0 && hi == m.C
+		for i, xi := range x {
+			if xi == 0 {
+				continue
+			}
+			row := m.Row(i)
+			k := 0
+			if !full {
+				k = sort.SearchInts(row.Indices, lo)
+			}
+			for ; k < len(row.Indices); k++ {
+				j := row.Indices[k]
+				if j >= hi {
+					break
+				}
+				out[j] += xi * row.Values[k]
+			}
+		}
+	})
 	return out
 }
 
@@ -295,12 +325,14 @@ func (m *Sparse) CenteredMulDense(mean []float64, b *Dense) *Dense {
 		}
 		AXPY(mj, b.Row(j), mb)
 	}
-	for i := 0; i < out.R; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] -= mb[j]
+	parallel.For(out.R, flopGrain(out.C), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] -= mb[j]
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,114 @@
+// Package parallel provides the shared goroutine pool used by the dense and
+// sparse matrix kernels and the driver-side steps of the PCA algorithms.
+//
+// The design constraint is bit-reproducibility: every caller partitions its
+// index space into contiguous chunks whose results are independent of chunk
+// boundaries and scheduling order (each chunk writes only state it owns, and
+// per-element floating-point reduction order never crosses a chunk
+// boundary). Under that contract a run with the pool enabled is bit-identical
+// to a sequential run, which keeps every simulated experiment reproduction
+// stable while the real wall-clock drops on multi-core machines.
+//
+// Real-time parallelism here is orthogonal to the simulated cluster: the
+// cost model charges exactly the same operations either way.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunksPerWorker oversubscribes the chunk count for load balancing: slow
+// chunks (e.g. the triangular loops of tridiagonalization) do not leave the
+// other workers idle.
+const chunksPerWorker = 4
+
+var (
+	sequential      atomic.Bool
+	workersOverride atomic.Int32
+)
+
+// SetSequential forces For to run its body inline on the calling goroutine.
+// Tests use it to compare parallel runs against a sequential reference; the
+// contract is that results are bit-identical either way.
+func SetSequential(on bool) { sequential.Store(on) }
+
+// Sequential reports whether the pool is forced sequential.
+func Sequential() bool { return sequential.Load() }
+
+// SetWorkers overrides the worker count (0 restores the GOMAXPROCS default).
+// Tests use it to exercise chunked execution even on single-core machines.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workersOverride.Store(int32(n))
+}
+
+// Workers returns the degree of parallelism For uses.
+func Workers() int {
+	if n := workersOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits [0, n) into contiguous chunks of at least grain indices and runs
+// fn(lo, hi) once per chunk, possibly concurrently. fn must only write state
+// owned by its chunk, and the value it computes for an index must not depend
+// on the chunk boundaries — then the result is bit-identical to fn(0, n).
+//
+// Small inputs (n <= grain), a single available worker, or the sequential
+// knob all collapse to one inline fn(0, n) call with no goroutine overhead.
+// Pick grain so a chunk amortizes scheduling: tens of microseconds of work.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := Workers()
+	if sequential.Load() || workers == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunk < grain {
+		chunk = grain
+	}
+	chunks := (n + chunk - 1) / chunk
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	if chunks < workers {
+		workers = chunks
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}

@@ -4,7 +4,15 @@ import (
 	"fmt"
 
 	"spca/internal/matrix"
+	"spca/internal/parallel"
 )
+
+// latentBlock is how many rows the local pass precomputes latent vectors for
+// at a time: the expensive per-row Xi_c (and ss3 dot) fills run on the
+// parallel pool over the block, while the scatter-accumulation into the
+// shared sums stays sequential in the original row order so every float64
+// sum is bit-identical to the plain loop.
+const latentBlock = 256
 
 // FitLocal runs the PPCA EM algorithm (Algorithm 1) on a single machine.
 // It is the reference implementation the distributed variants are tested
@@ -62,15 +70,26 @@ func localPass(y *matrix.Sparse, em *emDriver) jobSums {
 		xtx:  matrix.NewDense(d, d),
 		sumX: make([]float64, d),
 	}
-	xi := make([]float64, d)
-	for i := 0; i < y.R; i++ {
-		row := y.Row(i)
-		computeLatentRow(row, em, xi)
-		for k, j := range row.Indices {
-			matrix.AXPY(row.Values[k], xi, sums.ytx.Row(j))
+	xis := matrix.NewDense(latentBlock, d)
+	for base := 0; base < y.R; base += latentBlock {
+		end := base + latentBlock
+		if end > y.R {
+			end = y.R
 		}
-		matrix.OuterAdd(sums.xtx, xi, xi)
-		matrix.AXPY(1, xi, sums.sumX)
+		parallel.For(end-base, 16, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				computeLatentRow(y.Row(base+t), em, xis.Row(t))
+			}
+		})
+		for t := 0; t < end-base; t++ {
+			row := y.Row(base + t)
+			xi := xis.Row(t)
+			for k, j := range row.Indices {
+				matrix.AXPY(row.Values[k], xi, sums.ytx.Row(j))
+			}
+			matrix.OuterAdd(sums.xtx, xi, xi)
+			matrix.AXPY(1, xi, sums.sumX)
+		}
 	}
 	return sums
 }
@@ -79,19 +98,33 @@ func localPass(y *matrix.Sparse, em *emDriver) jobSums {
 // associativity trick of §4.1: multiply Cᵀ with the sparse Yiᵀ first.
 func localSS3(y *matrix.Sparse, em *emDriver, c *matrix.Dense) float64 {
 	d := em.d
-	xi := make([]float64, d)
-	ct := make([]float64, d)
 	var ss3 float64
-	for i := 0; i < y.R; i++ {
-		row := y.Row(i)
-		computeLatentRow(row, em, xi)
-		for k := range ct {
-			ct[k] = 0
+	// Per-row terms Xi_c·(Cᵀ·Yiᵀ) fill in parallel per block; the final sum
+	// runs over rows in their original order, bit-identical to a plain loop.
+	terms := make([]float64, latentBlock)
+	for base := 0; base < y.R; base += latentBlock {
+		end := base + latentBlock
+		if end > y.R {
+			end = y.R
 		}
-		for k, j := range row.Indices {
-			matrix.AXPY(row.Values[k], c.Row(j), ct)
+		parallel.For(end-base, 16, func(lo, hi int) {
+			xi := make([]float64, d)
+			ct := make([]float64, d)
+			for t := lo; t < hi; t++ {
+				row := y.Row(base + t)
+				computeLatentRow(row, em, xi)
+				for k := range ct {
+					ct[k] = 0
+				}
+				for k, j := range row.Indices {
+					matrix.AXPY(row.Values[k], c.Row(j), ct)
+				}
+				terms[t] = matrix.Dot(xi, ct)
+			}
+		})
+		for t := 0; t < end-base; t++ {
+			ss3 += terms[t]
 		}
-		ss3 += matrix.Dot(xi, ct)
 	}
 	return ss3
 }

@@ -506,9 +506,7 @@ func (m *ss3Mapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64
 	if m.xc == nil {
 		m.xc = make([]float64, m.c.R)
 	}
-	for j := 0; j < m.c.R; j++ {
-		m.xc[j] = matrix.Dot(m.xi, m.c.Row(j))
-	}
+	denseXC(m.xi, m.c, m.xc)
 	var s float64
 	for k, j := range row.Indices {
 		s += m.xc[j] * row.Values[k]

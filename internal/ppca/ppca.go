@@ -20,6 +20,7 @@ import (
 
 	"spca/internal/cluster"
 	"spca/internal/matrix"
+	"spca/internal/parallel"
 )
 
 // Options configures a PPCA/sPCA fit. The zero value is not valid; start
@@ -231,12 +232,15 @@ type jobSums struct {
 // new C. ss is updated after the ss3 pass via finishVariance.
 func (em *emDriver) update(s jobSums) (*matrix.Dense, error) {
 	// YtX = Σ Yiᵀ Xi_c - Ymᵀ (Σ Xi_c)   (mean propagation, §3.1)
+	// Rows of ytx are disjoint, so the correction runs on the parallel pool.
 	ytx := s.ytx.Clone()
-	for j, mj := range em.mean {
-		if mj != 0 {
-			matrix.AXPY(-mj, s.sumX, ytx.Row(j))
+	parallel.For(len(em.mean), 2048/(em.d+1)+1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if mj := em.mean[j]; mj != 0 {
+				matrix.AXPY(-mj, s.sumX, ytx.Row(j))
+			}
 		}
-	}
+	})
 	// XtX = Σ Xi_cᵀ Xi_c + ss·M⁻¹
 	xtx := s.xtx.Add(em.minv.Scale(em.ss))
 	cNew, err := matrix.SolveSPD(xtx, ytx) // C = YtX / XtX
@@ -286,6 +290,8 @@ func reconstructionError(y *matrix.Sparse, mean []float64, c *matrix.Dense, cm *
 	var num, den float64
 	d := cm.C
 	xi := make([]float64, d)
+	tNum := make([]float64, y.C)
+	tDen := make([]float64, y.C)
 	for _, i := range rows {
 		row := y.Row(i)
 		// Xi_c = Yi·CM - Xm
@@ -295,17 +301,13 @@ func reconstructionError(y *matrix.Sparse, mean []float64, c *matrix.Dense, cm *
 		for k, j := range row.Indices {
 			matrix.AXPY(row.Values[k], cm.Row(j), xi)
 		}
-		// Reconstruction ŷ = Xi_c·Cᵀ + Ym, compared column by column.
-		nz := 0
+		// Reconstruction ŷ = Xi_c·Cᵀ + Ym, compared column by column; the
+		// per-column terms fill in parallel and accumulate in ascending j,
+		// matching the sequential evaluation bit for bit.
+		matrix.ReconTerms(row, mean, c, xi, tNum, tDen)
 		for j := 0; j < y.C; j++ {
-			recon := mean[j] + matrix.Dot(xi, c.Row(j))
-			var yv float64
-			if nz < row.NNZ() && row.Indices[nz] == j {
-				yv = row.Values[nz]
-				nz++
-			}
-			num += math.Abs(yv - recon)
-			den += math.Abs(yv)
+			num += tNum[j]
+			den += tDen[j]
 		}
 	}
 	if den == 0 {
@@ -327,6 +329,8 @@ func IdealError(y *matrix.Sparse, d int, opt Options) float64 {
 	k := v.C
 	xi := make([]float64, k)
 	vm := v.MulVecT(mean) // Ym·V
+	tNum := make([]float64, y.C)
+	tDen := make([]float64, y.C)
 	for _, i := range rows {
 		row := y.Row(i)
 		for t := range xi {
@@ -335,16 +339,10 @@ func IdealError(y *matrix.Sparse, d int, opt Options) float64 {
 		for t, j := range row.Indices {
 			matrix.AXPY(row.Values[t], v.Row(j), xi)
 		}
-		nz := 0
+		matrix.ReconTerms(row, mean, v, xi, tNum, tDen)
 		for j := 0; j < y.C; j++ {
-			recon := mean[j] + matrix.Dot(xi, v.Row(j))
-			var yv float64
-			if nz < row.NNZ() && row.Indices[nz] == j {
-				yv = row.Values[nz]
-				nz++
-			}
-			num += math.Abs(yv - recon)
-			den += math.Abs(yv)
+			num += tNum[j]
+			den += tDen[j]
 		}
 	}
 	if den == 0 {
@@ -385,6 +383,18 @@ func (o Options) converged(hist []IterationStat) bool {
 		}
 	}
 	return false
+}
+
+// denseXC fills xc[j] = xi · c_j for every row j of c — the dense sweep of
+// the non-associative ss3 order (Xi·Cᵀ), O(D·d) per input row. Entries are
+// disjoint, so the sweep runs on the parallel pool with values identical to
+// the sequential loop.
+func denseXC(xi []float64, c *matrix.Dense, xc []float64) {
+	parallel.For(c.R, 16384/(2*len(xi)+1)+1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			xc[j] = matrix.Dot(xi, c.Row(j))
+		}
+	})
 }
 
 func sortInts(a []int) {

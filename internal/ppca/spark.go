@@ -237,7 +237,7 @@ func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em
 			matrix.AXPY(1, xi, local.sumX)
 			ops.AddOps(int64(2*row.NNZ()*d + d*d + d))
 		}
-		acc.Merge(local)
+		acc.Merge(task, local)
 	})
 	total := acc.Value()
 	sums := jobSums{
@@ -284,9 +284,7 @@ func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver
 			if xc == nil {
 				xc = make([]float64, cNew.R)
 			}
-			for j := 0; j < cNew.R; j++ {
-				xc[j] = matrix.Dot(xi, cNew.Row(j))
-			}
+			denseXC(xi, cNew, xc)
 			var s float64
 			for k, j := range row.Indices {
 				s += xc[j] * row.Values[k]
@@ -294,7 +292,7 @@ func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver
 			local += s
 			ops.AddOps(int64(row.NNZ()*d + cNew.R*d + row.NNZ()))
 		}
-		acc.Merge(local)
+		acc.Merge(task, local)
 	})
 	return acc.Value()
 }
@@ -335,7 +333,7 @@ func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims in
 			matrix.AXPY(1, p.x, local.sumX)
 			ops.AddOps(int64(d*d + d))
 		}
-		xtxAcc.Merge(local)
+		xtxAcc.Merge(task, local)
 	})
 
 	// Pass 2: YtX from Y joined with the stored X.
@@ -360,7 +358,7 @@ func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims in
 			}
 			ops.AddOps(int64(row.NNZ() * d))
 		}
-		ytxAcc.Merge(local)
+		ytxAcc.Merge(task, local)
 	})
 
 	xres := xtxAcc.Value()

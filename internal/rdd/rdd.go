@@ -14,6 +14,7 @@ package rdd
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"spca/internal/cluster"
@@ -23,7 +24,14 @@ import (
 type Context struct {
 	cl         *cluster.Cluster
 	partitions int
+	state      *ctxState
+}
 
+// ctxState is the mutable session state shared by a context and every
+// context derived from it via WithPartitions: the cache-memory pool, and the
+// mutex that also guards each RDD's persistence fields (Persist/Unpersist
+// may race with concurrent scans from another fit on the same session).
+type ctxState struct {
 	mu          sync.Mutex
 	cachedBytes int64 // aggregate worker memory currently used for caching
 }
@@ -31,16 +39,20 @@ type Context struct {
 // NewContext returns a Spark-like context over cl. Actions schedule one task
 // per partition; the default partition count is 2x the total cores.
 func NewContext(cl *cluster.Cluster) *Context {
-	return &Context{cl: cl, partitions: 2 * cl.TotalCores()}
+	return &Context{cl: cl, partitions: 2 * cl.TotalCores(), state: &ctxState{}}
 }
 
-// WithPartitions overrides the default partition count for new RDDs.
+// WithPartitions returns a derived context whose new RDDs default to n
+// partitions. The receiver is left untouched (so concurrent fits sharing a
+// session are unaffected); both contexts share the same cluster and cache
+// accounting.
 func (c *Context) WithPartitions(n int) *Context {
 	if n <= 0 {
 		panic("rdd: partitions must be positive")
 	}
-	c.partitions = n
-	return c
+	derived := *c
+	derived.partitions = n
+	return &derived
 }
 
 // Cluster returns the underlying simulated cluster.
@@ -52,12 +64,11 @@ func (c *Context) aggregateMemory() int64 {
 	return int64(cfg.Nodes) * cfg.NodeMemory
 }
 
-// reserveCache claims up to want bytes of aggregate cache memory, returning
-// the number of bytes actually granted (the rest spills to disk).
-func (c *Context) reserveCache(want int64) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	free := c.aggregateMemory() - c.cachedBytes
+// reserveCacheLocked claims up to want bytes of aggregate cache memory,
+// returning the number of bytes actually granted (the rest spills to disk).
+// The caller must hold c.state.mu.
+func (c *Context) reserveCacheLocked(want int64) int64 {
+	free := c.aggregateMemory() - c.state.cachedBytes
 	if free <= 0 {
 		return 0
 	}
@@ -65,25 +76,24 @@ func (c *Context) reserveCache(want int64) int64 {
 	if granted > free {
 		granted = free
 	}
-	c.cachedBytes += granted
+	c.state.cachedBytes += granted
 	return granted
 }
 
-// releaseCache returns bytes to the cache pool.
-func (c *Context) releaseCache(bytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cachedBytes -= bytes
-	if c.cachedBytes < 0 {
-		c.cachedBytes = 0
+// releaseCacheLocked returns bytes to the cache pool. The caller must hold
+// c.state.mu.
+func (c *Context) releaseCacheLocked(bytes int64) {
+	c.state.cachedBytes -= bytes
+	if c.state.cachedBytes < 0 {
+		c.state.cachedBytes = 0
 	}
 }
 
 // CachedBytes reports the aggregate memory currently used for cached RDDs.
 func (c *Context) CachedBytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cachedBytes
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	return c.state.cachedBytes
 }
 
 // TaskOps is handed to task functions so they can charge arithmetic work.
@@ -158,11 +168,14 @@ func (r *RDD[T]) NumPartitions() int { return len(r.parts) }
 // I/O is limited to the amount of data that does not fit in the aggregate
 // memory of the cluster").
 func (r *RDD[T]) Persist() *RDD[T] {
+	total := r.totalBytes()
+	st := r.ctx.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if r.persisted {
 		return r
 	}
-	total := r.totalBytes()
-	r.memBytes = r.ctx.reserveCache(total)
+	r.memBytes = r.ctx.reserveCacheLocked(total)
 	r.spillBytes = total - r.memBytes
 	r.persisted = true
 	return r
@@ -170,16 +183,22 @@ func (r *RDD[T]) Persist() *RDD[T] {
 
 // Unpersist releases the cached memory.
 func (r *RDD[T]) Unpersist() {
+	st := r.ctx.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if !r.persisted {
 		return
 	}
-	r.ctx.releaseCache(r.memBytes)
+	r.ctx.releaseCacheLocked(r.memBytes)
 	r.persisted = false
 	r.memBytes, r.spillBytes = 0, 0
 }
 
 // scanDiskBytes is the disk traffic charged per full scan of this RDD.
 func (r *RDD[T]) scanDiskBytes() int64 {
+	st := r.ctx.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if !r.persisted {
 		return r.totalBytes() // uncached RDDs re-read everything
 	}
@@ -253,7 +272,10 @@ func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, op
 
 // Collect gathers all records at the driver, charging their network transfer
 // and driver memory. It returns cluster.ErrDriverOOM (wrapped) if the driver
-// cannot hold the result.
+// cannot hold the result. The caller owns the driver allocation (the RDD's
+// total byte size) and must release it with Cluster().FreeDriver once the
+// collected data is no longer held — a leaked allocation skews DriverPeak
+// and can trigger spurious OOMs in long multi-fit runs.
 func (r *RDD[T]) Collect() ([]T, error) {
 	bytes := r.totalBytes()
 	if err := r.ctx.cl.AllocDriver(bytes); err != nil {
@@ -275,8 +297,9 @@ func (r *RDD[T]) Collect() ([]T, error) {
 
 // Aggregate computes a per-partition partial with seq and merges partials
 // with comb, Spark treeAggregate-style. Each partial's bytes are charged as
-// shuffle traffic and the final result is allocated on the driver (and must
-// be freed by the caller via FreeDriverResult when no longer needed).
+// shuffle traffic and the final result is allocated on the driver; the
+// caller must free that allocation via Cluster().FreeDriver(sizeOf(result))
+// when the result is no longer needed.
 // This is the communication pattern of MLlib's Gramian computation.
 func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *TaskOps) U, comb func(U, U) U, sizeOf func(U) int64) (U, error) {
 	partials := make([]U, len(r.parts))
@@ -307,29 +330,23 @@ func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *
 		shuffle += sizeOf(part)
 		result = comb(result, part)
 	}
+	stats := cluster.PhaseStats{
+		Name:         name,
+		ComputeOps:   totalOps,
+		ShuffleBytes: shuffle,
+		DiskBytes:    r.scanDiskBytes(),
+		Tasks:        int64(len(r.parts)),
+		Records:      int64(r.Count()),
+	}
 	resBytes := sizeOf(result)
 	if err := r.ctx.cl.AllocDriver(resBytes); err != nil {
 		var zeroU U
 		// The phase still ran before the driver fell over.
-		r.ctx.cl.RunPhase(cluster.PhaseStats{
-			Name:         name,
-			ComputeOps:   totalOps,
-			ShuffleBytes: shuffle,
-			DiskBytes:    r.scanDiskBytes(),
-			Tasks:        int64(len(r.parts)),
-			Records:      int64(r.Count()),
-		})
+		r.ctx.cl.RunPhase(stats)
 		return zeroU, fmt.Errorf("rdd: aggregate %s: %w", name, err)
 	}
-	r.ctx.cl.RunPhase(cluster.PhaseStats{
-		Name:              name,
-		ComputeOps:        totalOps,
-		ShuffleBytes:      shuffle,
-		DiskBytes:         r.scanDiskBytes(),
-		MaterializedBytes: resBytes,
-		Tasks:             int64(len(r.parts)),
-		Records:           int64(r.Count()),
-	})
+	stats.MaterializedBytes = resBytes
+	r.ctx.cl.RunPhase(stats)
 	return result, nil
 }
 
@@ -346,6 +363,10 @@ func Broadcast(ctx *Context, name string, bytes int64) {
 // associative merge, mirroring Spark accumulators (§4.2 of the paper). Tasks
 // build a local value and publish it with Merge, which charges the value's
 // serialized size as network traffic to the driver.
+//
+// Partials are buffered per task and folded in ascending task order when the
+// driver reads Value. Folding on arrival would sum floats in goroutine
+// scheduling order, making repeated runs differ in the last bits.
 type Accumulator[T any] struct {
 	ctx   *Context
 	name  string
@@ -354,20 +375,26 @@ type Accumulator[T any] struct {
 
 	mu      sync.Mutex
 	value   T
+	parts   map[int]T
 	pending int64 // shuffle bytes accumulated since last Value() read
 }
 
 // NewAccumulator creates an accumulator with initial value zero.
 func NewAccumulator[T any](ctx *Context, name string, zero T, merge func(into, from T) T, size func(T) int64) *Accumulator[T] {
-	return &Accumulator[T]{ctx: ctx, name: name, merge: merge, size: size, value: zero}
+	return &Accumulator[T]{ctx: ctx, name: name, merge: merge, size: size, value: zero, parts: make(map[int]T)}
 }
 
-// Merge folds a task-local partial into the accumulator.
-func (a *Accumulator[T]) Merge(local T) {
+// Merge folds a task-local partial into the accumulator. The task index
+// (from ForeachPartition) fixes the fold order at the driver.
+func (a *Accumulator[T]) Merge(task int, local T) {
 	b := a.size(local)
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.value = a.merge(a.value, local)
+	if prev, ok := a.parts[task]; ok {
+		a.parts[task] = a.merge(prev, local)
+	} else {
+		a.parts[task] = local
+	}
 	a.pending += b
 }
 
@@ -375,6 +402,15 @@ func (a *Accumulator[T]) Merge(local T) {
 // network traffic of all merges since the previous read.
 func (a *Accumulator[T]) Value() T {
 	a.mu.Lock()
+	tasks := make([]int, 0, len(a.parts))
+	for t := range a.parts {
+		tasks = append(tasks, t)
+	}
+	sort.Ints(tasks)
+	for _, t := range tasks {
+		a.value = a.merge(a.value, a.parts[t])
+	}
+	clear(a.parts)
 	pending := a.pending
 	a.pending = 0
 	v := a.value

@@ -130,8 +130,25 @@ func TestMapTransforms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ctx.Cluster().FreeDriver(doubled.totalBytes())
 	if len(got) != 10 || got[3] != 6 || got[9] != 18 {
 		t.Fatalf("collect = %v", got)
+	}
+}
+
+func TestCollectFreePairsWithAlloc(t *testing.T) {
+	ctx := newTestContext()
+	r := Parallelize(ctx, "ints", rangeInts(100), intSize)
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	bytes := r.totalBytes()
+	if got := ctx.Cluster().DriverUsed(); got != bytes {
+		t.Fatalf("driver holds %d bytes after collect, want %d", got, bytes)
+	}
+	ctx.Cluster().FreeDriver(bytes)
+	if got := ctx.Cluster().DriverUsed(); got != 0 {
+		t.Fatalf("driver holds %d bytes after paired free", got)
 	}
 }
 
@@ -203,7 +220,7 @@ func TestAccumulator(t *testing.T) {
 		for _, v := range part {
 			local += float64(v)
 		}
-		acc.Merge(local)
+		acc.Merge(task, local)
 	})
 	if got := acc.Value(); got != 4950 {
 		t.Fatalf("accumulator = %v", got)
@@ -234,6 +251,56 @@ func TestWithPartitions(t *testing.T) {
 		}
 	}()
 	ctx.WithPartitions(0)
+}
+
+func TestWithPartitionsReturnsDerivedContext(t *testing.T) {
+	ctx := newTestContext()
+	base := ctx.partitions
+	derived := ctx.WithPartitions(4)
+	if ctx.partitions != base {
+		t.Fatalf("WithPartitions mutated the parent context: %d", ctx.partitions)
+	}
+	if derived.partitions != 4 {
+		t.Fatalf("derived partitions = %d", derived.partitions)
+	}
+	// Cache accounting is shared: a persist through the derived context is
+	// visible through the parent.
+	r := Parallelize(derived, "ints", rangeInts(10), intSize).Persist()
+	if ctx.CachedBytes() != 80 || derived.CachedBytes() != 80 {
+		t.Fatalf("cache pool not shared: parent=%d derived=%d",
+			ctx.CachedBytes(), derived.CachedBytes())
+	}
+	r.Unpersist()
+	if ctx.CachedBytes() != 0 {
+		t.Fatal("unpersist not visible through parent context")
+	}
+}
+
+// TestConcurrentPersistForeach is the -race regression test for the unlocked
+// persisted/memBytes/spillBytes mutation: one fit's Persist/Unpersist cycle
+// must not race with another fit scanning its own RDD on the same session.
+func TestConcurrentPersistForeach(t *testing.T) {
+	ctx := newTestContext()
+	a := Parallelize(ctx, "a", rangeInts(200), intSize)
+	b := Parallelize(ctx, "b", rangeInts(200), intSize)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			a.Persist()
+			a.ForeachPartition("scan-a", func(int, []int, *TaskOps) {})
+			a.Unpersist()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		b.Persist()
+		b.ForeachPartition("scan-b", func(int, []int, *TaskOps) {})
+		b.Unpersist()
+	}
+	<-done
+	if ctx.CachedBytes() != 0 {
+		t.Fatalf("cache accounting drifted: %d bytes still reserved", ctx.CachedBytes())
+	}
 }
 
 func TestPersistIdempotent(t *testing.T) {

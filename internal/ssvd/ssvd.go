@@ -397,6 +397,8 @@ func reconstructionError(y *matrix.Sparse, mean []float64, w *matrix.Dense, rows
 	k := w.C
 	xi := make([]float64, k)
 	wm := w.MulVecT(mean)
+	tNum := make([]float64, y.C)
+	tDen := make([]float64, y.C)
 	for _, i := range rows {
 		row := y.Row(i)
 		for t := range xi {
@@ -405,16 +407,10 @@ func reconstructionError(y *matrix.Sparse, mean []float64, w *matrix.Dense, rows
 		for t, j := range row.Indices {
 			matrix.AXPY(row.Values[t], w.Row(j), xi)
 		}
-		nz := 0
+		matrix.ReconTerms(row, mean, w, xi, tNum, tDen)
 		for j := 0; j < y.C; j++ {
-			recon := mean[j] + matrix.Dot(xi, w.Row(j))
-			var yv float64
-			if nz < row.NNZ() && row.Indices[nz] == j {
-				yv = row.Values[nz]
-				nz++
-			}
-			num += math.Abs(yv - recon)
-			den += math.Abs(yv)
+			num += tNum[j]
+			den += tDen[j]
 		}
 	}
 	if den == 0 {
