@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-kernels experiments
+.PHONY: check vet build test race chaos bench bench-kernels experiments
 
-check: vet build test race
+check: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,15 @@ test:
 # The two distributed engines run real goroutines; keep them race-clean.
 race:
 	$(GO) test -race ./internal/rdd ./internal/mapred ./internal/parallel
+
+# Fault-injection suite under the race detector: once with the fixed default
+# seed, then with a randomized seed, logged so any failure is replayable via
+# SPCA_CHAOS_SEED=<seed> make chaos.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' .
+	@seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
+	echo "chaos: randomized seed $$seed (replay with SPCA_CHAOS_SEED=$$seed)"; \
+	SPCA_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' .
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -106,9 +106,22 @@ type PhaseStats struct {
 	// quantity the paper reports as "intermediate data" (e.g. Mahout-PCA's
 	// 961 GB materialized Q matrix vs sPCA's 131 MB of job outputs).
 	MaterializedBytes int64
+
+	// Fault-recovery charges. ComputeOps/DiskBytes/Tasks above count only
+	// useful (first-success) work; the fields below count work the cluster
+	// spent recovering from injected faults, and RunPhase prices them
+	// separately so Metrics.RecoverySeconds isolates the cost of failure.
+	FailedAttempts    int64 // task attempts that failed or were lost with a node
+	RecomputedOps     int64 // arithmetic re-executed for retries, node loss, lineage recovery, speculation
+	RecoveryDiskBytes int64 // bytes re-read/re-written purely to recover lost state
+	SpeculativeTasks  int64 // backup copies launched against stragglers
+	StragglerOps      int64 // extra serial op-time of unmitigated stragglers (one slow core)
 }
 
-// Metrics aggregates the charges of a full algorithm run.
+// Metrics aggregates the charges of a full algorithm run. ComputeOps and
+// DiskBytes are totals (useful work plus recovery re-execution); Tasks counts
+// useful tasks only, with failed and speculative attempts reported separately
+// so total scheduled attempts = Tasks + FailedAttempts + SpeculativeTasks.
 type Metrics struct {
 	ComputeOps        int64
 	ShuffleBytes      int64
@@ -118,13 +131,23 @@ type Metrics struct {
 	Phases            int64
 	SimSeconds        float64 // simulated wall-clock per the cost model
 	DriverPeak        int64   // peak driver memory observed
+
+	// Fault-recovery accounting. All four stay exactly zero in a fault-free
+	// run — the chaos suite asserts this, guarding the cost model of the
+	// paper's tables against drift.
+	FailedAttempts   int64   // failed/lost task attempts across all phases
+	RecomputedOps    int64   // ops re-executed for retries and lineage recovery
+	SpeculativeTasks int64   // backup copies launched against stragglers
+	RecoverySeconds  float64 // simulated time attributable to fault recovery
 }
 
-// String renders the headline numbers.
+// String renders the headline numbers, including the recovery metrics (all
+// zero unless a FaultPlan injected failures).
 func (m Metrics) String() string {
-	return fmt.Sprintf("sim=%.1fs shuffle=%s disk=%s intermediate=%s ops=%d tasks=%d driverPeak=%s",
+	return fmt.Sprintf("sim=%.1fs shuffle=%s disk=%s intermediate=%s ops=%d tasks=%d driverPeak=%s failed=%d recomputed=%d spec=%d recovery=%.1fs",
 		m.SimSeconds, FormatBytes(m.ShuffleBytes), FormatBytes(m.DiskBytes),
-		FormatBytes(m.MaterializedBytes), m.ComputeOps, m.Tasks, FormatBytes(m.DriverPeak))
+		FormatBytes(m.MaterializedBytes), m.ComputeOps, m.Tasks, FormatBytes(m.DriverPeak),
+		m.FailedAttempts, m.RecomputedOps, m.SpeculativeTasks, m.RecoverySeconds)
 }
 
 // Cluster is a live simulated cluster instance. It is safe for concurrent
@@ -168,6 +191,10 @@ func (c *Cluster) TotalCores() int { return c.cfg.TotalCores() }
 //
 // reflecting that compute parallelizes over cores while intermediate data
 // serializes on the interconnect — the effect at the heart of the paper.
+// Recovery charges (re-executed ops, re-read bytes, retry/speculation waves,
+// straggler tail latency) are priced on top with the same rates and recorded
+// in Metrics.RecoverySeconds, so the cost of failure is isolated from the
+// cost of useful work.
 func (c *Cluster) RunPhase(p PhaseStats) {
 	cores := float64(c.cfg.TotalCores())
 	t := float64(p.ComputeOps) / (cores * c.cfg.FlopsPerCore)
@@ -179,13 +206,29 @@ func (c *Cluster) RunPhase(p PhaseStats) {
 		t += float64(waves) * c.cfg.TaskOverhead
 	}
 
+	// Recovery time: re-executed work parallelizes over cores, re-read state
+	// shares the disks, retry/backup attempts cost scheduling waves, and an
+	// unmitigated straggler's extra time is serial on its one slow core.
+	rec := float64(p.RecomputedOps) / (cores * c.cfg.FlopsPerCore)
+	rec += float64(p.RecoveryDiskBytes) / c.cfg.DiskBps
+	rec += float64(p.StragglerOps) / c.cfg.FlopsPerCore
+	if n := p.FailedAttempts + p.SpeculativeTasks; n > 0 {
+		waves := (n + int64(cores) - 1) / int64(cores)
+		rec += float64(waves) * c.cfg.TaskOverhead
+	}
+	t += rec
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.metrics.ComputeOps += p.ComputeOps
+	c.metrics.ComputeOps += p.ComputeOps + p.RecomputedOps
 	c.metrics.ShuffleBytes += p.ShuffleBytes
-	c.metrics.DiskBytes += p.DiskBytes
+	c.metrics.DiskBytes += p.DiskBytes + p.RecoveryDiskBytes
 	c.metrics.MaterializedBytes += p.MaterializedBytes
 	c.metrics.Tasks += p.Tasks
+	c.metrics.FailedAttempts += p.FailedAttempts
+	c.metrics.RecomputedOps += p.RecomputedOps
+	c.metrics.SpeculativeTasks += p.SpeculativeTasks
+	c.metrics.RecoverySeconds += rec
 	c.metrics.Phases++
 	c.metrics.SimSeconds += t
 	c.phaseLog = append(c.phaseLog, p)

@@ -1,0 +1,130 @@
+// Fault injection for the simulated cluster. A FaultPlan makes chaos
+// deterministic: every failure decision — does attempt a of task t in phase p
+// fail? is node n lost during phase p? does this attempt straggle? — is a
+// pure function of (Seed, phase, task, attempt), derived by hashing, never by
+// consuming a shared RNG stream. Two runs with the same plan therefore fail
+// the exact same attempt set regardless of goroutine scheduling, which is
+// what lets the chaos suite assert that fitted models are bit-identical with
+// and without injected faults.
+package cluster
+
+// FaultPlan describes deterministic fault injection for the engines built on
+// the simulated cluster (internal/mapred, internal/rdd). The zero value (and
+// a nil plan) injects nothing; all methods are nil-receiver safe.
+type FaultPlan struct {
+	// Seed drives every decision. Same seed, same faults — always.
+	Seed uint64
+
+	// TaskFailureRate is the per-attempt probability that a task attempt
+	// fails after doing its work (the work is charged as RecomputedOps; the
+	// output is discarded and the task retries).
+	TaskFailureRate float64
+
+	// NodeLossRate is the per-(phase, node) probability that a worker node
+	// dies during the phase, taking with it state that only lived on that
+	// node: completed map outputs (Hadoop re-runs those map tasks) and
+	// cached RDD partitions (Spark recomputes them from lineage).
+	NodeLossRate float64
+
+	// StragglerRate is the per-task probability that the committing attempt
+	// runs StragglerFactor times slower than normal. Without speculative
+	// execution the straggler's extra serial time delays the phase; with it,
+	// a backup copy is launched and the phase only pays the duplicated work.
+	StragglerRate float64
+
+	// StragglerFactor is the straggler slowdown multiple (default 4).
+	StragglerFactor float64
+
+	// SpeculativeExecution launches backup copies of stragglers, Hadoop
+	// speculative-execution style: the duplicate's work is charged as
+	// RecomputedOps and counted in SpeculativeTasks, but the straggler's
+	// tail latency is avoided.
+	SpeculativeExecution bool
+
+	// MaxAttempts bounds retries per task where the engine enforces a bound
+	// (the MapReduce engine; Spark-style lineage recovery retries until it
+	// succeeds). Zero defers to the engine's own default.
+	MaxAttempts int
+}
+
+// Enabled reports whether the plan can inject any fault at all.
+func (f *FaultPlan) Enabled() bool {
+	return f != nil && (f.TaskFailureRate > 0 || f.NodeLossRate > 0 || f.StragglerRate > 0)
+}
+
+// AttemptFails decides whether attempt att (1-based) of task in phase fails.
+func (f *FaultPlan) AttemptFails(phase string, task, att int) bool {
+	if f == nil || f.TaskFailureRate <= 0 {
+		return false
+	}
+	return f.draw('F', phase, task, att) < f.TaskFailureRate
+}
+
+// NodeLost decides whether node dies during phase.
+func (f *FaultPlan) NodeLost(phase string, node int) bool {
+	if f == nil || f.NodeLossRate <= 0 {
+		return false
+	}
+	return f.draw('N', phase, node, 0) < f.NodeLossRate
+}
+
+// Straggles decides whether attempt att of task in phase is a straggler.
+func (f *FaultPlan) Straggles(phase string, task, att int) bool {
+	if f == nil || f.StragglerRate <= 0 {
+		return false
+	}
+	return f.draw('S', phase, task, att) < f.StragglerRate
+}
+
+// SlowFactor returns the straggler slowdown multiple (>= 1).
+func (f *FaultPlan) SlowFactor() float64 {
+	if f == nil || f.StragglerFactor <= 1 {
+		return 4
+	}
+	return f.StragglerFactor
+}
+
+// Attempts returns the retry bound: the plan's MaxAttempts if set, otherwise
+// engineDefault if positive, otherwise 4 (Hadoop's mapred.map.max.attempts).
+func (f *FaultPlan) Attempts(engineDefault int) int {
+	if f != nil && f.MaxAttempts > 0 {
+		return f.MaxAttempts
+	}
+	if engineDefault > 0 {
+		return engineDefault
+	}
+	return 4
+}
+
+// draw maps (seed, kind, phase, a, b) to a uniform value in [0, 1) via an
+// FNV-1a accumulation finished with a splitmix64-style mix. It is the single
+// source of randomness for fault decisions, so decisions are independent of
+// evaluation order and of each other (distinct kind bytes keep the failure,
+// node-loss and straggler streams decorrelated).
+func (f *FaultPlan) draw(kind byte, phase string, a, b int) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime64
+		}
+	}
+	mix(f.Seed)
+	h ^= uint64(kind)
+	h *= prime64
+	for i := 0; i < len(phase); i++ {
+		h ^= uint64(phase[i])
+		h *= prime64
+	}
+	mix(uint64(a))
+	mix(uint64(b))
+	// splitmix64 finalizer for avalanche.
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}

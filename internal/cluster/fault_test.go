@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFaultPlanPureFunctionOfSeed: the same (seed, phase, task, attempt)
+// tuple must always yield the same decision — no hidden state, no
+// order-dependence.
+func TestFaultPlanPureFunctionOfSeed(t *testing.T) {
+	p := &FaultPlan{Seed: 42, TaskFailureRate: 0.5, NodeLossRate: 0.5, StragglerRate: 0.5}
+	type key struct {
+		phase     string
+		task, att int
+	}
+	fails := map[key]bool{}
+	for _, phase := range []string{"a#1/map", "a#1/reduce", "b#2/map"} {
+		for task := 0; task < 16; task++ {
+			for att := 1; att <= 4; att++ {
+				fails[key{phase, task, att}] = p.AttemptFails(phase, task, att)
+			}
+		}
+	}
+	// Re-query in a different order (reverse) and from a distinct but equal
+	// plan value: every answer must match.
+	q := &FaultPlan{Seed: 42, TaskFailureRate: 0.5, NodeLossRate: 0.5, StragglerRate: 0.5}
+	for k, want := range fails {
+		if q.AttemptFails(k.phase, k.task, k.att) != want {
+			t.Fatalf("decision for %+v changed across plan values", k)
+		}
+	}
+	// A different seed must flip at least one decision.
+	r := &FaultPlan{Seed: 43, TaskFailureRate: 0.5}
+	diff := false
+	for k, want := range fails {
+		if r.AttemptFails(k.phase, k.task, k.att) != want {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical decisions everywhere")
+	}
+}
+
+// TestFaultPlanRateBounds: rate 0 never fires, rate 1 always fires, and an
+// intermediate rate fires roughly that often.
+func TestFaultPlanRateBounds(t *testing.T) {
+	off := &FaultPlan{Seed: 7}
+	if off.Enabled() {
+		t.Fatal("zero rates reported enabled")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Enabled() || nilPlan.AttemptFails("p", 0, 1) || nilPlan.NodeLost("p", 0) || nilPlan.Straggles("p", 0, 1) {
+		t.Fatal("nil plan injected a fault")
+	}
+
+	always := &FaultPlan{Seed: 7, TaskFailureRate: 1, NodeLossRate: 1, StragglerRate: 1}
+	never := &FaultPlan{Seed: 7}
+	mid := &FaultPlan{Seed: 7, TaskFailureRate: 0.2}
+	var hits int
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if !always.AttemptFails("p", i, 1) || !always.NodeLost("p", i) || !always.Straggles("p", i, 1) {
+			t.Fatal("rate 1 did not fire")
+		}
+		if never.AttemptFails("p", i, 1) {
+			t.Fatal("rate 0 fired")
+		}
+		if mid.AttemptFails("p", i, 1) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.2) > 0.03 {
+		t.Fatalf("empirical rate %.3f, want ~0.2", got)
+	}
+}
+
+func TestFaultPlanDefaults(t *testing.T) {
+	var nilPlan *FaultPlan
+	if nilPlan.Attempts(0) != 4 {
+		t.Fatalf("default attempts = %d, want Hadoop's 4", nilPlan.Attempts(0))
+	}
+	if nilPlan.Attempts(7) != 7 {
+		t.Fatal("engine default not honoured")
+	}
+	p := &FaultPlan{MaxAttempts: 2}
+	if p.Attempts(7) != 2 {
+		t.Fatal("plan MaxAttempts not honoured")
+	}
+	if nilPlan.SlowFactor() != 4 || (&FaultPlan{StragglerFactor: 6}).SlowFactor() != 6 {
+		t.Fatal("SlowFactor defaults wrong")
+	}
+}
+
+// TestRunPhaseRecoveryPricing checks the recovery cost math: recovery time
+// is priced with the same rates as useful work and isolated in
+// RecoverySeconds, and the aggregate metrics fold recovery into the totals.
+func TestRunPhaseRecoveryPricing(t *testing.T) {
+	cfg := DefaultConfig()
+	cores := float64(cfg.TotalCores())
+
+	clean := MustNew(cfg)
+	clean.RunPhase(PhaseStats{Name: "p", ComputeOps: 1 << 20, DiskBytes: 1 << 20, Tasks: 10})
+	base := clean.Metrics()
+	if base.FailedAttempts != 0 || base.RecomputedOps != 0 || base.SpeculativeTasks != 0 || base.RecoverySeconds != 0 {
+		t.Fatalf("fault-free phase charged recovery: %+v", base)
+	}
+
+	faulty := MustNew(cfg)
+	p := PhaseStats{
+		Name: "p", ComputeOps: 1 << 20, DiskBytes: 1 << 20, Tasks: 10,
+		FailedAttempts: 3, RecomputedOps: 1 << 21, RecoveryDiskBytes: 1 << 19,
+		SpeculativeTasks: 2, StragglerOps: 1 << 10,
+	}
+	faulty.RunPhase(p)
+	m := faulty.Metrics()
+
+	wantRec := float64(p.RecomputedOps)/(cores*cfg.FlopsPerCore) +
+		float64(p.RecoveryDiskBytes)/cfg.DiskBps +
+		float64(p.StragglerOps)/cfg.FlopsPerCore +
+		1*cfg.TaskOverhead // 5 retry/backup attempts fit one wave on 64 cores
+	if math.Abs(m.RecoverySeconds-wantRec) > 1e-12 {
+		t.Fatalf("RecoverySeconds = %v, want %v", m.RecoverySeconds, wantRec)
+	}
+	if math.Abs((m.SimSeconds-base.SimSeconds)-wantRec) > 1e-12 {
+		t.Fatalf("recovery not added on top of base time: Δ=%v want %v",
+			m.SimSeconds-base.SimSeconds, wantRec)
+	}
+	if m.ComputeOps != p.ComputeOps+p.RecomputedOps {
+		t.Fatalf("ComputeOps = %d, want useful+recomputed", m.ComputeOps)
+	}
+	if m.DiskBytes != p.DiskBytes+p.RecoveryDiskBytes {
+		t.Fatalf("DiskBytes = %d, want useful+recovery", m.DiskBytes)
+	}
+	if m.Tasks != 10 || m.FailedAttempts != 3 || m.SpeculativeTasks != 2 || m.RecomputedOps != p.RecomputedOps {
+		t.Fatalf("attempt accounting wrong: %+v", m)
+	}
+}
+
+// TestMetricsStringReportsRecovery: the satellite requires the recovery
+// metrics to be visible in the headline String output.
+func TestMetricsStringReportsRecovery(t *testing.T) {
+	m := Metrics{FailedAttempts: 5, RecomputedOps: 9, SpeculativeTasks: 2, RecoverySeconds: 1.5}
+	s := m.String()
+	for _, want := range []string{"failed=5", "recomputed=9", "spec=2", "recovery=1.5s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Metrics.String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -309,7 +309,7 @@ type Renderable interface {
 
 // IDs lists every experiment in paper order.
 func IDs() []string {
-	return []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling"}
+	return []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling", "faults"}
 }
 
 // Produce executes one experiment and returns its result for rendering.
@@ -337,6 +337,8 @@ func (r Runner) Produce(id string) (Renderable, error) {
 		return r.Intermediate()
 	case "scaling":
 		return r.Scaling()
+	case "faults":
+		return r.Faults()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s, or all)",
 			id, strings.Join(IDs(), ", "))

@@ -53,7 +53,17 @@ func (r Runner) fit(alg spca.Algorithm, y *matrix.Sparse, target float64, mutate
 	for _, m := range mutate {
 		m(&cfg)
 	}
-	return spca.Fit(y, cfg)
+	res, err := spca.Fit(y, cfg)
+	// Guard the cost model of the paper's tables: a fault-free run must
+	// never charge recovery metrics (any nonzero value means the fault
+	// layer leaked into the baseline accounting).
+	if err == nil && cfg.Faults == nil {
+		if m := res.Metrics; m.FailedAttempts != 0 || m.RecomputedOps != 0 ||
+			m.SpeculativeTasks != 0 || m.RecoverySeconds != 0 {
+			return nil, fmt.Errorf("experiments: fault-free %s run charged recovery metrics: %v", alg, m)
+		}
+	}
+	return res, err
 }
 
 // simSeconds formats a simulated duration the way the paper's tables do.

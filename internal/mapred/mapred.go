@@ -2,23 +2,33 @@
 // Hadoop, sufficient to express the paper's sPCA-MapReduce and Mahout-PCA
 // jobs: user-defined mappers with setup/cleanup (enabling the paper's
 // "stateful combiner" technique), optional associative combiners, reducers,
-// composite keys, failure injection with task retry, and exact accounting of
-// map-output/shuffle bytes through the simulated cluster.
+// composite keys, and exact accounting of map-output/shuffle bytes through
+// the simulated cluster.
 //
 // Execution is real (mappers and reducers run concurrently on a worker pool)
 // while time is simulated: the engine charges each phase's compute, shuffle
 // and disk traffic to the cluster cost model. Like Hadoop, map output is
 // written to disk before being shuffled, so every shuffle byte is also a
 // disk byte — this is what gives sPCA its "low disk footprint" advantage.
+//
+// Fault tolerance follows Hadoop's model, driven by a deterministic
+// cluster.FaultPlan: map and reduce attempts that fail are retried up to
+// MaxAttempts (then the job fails with ErrTaskFailed), completed map outputs
+// on a node that dies before the shuffle are re-executed, and straggling
+// attempts either delay their phase or are raced by speculative backup
+// copies. Every failure decision is a pure function of the plan's seed and
+// the (job, phase, task, attempt) coordinates, so a given seed fails the
+// identical attempt set on every run — and because mappers and reducers are
+// deterministic, recovery reproduces bit-identical job output.
 package mapred
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"spca/internal/cluster"
-	"spca/internal/matrix"
 )
 
 // Emitter receives key/value pairs from mappers, and lets tasks charge
@@ -67,6 +77,11 @@ type Job[I any, K comparable, V any, R any] struct {
 // Ops lets reducers charge arithmetic work.
 type Ops interface{ AddOps(n int64) }
 
+// ErrTaskFailed is returned by Run when some task fails all of its
+// MaxAttempts attempts — the terminal job failure Hadoop reports after
+// mapred.map.max.attempts is exhausted.
+var ErrTaskFailed = errors.New("mapred: task failed after max attempts")
+
 // Engine runs jobs against a simulated cluster.
 type Engine struct {
 	Cluster *cluster.Cluster
@@ -74,13 +89,20 @@ type Engine struct {
 	Splits int
 	// Reducers is the number of reduce tasks per job (default: total cores).
 	Reducers int
-	// FailureRate injects task-attempt failures with this probability.
+	// Faults injects deterministic failures (task attempts, node losses,
+	// stragglers) into every job. Nil runs fault-free.
+	Faults *cluster.FaultPlan
+	// FailureRate is the legacy chaos knob: when set (and Faults is nil) it
+	// builds an implicit FaultPlan injecting task-attempt failures with this
+	// probability, seeded by SetFailureSeed.
 	FailureRate float64
-	// MaxAttempts bounds retries per task (default 4, like Hadoop).
+	// MaxAttempts bounds retries per task (default 4, like Hadoop). A
+	// FaultPlan's own MaxAttempts takes precedence when set.
 	MaxAttempts int
 
-	mu  sync.Mutex
-	rng *matrix.RNG
+	mu       sync.Mutex
+	failSeed uint64
+	jobSeq   int64
 }
 
 // NewEngine returns an engine with Hadoop-like defaults on cl.
@@ -90,24 +112,39 @@ func NewEngine(cl *cluster.Cluster) *Engine {
 		Splits:      2 * cl.TotalCores(),
 		Reducers:    cl.TotalCores(),
 		MaxAttempts: 4,
-		rng:         matrix.NewRNG(0x4D52), // "MR"
+		failSeed:    0x4D52, // "MR"
 	}
 }
 
-// SetFailureSeed reseeds the failure-injection RNG for reproducible chaos.
+// SetFailureSeed reseeds the legacy FailureRate fault injection. Failure
+// decisions are derived per (job, phase, task, attempt) from this seed — not
+// drawn from a shared RNG stream — so the same seed fails the identical
+// attempt set on every run, independent of goroutine scheduling.
 func (e *Engine) SetFailureSeed(seed uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.rng = matrix.NewRNG(seed)
+	e.failSeed = seed
 }
 
-func (e *Engine) attemptFails() bool {
-	if e.FailureRate <= 0 {
-		return false
-	}
+// plan resolves the effective fault plan for the next job (nil = fault-free)
+// and assigns the job its sequence number, which salts the per-job fault
+// decisions so repeated jobs with the same name (one per EM iteration) draw
+// distinct faults.
+func (e *Engine) plan() (*cluster.FaultPlan, int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.rng.Float64() < e.FailureRate
+	seq := e.jobSeq
+	e.jobSeq++
+	if e.Faults != nil {
+		if !e.Faults.Enabled() {
+			return nil, seq
+		}
+		return e.Faults, seq
+	}
+	if e.FailureRate > 0 {
+		return &cluster.FaultPlan{Seed: e.failSeed, TaskFailureRate: e.FailureRate}, seq
+	}
+	return nil, seq
 }
 
 type emitter[K comparable, V any] struct {
@@ -136,9 +173,47 @@ type opsCounter struct{ n int64 }
 
 func (o *opsCounter) AddOps(n int64) { o.n += n }
 
+// taskFaults is the per-task fault accounting of one phase.
+type taskFaults struct {
+	failed       int64 // failed attempts (including node-loss re-runs)
+	wasted       int64 // ops spent by failed attempts and backup copies
+	spec         int64 // speculative backup copies launched
+	stragglerOps int64 // extra serial op-time of an unmitigated straggler
+	exhausted    bool  // every attempt failed: terminal task failure
+}
+
+// chargeStraggler applies the plan's straggler decision to a committing
+// attempt that cost ops: with speculative execution the engine launches a
+// backup copy (duplicated work, no tail latency); without it the slow
+// attempt's extra serial time delays the phase.
+func (tf *taskFaults) chargeStraggler(plan *cluster.FaultPlan, phase string, task, att int, ops int64) {
+	if !plan.Straggles(phase, task, att) {
+		return
+	}
+	if plan.SpeculativeExecution {
+		tf.spec++
+		tf.wasted += ops
+		return
+	}
+	tf.stragglerOps += int64(float64(ops) * (plan.SlowFactor() - 1))
+}
+
+// sum folds per-task fault accounting into phase stats.
+func sumFaults(stats *cluster.PhaseStats, faults []taskFaults) {
+	for i := range faults {
+		stats.FailedAttempts += faults[i].failed
+		stats.RecomputedOps += faults[i].wasted
+		stats.SpeculativeTasks += faults[i].spec
+		stats.StragglerOps += faults[i].stragglerOps
+	}
+}
+
 // Run executes the job over the input records and returns the reduce output
 // per key. It is the moral equivalent of submitting a job to a Hadoop
-// cluster and reading its part files back.
+// cluster and reading its part files back. Under an active FaultPlan, failed
+// map and reduce attempts are retried up to MaxAttempts — re-executed work is
+// charged to the recovery metrics — and Run returns ErrTaskFailed if any
+// task exhausts its attempts.
 func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], input []I) (map[K]R, error) {
 	if job.NewMapper == nil || job.Reduce == nil {
 		return nil, fmt.Errorf("mapred: job %q missing mapper or reducer", job.Name)
@@ -153,6 +228,9 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	if splits == 0 {
 		splits = 1
 	}
+	plan, seq := e.plan()
+	mapPhase := fmt.Sprintf("%s#%d/map", job.Name, seq)
+	maxAtt := plan.Attempts(e.MaxAttempts)
 
 	// ---- Map phase ----
 	type taskOut struct {
@@ -160,6 +238,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 		ops   int64
 	}
 	outs := make([]taskOut, splits)
+	mapFaults := make([]taskFaults, splits)
 	var inputBytes int64
 	if job.InputBytes != nil {
 		for _, rec := range input {
@@ -169,8 +248,6 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.Cluster.TotalCores())
-	var attempts int64
-	var attemptsMu sync.Mutex
 	for t := 0; t < splits; t++ {
 		lo := t * len(input) / splits
 		hi := (t + 1) * len(input) / splits
@@ -179,39 +256,77 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			maxAtt := e.MaxAttempts
-			if maxAtt <= 0 {
-				maxAtt = 4
-			}
+			tf := &mapFaults[task]
 			for att := 1; att <= maxAtt; att++ {
-				attemptsMu.Lock()
-				attempts++
-				attemptsMu.Unlock()
 				em := &emitter[K, V]{pairs: make(map[K][]V), merge: job.Combine}
 				m := job.NewMapper(task)
 				for i := lo; i < hi; i++ {
 					m.Map(input[i], em)
 				}
 				m.Cleanup(em)
-				if att < maxAtt && e.attemptFails() {
-					// Attempt lost: its work is still charged (the cluster
-					// really spent the cycles) but its output is discarded.
-					outs[task].ops += em.ops
+				if plan.AttemptFails(mapPhase, task, att) {
+					// Attempt lost: the cluster really spent the cycles, but
+					// the output is discarded and the task retries.
+					tf.failed++
+					tf.wasted += em.ops
 					continue
 				}
 				outs[task].pairs = em.pairs
-				outs[task].ops += em.ops
+				outs[task].ops = em.ops
+				tf.chargeStraggler(plan, mapPhase, task, att, em.ops)
 				return
 			}
+			tf.exhausted = true
 		}(t, lo, hi)
 	}
 	wg.Wait()
 
+	// Hadoop node-loss semantics: map output lives on the mapper's local
+	// disk until the shuffle reads it, so losing a node loses the completed
+	// map outputs it hosted and those tasks must be re-executed. Mappers are
+	// deterministic, so the re-run reproduces the same output; the engine
+	// charges the re-execution without repeating it.
+	if plan.Enabled() {
+		nodes := e.Cluster.Config().Nodes
+		for n := 0; n < nodes; n++ {
+			if !plan.NodeLost(mapPhase, n) {
+				continue
+			}
+			for t := n; t < splits; t += nodes {
+				if mapFaults[t].exhausted {
+					continue
+				}
+				mapFaults[t].failed++
+				mapFaults[t].wasted += outs[t].ops
+			}
+		}
+	}
+
+	var mapOps int64
+	mapStats := cluster.PhaseStats{
+		Name:    job.Name + "/map",
+		Tasks:   int64(splits),
+		Records: int64(len(input)),
+	}
+	sumFaults(&mapStats, mapFaults)
+	for t := range outs {
+		mapOps += outs[t].ops
+	}
+	for t := range mapFaults {
+		if mapFaults[t].exhausted {
+			// Charge the work the failed job still performed, then surface
+			// the terminal failure (no shuffle happens for an aborted job).
+			mapStats.ComputeOps = mapOps
+			e.Cluster.RunPhase(mapStats)
+			return nil, fmt.Errorf("%w: job %q map task %d (%d attempts)",
+				ErrTaskFailed, job.Name, t, maxAtt)
+		}
+	}
+
 	// ---- Shuffle: group map output by key, counting bytes ----
-	var mapOps, shuffleBytes int64
+	var shuffleBytes int64
 	grouped := make(map[K][]V)
 	for _, o := range outs {
-		mapOps += o.ops
 		for k, vs := range o.pairs {
 			var kb int64 = 8
 			if job.KeyBytes != nil {
@@ -227,16 +342,12 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			grouped[k] = append(grouped[k], vs...)
 		}
 	}
-	e.Cluster.RunPhase(cluster.PhaseStats{
-		Name:         job.Name + "/map",
-		ComputeOps:   mapOps,
-		ShuffleBytes: shuffleBytes,
-		// Hadoop spills map output to local disk and reads the input split
-		// from HDFS.
-		DiskBytes: inputBytes + shuffleBytes,
-		Tasks:     attempts,
-		Records:   int64(len(input)),
-	})
+	mapStats.ComputeOps = mapOps
+	mapStats.ShuffleBytes = shuffleBytes
+	// Hadoop spills map output to local disk and reads the input split from
+	// HDFS.
+	mapStats.DiskBytes = inputBytes + shuffleBytes
+	e.Cluster.RunPhase(mapStats)
 
 	// ---- Reduce phase ----
 	reducers := e.Reducers
@@ -263,9 +374,11 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	if redTasks == 0 {
 		redTasks = 1
 	}
+	redPhase := fmt.Sprintf("%s#%d/reduce", job.Name, seq)
 	result := make(map[K]R, len(keys))
 	var resMu sync.Mutex
 	var redOps, outBytes int64
+	redFaults := make([]taskFaults, redTasks)
 	var redWg sync.WaitGroup
 	slots := reducers
 	if tc := e.Cluster.TotalCores(); tc < slots {
@@ -276,33 +389,44 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 		lo := t * len(keys) / redTasks
 		hi := (t + 1) * len(keys) / redTasks
 		redWg.Add(1)
-		go func(taskKeys []K) {
+		go func(task int, taskKeys []K) {
 			defer redWg.Done()
 			redSem <- struct{}{}
 			defer func() { <-redSem }()
-			oc := &opsCounter{}
-			var taskBytes int64
-			partial := make(map[K]R, len(taskKeys))
-			for _, k := range taskKeys {
-				r := job.Reduce(k, grouped[k], oc)
-				var rb int64 = 8
-				if job.ResultBytes != nil {
-					rb = job.ResultBytes(r)
+			tf := &redFaults[task]
+			for att := 1; att <= maxAtt; att++ {
+				oc := &opsCounter{}
+				var taskBytes int64
+				partial := make(map[K]R, len(taskKeys))
+				for _, k := range taskKeys {
+					r := job.Reduce(k, grouped[k], oc)
+					var rb int64 = 8
+					if job.ResultBytes != nil {
+						rb = job.ResultBytes(r)
+					}
+					taskBytes += rb
+					partial[k] = r
 				}
-				taskBytes += rb
-				partial[k] = r
+				if plan.AttemptFails(redPhase, task, att) {
+					tf.failed++
+					tf.wasted += oc.n
+					continue
+				}
+				tf.chargeStraggler(plan, redPhase, task, att, oc.n)
+				resMu.Lock()
+				for k, r := range partial {
+					result[k] = r
+				}
+				redOps += oc.n
+				outBytes += taskBytes
+				resMu.Unlock()
+				return
 			}
-			resMu.Lock()
-			for k, r := range partial {
-				result[k] = r
-			}
-			redOps += oc.n
-			outBytes += taskBytes
-			resMu.Unlock()
-		}(keys[lo:hi])
+			tf.exhausted = true
+		}(t, keys[lo:hi])
 	}
 	redWg.Wait()
-	e.Cluster.RunPhase(cluster.PhaseStats{
+	redStats := cluster.PhaseStats{
 		Name:       job.Name + "/reduce",
 		ComputeOps: redOps,
 		DiskBytes:  outBytes, // reducers write results to HDFS
@@ -311,6 +435,17 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 		// driver) reads it back. This is the paper's intermediate-data
 		// metric.
 		MaterializedBytes: outBytes,
-	})
+	}
+	sumFaults(&redStats, redFaults)
+	for t := range redFaults {
+		if redFaults[t].exhausted {
+			redStats.DiskBytes = 0 // aborted job commits no output
+			redStats.MaterializedBytes = 0
+			e.Cluster.RunPhase(redStats)
+			return nil, fmt.Errorf("%w: job %q reduce task %d (%d attempts)",
+				ErrTaskFailed, job.Name, t, maxAtt)
+		}
+	}
+	e.Cluster.RunPhase(redStats)
 	return result, nil
 }

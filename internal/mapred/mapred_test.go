@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -220,11 +221,15 @@ func TestStatefulMapperEmitsOncePerTask(t *testing.T) {
 	}
 }
 
+// TestFailureInjectionRetriesAndStillCorrect covers the legacy FailureRate
+// knob: failed attempts are retried, the result is exact, Tasks stays the
+// useful task count, and the retries land in the recovery accounting.
 func TestFailureInjectionRetriesAndStillCorrect(t *testing.T) {
 	e := testEngine()
 	e.FailureRate = 0.5
 	e.SetFailureSeed(1234)
 	e.Splits = 8
+	e.MaxAttempts = 12 // 0.5^12 per task: terminal failure effectively off
 	input := make([]int64, 64)
 	for i := range input {
 		input[i] = 1
@@ -236,29 +241,209 @@ func TestFailureInjectionRetriesAndStillCorrect(t *testing.T) {
 	if got["total"] != 64 {
 		t.Fatalf("total = %d with failures", got["total"])
 	}
-	// More attempts than tasks must have been charged.
 	log := e.Cluster.PhaseLog()
-	if log[0].Tasks <= 8 {
-		t.Fatalf("expected retried attempts, got %d tasks", log[0].Tasks)
+	if log[0].Tasks != 8 {
+		t.Fatalf("map tasks = %d, want the 8 useful tasks", log[0].Tasks)
+	}
+	if log[0].FailedAttempts == 0 {
+		t.Fatal("expected retried attempts at 50% failure rate")
+	}
+	if log[0].RecomputedOps == 0 {
+		t.Fatal("failed attempts did not charge recomputed ops")
+	}
+	m := e.Cluster.Metrics()
+	if m.FailedAttempts != log[0].FailedAttempts+log[1].FailedAttempts {
+		t.Fatalf("metrics failed=%d, phases %d+%d",
+			m.FailedAttempts, log[0].FailedAttempts, log[1].FailedAttempts)
+	}
+	if m.RecoverySeconds <= 0 {
+		t.Fatal("recovery time not charged")
 	}
 }
 
-func TestFailureNeverExhaustsAttempts(t *testing.T) {
-	// Even at 100% injected failure rate the final attempt always commits,
-	// mirroring how we bound chaos in tests.
+// TestTerminalFailureReturnsError pins the silent-success fix: when every
+// attempt of a task fails, Run must surface ErrTaskFailed instead of keeping
+// the last attempt's output.
+func TestTerminalFailureReturnsError(t *testing.T) {
 	e := testEngine()
 	e.FailureRate = 1.0
 	e.MaxAttempts = 3
 	e.Splits = 2
-	got, err := Run(e, statefulJob(), []int64{5, 7})
+	_, err := Run(e, statefulJob(), []int64{5, 7})
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("err = %v, want ErrTaskFailed", err)
+	}
+	// The doomed attempts still burned cluster resources.
+	log := e.Cluster.PhaseLog()
+	if len(log) != 1 {
+		t.Fatalf("aborted job charged %d phases, want the map phase only", len(log))
+	}
+	if log[0].FailedAttempts != 2*3 {
+		t.Fatalf("failed attempts = %d, want 2 tasks x 3 attempts", log[0].FailedAttempts)
+	}
+}
+
+// TestReducePhaseRetries verifies fault injection reaches reduce tasks,
+// which the original implementation never failed.
+func TestReducePhaseRetries(t *testing.T) {
+	e := testEngine()
+	e.Faults = &cluster.FaultPlan{Seed: 5, TaskFailureRate: 0.6, MaxAttempts: 20}
+	e.Reducers = 8
+	input := []string{"a b c d e f g h", "a b c d", "e f g h"}
+	got, err := Run(e, wordCountJob(), input)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["total"] != 12 {
-		t.Fatalf("total = %d", got["total"])
+	if got["a"] != 2 || got["h"] != 2 {
+		t.Fatalf("wrong counts under reduce failures: %v", got)
 	}
-	if e.Cluster.PhaseLog()[0].Tasks != 6 {
-		t.Fatalf("attempts = %d want 6", e.Cluster.PhaseLog()[0].Tasks)
+	log := e.Cluster.PhaseLog()
+	reduce := log[len(log)-1]
+	if reduce.FailedAttempts == 0 {
+		t.Fatal("no reduce attempt failed at 60% failure rate")
+	}
+	if reduce.Tasks != 8 {
+		t.Fatalf("reduce tasks = %d, want 8 useful tasks", reduce.Tasks)
+	}
+}
+
+// TestNodeLossRerunsCompletedMaps pins the Hadoop semantics: map outputs on
+// a dead node are gone, so the completed map tasks it hosted re-run.
+func TestNodeLossRerunsCompletedMaps(t *testing.T) {
+	e := testEngine()
+	e.Faults = &cluster.FaultPlan{Seed: 1, NodeLossRate: 1} // every node dies
+	e.Splits = 8
+	input := make([]int64, 32)
+	for i := range input {
+		input[i] = 1
+	}
+	got, err := Run(e, statefulJob(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["total"] != 32 {
+		t.Fatalf("total = %d after node loss", got["total"])
+	}
+	log := e.Cluster.PhaseLog()
+	if log[0].FailedAttempts != 8 {
+		t.Fatalf("failed attempts = %d, want all 8 map outputs lost", log[0].FailedAttempts)
+	}
+	// The re-run repeats the full map work: one op per record.
+	if log[0].RecomputedOps != 32 {
+		t.Fatalf("recomputed ops = %d, want 32", log[0].RecomputedOps)
+	}
+}
+
+// TestSpeculativeExecution covers straggler handling both ways: speculative
+// backup copies are counted and charged, and without speculation the
+// straggler's serial slack is charged instead.
+func TestSpeculativeExecution(t *testing.T) {
+	input := make([]int64, 32)
+	for i := range input {
+		input[i] = 1
+	}
+
+	spec := testEngine()
+	spec.Faults = &cluster.FaultPlan{Seed: 9, StragglerRate: 1, SpeculativeExecution: true}
+	spec.Splits = 4
+	if _, err := Run(spec, statefulJob(), input); err != nil {
+		t.Fatal(err)
+	}
+	log := spec.Cluster.PhaseLog()
+	if log[0].SpeculativeTasks != 4 {
+		t.Fatalf("speculative tasks = %d, want one backup per map task", log[0].SpeculativeTasks)
+	}
+	if log[0].StragglerOps != 0 {
+		t.Fatal("speculation must absorb straggler slack")
+	}
+
+	slow := testEngine()
+	slow.Faults = &cluster.FaultPlan{Seed: 9, StragglerRate: 1, StragglerFactor: 4}
+	slow.Splits = 4
+	if _, err := Run(slow, statefulJob(), input); err != nil {
+		t.Fatal(err)
+	}
+	log = slow.Cluster.PhaseLog()
+	if log[0].SpeculativeTasks != 0 {
+		t.Fatal("speculation off but backups launched")
+	}
+	// 32 map ops, each task straggling 4x slower: 3 extra op-times of slack.
+	if log[0].StragglerOps != 3*32 {
+		t.Fatalf("straggler ops = %d, want %d", log[0].StragglerOps, 3*32)
+	}
+	if slow.Cluster.Metrics().RecoverySeconds <= 0 {
+		t.Fatal("straggler slack not priced")
+	}
+}
+
+// mapExecCounts runs the stateful job and returns how many times the mapper
+// of each task executed (attempts = failures + 1), which identifies the
+// exact attempt set that failed.
+func mapExecCounts(t *testing.T, seed uint64) []int64 {
+	t.Helper()
+	const splits = 8
+	counts := make([]int64, splits)
+	e := testEngine()
+	e.FailureRate = 0.4
+	e.SetFailureSeed(seed)
+	e.Splits = splits
+	e.MaxAttempts = 16
+	job := statefulJob()
+	base := job.NewMapper
+	job.NewMapper = func(task int) Mapper[int64, string, int64] {
+		atomic.AddInt64(&counts[task], 1)
+		return base(task)
+	}
+	input := make([]int64, 64)
+	for i := range input {
+		input[i] = 1
+	}
+	if _, err := Run(e, job, input); err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+// TestFailureSeedReproducible pins the SetFailureSeed fix: the same seed
+// must fail the identical per-task attempt set on every run, regardless of
+// goroutine scheduling.
+func TestFailureSeedReproducible(t *testing.T) {
+	a := mapExecCounts(t, 77)
+	b := mapExecCounts(t, 77)
+	var retried bool
+	for task := range a {
+		if a[task] != b[task] {
+			t.Fatalf("task %d ran %d vs %d attempts with the same seed", task, a[task], b[task])
+		}
+		if a[task] > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("seed 77 injected no failures; test proves nothing")
+	}
+	c := mapExecCounts(t, 78)
+	same := true
+	for task := range a {
+		if a[task] != c[task] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical attempt set")
+	}
+}
+
+// TestFaultFreeRunsChargeNoRecovery guards the cost model: without a fault
+// plan, every recovery metric stays exactly zero.
+func TestFaultFreeRunsChargeNoRecovery(t *testing.T) {
+	e := testEngine()
+	if _, err := Run(e, wordCountJob(), []string{"a b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Cluster.Metrics()
+	if m.FailedAttempts != 0 || m.RecomputedOps != 0 || m.SpeculativeTasks != 0 || m.RecoverySeconds != 0 {
+		t.Fatalf("fault-free run charged recovery: %+v", m)
 	}
 }
 
@@ -398,6 +583,9 @@ func TestWordCountProperty(t *testing.T) {
 		if chaos {
 			e.FailureRate = 0.3
 			e.SetFailureSeed(uint64(seed) * 3)
+			// Bound terminal failures out of existence (0.3^12 per task) so
+			// the property stays about correctness under retries.
+			e.MaxAttempts = 12
 		}
 		got, err := Run(e, wordCountJob(), lines)
 		if err != nil {

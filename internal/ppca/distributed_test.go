@@ -295,9 +295,15 @@ func TestFitMapReduceWithFailureInjection(t *testing.T) {
 	eng := testEngineMR()
 	eng.FailureRate = 0.2
 	eng.SetFailureSeed(7)
+	// At 0.2 per attempt a task terminally fails with p = 0.2^12 ≈ 4e-9, so
+	// the fit exercises retries without ever hitting ErrTaskFailed.
+	eng.MaxAttempts = 12
 	res, err := FitMapReduce(eng, rows, 30, opt)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if m := eng.Cluster.Metrics(); m.FailedAttempts == 0 || m.RecoverySeconds <= 0 {
+		t.Fatalf("no recovery charged at 20%% failure rate: %+v", m)
 	}
 	// Failures slow things down but never change the answer.
 	clean, err := FitMapReduce(testEngineMR(), rows, 30, opt)

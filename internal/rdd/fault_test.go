@@ -1,0 +1,213 @@
+package rdd
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"spca/internal/cluster"
+)
+
+// sumAction folds the RDD through an accumulator-style ForeachPartition and
+// returns the total, charging one op per record.
+func sumAction(r *RDD[int], name string) int64 {
+	var total int64
+	r.ForeachPartition(name, func(task int, part []int, ops *TaskOps) {
+		var s int64
+		for _, v := range part {
+			s += int64(v)
+			ops.AddOps(1)
+		}
+		atomic.AddInt64(&total, s)
+	})
+	return total
+}
+
+// TestAttemptFailuresChargedAndExact: failed task attempts are re-executed
+// (charged, never re-run — side effects stay exact) and the result matches a
+// fault-free run.
+func TestAttemptFailuresChargedAndExact(t *testing.T) {
+	clean := newTestContext()
+	want := sumAction(Parallelize(clean, "ints", rangeInts(512), intSize), "sum")
+
+	ctx := newTestContext()
+	ctx.SetFaultPlan(&cluster.FaultPlan{Seed: 3, TaskFailureRate: 0.5})
+	got := sumAction(Parallelize(ctx, "ints", rangeInts(512), intSize), "sum")
+	if got != want {
+		t.Fatalf("sum = %d under faults, want %d", got, want)
+	}
+	m := ctx.Cluster().Metrics()
+	if m.FailedAttempts == 0 || m.RecomputedOps == 0 || m.RecoverySeconds <= 0 {
+		t.Fatalf("no recovery charged at 50%% failure rate: %+v", m)
+	}
+}
+
+// TestSameSeedSameFaults: fault charges are a pure function of the plan
+// seed, independent of goroutine scheduling.
+func TestSameSeedSameFaults(t *testing.T) {
+	run := func(seed uint64) cluster.Metrics {
+		ctx := newTestContext()
+		ctx.SetFaultPlan(&cluster.FaultPlan{Seed: seed, TaskFailureRate: 0.3, NodeLossRate: 0.2, StragglerRate: 0.2, SpeculativeExecution: true})
+		r := Parallelize(ctx, "ints", rangeInts(1024), intSize).Persist()
+		sumAction(r, "pass1")
+		sumAction(r, "pass2")
+		return ctx.Cluster().Metrics()
+	}
+	a, b := run(11), run(11)
+	if a != b {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", a, b)
+	}
+	if a.FailedAttempts == 0 {
+		t.Fatal("seed 11 injected nothing; test proves nothing")
+	}
+	if c := run(12); a == c {
+		t.Fatal("different seeds produced identical metrics")
+	}
+}
+
+// TestLineageRecoveryTransitive: losing the cached partitions of a persisted
+// RDD chain recomputes them transitively — child from parent from the
+// durable root (a re-read, since roots are born checkpointed).
+func TestLineageRecoveryTransitive(t *testing.T) {
+	ctx := newTestContext()
+	root := Parallelize(ctx, "root", rangeInts(256), intSize)
+	a := Map(root, "a", func(v int) int { return v + 1 }, intSize, 2).Persist()
+	b := Map(a, "b", func(v int) int { return v * 2 }, intSize, 3).Persist()
+	preLoss := ctx.Cluster().Metrics()
+
+	// Every node dies: all cached partitions of a and b are lost. The next
+	// action on b must rebuild b from a and a from the root's durable copy.
+	ctx.SetFaultPlan(&cluster.FaultPlan{Seed: 1, NodeLossRate: 1})
+	want := sumAction(b, "sum")
+	m := ctx.Cluster().Metrics()
+
+	var clean int64
+	for _, v := range rangeInts(256) {
+		clean += int64((v + 1) * 2)
+	}
+	if want != clean {
+		t.Fatalf("sum = %d after node loss, want %d", want, clean)
+	}
+	// 256 records re-derived through both map closures: 2 + 3 ops each.
+	if rec := m.RecomputedOps - preLoss.RecomputedOps; rec != 256*(2+3) {
+		t.Fatalf("recomputed ops = %d, want %d", rec, 256*(2+3))
+	}
+	// The root's partitions were re-read from durable storage: 8 bytes/rec.
+	if disk := m.DiskBytes - preLoss.DiskBytes; disk < 256*8 {
+		t.Fatalf("recovery disk = %d, want at least the root re-read", disk)
+	}
+	if m.FailedAttempts == 0 || m.RecoverySeconds <= 0 {
+		t.Fatalf("lost partitions not accounted: %+v", m)
+	}
+
+	// Recovery restored the cache: a fault-free action recomputes nothing.
+	ctx.SetFaultPlan(nil)
+	after := ctx.Cluster().Metrics()
+	sumAction(b, "sum2")
+	if got := ctx.Cluster().Metrics().RecomputedOps; got != after.RecomputedOps {
+		t.Fatalf("cache not restored after recovery: %d new recomputed ops", got-after.RecomputedOps)
+	}
+}
+
+// TestCheckpointCutsLineage: after Checkpoint, recovering a descendant stops
+// at the checkpointed ancestor (disk re-read) instead of recomputing the
+// whole chain.
+func TestCheckpointCutsLineage(t *testing.T) {
+	run := func(checkpoint bool) int64 {
+		ctx := newTestContext()
+		root := Parallelize(ctx, "root", rangeInts(256), intSize)
+		a := Map(root, "a", func(v int) int { return v + 1 }, intSize, 7)
+		if checkpoint {
+			a.Checkpoint()
+		}
+		c := Map(a, "c", func(v int) int { return v * 2 }, intSize, 3).Persist()
+		ctx.SetFaultPlan(&cluster.FaultPlan{Seed: 1, NodeLossRate: 1})
+		sumAction(c, "sum")
+		return ctx.Cluster().Metrics().RecomputedOps
+	}
+	withCut, withoutCut := run(true), run(false)
+	// Cut lineage: only c's own closure re-runs (3 ops/rec). Uncut: a's
+	// closure (7 ops/rec) re-runs too.
+	if withCut != 256*3 {
+		t.Fatalf("checkpointed chain recomputed %d ops, want %d", withCut, 256*3)
+	}
+	if withoutCut != 256*(7+3) {
+		t.Fatalf("uncut chain recomputed %d ops, want %d", withoutCut, 256*(7+3))
+	}
+}
+
+// TestCheckpointCharged: Checkpoint materializes the RDD to simulated disk
+// as its own phase.
+func TestCheckpointCharged(t *testing.T) {
+	ctx := newTestContext()
+	r := Parallelize(ctx, "ints", rangeInts(100), intSize)
+	before := ctx.Cluster().Metrics()
+	r.Checkpoint()
+	m := ctx.Cluster().Metrics()
+	if m.Phases != before.Phases+1 {
+		t.Fatal("checkpoint did not run as a phase")
+	}
+	if m.DiskBytes-before.DiskBytes != 800 || m.MaterializedBytes-before.MaterializedBytes != 800 {
+		t.Fatalf("checkpoint bytes wrong: %+v", m)
+	}
+}
+
+// TestStragglersAndSpeculation: a straggling committing attempt either
+// launches a charged backup copy or delays the phase serially.
+func TestStragglersAndSpeculation(t *testing.T) {
+	spec := newTestContext()
+	spec.SetFaultPlan(&cluster.FaultPlan{Seed: 2, StragglerRate: 1, SpeculativeExecution: true})
+	r := Parallelize(spec, "ints", rangeInts(512), intSize)
+	sumAction(r, "sum")
+	m := spec.Cluster().Metrics()
+	if m.SpeculativeTasks != int64(r.NumPartitions()) {
+		t.Fatalf("speculative tasks = %d, want one per partition (%d)", m.SpeculativeTasks, r.NumPartitions())
+	}
+
+	slow := newTestContext()
+	slow.SetFaultPlan(&cluster.FaultPlan{Seed: 2, StragglerRate: 1, StragglerFactor: 5})
+	sumAction(Parallelize(slow, "ints", rangeInts(512), intSize), "sum")
+	sm := slow.Cluster().Metrics()
+	if sm.SpeculativeTasks != 0 {
+		t.Fatal("speculation off but backups launched")
+	}
+	if sm.RecoverySeconds <= 0 {
+		t.Fatal("unmitigated stragglers cost nothing")
+	}
+}
+
+// TestFaultFreeRunsUnchanged: without a plan the recovery metrics stay zero
+// and the action sequence charges exactly what it did before the fault layer
+// existed.
+func TestFaultFreeRunsUnchanged(t *testing.T) {
+	ctx := newTestContext()
+	r := Parallelize(ctx, "ints", rangeInts(300), intSize).Persist()
+	sumAction(r, "sum")
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	m := ctx.Cluster().Metrics()
+	if m.FailedAttempts != 0 || m.RecomputedOps != 0 || m.SpeculativeTasks != 0 || m.RecoverySeconds != 0 {
+		t.Fatalf("fault-free run charged recovery: %+v", m)
+	}
+}
+
+// TestCollectRecoversLostPartitions: pure data-movement actions still
+// recover lost cached partitions before shipping them.
+func TestCollectRecoversLostPartitions(t *testing.T) {
+	ctx := newTestContext()
+	root := Parallelize(ctx, "root", rangeInts(128), intSize)
+	r := Map(root, "m", func(v int) int { return v + 1 }, intSize, 1).Persist()
+	ctx.SetFaultPlan(&cluster.FaultPlan{Seed: 4, NodeLossRate: 1})
+	before := ctx.Cluster().Metrics()
+	out, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 128 || out[0] != 1 {
+		t.Fatalf("collect corrupted by recovery: len=%d", len(out))
+	}
+	m := ctx.Cluster().Metrics()
+	if m.RecomputedOps-before.RecomputedOps != 128 {
+		t.Fatalf("recomputed ops = %d, want 128", m.RecomputedOps-before.RecomputedOps)
+	}
+}

@@ -10,6 +10,13 @@
 // are charged as network traffic. Driver-side allocations go through the
 // cluster's driver-memory accounting, which is what makes the MLlib-PCA
 // out-of-memory failure reproducible.
+//
+// Fault tolerance is Spark's lineage model: arm it with Context.SetFaultPlan.
+// Each RDD records its parent and recompute closure; cached partitions lost
+// with a dead node are recomputed transitively from lineage (or re-read, if
+// Checkpoint cut the lineage), failed task attempts are re-executed until
+// they succeed, and all of it is charged to the cluster's recovery metrics
+// while results stay bit-identical to a fault-free run.
 package rdd
 
 import (
@@ -28,12 +35,15 @@ type Context struct {
 }
 
 // ctxState is the mutable session state shared by a context and every
-// context derived from it via WithPartitions: the cache-memory pool, and the
-// mutex that also guards each RDD's persistence fields (Persist/Unpersist
-// may race with concurrent scans from another fit on the same session).
+// context derived from it via WithPartitions: the cache-memory pool, the
+// fault plan, and the mutex that also guards each RDD's persistence and
+// lineage fields (Persist/Unpersist may race with concurrent scans from
+// another fit on the same session).
 type ctxState struct {
 	mu          sync.Mutex
 	cachedBytes int64 // aggregate worker memory currently used for caching
+	faults      *cluster.FaultPlan
+	epoch       int64 // action counter, salts fault decisions per action
 }
 
 // NewContext returns a Spark-like context over cl. Actions schedule one task
@@ -57,6 +67,33 @@ func (c *Context) WithPartitions(n int) *Context {
 
 // Cluster returns the underlying simulated cluster.
 func (c *Context) Cluster() *cluster.Cluster { return c.cl }
+
+// SetFaultPlan arms (or, with nil, disarms) deterministic fault injection for
+// every action on this context and the contexts derived from it. Faults are
+// simulated Spark-style: lost cached partitions are recovered through lineage
+// (transitive recomputation, charged to the recovery metrics), failed task
+// attempts are re-executed until they succeed, and results are bit-identical
+// to a fault-free run by construction — only the cost accounting changes.
+func (c *Context) SetFaultPlan(p *cluster.FaultPlan) {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	c.state.faults = p
+}
+
+// actionPlan returns the active fault plan and a salted phase key for one
+// action, or (nil, "") when fault injection is off. Each action gets a fresh
+// epoch so repeated same-named actions (one per EM iteration) draw distinct
+// faults; driver code issues actions sequentially, so epoch assignment — and
+// with it every fault decision — is deterministic for a given program.
+func (c *Context) actionPlan(name string) (*cluster.FaultPlan, string) {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	if !c.state.faults.Enabled() {
+		return nil, ""
+	}
+	c.state.epoch++
+	return c.state.faults, fmt.Sprintf("%s#%d", name, c.state.epoch)
+}
 
 // aggregateMemory is the total worker memory available for caching.
 func (c *Context) aggregateMemory() int64 {
@@ -112,6 +149,158 @@ type RDD[T any] struct {
 	persisted  bool
 	memBytes   int64 // resident in aggregate cluster memory
 	spillBytes int64 // overflow that re-reads from disk on every scan
+
+	// Lineage, for Spark-style fault recovery. parent is the RDD this one was
+	// derived from (nil for a root) and recomputeOpsPerRec the arithmetic to
+	// re-derive one record from the parent; together they form the recompute
+	// closure. checkpointed RDDs are durably on simulated disk (HDFS), so
+	// recovery is a re-read and the lineage walk stops. lost marks cached
+	// partitions that died with their node and must be recomputed before the
+	// next scan. All guarded by ctx.state.mu.
+	parent             lineageNode
+	recomputeOpsPerRec int64
+	checkpointed       bool
+	lost               []bool
+}
+
+// lineageNode is the type-erased view of an RDD seen by its children during
+// a lineage walk (parent and child generally hold different record types).
+type lineageNode interface {
+	// recoverLocked charges the cost of making partition p readable again,
+	// recursing into the parent when this node must recompute. Caller holds
+	// ctx.state.mu.
+	recoverLocked(p int, rc *recovery)
+	// markNodeLostLocked records that worker node (of nodes total) died,
+	// invalidating the cached partitions it hosted, here and transitively up
+	// the lineage. Caller holds ctx.state.mu.
+	markNodeLostLocked(node, nodes int)
+}
+
+// recovery accumulates the charges of one action's fault handling.
+type recovery struct {
+	failed       int64 // failed attempts + lost partitions recovered
+	ops          int64 // re-executed arithmetic
+	disk         int64 // re-read bytes (checkpoint / root re-loads)
+	spec         int64 // speculative backup copies
+	stragglerOps int64 // serial op-time of unmitigated stragglers
+}
+
+// maxLineageRetries bounds per-task retries purely as a safeguard against
+// degenerate plans (TaskFailureRate = 1 would otherwise loop forever). Unlike
+// the MapReduce engine, lineage recovery has no terminal failure: Spark
+// resubmits until the task lands.
+const maxLineageRetries = 1000
+
+// partBytes is the serialized size of partition p.
+func (r *RDD[T]) partBytes(p int) int64 {
+	var b int64
+	for _, rec := range r.parts[p] {
+		b += r.sizeOf(rec)
+	}
+	return b
+}
+
+func (r *RDD[T]) recoverLocked(p int, rc *recovery) {
+	if r.checkpointed {
+		rc.disk += r.partBytes(p) // durable copy: re-read, lineage cut
+		return
+	}
+	if r.persisted && (r.lost == nil || !r.lost[p]) {
+		return // cached copy (memory or local spill) still available
+	}
+	if r.parent != nil {
+		r.parent.recoverLocked(p, rc)
+	}
+	rc.ops += int64(len(r.parts[p])) * r.recomputeOpsPerRec
+	if r.persisted {
+		r.lost[p] = false // the recomputed partition re-enters the cache
+	}
+}
+
+func (r *RDD[T]) markNodeLostLocked(node, nodes int) {
+	if r.persisted && !r.checkpointed {
+		if r.lost == nil {
+			r.lost = make([]bool, len(r.parts))
+		}
+		for p := node; p < len(r.parts); p += nodes {
+			r.lost[p] = true
+		}
+	}
+	if r.parent != nil {
+		r.parent.markNodeLostLocked(node, nodes)
+	}
+}
+
+// applyActionFaults rolls this action's fault decisions and folds the
+// recovery charges into stats. Node losses invalidate cached partitions up
+// the lineage and the lost partitions this action reads are recovered
+// (recomputed transitively, or re-read if checkpointed); per-task attempt
+// failures charge their re-execution; a straggling committing attempt either
+// races a speculative copy or delays the phase. taskOps[p] is the real
+// arithmetic of task p (nil for pure data-movement actions). Results are
+// never touched — the engine charges re-execution instead of re-running
+// closures, so actions with side effects (accumulator merges) stay exact.
+func applyActionFaults[T any](r *RDD[T], plan *cluster.FaultPlan, phase string, stats *cluster.PhaseStats, taskOps []int64) {
+	if !plan.Enabled() {
+		return
+	}
+	st := r.ctx.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var rc recovery
+	nodes := r.ctx.cl.Config().Nodes
+	for n := 0; n < nodes; n++ {
+		if plan.NodeLost(phase, n) {
+			r.markNodeLostLocked(n, nodes)
+		}
+	}
+	for p := range r.parts {
+		if r.lost != nil && r.lost[p] {
+			rc.failed++
+			r.recoverLocked(p, &rc)
+		}
+	}
+	for p, ops := range taskOps {
+		att := 1
+		for ; att <= maxLineageRetries && plan.AttemptFails(phase, p, att); att++ {
+			rc.failed++
+			rc.ops += ops // the failed attempt's work, re-executed
+		}
+		if plan.Straggles(phase, p, att) {
+			if plan.SpeculativeExecution {
+				rc.spec++
+				rc.ops += ops
+			} else {
+				rc.stragglerOps += int64(float64(ops) * (plan.SlowFactor() - 1))
+			}
+		}
+	}
+	stats.FailedAttempts += rc.failed
+	stats.RecomputedOps += rc.ops
+	stats.RecoveryDiskBytes += rc.disk
+	stats.SpeculativeTasks += rc.spec
+	stats.StragglerOps += rc.stragglerOps
+}
+
+// Checkpoint materializes the RDD to simulated durable storage (HDFS),
+// cutting its lineage: recovery of a checkpointed partition is a disk
+// re-read rather than a recomputation chain. The write is charged as one
+// phase, like Spark's checkpoint job.
+func (r *RDD[T]) Checkpoint() *RDD[T] {
+	bytes := r.totalBytes()
+	r.ctx.cl.RunPhase(cluster.PhaseStats{
+		Name:              r.name + "/checkpoint",
+		DiskBytes:         bytes,
+		MaterializedBytes: bytes,
+		Tasks:             int64(len(r.parts)),
+	})
+	st := r.ctx.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r.checkpointed = true
+	r.parent = nil
+	r.lost = nil
+	return r
 }
 
 // Parallelize distributes data across the context's partitions. sizeOf gives
@@ -131,7 +320,10 @@ func Parallelize[T any](ctx *Context, name string, data []T, sizeOf func(T) int6
 		hi := (p + 1) * len(data) / n
 		parts[p] = data[lo:hi]
 	}
-	r := &RDD[T]{ctx: ctx, name: name, parts: parts, sizeOf: sizeOf}
+	// A root RDD's data lives durably in HDFS, so it is born checkpointed:
+	// losing a cached copy of an input partition costs a re-read, never a
+	// recomputation.
+	r := &RDD[T]{ctx: ctx, name: name, parts: parts, sizeOf: sizeOf, checkpointed: true}
 	ctx.cl.RunPhase(cluster.PhaseStats{
 		Name:      name + "/load",
 		DiskBytes: r.totalBytes(),
@@ -209,6 +401,7 @@ func (r *RDD[T]) scanDiskBytes() int64 {
 // phase: the tasks' arithmetic, a scan's disk traffic, and task overheads.
 // It is the engine primitive behind every distributed job in this repo.
 func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *TaskOps)) {
+	plan, phase := r.ctx.actionPlan(name)
 	opsPer := make([]TaskOps, len(r.parts))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, r.ctx.cl.TotalCores())
@@ -223,22 +416,32 @@ func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *T
 	}
 	wg.Wait()
 	var totalOps int64
+	taskOps := make([]int64, len(opsPer))
 	for i := range opsPer {
 		totalOps += opsPer[i].ops
+		taskOps[i] = opsPer[i].ops
 	}
-	r.ctx.cl.RunPhase(cluster.PhaseStats{
+	stats := cluster.PhaseStats{
 		Name:       name,
 		ComputeOps: totalOps,
 		DiskBytes:  r.scanDiskBytes(),
 		Tasks:      int64(len(r.parts)),
 		Records:    int64(r.Count()),
-	})
+	}
+	applyActionFaults(r, plan, phase, &stats, taskOps)
+	r.ctx.cl.RunPhase(stats)
 }
 
 // Map transforms every record, returning a new (uncached) RDD. The
 // transformation is charged as one phase; opsPerRec charges arithmetic.
 func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, opsPerRec int64) *RDD[U] {
-	out := &RDD[U]{ctx: r.ctx, name: name, sizeOf: sizeOf, parts: make([][]U, len(r.parts))}
+	plan, phase := r.ctx.actionPlan(name)
+	out := &RDD[U]{
+		ctx: r.ctx, name: name, sizeOf: sizeOf, parts: make([][]U, len(r.parts)),
+		// Lineage: the child re-derives a lost partition by re-applying f to
+		// the parent's partition.
+		parent: r, recomputeOpsPerRec: opsPerRec,
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, r.ctx.cl.TotalCores())
 	for p := range r.parts {
@@ -256,7 +459,11 @@ func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, op
 	}
 	wg.Wait()
 	outBytes := out.totalBytes()
-	r.ctx.cl.RunPhase(cluster.PhaseStats{
+	taskOps := make([]int64, len(r.parts))
+	for p := range r.parts {
+		taskOps[p] = int64(len(r.parts[p])) * opsPerRec
+	}
+	stats := cluster.PhaseStats{
 		Name:       name,
 		ComputeOps: int64(r.Count()) * opsPerRec,
 		// The derived RDD is materialized for later passes (it is not
@@ -266,7 +473,9 @@ func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, op
 		MaterializedBytes: outBytes,
 		Tasks:             int64(len(r.parts)),
 		Records:           int64(r.Count()),
-	})
+	}
+	applyActionFaults(r, plan, phase, &stats, taskOps)
+	r.ctx.cl.RunPhase(stats)
 	return out
 }
 
@@ -277,17 +486,22 @@ func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, op
 // collected data is no longer held — a leaked allocation skews DriverPeak
 // and can trigger spurious OOMs in long multi-fit runs.
 func (r *RDD[T]) Collect() ([]T, error) {
+	plan, phase := r.ctx.actionPlan(r.name + "/collect")
 	bytes := r.totalBytes()
 	if err := r.ctx.cl.AllocDriver(bytes); err != nil {
 		return nil, fmt.Errorf("rdd: collect %s: %w", r.name, err)
 	}
-	r.ctx.cl.RunPhase(cluster.PhaseStats{
+	stats := cluster.PhaseStats{
 		Name:         r.name + "/collect",
 		ShuffleBytes: bytes,
 		DiskBytes:    r.scanDiskBytes(),
 		Tasks:        int64(len(r.parts)),
 		Records:      int64(r.Count()),
-	})
+	}
+	// Collect moves data rather than computing, so only node-loss recovery
+	// applies (nil taskOps: no per-task arithmetic to re-execute).
+	applyActionFaults(r, plan, phase, &stats, nil)
+	r.ctx.cl.RunPhase(stats)
 	out := make([]T, 0, r.Count())
 	for _, p := range r.parts {
 		out = append(out, p...)
@@ -302,6 +516,7 @@ func (r *RDD[T]) Collect() ([]T, error) {
 // when the result is no longer needed.
 // This is the communication pattern of MLlib's Gramian computation.
 func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *TaskOps) U, comb func(U, U) U, sizeOf func(U) int64) (U, error) {
+	plan, phase := r.ctx.actionPlan(name)
 	partials := make([]U, len(r.parts))
 	opsPer := make([]TaskOps, len(r.parts))
 	var wg sync.WaitGroup
@@ -322,8 +537,10 @@ func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *
 	wg.Wait()
 
 	var totalOps, shuffle int64
+	taskOps := make([]int64, len(opsPer))
 	for i := range opsPer {
 		totalOps += opsPer[i].ops
+		taskOps[i] = opsPer[i].ops
 	}
 	result := zero()
 	for _, part := range partials {
@@ -338,6 +555,7 @@ func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *
 		Tasks:        int64(len(r.parts)),
 		Records:      int64(r.Count()),
 	}
+	applyActionFaults(r, plan, phase, &stats, taskOps)
 	resBytes := sizeOf(result)
 	if err := r.ctx.cl.AllocDriver(resBytes); err != nil {
 		var zeroU U

@@ -107,6 +107,13 @@ type ClusterConfig struct {
 // Metrics re-exports the simulated-cluster accounting.
 type Metrics = cluster.Metrics
 
+// FaultPlan re-exports the deterministic fault-injection plan. Armed via
+// Config.Faults it subjects a fit to task-attempt failures, node losses and
+// stragglers; the engines recover (retries on MapReduce, lineage
+// recomputation on Spark), the recovery cost lands in the Metrics fault
+// fields, and the fitted model stays bit-identical to a fault-free run.
+type FaultPlan = cluster.FaultPlan
+
 // IterationStat mirrors ppca.IterationStat for the unified result.
 type IterationStat struct {
 	Iter       int
@@ -130,6 +137,9 @@ type Config struct {
 	Seed uint64
 	// Cluster overrides the simulated cluster (default: paper testbed).
 	Cluster ClusterConfig
+	// Faults arms deterministic fault injection for the distributed
+	// algorithms (nil, the default, runs fault-free). See FaultPlan.
+	Faults *FaultPlan
 
 	// Optimization switches for sPCA ablations. DisableX turns an
 	// optimization OFF (the zero value keeps full sPCA behaviour).
@@ -293,7 +303,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := ppca.FitMapReduce(mapred.NewEngine(cl), rows, y.C, cfg.ppcaOptions(y))
+		res, err := ppca.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, cfg.ppcaOptions(y))
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +314,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := ppca.FitSpark(rdd.NewContext(cl), rows, y.C, cfg.ppcaOptions(y))
+		res, err := ppca.FitSpark(cfg.rddContext(cl), rows, y.C, cfg.ppcaOptions(y))
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +332,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			opt.TargetAccuracy = cfg.TargetAccuracy
 			opt.IdealError = ppca.IdealError(y, cfg.Components, cfg.ppcaBaseOptions())
 		}
-		res, err := ssvd.FitMapReduce(mapred.NewEngine(cl), rows, y.C, opt)
+		res, err := ssvd.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +359,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		}
 		opt := covpca.DefaultOptions(cfg.Components)
 		opt.Seed = cfg.Seed
-		res, err := covpca.FitSpark(rdd.NewContext(cl), rows, y.C, opt)
+		res, err := covpca.FitSpark(cfg.rddContext(cl), rows, y.C, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -370,7 +380,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		}
 		opt := svdbidiag.DefaultOptions(cfg.Components)
 		opt.Seed = cfg.Seed
-		res, err := svdbidiag.FitMapReduce(mapred.NewEngine(cl), rows, y.C, opt)
+		res, err := svdbidiag.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -387,6 +397,22 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("spca: unknown algorithm %q", cfg.Algorithm)
 	}
+}
+
+// mapredEngine builds the Hadoop-like engine for a fit, arming fault
+// injection when the config carries a plan.
+func (c Config) mapredEngine(cl *cluster.Cluster) *mapred.Engine {
+	eng := mapred.NewEngine(cl)
+	eng.Faults = c.Faults
+	return eng
+}
+
+// rddContext builds the Spark-like context for a fit, arming fault injection
+// when the config carries a plan.
+func (c Config) rddContext(cl *cluster.Cluster) *rdd.Context {
+	ctx := rdd.NewContext(cl)
+	ctx.SetFaultPlan(c.Faults)
+	return ctx
 }
 
 func (c Config) ppcaBaseOptions() ppca.Options {
