@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-kernels experiments
+.PHONY: check vet build test race chaos bench bench-kernels bench-json bench-smoke experiments
 
-check: vet build test race chaos
+check: vet build test race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,23 @@ bench:
 bench-kernels:
 	$(GO) test ./internal/matrix -run '^$$' -bench BenchmarkKernels
 	$(GO) test . -run '^$$' -bench BenchmarkParallelSpeedup
+
+# Machine-readable benchmark baseline: in-place kernels, steady-state mapper
+# allocations, and the pooled-vs-legacy end-to-end fit A/B pairs, written to
+# $(BENCH_JSON) for committing and diffing against earlier BENCH_*.json files.
+BENCH_JSON ?= BENCH_3.json
+bench-json:
+	{ $(GO) test ./internal/matrix -run '^$$' -bench BenchmarkKernelsInPlace -benchmem -benchtime 20x; \
+	  $(GO) test ./internal/ppca -run '^$$' -bench 'BenchmarkSteady|Pooled|Legacy' -benchmem -benchtime 10x; } \
+	| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# One-iteration smoke of the bench harness and the JSON converter; part of
+# `make check` so the pipeline cannot rot. The throwaway output stays out of
+# the committed baselines.
+bench-smoke:
+	@$(GO) test ./internal/ppca -run '^$$' -bench BenchmarkSteady -benchmem -benchtime 1x \
+	| $(GO) run ./cmd/benchjson -out .bench-smoke.json
+	@rm -f .bench-smoke.json
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all -profile quick

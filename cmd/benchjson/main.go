@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin into
+// a machine-readable JSON document, so benchmark baselines can be committed
+// (BENCH_*.json) and diffed across changes:
+//
+//	go test ./... -run '^$' -bench . -benchmem | go run ./cmd/benchjson -out BENCH_3.json
+//
+// Standard per-op metrics (ns/op, B/op, allocs/op) get dedicated fields; any
+// extra `value unit` pairs a benchmark reports land in the "extra" map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoOS        string      `json:"goos,omitempty"`
+	GoArch      string      `json:"goarch,omitempty"`
+	CPU         string      `json:"cpu,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Document{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatalf("no benchmark result lines found on stdin (did the bench run fail?)")
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseBenchLine parses a result line of the form
+//
+//	BenchmarkName-8  	 1000	 1234 ns/op	 56 B/op	 7 allocs/op	 3.2 extra/metric
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		v := val
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[fields[i+1]] = v
+		}
+	}
+	return b, sawNs
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

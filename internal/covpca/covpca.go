@@ -118,7 +118,11 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 	if n == 1 {
 		denom = 1
 	}
-	cov := gram.Clone()
+	// The Gramian is not read again after this step, so the covariance
+	// densify runs in place on its buffer instead of on a clone. The
+	// simulated MLlib driver still holds two D x D matrices at this point
+	// (Gramian + covariance), so the second allocation stays charged below.
+	cov := gram
 	// Rows of the covariance are independent, so the densify loop runs on
 	// the parallel pool (each element computed exactly as before).
 	parallel.For(dims, 4096/(dims+1)+1, func(lo, hi int) {

@@ -1,0 +1,48 @@
+package covpca
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// fingerprint hashes the exact float64 bits of a fitted model so the
+// scratch-reuse refactor can prove bit-identity to the pre-change tree.
+func fingerprint(res *Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, v := range res.Components.Data {
+		put(v)
+	}
+	for _, v := range res.Eigenvalues {
+		put(v)
+	}
+	put(res.Err)
+	put(res.Metrics.SimSeconds)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Pre-refactor fingerprint; when empty the test prints the observed hash so
+// it can be pinned.
+var goldenHash = "1b0d8bf60de53686"
+
+func TestGoldenFitBitIdentical(t *testing.T) {
+	_, rows := plantedData(150, 40, 3, 41)
+	res, err := FitSpark(testCtx(), rows, 40, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprint(res)
+	if goldenHash == "" {
+		t.Fatalf("no golden hash; captured %s", got)
+	}
+	if got != goldenHash {
+		t.Fatalf("fit changed: fingerprint %s, golden %s", got, goldenHash)
+	}
+}

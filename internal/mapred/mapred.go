@@ -126,6 +126,24 @@ func (e *Engine) SetFailureSeed(seed uint64) {
 	e.failSeed = seed
 }
 
+// NumSplits reports how many map tasks Run will use for n input records: the
+// configured Splits, clamped to n (at least 1). Callers sizing per-task
+// scratch (mapper state reused across jobs) rely on this matching Run's own
+// split computation, so both share this function.
+func (e *Engine) NumSplits(n int) int {
+	splits := e.Splits
+	if splits <= 0 {
+		splits = 2 * e.Cluster.TotalCores()
+	}
+	if splits > n && n > 0 {
+		splits = n
+	}
+	if splits == 0 {
+		splits = 1
+	}
+	return splits
+}
+
 // plan resolves the effective fault plan for the next job (nil = fault-free)
 // and assigns the job its sequence number, which salts the per-job fault
 // decisions so repeated jobs with the same name (one per EM iteration) draw
@@ -148,23 +166,42 @@ func (e *Engine) plan() (*cluster.FaultPlan, int64) {
 }
 
 type emitter[K comparable, V any] struct {
-	pairs map[K][]V
+	pairs map[K][]V // non-combiner path: values per key in emission order
+	vals  map[K]V   // combiner path: one merged value per key, no slice boxing
 	merge func(a, b V) V // nil: append values
 	ops   int64
 }
 
+func newEmitter[K comparable, V any](merge func(a, b V) V) *emitter[K, V] {
+	em := &emitter[K, V]{merge: merge}
+	if merge != nil {
+		em.vals = make(map[K]V)
+	} else {
+		em.pairs = make(map[K][]V)
+	}
+	return em
+}
+
 func (em *emitter[K, V]) Emit(k K, v V) {
 	if em.merge != nil {
-		// Combiner path: keep a single-slot value per key and merge in
-		// place, rather than allocating a fresh one-element slice per emit.
-		if cur, ok := em.pairs[k]; ok {
-			cur[0] = em.merge(cur[0], v)
+		// Combiner path: keep a single merged value per key, rather than
+		// allocating a one-element slice per key just to box it.
+		if cur, ok := em.vals[k]; ok {
+			em.vals[k] = em.merge(cur, v)
 			return
 		}
-		em.pairs[k] = []V{v}
+		em.vals[k] = v
 		return
 	}
 	em.pairs[k] = append(em.pairs[k], v)
+}
+
+// reset clears a failed attempt's output so the retry can reuse the emitter's
+// maps instead of reallocating them.
+func (em *emitter[K, V]) reset() {
+	clear(em.pairs)
+	clear(em.vals)
+	em.ops = 0
 }
 
 func (em *emitter[K, V]) AddOps(n int64) { em.ops += n }
@@ -218,16 +255,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	if job.NewMapper == nil || job.Reduce == nil {
 		return nil, fmt.Errorf("mapred: job %q missing mapper or reducer", job.Name)
 	}
-	splits := e.Splits
-	if splits <= 0 {
-		splits = 2 * e.Cluster.TotalCores()
-	}
-	if splits > len(input) && len(input) > 0 {
-		splits = len(input)
-	}
-	if splits == 0 {
-		splits = 1
-	}
+	splits := e.NumSplits(len(input))
 	plan, seq := e.plan()
 	mapPhase := fmt.Sprintf("%s#%d/map", job.Name, seq)
 	maxAtt := plan.Attempts(e.MaxAttempts)
@@ -235,6 +263,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	// ---- Map phase ----
 	type taskOut struct {
 		pairs map[K][]V
+		vals  map[K]V
 		ops   int64
 	}
 	outs := make([]taskOut, splits)
@@ -257,8 +286,11 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			tf := &mapFaults[task]
+			em := newEmitter[K, V](job.Combine)
 			for att := 1; att <= maxAtt; att++ {
-				em := &emitter[K, V]{pairs: make(map[K][]V), merge: job.Combine}
+				if att > 1 {
+					em.reset() // retries reuse the failed attempt's maps
+				}
 				m := job.NewMapper(task)
 				for i := lo; i < hi; i++ {
 					m.Map(input[i], em)
@@ -272,6 +304,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 					continue
 				}
 				outs[task].pairs = em.pairs
+				outs[task].vals = em.vals
 				outs[task].ops = em.ops
 				tf.chargeStraggler(plan, mapPhase, task, att, em.ops)
 				return
@@ -340,6 +373,18 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 				shuffleBytes += kb + vb
 			}
 			grouped[k] = append(grouped[k], vs...)
+		}
+		for k, v := range o.vals {
+			var kb int64 = 8
+			if job.KeyBytes != nil {
+				kb = job.KeyBytes(k)
+			}
+			var vb int64 = 8
+			if job.ValueBytes != nil {
+				vb = job.ValueBytes(v)
+			}
+			shuffleBytes += kb + vb
+			grouped[k] = append(grouped[k], v)
 		}
 	}
 	mapStats.ComputeOps = mapOps

@@ -8,8 +8,6 @@ package matrix
 import (
 	"fmt"
 	"math"
-
-	"spca/internal/parallel"
 )
 
 // minParallelFlops is roughly how much arithmetic one parallel chunk should
@@ -182,104 +180,32 @@ func (m *Dense) AddScaledIdentity(s float64) *Dense {
 }
 
 // Mul returns m*b as a new matrix (inner dimensions must agree).
+// It allocates the output and delegates to MulInto.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.C != b.R {
 		panic(fmt.Sprintf("matrix: Mul dims %dx%d * %dx%d", m.R, m.C, b.R, b.C))
 	}
-	out := NewDense(m.R, b.C)
-	// Row-panel parallel: each chunk owns a disjoint band of output rows.
-	// Within a chunk the k loop is blocked so a panel of b stays cache-hot
-	// across the chunk's rows; blocks are visited in ascending k, so every
-	// out[i][j] accumulates in exactly the sequential order (bit-identical).
-	kBlock := minParallelFlops / (2 * (b.C + 1))
-	if kBlock < 8 {
-		kBlock = 8
-	}
-	parallel.For(m.R, flopGrain(2*m.C*b.C), func(lo, hi int) {
-		for k0 := 0; k0 < m.C; k0 += kBlock {
-			k1 := k0 + kBlock
-			if k1 > m.C {
-				k1 = m.C
-			}
-			for i := lo; i < hi; i++ {
-				arow := m.Row(i)
-				orow := out.Row(i)
-				for k := k0; k < k1; k++ {
-					a := arow[k]
-					if a == 0 {
-						continue
-					}
-					brow := b.Row(k)
-					for j, bv := range brow {
-						orow[j] += a * bv
-					}
-				}
-			}
-		}
-	})
-	return out
+	return m.MulInto(b, NewDense(m.R, b.C))
 }
 
 // MulT returns mᵀ*b as a new matrix. m and b must have the same row count.
 // This is the row-streaming product of Equation (2) in the paper:
 // (Aᵀ*B) = Σ_i (A_i)ᵀ * B_i.
+// It allocates the output and delegates to MulTInto.
 func (m *Dense) MulT(b *Dense) *Dense {
 	if m.R != b.R {
 		panic(fmt.Sprintf("matrix: MulT dims %dx%d ᵀ* %dx%d", m.R, m.C, b.R, b.C))
 	}
-	out := NewDense(m.C, b.C)
-	// Parallel over bands of output rows (columns of m): chunk [lo,hi) only
-	// touches out rows lo..hi-1, and each out[k][j] still accumulates over i
-	// in ascending order, so the sum is bit-identical to the sequential
-	// row-streaming loop.
-	parallel.For(m.C, flopGrain(2*m.R*b.C), func(lo, hi int) {
-		for i := 0; i < m.R; i++ {
-			arow := m.Row(i)
-			brow := b.Row(i)
-			for k := lo; k < hi; k++ {
-				a := arow[k]
-				if a == 0 {
-					continue
-				}
-				orow := out.Row(k)
-				for j, bv := range brow {
-					orow[j] += a * bv
-				}
-			}
-		}
-	})
-	return out
+	return m.MulTInto(b, NewDense(m.C, b.C))
 }
 
-// MulBT returns m*bᵀ as a new matrix. m and b must have the same column count.
+// MulBT returns m*bᵀ as a new matrix. m and b must have the same column
+// count. It allocates the output and delegates to MulBTInto.
 func (m *Dense) MulBT(b *Dense) *Dense {
 	if m.C != b.C {
 		panic(fmt.Sprintf("matrix: MulBT dims %dx%d * %dx%dᵀ", m.R, m.C, b.R, b.C))
 	}
-	out := NewDense(m.R, b.R)
-	// Row-parallel with j-tiling: a tile of b's rows stays cache-hot across
-	// the chunk's rows. Each out[i][j] is one dot product, computed exactly
-	// as in the sequential kernel.
-	jTile := minParallelFlops / (2 * (m.C + 1))
-	if jTile < 8 {
-		jTile = 8
-	}
-	parallel.For(m.R, flopGrain(2*m.C*b.R), func(lo, hi int) {
-		for j0 := 0; j0 < b.R; j0 += jTile {
-			j1 := j0 + jTile
-			if j1 > b.R {
-				j1 = b.R
-			}
-			for i := lo; i < hi; i++ {
-				arow := m.Row(i)
-				orow := out.Row(i)
-				for j := j0; j < j1; j++ {
-					orow[j] = dot(arow, b.Row(j))
-				}
-			}
-		}
-	})
-	return out
+	return m.MulBTInto(b, NewDense(m.R, b.R))
 }
 
 // MulVec returns m*x as a new vector.
@@ -294,22 +220,10 @@ func (m *Dense) MulVec(x []float64) []float64 {
 	return out
 }
 
-// MulVecT returns mᵀ*x as a new vector.
+// MulVecT returns mᵀ*x as a new vector. It allocates the output and
+// delegates to MulVecTInto.
 func (m *Dense) MulVecT(x []float64) []float64 {
-	if m.R != len(x) {
-		panic(fmt.Sprintf("matrix: MulVecT dims %dx%dᵀ * %d", m.R, m.C, len(x)))
-	}
-	out := make([]float64, m.C)
-	for i, xi := range x {
-		if xi == 0 {
-			continue
-		}
-		row := m.Row(i)
-		for j, v := range row {
-			out[j] += xi * v
-		}
-	}
-	return out
+	return m.MulVecTInto(x, make([]float64, m.C))
 }
 
 // Trace returns the sum of the diagonal elements of a square matrix.

@@ -1,0 +1,164 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+
+	"spca/internal/parallel"
+)
+
+func randDense(r, c int, seed uint64) *Dense {
+	rng := NewRNG(seed)
+	return NormRnd(rng, r, c)
+}
+
+func bitsEqual(t *testing.T, name string, got, want *Dense) {
+	t.Helper()
+	if got.R != want.R || got.C != want.C {
+		t.Fatalf("%s: dims %dx%d vs %dx%d", name, got.R, got.C, want.R, want.C)
+	}
+	for i, v := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(v) {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, got.Data[i], v)
+		}
+	}
+}
+
+func TestIntoVariantsMatchAllocatingKernels(t *testing.T) {
+	a := randDense(37, 23, 1)
+	b := randDense(23, 19, 2)
+	out := NewDense(37, 19)
+	// Dirty the output to prove Into fully overwrites.
+	for i := range out.Data {
+		out.Data[i] = math.NaN()
+	}
+	bitsEqual(t, "MulInto", a.MulInto(b, out), a.Mul(b))
+
+	c := randDense(37, 19, 3)
+	outT := NewDense(23, 19)
+	outT.Data[0] = math.NaN()
+	bitsEqual(t, "MulTInto", a.MulTInto(c, outT), a.MulT(c))
+
+	d := randDense(41, 23, 4)
+	outBT := NewDense(37, 41)
+	outBT.Data[0] = math.NaN()
+	bitsEqual(t, "MulBTInto", a.MulBTInto(d, outBT), a.MulBT(d))
+
+	x := randDense(1, 37, 5).Row(0)
+	vt := make([]float64, 23)
+	vt[0] = math.NaN()
+	got := a.MulVecTInto(x, vt)
+	want := a.MulVecT(x)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("MulVecTInto element %d differs", i)
+		}
+	}
+}
+
+func TestAddScaledIntoMatchesScaleThenAdd(t *testing.T) {
+	a := randDense(9, 9, 6)
+	b := randDense(9, 9, 7)
+	want := a.Add(b.Scale(0.37))
+	out := NewDense(9, 9)
+	bitsEqual(t, "AddScaledInto", AddScaledInto(out, a, 0.37, b), want)
+	// Aliasing out with a must give the same result.
+	aCopy := a.Clone()
+	bitsEqual(t, "AddScaledInto-aliased", AddScaledInto(aCopy, aCopy, 0.37, b), want)
+}
+
+func TestTraceMulMatchesMulTrace(t *testing.T) {
+	a := randDense(8, 13, 8)
+	b := randDense(13, 8, 9)
+	got := TraceMul(a, b)
+	want := a.Mul(b).Trace()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("TraceMul = %v, Mul().Trace() = %v", got, want)
+	}
+}
+
+func TestSolveSPDIntoMatchesSolveSPDAndReusesScratch(t *testing.T) {
+	g := randDense(6, 6, 10)
+	spd := g.MulT(g).AddScaledIdentity(1.5) // SPD by construction
+	rhs := randDense(30, 6, 11)
+	want, err := SolveSPD(spd, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws SPDWorkspace
+	out := NewDense(30, 6)
+	if err := SolveSPDInto(spd, rhs, out, &ws); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "SolveSPDInto", out, want)
+
+	// Warm workspace: repeated same-size solves must not allocate. Force the
+	// pool sequential so goroutine scheduling doesn't count against us.
+	parallel.SetSequential(true)
+	defer parallel.SetSequential(false)
+	if n := testing.AllocsPerRun(20, func() {
+		if err := SolveSPDInto(spd, rhs, out, &ws); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("warm SolveSPDInto allocated %v per run, want 0", n)
+	}
+}
+
+func TestInverseIntoReusedScratchIsClean(t *testing.T) {
+	a := randDense(5, 5, 12)
+	spd := a.MulT(a).AddScaledIdentity(2)
+	want, err := Inverse(spd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewDense(5, 5)
+	w := NewDense(5, 10)
+	// Poison the scratch: InverseInto must fully re-initialize it.
+	for i := range w.Data {
+		w.Data[i] = math.NaN()
+	}
+	if err := InverseInto(spd, out, w); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "InverseInto", out, want)
+}
+
+func TestSparseMulDenseIntoMatches(t *testing.T) {
+	bld := NewSparseBuilder(12)
+	rng := NewRNG(13)
+	for i := 0; i < 20; i++ {
+		var idx []int
+		var vals []float64
+		for j := 0; j < 12; j++ {
+			if rng.Float64() < 0.3 {
+				idx = append(idx, j)
+				vals = append(vals, rng.NormFloat64())
+			}
+		}
+		bld.AddRow(idx, vals)
+	}
+	s := bld.Build()
+	b := randDense(12, 7, 14)
+	out := NewDense(20, 7)
+	out.Data[0] = math.NaN()
+	bitsEqual(t, "MulDenseInto", s.MulDenseInto(b, out), s.MulDense(b))
+}
+
+func TestDensifyCenteredInto(t *testing.T) {
+	row := SparseVector{Len: 6, Indices: []int{1, 4}, Values: []float64{2, -3}}
+	mean := []float64{0.5, 1, 0, 0.25, 2, 0}
+	idx := make([]int, 6)
+	vals := make([]float64, 6)
+	vals[2] = math.NaN() // must be overwritten
+	got := DensifyCenteredInto(row, mean, idx, vals)
+	want := []float64{-0.5, 1, 0, -0.25, -5, 0}
+	for j := 0; j < 6; j++ {
+		if got.Indices[j] != j {
+			t.Fatalf("index %d = %d", j, got.Indices[j])
+		}
+		if got.Values[j] != want[j] {
+			t.Fatalf("value %d = %v, want %v", j, got.Values[j], want[j])
+		}
+	}
+}

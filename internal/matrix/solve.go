@@ -3,9 +3,6 @@ package matrix
 import (
 	"errors"
 	"fmt"
-	"math"
-
-	"spca/internal/parallel"
 )
 
 // ErrSingular is returned when a solve or inverse encounters a (numerically)
@@ -15,110 +12,40 @@ var ErrSingular = errors.New("matrix: singular matrix")
 // Cholesky computes the lower-triangular factor L with a = L*Lᵀ for a
 // symmetric positive-definite matrix. It returns ErrSingular if a is not
 // positive definite.
+// It allocates the factor and delegates to CholeskyInto.
 func Cholesky(a *Dense) (*Dense, error) {
 	n, c := a.Dims()
 	if n != c {
 		panic(fmt.Sprintf("matrix: Cholesky on non-square %dx%d", n, c))
 	}
 	l := NewDense(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			sum := a.At(i, j)
-			for k := 0; k < j; k++ {
-				sum -= l.At(i, k) * l.At(j, k)
-			}
-			if i == j {
-				if sum <= 0 {
-					return nil, ErrSingular
-				}
-				l.Set(i, i, math.Sqrt(sum))
-			} else {
-				l.Set(i, j, sum/l.At(j, j))
-			}
-		}
+	if err := CholeskyInto(a, l); err != nil {
+		return nil, err
 	}
 	return l, nil
 }
 
 // CholeskySolve solves a*x = b for SPD a given its Cholesky factor l.
+// It allocates the output and delegates to CholeskySolveInto.
 func CholeskySolve(l *Dense, b []float64) []float64 {
 	n := l.R
 	if len(b) != n {
 		panic("matrix: CholeskySolve length mismatch")
 	}
-	// Forward substitution L*y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= l.At(i, k) * y[k]
-		}
-		y[i] = sum / l.At(i, i)
-	}
-	// Back substitution Lᵀ*x = y.
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		sum := y[i]
-		for k := i + 1; k < n; k++ {
-			sum -= l.At(k, i) * x[k]
-		}
-		x[i] = sum / l.At(i, i)
-	}
-	return x
+	return CholeskySolveInto(l, b, make([]float64, n), make([]float64, n))
 }
 
 // Inverse returns the inverse of a square matrix, or ErrSingular.
 // It is intended for the small d-by-d matrices of PPCA (e.g. M = CᵀC + ss·I).
+// It allocates its output and scratch and delegates to InverseInto.
 func Inverse(a *Dense) (*Dense, error) {
 	n, c := a.Dims()
 	if n != c {
 		panic(fmt.Sprintf("matrix: Inverse on non-square %dx%d", n, c))
 	}
-	// Gauss–Jordan with partial pivoting on [A | I].
-	w := NewDense(n, 2*n)
-	for i := 0; i < n; i++ {
-		copy(w.Row(i)[:n], a.Row(i))
-		w.Set(i, n+i, 1)
-	}
-	for k := 0; k < n; k++ {
-		p := k
-		mx := math.Abs(w.At(k, k))
-		for i := k + 1; i < n; i++ {
-			if v := math.Abs(w.At(i, k)); v > mx {
-				mx, p = v, i
-			}
-		}
-		if mx < 1e-300 {
-			return nil, ErrSingular
-		}
-		if p != k {
-			rp, rk := w.Row(p), w.Row(k)
-			for j := range rp {
-				rp[j], rk[j] = rk[j], rp[j]
-			}
-		}
-		pivInv := 1 / w.At(k, k)
-		rk := w.Row(k)
-		for j := range rk {
-			rk[j] *= pivInv
-		}
-		for i := 0; i < n; i++ {
-			if i == k {
-				continue
-			}
-			f := w.At(i, k)
-			if f == 0 {
-				continue
-			}
-			ri := w.Row(i)
-			for j := range ri {
-				ri[j] -= f * rk[j]
-			}
-		}
-	}
 	out := NewDense(n, n)
-	for i := 0; i < n; i++ {
-		copy(out.Row(i), w.Row(i)[n:])
+	if err := InverseInto(a, out, NewDense(n, 2*n)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -126,26 +53,14 @@ func Inverse(a *Dense) (*Dense, error) {
 // SolveSPD solves a*X = b columnwise for SPD a and dense right-hand side b,
 // used by the PPCA M-step C = YtX / XtX (i.e. C = YtX * XtX⁻¹, solved as
 // XtXᵀ * Cᵀ = YtXᵀ without forming the inverse explicitly).
+// It allocates its output and workspace and delegates to SolveSPDInto.
 func SolveSPD(a *Dense, b *Dense) (*Dense, error) {
 	if a.R != a.C || a.C != b.C {
 		panic(fmt.Sprintf("matrix: SolveSPD dims a %dx%d, b %dx%d", a.R, a.C, b.R, b.C))
 	}
-	l, err := Cholesky(a)
-	if err != nil {
-		// Fall back to a general inverse for nearly-singular XtX.
-		inv, ierr := Inverse(a)
-		if ierr != nil {
-			return nil, err
-		}
-		return b.Mul(inv), nil
-	}
 	out := NewDense(b.R, b.C)
-	// Each right-hand-side row solves independently against the shared
-	// (read-only) factor, so rows parallelize bit-identically.
-	parallel.For(b.R, flopGrain(2*b.C*b.C), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			copy(out.Row(i), CholeskySolve(l, b.Row(i)))
-		}
-	})
+	if err := SolveSPDInto(a, b, out, &SPDWorkspace{}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

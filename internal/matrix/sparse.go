@@ -185,27 +185,12 @@ func (m *Sparse) ColMeans() []float64 {
 
 // MulDense returns m*b for dense b (sizes C x K), exploiting sparsity:
 // each output row is the combination of b's rows selected by the sparse row.
+// It allocates the output and delegates to MulDenseInto.
 func (m *Sparse) MulDense(b *Dense) *Dense {
 	if m.C != b.R {
 		panic(fmt.Sprintf("matrix: Sparse.MulDense dims %dx%d * %dx%d", m.R, m.C, b.R, b.C))
 	}
-	out := NewDense(m.R, b.C)
-	// Row-parallel: every output row depends only on its own sparse row, so
-	// chunks are disjoint and each row's AXPY sequence is unchanged.
-	perRow := 2 * b.C
-	if m.R > 0 {
-		perRow = 2 * (m.NNZ()/m.R + 1) * b.C
-	}
-	parallel.For(m.R, flopGrain(perRow), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			orow := out.Row(i)
-			for k, j := range row.Indices {
-				AXPY(row.Values[k], b.Row(j), orow)
-			}
-		}
-	})
-	return out
+	return m.MulDenseInto(b, NewDense(m.R, b.C))
 }
 
 // MulVec returns m*x.

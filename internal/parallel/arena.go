@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the scratch-arena layer: deterministic, reusable scratch
+// memory for the hot per-row/per-task loops of the EM algorithms. Unlike
+// sync.Pool, nothing here is ever dropped by the runtime and there is no
+// per-P magic, so steady-state allocation counts are exactly zero and reuse
+// behaves identically run to run. Scratch contents are UNSPECIFIED on Get;
+// callers must fully initialize what they read, which is also what keeps
+// reuse bit-compatible with freshly allocated (zeroed) memory.
+
+// Arena hands out reusable []float64 and []int scratch slices, bucketed by
+// capacity. It is NOT safe for concurrent use; give each worker (or each
+// task) its own Arena, or guard it externally. The intended lifecycle is:
+// Get at the start of a unit of work, Put when the slice is dead, reuse
+// across rows and across EM iterations for the lifetime of a fit.
+type Arena struct {
+	floats [][]float64
+	ints   [][]int
+}
+
+// Floats returns a length-n slice with unspecified contents.
+func (a *Arena) Floats(n int) []float64 {
+	for i := len(a.floats) - 1; i >= 0; i-- {
+		if s := a.floats[i]; cap(s) >= n {
+			a.floats[i] = a.floats[len(a.floats)-1]
+			a.floats = a.floats[:len(a.floats)-1]
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// FloatsZeroed returns a length-n zeroed slice.
+func (a *Arena) FloatsZeroed(n int) []float64 {
+	s := a.Floats(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PutFloats returns a slice obtained from Floats to the arena.
+func (a *Arena) PutFloats(s []float64) {
+	if cap(s) > 0 {
+		a.floats = append(a.floats, s)
+	}
+}
+
+// Ints returns a length-n slice with unspecified contents.
+func (a *Arena) Ints(n int) []int {
+	for i := len(a.ints) - 1; i >= 0; i-- {
+		if s := a.ints[i]; cap(s) >= n {
+			a.ints[i] = a.ints[len(a.ints)-1]
+			a.ints = a.ints[:len(a.ints)-1]
+			return s[:n]
+		}
+	}
+	return make([]int, n)
+}
+
+// PutInts returns a slice obtained from Ints to the arena.
+func (a *Arena) PutInts(s []int) {
+	if cap(s) > 0 {
+		a.ints = append(a.ints, s)
+	}
+}
+
+// Pool is a mutex-guarded free list of scratch values, used to recycle
+// per-task mapper/partition scratch across EM iterations. Get never returns
+// a value to two callers at once and Put never discards, so after the first
+// iteration warms the pool, a fit's steady state performs no pool-related
+// allocation. Values come back with whatever state their last user left;
+// users must re-initialize before reading.
+type Pool[T any] struct {
+	mu   sync.Mutex
+	mk   func() T
+	free []T
+}
+
+// NewPool returns a pool whose Get falls back to mk when empty.
+func NewPool[T any](mk func() T) *Pool[T] { return &Pool[T]{mk: mk} }
+
+// Get pops a free value or makes a new one.
+func (p *Pool[T]) Get() T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	return p.mk()
+}
+
+// Put returns a value to the pool.
+func (p *Pool[T]) Put(v T) {
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}
+
+// ForWorker is For with the executing worker's index (0 <= w < Workers())
+// passed to fn, so fn can index per-worker scratch without synchronization.
+// The same bit-reproducibility contract as For applies; in particular the
+// values fn computes must not depend on which worker ran the chunk, which
+// holds whenever per-worker scratch is fully initialized before it is read.
+func ForWorker(n, grain int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := Workers()
+	if sequential.Load() || workers == 1 || n <= grain {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunk < grain {
+		chunk = grain
+	}
+	chunks := (n + chunk - 1) / chunk
+	if chunks <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	if chunks < workers {
+		workers = chunks
+	}
+	var next atomic.Int64
+	run := func(w int) {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(w, lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(i)
+	}
+	run(0)
+	wg.Wait()
+}

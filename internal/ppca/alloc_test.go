@@ -1,0 +1,74 @@
+package ppca
+
+import (
+	"testing"
+
+	"spca/internal/matrix"
+	"spca/internal/parallel"
+)
+
+// nopEmitter satisfies mapred.Emitter for steady-state Map measurements —
+// the consolidated mappers only emit from Cleanup, so Map sees no emitter
+// traffic beyond op accounting.
+type nopEmitter[K comparable, V any] struct{}
+
+func (nopEmitter[K, V]) Emit(K, V)   {}
+func (nopEmitter[K, V]) AddOps(int64) {}
+
+func allocTestDriver(t *testing.T, n, dims, d int) (*matrix.Sparse, *emDriver) {
+	t.Helper()
+	rng := matrix.NewRNG(99)
+	y := randomSparseMat(rng, n, dims, 0.3)
+	mean := y.ColMeans()
+	em := newEMDriver(DefaultOptions(d), n, dims, mean, y.CenteredFrobeniusSq(mean))
+	if err := em.prepare(); err != nil {
+		t.Fatal(err)
+	}
+	return y, em
+}
+
+// TestYtxMapperMapZeroAllocSteadyState: after one warm-up pass has sized the
+// freelist, the map buckets, and the latent scratch, an entire iteration's
+// worth of Map calls on the consolidated YtX mapper allocates nothing.
+func TestYtxMapperMapZeroAllocSteadyState(t *testing.T) {
+	parallel.SetSequential(true)
+	defer parallel.SetSequential(false)
+	y, em := allocTestDriver(t, 60, 24, 4)
+	scr := newYtxTaskScratch(em.d)
+	m := &ytxMapper{em: em, meanProp: true, d: em.d, scr: scr}
+	emit := nopEmitter[int, []float64]{}
+	for i := 0; i < y.R; i++ {
+		m.Map(y.Row(i), emit)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		scr.reset()
+		for i := 0; i < y.R; i++ {
+			m.Map(y.Row(i), emit)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ytxMapper.Map pass allocated %v times, want 0", allocs)
+	}
+}
+
+// TestSS3MapperMapZeroAllocSteadyState: same property for the ss3 mapper in
+// its optimized (associative) configuration.
+func TestSS3MapperMapZeroAllocSteadyState(t *testing.T) {
+	parallel.SetSequential(true)
+	defer parallel.SetSequential(false)
+	y, em := allocTestDriver(t, 60, 24, 4)
+	scr := newSS3TaskScratch(em.d)
+	m := &ss3Mapper{em: em, c: em.c, meanProp: true, assoc: true, d: em.d, scr: scr}
+	emit := nopEmitter[int, float64]{}
+	for i := 0; i < y.R; i++ {
+		m.Map(y.Row(i), emit)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < y.R; i++ {
+			m.Map(y.Row(i), emit)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ss3Mapper.Map pass allocated %v times, want 0", allocs)
+	}
+}

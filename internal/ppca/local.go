@@ -33,19 +33,25 @@ func FitLocal(y *matrix.Sparse, opt Options) (*Result, error) {
 	}
 
 	rows := sampleIdx(y.R, opt.sampleRows(), opt.Seed)
+	// Pass scratch allocated once and recycled every iteration (nil = legacy
+	// allocating path kept for A/B benchmarking).
+	var scr *localScratch
+	if reuseScratch {
+		scr = newLocalScratch(y.C, em.d)
+	}
 	res := &Result{Mean: mean}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		if err := em.prepare(); err != nil {
 			return nil, err
 		}
-		sums := localPass(y, em)
+		sums := localPass(y, em, scr)
 		cNew, err := em.update(sums)
 		if err != nil {
 			return nil, err
 		}
-		em.finishVariance(localSS3(y, em, cNew))
+		em.finishVariance(localSS3(y, em, cNew, scr))
 
-		e := reconstructionError(y, mean, em.c, em.cm, em.xm, rows)
+		e := em.reconError(y, rows)
 		res.History = append(res.History, IterationStat{
 			Iter:     iter,
 			Err:      e,
@@ -62,15 +68,55 @@ func FitLocal(y *matrix.Sparse, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// localPass is the consolidated YtX+XtX pass (one scan over the rows).
-func localPass(y *matrix.Sparse, em *emDriver) jobSums {
-	d := em.d
-	sums := jobSums{
-		ytx:  matrix.NewDense(y.C, d),
-		xtx:  matrix.NewDense(d, d),
-		sumX: make([]float64, d),
+// localScratch is FitLocal's per-fit reusable pass state: the job sums, the
+// per-block latent rows, the per-block ss3 terms, and per-worker xi/ct
+// substitution buffers for the ss3 sweep.
+type localScratch struct {
+	sums  jobSums
+	xis   *matrix.Dense
+	terms []float64
+	work  [][]float64 // per worker: xi then ct, each length d
+}
+
+func newLocalScratch(dims, d int) *localScratch {
+	return &localScratch{
+		sums:  newJobSums(dims, d),
+		xis:   matrix.NewDense(latentBlock, d),
+		terms: make([]float64, latentBlock),
 	}
-	xis := matrix.NewDense(latentBlock, d)
+}
+
+// ensureWorkers grows the per-worker buffers to the pool's current width.
+// Called on the driver before the parallel sweep, so it never races.
+func (s *localScratch) ensureWorkers(d int) {
+	w := parallel.Workers()
+	for len(s.work) < w {
+		s.work = append(s.work, nil)
+	}
+	for i := 0; i < w; i++ {
+		if len(s.work[i]) < 2*d {
+			s.work[i] = make([]float64, 2*d)
+		}
+	}
+}
+
+// localPass is the consolidated YtX+XtX pass (one scan over the rows).
+func localPass(y *matrix.Sparse, em *emDriver, scr *localScratch) jobSums {
+	d := em.d
+	var sums jobSums
+	var xis *matrix.Dense
+	if scr != nil {
+		sums = scr.sums
+		sums.ytx.Zero()
+		sums.xtx.Zero()
+		for i := range sums.sumX {
+			sums.sumX[i] = 0
+		}
+		xis = scr.xis // fully overwritten block by block
+	} else {
+		sums = newJobSums(y.C, d)
+		xis = matrix.NewDense(latentBlock, d)
+	}
 	for base := 0; base < y.R; base += latentBlock {
 		end := base + latentBlock
 		if end > y.R {
@@ -96,32 +142,50 @@ func localPass(y *matrix.Sparse, em *emDriver) jobSums {
 
 // localSS3 recomputes X row by row and accumulates Σ Xi_c·(Cᵀ·Yiᵀ) with the
 // associativity trick of §4.1: multiply Cᵀ with the sparse Yiᵀ first.
-func localSS3(y *matrix.Sparse, em *emDriver, c *matrix.Dense) float64 {
+func localSS3(y *matrix.Sparse, em *emDriver, c *matrix.Dense, scr *localScratch) float64 {
 	d := em.d
 	var ss3 float64
 	// Per-row terms Xi_c·(Cᵀ·Yiᵀ) fill in parallel per block; the final sum
 	// runs over rows in their original order, bit-identical to a plain loop.
-	terms := make([]float64, latentBlock)
+	var terms []float64
+	if scr != nil {
+		scr.ensureWorkers(d)
+		terms = scr.terms
+	} else {
+		terms = make([]float64, latentBlock)
+	}
+	ss3Row := func(t int, row matrix.SparseVector, xi, ct []float64) {
+		computeLatentRow(row, em, xi)
+		for k := range ct {
+			ct[k] = 0
+		}
+		for k, j := range row.Indices {
+			matrix.AXPY(row.Values[k], c.Row(j), ct)
+		}
+		terms[t] = matrix.Dot(xi, ct)
+	}
 	for base := 0; base < y.R; base += latentBlock {
 		end := base + latentBlock
 		if end > y.R {
 			end = y.R
 		}
-		parallel.For(end-base, 16, func(lo, hi int) {
-			xi := make([]float64, d)
-			ct := make([]float64, d)
-			for t := lo; t < hi; t++ {
-				row := y.Row(base + t)
-				computeLatentRow(row, em, xi)
-				for k := range ct {
-					ct[k] = 0
+		if scr != nil {
+			parallel.ForWorker(end-base, 16, func(w, lo, hi int) {
+				sub := scr.work[w]
+				xi, ct := sub[:d], sub[d:2*d]
+				for t := lo; t < hi; t++ {
+					ss3Row(t, y.Row(base+t), xi, ct)
 				}
-				for k, j := range row.Indices {
-					matrix.AXPY(row.Values[k], c.Row(j), ct)
+			})
+		} else {
+			parallel.For(end-base, 16, func(lo, hi int) {
+				xi := make([]float64, d)
+				ct := make([]float64, d)
+				for t := lo; t < hi; t++ {
+					ss3Row(t, y.Row(base+t), xi, ct)
 				}
-				terms[t] = matrix.Dot(xi, ct)
-			}
-		})
+			})
+		}
 		for t := 0; t < end-base; t++ {
 			ss3 += terms[t]
 		}

@@ -47,6 +47,14 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 
 	y := sparseFromRows(rows, dims)
 	sample := sampleIdx(len(rows), opt.sampleRows(), opt.Seed)
+	// Per-task mapper scratch plus the driver-side job sums, allocated once
+	// and recycled every iteration (nil scratch = legacy allocating path).
+	var scr *mrScratch
+	var pooledSums jobSums
+	if reuseScratch {
+		scr = newMRScratch(eng.NumSplits(len(rows)))
+		pooledSums = newJobSums(dims, em.d)
+	}
 	res := &Result{Mean: mean}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		if err := em.prepare(); err != nil {
@@ -57,7 +65,7 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 
 		var sums jobSums
 		if opt.MinimizeIntermediate {
-			sums, err = ytxJob(eng, rows, dims, em, opt)
+			sums, err = ytxJob(eng, rows, dims, em, opt, scr, pooledSums)
 		} else {
 			sums, err = unoptimizedPasses(eng, rows, dims, em, opt)
 		}
@@ -73,13 +81,13 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		cl.AddDriverCompute(int64(dims)*d*d + d*d*d)
 
 		broadcast(cl, "ss3/cache", mapred.BytesOfDense(cNew))
-		ss3raw, err := ss3Job(eng, rows, em, cNew, opt)
+		ss3raw, err := ss3Job(eng, rows, em, cNew, opt, scr)
 		if err != nil {
 			return nil, err
 		}
 		em.finishVariance(ss3raw)
 
-		e := reconstructionError(y, mean, em.c, em.cm, em.xm, sample)
+		e := em.reconError(y, sample)
 		res.History = append(res.History, IterationStat{
 			Iter:       iter,
 			Err:        e,
@@ -201,6 +209,7 @@ type fnormMapper struct {
 	msum      float64
 	efficient bool
 	sum       float64
+	dense     []float64 // densify buffer, grown to the widest row seen
 }
 
 func (m *fnormMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64]) {
@@ -216,8 +225,15 @@ func (m *fnormMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float
 		out.AddOps(int64(2 * row.NNZ()))
 		return
 	}
-	// Algorithm 2: densify the row, then iterate all D entries.
-	dense := make([]float64, row.Len)
+	// Algorithm 2: densify the row, then iterate all D entries. The buffer is
+	// mapper state sized to the widest row seen, not a per-row allocation.
+	if cap(m.dense) < row.Len {
+		m.dense = make([]float64, row.Len)
+	}
+	dense := m.dense[:row.Len]
+	for j := range dense {
+		dense[j] = 0
+	}
 	for k, j := range row.Indices {
 		dense[j] = row.Values[k]
 	}
@@ -236,13 +252,13 @@ func (m *fnormMapper) Cleanup(out mapred.Emitter[int, float64]) { out.Emit(keyFr
 // row by row and produces YtX, XtX, and ΣX in a single pass. Mappers hold
 // the partial matrices in memory (the stateful combiner of §4.1) and flush
 // them once per task, keyed so all XtX partials meet at one reducer.
-func ytxJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int, em *emDriver, opt Options) (jobSums, error) {
+func ytxJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int, em *emDriver, opt Options, scr *mrScratch, sums jobSums) (jobSums, error) {
 	d := em.d
 	job := mapred.Job[matrix.SparseVector, int, []float64, []float64]{
 		Name: "YtXJob",
-		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, []float64] {
+		NewMapper: func(task int) mapred.Mapper[matrix.SparseVector, int, []float64] {
 			if opt.StatefulCombiner {
-				return &ytxMapper{em: em, meanProp: opt.MeanPropagation, d: d}
+				return &ytxMapper{em: em, meanProp: opt.MeanPropagation, d: d, scr: scr.ytxTask(task, d)}
 			}
 			return &ytxNaiveMapper{em: em, meanProp: opt.MeanPropagation, d: d}
 		},
@@ -264,7 +280,55 @@ func ytxJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int, em *emDriv
 	if err != nil {
 		return jobSums{}, err
 	}
-	return assembleSums(out, dims, d)
+	if sums.ytx == nil { // legacy A/B path: no driver-held sums provided
+		sums = newJobSums(dims, d)
+	}
+	return assembleSumsInto(out, sums)
+}
+
+// mrScratch owns the per-map-task mapper scratch of one FitMapReduce call,
+// indexed by task id and reused across all EM iterations. Distinct tasks
+// write distinct slots of a pre-sized slice, so concurrent map tasks never
+// race; retried attempts of one task run sequentially in one goroutine and
+// start from a reset. A nil *mrScratch (the reuseScratch=false A/B path)
+// hands every attempt a fresh allocation, reproducing the legacy behaviour.
+type mrScratch struct {
+	ytx []*ytxTaskScratch
+	ss3 []*ss3TaskScratch
+}
+
+func newMRScratch(tasks int) *mrScratch {
+	return &mrScratch{
+		ytx: make([]*ytxTaskScratch, tasks),
+		ss3: make([]*ss3TaskScratch, tasks),
+	}
+}
+
+// ytxTask returns task's YtXJob scratch, reset and ready for a new attempt.
+func (sc *mrScratch) ytxTask(task, d int) *ytxTaskScratch {
+	if sc == nil {
+		return newYtxTaskScratch(d)
+	}
+	s := sc.ytx[task]
+	if s == nil {
+		s = newYtxTaskScratch(d)
+		sc.ytx[task] = s
+	}
+	s.reset()
+	return s
+}
+
+// ss3Task returns task's ss3Job scratch (no reset needed; see ss3TaskScratch).
+func (sc *mrScratch) ss3Task(task, d int) *ss3TaskScratch {
+	if sc == nil {
+		return newSS3TaskScratch(d)
+	}
+	s := sc.ss3[task]
+	if s == nil {
+		s = newSS3TaskScratch(d)
+		sc.ss3[task] = s
+	}
+	return s
 }
 
 // ytxNaiveMapper emits one partial per non-zero per row with no in-mapper
@@ -306,12 +370,27 @@ func (m *ytxNaiveMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, []
 
 func (m *ytxNaiveMapper) Cleanup(out mapred.Emitter[int, []float64]) {}
 
-// assembleSums rebuilds the jobSums matrices from reducer output.
-func assembleSums(out map[int][]float64, dims, d int) (jobSums, error) {
-	sums := jobSums{
+// newJobSums allocates a zeroed jobSums of the given shape.
+func newJobSums(dims, d int) jobSums {
+	return jobSums{
 		ytx:  matrix.NewDense(dims, d),
 		xtx:  matrix.NewDense(d, d),
 		sumX: make([]float64, d),
+	}
+}
+
+// assembleSums rebuilds the jobSums matrices from reducer output.
+func assembleSums(out map[int][]float64, dims, d int) (jobSums, error) {
+	return assembleSumsInto(out, newJobSums(dims, d))
+}
+
+// assembleSumsInto zeroes sums and refills it from reducer output, so a
+// driver-held jobSums can be recycled across iterations.
+func assembleSumsInto(out map[int][]float64, sums jobSums) (jobSums, error) {
+	sums.ytx.Zero()
+	sums.xtx.Zero()
+	for i := range sums.sumX {
+		sums.sumX[i] = 0
 	}
 	for k, v := range out {
 		switch {
@@ -342,64 +421,116 @@ func reduceSumVec(k int, vs [][]float64, o mapred.Ops) []float64 {
 	return out
 }
 
+// ytxTaskScratch is the reusable in-mapper state of one YtXJob map task. The
+// engine retains emitted slices only until Run returns and the fit loop runs
+// jobs strictly sequentially, so the same buffers can back every iteration's
+// mapper: reset recycles the previous pass's emitted YtX rows into a freelist
+// instead of letting them become garbage.
+type ytxTaskScratch struct {
+	d    int
+	ytx  map[int][]float64
+	free [][]float64 // recycled YtX partial rows
+	xtx  []float64
+	sumX []float64
+	xi   []float64
+	idx  []int // densify scratch for the no-mean-propagation ablation
+	vals []float64
+}
+
+func newYtxTaskScratch(d int) *ytxTaskScratch {
+	return &ytxTaskScratch{
+		d:    d,
+		ytx:  make(map[int][]float64),
+		xtx:  make([]float64, d*d),
+		sumX: make([]float64, d),
+		xi:   make([]float64, d),
+	}
+}
+
+// reset prepares the scratch for a fresh attempt: previously emitted YtX rows
+// move to the freelist (the map keeps only live keys, so a task's shuffle
+// output — and hence the byte accounting — never includes stale zero rows).
+func (s *ytxTaskScratch) reset() {
+	for j, p := range s.ytx {
+		s.free = append(s.free, p)
+		delete(s.ytx, j)
+	}
+	for i := range s.xtx {
+		s.xtx[i] = 0
+	}
+	for i := range s.sumX {
+		s.sumX[i] = 0
+	}
+}
+
+// vec hands out a zeroed d-vector, recycling the freelist when possible.
+func (s *ytxTaskScratch) vec() []float64 {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free = s.free[:n-1]
+		for i := range p {
+			p[i] = 0
+		}
+		return p
+	}
+	return make([]float64, s.d)
+}
+
+// densify is densifyCentered on task-held buffers.
+func (s *ytxTaskScratch) densify(row matrix.SparseVector, mean []float64) matrix.SparseVector {
+	if cap(s.idx) < row.Len {
+		s.idx = make([]int, row.Len)
+		s.vals = make([]float64, row.Len)
+	}
+	return matrix.DensifyCenteredInto(row, mean, s.idx[:row.Len], s.vals[:row.Len])
+}
+
 type ytxMapper struct {
 	em       *emDriver
 	meanProp bool
 	d        int
-
-	ytx  map[int][]float64
-	xtx  []float64
-	sumX []float64
-	xi   []float64
-}
-
-func (m *ytxMapper) init() {
-	if m.ytx == nil {
-		m.ytx = make(map[int][]float64)
-		m.xtx = make([]float64, m.d*m.d)
-		m.sumX = make([]float64, m.d)
-		m.xi = make([]float64, m.d)
-	}
+	scr      *ytxTaskScratch
 }
 
 func (m *ytxMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, []float64]) {
-	m.init()
+	s := m.scr
 	if !m.meanProp {
-		row = densifyCentered(row, m.em.mean)
+		row = s.densify(row, m.em.mean)
 	}
-	computeRowLatent(row, m.em, m.meanProp, m.xi)
+	computeRowLatent(row, m.em, m.meanProp, s.xi)
 	nnz := row.NNZ()
 	// YtX partial: only rows of Y's non-zeros are touched (for the
 	// mean-propagated path this is what keeps the partial sparse).
 	for k, j := range row.Indices {
-		p := m.ytx[j]
+		p := s.ytx[j]
 		if p == nil {
-			p = make([]float64, m.d)
-			m.ytx[j] = p
+			p = s.vec()
+			s.ytx[j] = p
 		}
-		matrix.AXPY(row.Values[k], m.xi, p)
+		matrix.AXPY(row.Values[k], s.xi, p)
 	}
 	for a := 0; a < m.d; a++ {
-		va := m.xi[a]
+		va := s.xi[a]
 		if va == 0 {
 			continue
 		}
 		base := a * m.d
 		for b := 0; b < m.d; b++ {
-			m.xtx[base+b] += va * m.xi[b]
+			s.xtx[base+b] += va * s.xi[b]
 		}
 	}
-	matrix.AXPY(1, m.xi, m.sumX)
+	matrix.AXPY(1, s.xi, s.sumX)
 	out.AddOps(int64(2*nnz*m.d + m.d*m.d + m.d))
 }
 
 func (m *ytxMapper) Cleanup(out mapred.Emitter[int, []float64]) {
-	m.init()
-	for j, p := range m.ytx {
+	// Each key is emitted exactly once per task, so the engine's in-place
+	// combiner merge never mutates these pooled slices.
+	for j, p := range m.scr.ytx {
 		out.Emit(j, p)
 	}
-	out.Emit(keyXtX, m.xtx)
-	out.Emit(keySumX, m.sumX)
+	out.Emit(keyXtX, m.scr.xtx)
+	out.Emit(keySumX, m.scr.sumX)
 }
 
 // computeRowLatent fills xi with the centered latent row. With mean
@@ -437,13 +568,14 @@ func densifyCentered(row matrix.SparseVector, mean []float64) matrix.SparseVecto
 
 // ss3Job recomputes X on demand and accumulates Σ Xi_c·(Cᵀ·Yiᵀ) using the
 // associativity trick: multiply Cᵀ with the sparse Yiᵀ first (§4.1, Eq. 3).
-func ss3Job(eng *mapred.Engine, rows []matrix.SparseVector, em *emDriver, cNew *matrix.Dense, opt Options) (float64, error) {
+func ss3Job(eng *mapred.Engine, rows []matrix.SparseVector, em *emDriver, cNew *matrix.Dense, opt Options, scr *mrScratch) (float64, error) {
 	job := mapred.Job[matrix.SparseVector, int, float64, float64]{
 		Name: "ss3Job",
-		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, float64] {
+		NewMapper: func(task int) mapred.Mapper[matrix.SparseVector, int, float64] {
 			return &ss3Mapper{
 				em: em, c: cNew, meanProp: opt.MeanPropagation,
 				assoc: opt.AssociativeSS3, d: em.d,
+				scr: scr.ss3Task(task, em.d),
 			}
 		},
 		Combine: func(a, b float64) float64 { return a + b },
@@ -466,6 +598,30 @@ func ss3Job(eng *mapred.Engine, rows []matrix.SparseVector, em *emDriver, cNew *
 	return out[keySS3], nil
 }
 
+// ss3TaskScratch is the reusable per-task scratch of the ss3Job mappers. The
+// job emits only scalars, so nothing here is ever retained by the engine and
+// no reset between attempts is needed: every buffer is fully overwritten per
+// row (or, for ct, zeroed in the loop).
+type ss3TaskScratch struct {
+	xi   []float64
+	ct   []float64
+	xc   []float64 // D-length scratch for the non-associative order
+	idx  []int     // densify scratch for the no-mean-propagation ablation
+	vals []float64
+}
+
+func newSS3TaskScratch(d int) *ss3TaskScratch {
+	return &ss3TaskScratch{xi: make([]float64, d), ct: make([]float64, d)}
+}
+
+func (s *ss3TaskScratch) densify(row matrix.SparseVector, mean []float64) matrix.SparseVector {
+	if cap(s.idx) < row.Len {
+		s.idx = make([]int, row.Len)
+		s.vals = make([]float64, row.Len)
+	}
+	return matrix.DensifyCenteredInto(row, mean, s.idx[:row.Len], s.vals[:row.Len])
+}
+
 type ss3Mapper struct {
 	em       *emDriver
 	c        *matrix.Dense
@@ -474,44 +630,39 @@ type ss3Mapper struct {
 	d        int
 
 	sum float64
-	xi  []float64
-	ct  []float64
-	xc  []float64 // D-length scratch for the non-associative order
+	scr *ss3TaskScratch
 }
 
 func (m *ss3Mapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64]) {
-	if m.xi == nil {
-		m.xi = make([]float64, m.d)
-		m.ct = make([]float64, m.d)
-	}
+	s := m.scr
 	if !m.meanProp {
-		row = densifyCentered(row, m.em.mean)
+		row = s.densify(row, m.em.mean)
 	}
-	computeRowLatent(row, m.em, m.meanProp, m.xi)
+	computeRowLatent(row, m.em, m.meanProp, s.xi)
 	if m.assoc {
 		// Eq. 3 with associativity: ct = Cᵀ·Yiᵀ touches only non-zeros.
-		for k := range m.ct {
-			m.ct[k] = 0
+		for k := range s.ct {
+			s.ct[k] = 0
 		}
 		for k, j := range row.Indices {
-			matrix.AXPY(row.Values[k], m.c.Row(j), m.ct)
+			matrix.AXPY(row.Values[k], m.c.Row(j), s.ct)
 		}
-		m.sum += matrix.Dot(m.xi, m.ct)
+		m.sum += matrix.Dot(s.xi, s.ct)
 		out.AddOps(int64(row.NNZ()*m.d + row.NNZ()*m.d + m.d))
 		return
 	}
 	// Default order: (Xi·Cᵀ) is a dense D-vector; "most of the work ...
 	// will be wasted since most of these elements will be multiplied with
 	// zero elements" (§4.1).
-	if m.xc == nil {
-		m.xc = make([]float64, m.c.R)
+	if s.xc == nil {
+		s.xc = make([]float64, m.c.R)
 	}
-	denseXC(m.xi, m.c, m.xc)
-	var s float64
+	denseXC(s.xi, m.c, s.xc)
+	var t float64
 	for k, j := range row.Indices {
-		s += m.xc[j] * row.Values[k]
+		t += s.xc[j] * row.Values[k]
 	}
-	m.sum += s
+	m.sum += t
 	out.AddOps(int64(row.NNZ()*m.d + m.c.R*m.d + row.NNZ()))
 }
 

@@ -169,6 +169,13 @@ func latentMap(c *matrix.Dense, ss float64) (cm, minv *matrix.Dense, err error) 
 	return c.Mul(minv), minv, nil
 }
 
+// reuseScratch gates the pooled-scratch steady-state paths. All fits produce
+// bit-identical results either way (the in-place kernels share their loop
+// bodies with the allocating wrappers); the flag exists so benchmarks can
+// measure the legacy allocating behaviour against the pooled one in the same
+// process. It is not safe to flip while a fit is running.
+var reuseScratch = true
+
 // emDriver holds the driver-side state shared by all three fit paths.
 type emDriver struct {
 	opt  Options
@@ -188,33 +195,79 @@ type emDriver struct {
 	// Carried between update and finishVariance within one iteration.
 	pendingSS2  float64
 	pendingSumX []float64
+
+	// Reusable driver-side scratch, allocated once in newEMDriver. Every
+	// per-iteration product is written in place, so the steady state of the
+	// EM loop performs no driver-side allocation (when reuseScratch is on).
+	cNext   *matrix.Dense // M-step solve output; swapped with c each iteration
+	mWork   *matrix.Dense // d x d: M = CᵀC + ss·I, later XtX + ss·M⁻¹
+	invWork *matrix.Dense // d x 2d Gauss-Jordan scratch for InverseInto
+	ctc     *matrix.Dense // d x d: CᵀC for the ss2 trace
+	ctym    []float64     // d: Cᵀ·Ym
+	spdWS   matrix.SPDWorkspace
+	errXi   []float64 // d: latent position scratch for the error metric
+	errNum  []float64 // dims
+	errDen  []float64 // dims
 }
 
 func newEMDriver(opt Options, n, dims int, mean []float64, ss1 float64) *emDriver {
 	rng := matrix.NewRNG(opt.Seed + 0x5354)
+	d := opt.Components
 	return &emDriver{
-		opt:  opt,
-		n:    n,
-		d:    opt.Components,
-		dims: dims,
-		c:    matrix.NormRnd(rng, dims, opt.Components),
-		ss:   math.Abs(matrix.NewRNG(opt.Seed+0x9999).NormFloat64()) + 1,
-		mean: mean,
-		ss1:  ss1,
+		opt:     opt,
+		n:       n,
+		d:       d,
+		dims:    dims,
+		c:       matrix.NormRnd(rng, dims, d),
+		ss:      math.Abs(matrix.NewRNG(opt.Seed+0x9999).NormFloat64()) + 1,
+		mean:    mean,
+		ss1:     ss1,
+		cNext:   matrix.NewDense(dims, d),
+		cm:      matrix.NewDense(dims, d),
+		minv:    matrix.NewDense(d, d),
+		xm:      make([]float64, d),
+		mWork:   matrix.NewDense(d, d),
+		invWork: matrix.NewDense(d, 2*d),
+		ctc:     matrix.NewDense(d, d),
+		ctym:    make([]float64, d),
+		errXi:   make([]float64, d),
+		errNum:  make([]float64, dims),
+		errDen:  make([]float64, dims),
 	}
 }
 
 // prepare computes the per-iteration broadcast matrices (CM, M⁻¹, Xm).
 func (em *emDriver) prepare() error {
-	cm, minv, err := latentMap(em.c, em.ss)
-	if err != nil {
-		return err
+	if !reuseScratch {
+		cm, minv, err := latentMap(em.c, em.ss)
+		if err != nil {
+			return err
+		}
+		em.cm, em.minv = cm, minv
+		em.xm = make([]float64, em.d)
+		for j, mj := range em.mean {
+			if mj != 0 {
+				matrix.AXPY(mj, cm.Row(j), em.xm)
+			}
+		}
+		return nil
 	}
-	em.cm, em.minv = cm, minv
-	em.xm = make([]float64, em.d)
+	// In-place latentMap: M = CᵀC + ss·I, M⁻¹, CM = C·M⁻¹, all into driver
+	// scratch. Same kernels as the allocating path, so same bits.
+	em.c.MulTInto(em.c, em.mWork)
+	for i := 0; i < em.d; i++ {
+		em.mWork.Data[i*em.d+i] += em.ss
+	}
+	if err := matrix.InverseInto(em.mWork, em.minv, em.invWork); err != nil {
+		return fmt.Errorf("ppca: M = CᵀC+ss·I singular: %w", err)
+	}
+	em.c.MulInto(em.minv, em.cm)
+	for k := range em.xm {
+		em.xm[k] = 0
+	}
 	for j, mj := range em.mean {
 		if mj != 0 {
-			matrix.AXPY(mj, cm.Row(j), em.xm)
+			matrix.AXPY(mj, em.cm.Row(j), em.xm)
 		}
 	}
 	return nil
@@ -231,9 +284,34 @@ type jobSums struct {
 // update performs the driver-side M-step given the job sums, returning the
 // new C. ss is updated after the ss3 pass via finishVariance.
 func (em *emDriver) update(s jobSums) (*matrix.Dense, error) {
-	// YtX = Σ Yiᵀ Xi_c - Ymᵀ (Σ Xi_c)   (mean propagation, §3.1)
-	// Rows of ytx are disjoint, so the correction runs on the parallel pool.
-	ytx := s.ytx.Clone()
+	if !reuseScratch {
+		// Legacy allocating path, kept for A/B benchmarking.
+		// YtX = Σ Yiᵀ Xi_c - Ymᵀ (Σ Xi_c)   (mean propagation, §3.1)
+		// Rows of ytx are disjoint, so the correction runs on the parallel pool.
+		ytx := s.ytx.Clone()
+		parallel.For(len(em.mean), 2048/(em.d+1)+1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				if mj := em.mean[j]; mj != 0 {
+					matrix.AXPY(-mj, s.sumX, ytx.Row(j))
+				}
+			}
+		})
+		// XtX = Σ Xi_cᵀ Xi_c + ss·M⁻¹
+		xtx := s.xtx.Add(em.minv.Scale(em.ss))
+		cNew, err := matrix.SolveSPD(xtx, ytx) // C = YtX / XtX
+		if err != nil {
+			return nil, fmt.Errorf("ppca: XtX solve failed: %w", err)
+		}
+		em.c = cNew
+
+		// ss2 = trace(XtX · Cᵀ·C)
+		em.pendingSS2 = xtx.Mul(cNew.MulT(cNew)).Trace()
+		em.pendingSumX = s.sumX
+		return cNew, nil
+	}
+	// Pooled path. The caller owns s and rebuilds it from scratch every pass,
+	// so the mean correction can run directly on s.ytx instead of a clone.
+	ytx := s.ytx
 	parallel.For(len(em.mean), 2048/(em.d+1)+1, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			if mj := em.mean[j]; mj != 0 {
@@ -241,16 +319,20 @@ func (em *emDriver) update(s jobSums) (*matrix.Dense, error) {
 			}
 		}
 	})
-	// XtX = Σ Xi_cᵀ Xi_c + ss·M⁻¹
-	xtx := s.xtx.Add(em.minv.Scale(em.ss))
-	cNew, err := matrix.SolveSPD(xtx, ytx) // C = YtX / XtX
-	if err != nil {
+	// XtX = Σ Xi_cᵀ Xi_c + ss·M⁻¹ (the two-statement AddScaledInto rounding
+	// matches the Scale-then-Add composition bit for bit).
+	xtx := matrix.AddScaledInto(em.mWork, s.xtx, em.ss, em.minv)
+	// Solve into the spare components buffer, then swap it in: the previous
+	// C's storage becomes next iteration's solve output.
+	if err := matrix.SolveSPDInto(xtx, ytx, em.cNext, &em.spdWS); err != nil {
 		return nil, fmt.Errorf("ppca: XtX solve failed: %w", err)
 	}
-	em.c = cNew
+	em.c, em.cNext = em.cNext, em.c
+	cNew := em.c
 
-	// ss2 = trace(XtX · Cᵀ·C)
-	em.pendingSS2 = xtx.Mul(cNew.MulT(cNew)).Trace()
+	// ss2 = trace(XtX · Cᵀ·C), without materializing the product.
+	cNew.MulTInto(cNew, em.ctc)
+	em.pendingSS2 = matrix.TraceMul(xtx, em.ctc)
 	em.pendingSumX = s.sumX
 	return cNew, nil
 }
@@ -259,7 +341,12 @@ func (em *emDriver) update(s jobSums) (*matrix.Dense, error) {
 // ss = (ss1 + ss2 - 2·ss3)/(N·D). ss3Raw is Σ Xi_c·(Cᵀ·Yiᵀ); the mean
 // correction -(Σ Xi_c)·(Cᵀ·Ym) is applied here.
 func (em *emDriver) finishVariance(ss3Raw float64) {
-	ctym := em.c.MulVecT(em.mean) // Cᵀ·Ym (d)
+	var ctym []float64 // Cᵀ·Ym (d)
+	if reuseScratch {
+		ctym = em.c.MulVecTInto(em.mean, em.ctym)
+	} else {
+		ctym = em.c.MulVecT(em.mean)
+	}
 	ss3 := ss3Raw - matrix.Dot(em.pendingSumX, ctym)
 	ss := (em.ss1 + em.pendingSS2 - 2*ss3) / (float64(em.n) * float64(em.dims))
 	if ss < 1e-12 || math.IsNaN(ss) {
@@ -287,11 +374,23 @@ func sampleIdx(n, want int, seed uint64) []int {
 // rows: e = ||Yr - reconstruction||₁ / ||Yr||₁, reconstructing each sampled
 // row as Xi_c·Cᵀ + Ym without materializing any large matrix.
 func reconstructionError(y *matrix.Sparse, mean []float64, c *matrix.Dense, cm *matrix.Dense, xm []float64, rows []int) float64 {
-	var num, den float64
 	d := cm.C
-	xi := make([]float64, d)
-	tNum := make([]float64, y.C)
-	tDen := make([]float64, y.C)
+	return reconstructionErrorInto(y, mean, c, cm, xm, rows,
+		make([]float64, d), make([]float64, y.C), make([]float64, y.C))
+}
+
+// reconError is the driver-scratch entry point used by the fit loops.
+func (em *emDriver) reconError(y *matrix.Sparse, rows []int) float64 {
+	if !reuseScratch {
+		return reconstructionError(y, em.mean, em.c, em.cm, em.xm, rows)
+	}
+	return reconstructionErrorInto(y, em.mean, em.c, em.cm, em.xm, rows, em.errXi, em.errNum, em.errDen)
+}
+
+// reconstructionErrorInto is reconstructionError running on caller-provided
+// scratch: xi (len d), tNum and tDen (len y.C), all fully overwritten.
+func reconstructionErrorInto(y *matrix.Sparse, mean []float64, c *matrix.Dense, cm *matrix.Dense, xm []float64, rows []int, xi, tNum, tDen []float64) float64 {
+	var num, den float64
 	for _, i := range rows {
 		row := y.Row(i)
 		// Xi_c = Yi·CM - Xm

@@ -20,7 +20,7 @@ func TestUpdateSolvesNormalEquations(t *testing.T) {
 		if err := em.prepare(); err != nil {
 			return false
 		}
-		sums := localPass(y, em)
+		sums := localPass(y, em, nil)
 		cNew, err := em.update(sums)
 		if err != nil {
 			return false
@@ -98,7 +98,7 @@ func TestLocalPassMatchesBruteForce(t *testing.T) {
 		if err := em.prepare(); err != nil {
 			return false
 		}
-		sums := localPass(y, em)
+		sums := localPass(y, em, nil)
 
 		// Brute force with dense matrices: X = Yc·CM, YtXc = Ycᵀ·X.
 		yc := y.Dense().SubRowVec(mean)
@@ -132,7 +132,7 @@ func TestSS3OrderInvariance(t *testing.T) {
 			return false
 		}
 		c := matrix.NormRnd(rng, dims, d)
-		assoc := localSS3(y, em, c)
+		assoc := localSS3(y, em, c, nil)
 
 		// Dense order: Σ (Xi·Cᵀ)·Yiᵀ.
 		var direct float64

@@ -41,6 +41,12 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 
 	ymat := sparseFromRows(rows, dims)
 	sample := sampleIdx(len(rows), opt.sampleRows(), opt.Seed)
+	// Per-partition task scratch plus the driver-side sums, allocated once
+	// and recycled every iteration (nil = legacy allocating path).
+	var scr *sparkScratch
+	if reuseScratch {
+		scr = newSparkScratch(y.NumPartitions(), dims, em.d)
+	}
 	res := &Result{Mean: mean}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		if err := em.prepare(); err != nil {
@@ -50,7 +56,7 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 
 		var sums jobSums
 		if opt.MinimizeIntermediate {
-			sums = sparkYtXJob(ctx, y, dims, em, opt)
+			sums = sparkYtXJob(ctx, y, dims, em, opt, scr)
 		} else {
 			sums = sparkUnoptimized(ctx, y, dims, em, opt)
 		}
@@ -62,10 +68,10 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 		cl.AddDriverCompute(int64(dims)*d*d + d*d*d)
 
 		rdd.Broadcast(ctx, "C", mapred.BytesOfDense(cNew))
-		ss3raw := sparkSS3Job(ctx, y, em, cNew, opt)
+		ss3raw := sparkSS3Job(ctx, y, em, cNew, opt, scr)
 		em.finishVariance(ss3raw)
 
-		e := reconstructionError(ymat, mean, em.c, em.cm, em.xm, sample)
+		e := em.reconError(ymat, sample)
 		res.History = append(res.History, IterationStat{
 			Iter:       iter,
 			Err:        e,
@@ -131,14 +137,22 @@ func sparkMean(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int) ([]f
 	return mean, nil
 }
 
+// fnormPart is one partition's Frobenius partial: the scalar that crosses
+// the wire plus the task-local densify buffer (Algorithm 2 path) that never
+// leaves the task — sized to the widest row seen, not allocated per row.
+type fnormPart struct {
+	sum   float64
+	dense []float64
+}
+
 func sparkFnorm(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], mean []float64, efficient bool) (float64, error) {
 	var msum float64
 	for _, mv := range mean {
 		msum += mv * mv
 	}
-	sum, err := rdd.Aggregate(y, "FnormJob",
-		func() float64 { return 0 },
-		func(acc float64, row matrix.SparseVector, ops *rdd.TaskOps) float64 {
+	agg, err := rdd.AggregateInto(y, "FnormJob",
+		func(int) *fnormPart { return &fnormPart{} },
+		func(acc *fnormPart, row matrix.SparseVector, ops *rdd.TaskOps) *fnormPart {
 			if efficient {
 				s := msum
 				for k, j := range row.Indices {
@@ -147,9 +161,16 @@ func sparkFnorm(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], mean []float6
 					s += dv*dv - mean[j]*mean[j]
 				}
 				ops.AddOps(int64(2 * row.NNZ()))
-				return acc + s
+				acc.sum += s
+				return acc
 			}
-			dense := make([]float64, row.Len)
+			if cap(acc.dense) < row.Len {
+				acc.dense = make([]float64, row.Len)
+			}
+			dense := acc.dense[:row.Len]
+			for j := range dense {
+				dense[j] = 0
+			}
 			for k, j := range row.Indices {
 				dense[j] = row.Values[k]
 			}
@@ -159,16 +180,17 @@ func sparkFnorm(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], mean []float6
 				s += dv * dv
 			}
 			ops.AddOps(int64(2 * row.Len))
-			return acc + s
+			acc.sum += s
+			return acc
 		},
-		func(a, b float64) float64 { return a + b },
-		func(float64) int64 { return 8 },
+		func(a, b *fnormPart) *fnormPart { a.sum += b.sum; return a },
+		func(*fnormPart) int64 { return 8 },
 	)
 	if err != nil {
 		return 0, err
 	}
 	ctx.Cluster().FreeDriver(8)
-	return sum, nil
+	return agg.sum, nil
 }
 
 // sparkSums is the per-partition partial of the consolidated YtX job.
@@ -203,26 +225,148 @@ func (s *sparkSums) merge(o *sparkSums) {
 	matrix.AXPY(1, o.sumX, s.sumX)
 }
 
+// sparkScratch owns the per-fit reusable state of the Spark jobs: one scratch
+// per partition (partition count is fixed for the life of the RDD), the
+// accumulator zero the per-iteration YtX accumulator folds into, and the
+// driver-side jobSums. A nil *sparkScratch (reuseScratch=false) makes every
+// accessor allocate fresh, reproducing the legacy behaviour.
+//
+// Ownership protocol: the accumulator merge steals YtX row vectors from the
+// first task partial holding each key, so after Value() the accumulator zero
+// aliases task-owned vectors. Those aliases die when resetAccZero clears the
+// map at the START of the next YtX pass — before any task scratch is reset —
+// so a cleared-and-recycled vector is never reachable through a live map.
+type sparkScratch struct {
+	d       int
+	parts   []*sparkPartScratch
+	accZero *sparkSums
+	sums    jobSums
+}
+
+func newSparkScratch(partitions, dims, d int) *sparkScratch {
+	return &sparkScratch{
+		d:       d,
+		parts:   make([]*sparkPartScratch, partitions),
+		accZero: newSparkSums(d),
+		sums:    newJobSums(dims, d),
+	}
+}
+
+// resetAccZero clears the accumulator zero for a new pass. The map values are
+// NOT recycled here — they are owned by the task scratches that donated them.
+func (sc *sparkScratch) resetAccZero(d int) *sparkSums {
+	if sc == nil {
+		return newSparkSums(d)
+	}
+	clear(sc.accZero.ytx)
+	for i := range sc.accZero.xtx {
+		sc.accZero.xtx[i] = 0
+	}
+	for i := range sc.accZero.sumX {
+		sc.accZero.sumX[i] = 0
+	}
+	return sc.accZero
+}
+
+// sparkPartScratch is one partition's task-local scratch, shared by the YtX
+// and ss3 passes (which never run concurrently). Tasks for distinct
+// partitions write distinct slots of the pre-sized parts slice, so the
+// concurrent partition loop never races.
+type sparkPartScratch struct {
+	d    int
+	sums *sparkSums
+	free [][]float64 // recycled YtX partial rows
+	xi   []float64
+	ct   []float64
+	xc   []float64 // D-length scratch for the non-associative ss3 order
+	idx  []int     // densify scratch for the no-mean-propagation ablation
+	vals []float64
+}
+
+func newSparkPartScratch(d int) *sparkPartScratch {
+	return &sparkPartScratch{
+		d:    d,
+		sums: newSparkSums(d),
+		xi:   make([]float64, d),
+		ct:   make([]float64, d),
+	}
+}
+
+// ytxPart returns partition task's scratch with its sums reset for a new pass.
+func (sc *sparkScratch) ytxPart(task, d int) *sparkPartScratch {
+	ps := sc.partScratch(task, d)
+	for j, p := range ps.sums.ytx {
+		ps.free = append(ps.free, p)
+		delete(ps.sums.ytx, j)
+	}
+	for i := range ps.sums.xtx {
+		ps.sums.xtx[i] = 0
+	}
+	for i := range ps.sums.sumX {
+		ps.sums.sumX[i] = 0
+	}
+	return ps
+}
+
+// ss3Part returns partition task's scratch without touching sums (the ss3
+// pass only uses the vector buffers, which are overwritten per row).
+func (sc *sparkScratch) ss3Part(task, d int) *sparkPartScratch {
+	return sc.partScratch(task, d)
+}
+
+func (sc *sparkScratch) partScratch(task, d int) *sparkPartScratch {
+	if sc == nil {
+		return newSparkPartScratch(d)
+	}
+	ps := sc.parts[task]
+	if ps == nil {
+		ps = newSparkPartScratch(d)
+		sc.parts[task] = ps
+	}
+	return ps
+}
+
+// vec hands out a zeroed d-vector, recycling the freelist when possible.
+func (ps *sparkPartScratch) vec() []float64 {
+	if n := len(ps.free); n > 0 {
+		p := ps.free[n-1]
+		ps.free = ps.free[:n-1]
+		for i := range p {
+			p[i] = 0
+		}
+		return p
+	}
+	return make([]float64, ps.d)
+}
+
+func (ps *sparkPartScratch) densify(row matrix.SparseVector, mean []float64) matrix.SparseVector {
+	if cap(ps.idx) < row.Len {
+		ps.idx = make([]int, row.Len)
+		ps.vals = make([]float64, row.Len)
+	}
+	return matrix.DensifyCenteredInto(row, mean, ps.idx[:row.Len], ps.vals[:row.Len])
+}
+
 // sparkYtXJob is Algorithm 5: one map pass computing X on demand, folding
 // XtX/YtX/ΣX partials into accumulators inside the map (no reduce stage).
-func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options) jobSums {
+func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options, scr *sparkScratch) jobSums {
 	d := em.d
-	acc := rdd.NewAccumulator(ctx, "YtXSum", newSparkSums(d),
+	acc := rdd.NewAccumulator(ctx, "YtXSum", scr.resetAccZero(d),
 		func(into, from *sparkSums) *sparkSums { into.merge(from); return into },
 		func(s *sparkSums) int64 { return s.bytes(d) },
 	)
 	y.ForeachPartition("YtXJob", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
-		local := newSparkSums(d)
-		xi := make([]float64, d)
+		ps := scr.ytxPart(task, d)
+		local, xi := ps.sums, ps.xi
 		for _, row := range part {
 			if !opt.MeanPropagation {
-				row = densifyCentered(row, em.mean)
+				row = ps.densify(row, em.mean)
 			}
 			computeRowLatent(row, em, opt.MeanPropagation, xi)
 			for k, j := range row.Indices {
 				p := local.ytx[j]
 				if p == nil {
-					p = make([]float64, d)
+					p = ps.vec()
 					local.ytx[j] = p
 				}
 				matrix.AXPY(row.Values[k], xi, p)
@@ -240,10 +384,19 @@ func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em
 		acc.Merge(task, local)
 	})
 	total := acc.Value()
-	sums := jobSums{
-		ytx:  matrix.NewDense(dims, d),
-		xtx:  matrix.NewDense(d, d),
-		sumX: total.sumX,
+	var sums jobSums
+	if scr != nil {
+		sums = scr.sums
+		sums.ytx.Zero()
+		// Copy, not alias: total.sumX is the pooled accumulator zero, which
+		// the next pass clears while the driver still holds these sums.
+		copy(sums.sumX, total.sumX)
+	} else {
+		sums = jobSums{
+			ytx:  matrix.NewDense(dims, d),
+			xtx:  matrix.NewDense(d, d),
+			sumX: total.sumX,
+		}
 	}
 	for j, v := range total.ytx {
 		copy(sums.ytx.Row(j), v)
@@ -252,20 +405,19 @@ func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em
 	return sums
 }
 
-func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver, cNew *matrix.Dense, opt Options) float64 {
+func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver, cNew *matrix.Dense, opt Options, scr *sparkScratch) float64 {
 	d := em.d
 	acc := rdd.NewAccumulator(ctx, "ss3", 0.0,
 		func(a, b float64) float64 { return a + b },
 		func(float64) int64 { return 8 },
 	)
 	y.ForeachPartition("ss3Job", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
-		xi := make([]float64, d)
-		ct := make([]float64, d)
-		var xc []float64
+		ps := scr.ss3Part(task, d)
+		xi, ct := ps.xi, ps.ct
 		var local float64
 		for _, row := range part {
 			if !opt.MeanPropagation {
-				row = densifyCentered(row, em.mean)
+				row = ps.densify(row, em.mean)
 			}
 			computeRowLatent(row, em, opt.MeanPropagation, xi)
 			if opt.AssociativeSS3 {
@@ -281,13 +433,13 @@ func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver
 				continue
 			}
 			// Dense order (Xi·Cᵀ)·Yiᵀ: O(D·d) per row.
-			if xc == nil {
-				xc = make([]float64, cNew.R)
+			if ps.xc == nil {
+				ps.xc = make([]float64, cNew.R)
 			}
-			denseXC(xi, cNew, xc)
+			denseXC(xi, cNew, ps.xc)
 			var s float64
 			for k, j := range row.Indices {
-				s += xc[j] * row.Values[k]
+				s += ps.xc[j] * row.Values[k]
 			}
 			local += s
 			ops.AddOps(int64(row.NNZ()*d + cNew.R*d + row.NNZ()))

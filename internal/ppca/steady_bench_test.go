@@ -1,0 +1,135 @@
+package ppca
+
+// Steady-state allocation benchmarks for the pooled-scratch EM paths, plus
+// A/B pairs that fit the same model with scratch reuse on (the default) and
+// off (the legacy allocating code, kept for exactly this comparison). The
+// mapper benchmarks must report ~0 allocs/op; the A/B pairs track the
+// wall-clock payoff in BENCH_3.json.
+
+import (
+	"testing"
+
+	"spca/internal/cluster"
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+	"spca/internal/rdd"
+)
+
+func benchDriver(b *testing.B, n, dims, d int) (*matrix.Sparse, *emDriver) {
+	b.Helper()
+	rng := matrix.NewRNG(7)
+	y := randomSparseMat(rng, n, dims, 0.3)
+	mean := y.ColMeans()
+	em := newEMDriver(DefaultOptions(d), n, dims, mean, y.CenteredFrobeniusSq(mean))
+	if err := em.prepare(); err != nil {
+		b.Fatal(err)
+	}
+	return y, em
+}
+
+// BenchmarkSteadyYtxMapperMap measures one row through the consolidated
+// YtX/XtX/ΣX mapper on warm scratch. allocs/op must be ~0.
+func BenchmarkSteadyYtxMapperMap(b *testing.B) {
+	y, em := benchDriver(b, 512, 128, 10)
+	scr := newYtxTaskScratch(em.d)
+	m := &ytxMapper{em: em, meanProp: true, d: em.d, scr: scr}
+	emit := nopEmitter[int, []float64]{}
+	for i := 0; i < y.R; i++ { // warm-up: size freelist + map buckets
+		m.Map(y.Row(i), emit)
+	}
+	scr.reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%y.R == 0 {
+			scr.reset()
+		}
+		m.Map(y.Row(i%y.R), emit)
+	}
+}
+
+// BenchmarkSteadySS3MapperMap measures one row through the associative ss3
+// mapper on warm scratch. allocs/op must be ~0.
+func BenchmarkSteadySS3MapperMap(b *testing.B) {
+	y, em := benchDriver(b, 512, 128, 10)
+	scr := newSS3TaskScratch(em.d)
+	m := &ss3Mapper{em: em, c: em.c, meanProp: true, assoc: true, d: em.d, scr: scr}
+	emit := nopEmitter[int, float64]{}
+	for i := 0; i < y.R; i++ {
+		m.Map(y.Row(i), emit)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Map(y.Row(i%y.R), emit)
+	}
+}
+
+// withScratch runs fn with the reuseScratch knob forced to on, restoring the
+// previous value afterwards. Benchmarks run sequentially, so flipping the
+// package variable is safe here (it must never be flipped mid-fit).
+func withScratch(on bool, fn func()) {
+	prev := reuseScratch
+	reuseScratch = on
+	defer func() { reuseScratch = prev }()
+	fn()
+}
+
+func benchFitLocalAB(b *testing.B, pooled bool) {
+	y, _ := benchData(b, 2000, 500)
+	opt := DefaultOptions(10)
+	opt.MaxIter = 3
+	opt.Tol = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		withScratch(pooled, func() {
+			if _, err := FitLocal(y, opt); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkFitLocalPooled(b *testing.B) { benchFitLocalAB(b, true) }
+func BenchmarkFitLocalLegacy(b *testing.B) { benchFitLocalAB(b, false) }
+
+func benchFitMapReduceAB(b *testing.B, pooled bool) {
+	_, rows := benchData(b, 2000, 500)
+	opt := DefaultOptions(10)
+	opt.MaxIter = 3
+	opt.Tol = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		withScratch(pooled, func() {
+			eng := mapred.NewEngine(cluster.MustNew(cluster.DefaultConfig()))
+			if _, err := FitMapReduce(eng, rows, 500, opt); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkFitMapReducePooled(b *testing.B) { benchFitMapReduceAB(b, true) }
+func BenchmarkFitMapReduceLegacy(b *testing.B) { benchFitMapReduceAB(b, false) }
+
+func benchFitSparkAB(b *testing.B, pooled bool) {
+	_, rows := benchData(b, 2000, 500)
+	opt := DefaultOptions(10)
+	opt.MaxIter = 3
+	opt.Tol = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		withScratch(pooled, func() {
+			ctx := rdd.NewContext(cluster.MustNew(cluster.DefaultConfig().WithTaskOverhead(0.05)))
+			if _, err := FitSpark(ctx, rows, 500, opt); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkFitSparkPooled(b *testing.B) { benchFitSparkAB(b, true) }
+func BenchmarkFitSparkLegacy(b *testing.B) { benchFitSparkAB(b, false) }

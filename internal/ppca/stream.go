@@ -81,15 +81,27 @@ func FitStream(src matrix.RowSource, opt Options) (*Result, error) {
 	d := em.d
 	xi := make([]float64, d)
 	ct := make([]float64, d)
+	// The pass sums are hoisted out of the iteration loop and zeroed in place
+	// each iteration (legacy per-iteration allocation kept for A/B runs).
+	var pooled jobSums
+	if reuseScratch {
+		pooled = newJobSums(dims, d)
+	}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		if err := em.prepare(); err != nil {
 			return nil, err
 		}
 		// Pass 1 of the iteration: consolidated YtX/XtX/ΣX.
-		sums := jobSums{
-			ytx:  matrix.NewDense(dims, d),
-			xtx:  matrix.NewDense(d, d),
-			sumX: make([]float64, d),
+		var sums jobSums
+		if reuseScratch {
+			sums = pooled
+			sums.ytx.Zero()
+			sums.xtx.Zero()
+			for k := range sums.sumX {
+				sums.sumX[k] = 0
+			}
+		} else {
+			sums = newJobSums(dims, d)
 		}
 		if err := src.Scan(func(i int, row matrix.SparseVector) error {
 			computeLatentRow(row, em, xi)
@@ -123,7 +135,7 @@ func FitStream(src matrix.RowSource, opt Options) (*Result, error) {
 		}
 		em.finishVariance(ss3)
 
-		e := reconstructionError(sample, mean, em.c, em.cm, em.xm, sampleRows)
+		e := em.reconError(sample, sampleRows)
 		res.History = append(res.History, IterationStat{
 			Iter: iter, Err: e, SS: em.ss,
 		})

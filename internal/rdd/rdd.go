@@ -516,6 +516,17 @@ func (r *RDD[T]) Collect() ([]T, error) {
 // when the result is no longer needed.
 // This is the communication pattern of MLlib's Gramian computation.
 func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *TaskOps) U, comb func(U, U) U, sizeOf func(U) int64) (U, error) {
+	return AggregateInto(r, name, func(int) U { return zero() }, seq, comb, sizeOf)
+}
+
+// AggregateInto is Aggregate with a task-indexed zero: zero(p) builds the
+// fold target of partition p and zero(-1) the driver-side result, letting
+// callers hand out pooled per-task accumulators (reused across repeated
+// actions) instead of allocating fresh ones per call. Partition indices are
+// stable for the life of the RDD and each partition's fold runs on a single
+// goroutine, so a caller-owned zero value is touched by exactly one task per
+// action.
+func AggregateInto[T, U any](r *RDD[T], name string, zero func(task int) U, seq func(U, T, *TaskOps) U, comb func(U, U) U, sizeOf func(U) int64) (U, error) {
 	plan, phase := r.ctx.actionPlan(name)
 	partials := make([]U, len(r.parts))
 	opsPer := make([]TaskOps, len(r.parts))
@@ -527,7 +538,7 @@ func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			acc := zero()
+			acc := zero(p)
 			for _, rec := range r.parts[p] {
 				acc = seq(acc, rec, &opsPer[p])
 			}
@@ -542,7 +553,7 @@ func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *
 		totalOps += opsPer[i].ops
 		taskOps[i] = opsPer[i].ops
 	}
-	result := zero()
+	result := zero(-1)
 	for _, part := range partials {
 		shuffle += sizeOf(part)
 		result = comb(result, part)
