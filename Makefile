@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-kernels bench-json bench-smoke experiments
+.PHONY: check vet build test race chaos fuzz-smoke bench bench-kernels bench-json bench-smoke experiments
 
-check: vet build test race chaos bench-smoke
+check: vet build test race chaos fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,13 @@ chaos:
 	@seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
 	echo "chaos: randomized seed $$seed (replay with SPCA_CHAOS_SEED=$$seed)"; \
 	SPCA_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' .
+
+# Short randomized pass over the matrix-reader fuzzers (the seed corpus
+# always runs; this adds a few seconds of real mutation). Part of `make
+# check` so the parsers stay panic-free on hostile input.
+fuzz-smoke:
+	$(GO) test ./internal/matrix -run '^$$' -fuzz FuzzReadSparse$$ -fuzztime 5s
+	$(GO) test ./internal/matrix -run '^$$' -fuzz FuzzReadSparseBinary$$ -fuzztime 5s
 
 bench:
 	$(GO) test -bench=. -benchmem

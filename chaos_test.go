@@ -1,6 +1,11 @@
 package spca
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"strconv"
 	"testing"
@@ -84,6 +89,145 @@ func TestChaosModelsBitIdentical(t *testing.T) {
 					m.SimSeconds, clean.Metrics.SimSeconds)
 			}
 		})
+	}
+}
+
+// modelFingerprint is the FNV-64 hash of a fitted model's exact float64 bit
+// patterns — components, mean, variance, and the per-iteration history with
+// its simulated clock — so the driver-crash suites can assert bit-identity,
+// not mere closeness.
+func modelFingerprint(res *Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, v := range res.Components.Data {
+		put(v)
+	}
+	for _, v := range res.Mean {
+		put(v)
+	}
+	put(res.NoiseVariance)
+	put(float64(res.Iterations))
+	for _, st := range res.History {
+		put(float64(st.Iter))
+		put(st.Err)
+		put(st.SimSeconds)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestChaosDriverCrashResume is the durability suite's core assertion: with
+// checkpointing enabled, a run whose driver crashes (at any scheduled
+// iteration, even several incarnations in a row) auto-resumes and produces a
+// model bit-identical to the uninterrupted run on the same simulated clock,
+// with the recovery cost reported out-of-band.
+func TestChaosDriverCrashResume(t *testing.T) {
+	y := GenerateDataset(DatasetSpec{Kind: Tweets, Rows: 500, Cols: 70, Seed: 9})
+	schedules := map[string][]int{
+		"mid-run":        {3},
+		"at-checkpoint":  {2},
+		"before-first":   {1},
+		"last-iteration": {5},
+		"three-crashes":  {1, 3, 4},
+	}
+	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark, LocalPPCA} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			base := Config{Algorithm: alg, Components: 5, MaxIter: 5, Tol: -1,
+				Checkpoint: CheckpointSpec{Interval: 2, Dir: t.TempDir()}}
+			clean, err := Fit(y, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cleanFP := modelFingerprint(clean)
+			for name, crashes := range schedules {
+				cfg := base
+				cfg.Checkpoint.Dir = t.TempDir()
+				cfg.Faults = &FaultPlan{DriverCrashIters: crashes}
+				res, err := Fit(y, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if fp := modelFingerprint(res); fp != cleanFP {
+					t.Errorf("%s: resumed model fingerprint %s != uninterrupted %s", name, fp, cleanFP)
+				}
+				if res.Metrics.SimSeconds != clean.Metrics.SimSeconds {
+					t.Errorf("%s: resumed SimSeconds %v != uninterrupted %v",
+						name, res.Metrics.SimSeconds, clean.Metrics.SimSeconds)
+				}
+				if got, want := res.Metrics.DriverRestarts, int64(len(crashes)); got != want {
+					t.Errorf("%s: DriverRestarts = %d, want %d", name, got, want)
+				}
+				if alg != LocalPPCA && res.Metrics.RecoverySeconds <= 0 {
+					t.Errorf("%s: recovery cost not charged: %v", name, res.Metrics.RecoverySeconds)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosCombinedTaskAndDriverFaults layers a driver crash on top of the
+// full task-fault chaos plan. The resumed incarnation must draw the exact
+// same task faults the uninterrupted run would (the checkpoint carries the
+// engines' fault-decision cursor), keeping the model and clock bit-identical.
+func TestChaosCombinedTaskAndDriverFaults(t *testing.T) {
+	y := GenerateDataset(DatasetSpec{Kind: Tweets, Rows: 500, Cols: 70, Seed: 9})
+	seed := chaosSeed(t)
+	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			base := Config{Algorithm: alg, Components: 5, MaxIter: 4, Tol: -1,
+				Faults:     chaosPlan(seed),
+				Checkpoint: CheckpointSpec{Interval: 1, Dir: t.TempDir()}}
+			clean, err := Fit(y, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashed := base
+			crashed.Checkpoint.Dir = t.TempDir()
+			crashed.Faults = chaosPlan(seed)
+			crashed.Faults.DriverCrashIters = []int{2}
+			res, err := Fit(y, crashed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if modelFingerprint(res) != modelFingerprint(clean) {
+				t.Error("combined task+driver faults: model not bit-identical to task-faults-only run")
+			}
+			if res.Metrics.SimSeconds != clean.Metrics.SimSeconds {
+				t.Errorf("combined task+driver faults: SimSeconds %v != %v",
+					res.Metrics.SimSeconds, clean.Metrics.SimSeconds)
+			}
+			if res.Metrics.FailedAttempts != clean.Metrics.FailedAttempts {
+				t.Errorf("task-fault draws diverged after resume: %d failed attempts vs %d",
+					res.Metrics.FailedAttempts, clean.Metrics.FailedAttempts)
+			}
+			if res.Metrics.DriverRestarts != 1 {
+				t.Errorf("DriverRestarts = %d, want 1", res.Metrics.DriverRestarts)
+			}
+		})
+	}
+}
+
+// TestChaosDriverCrashWithoutCheckpointFatal pins the other half of the
+// contract: without a checkpoint config a driver crash is a typed, fatal
+// error, exactly like a stock Hadoop/Spark driver loss.
+func TestChaosDriverCrashWithoutCheckpointFatal(t *testing.T) {
+	y := GenerateDataset(DatasetSpec{Kind: Tweets, Rows: 300, Cols: 50, Seed: 9})
+	cfg := Config{Algorithm: SPCAMapReduce, Components: 4, MaxIter: 3,
+		Faults: &FaultPlan{DriverCrashIters: []int{2}}}
+	_, err := Fit(y, cfg)
+	if !errors.Is(err, ErrDriverCrash) {
+		t.Fatalf("want ErrDriverCrash, got %v", err)
+	}
+	var crash *DriverCrashError
+	if !errors.As(err, &crash) || crash.Iter != 2 {
+		t.Fatalf("want DriverCrashError at iteration 2, got %v", err)
 	}
 }
 

@@ -39,6 +39,8 @@ func main() {
 		smart     = flag.Bool("smart-guess", false, "enable sPCA-SG initialization")
 		listAlg   = flag.Bool("list", false, "list algorithms and exit")
 		stream    = flag.Bool("stream", false, "stream the -in file row by row (out-of-core PPCA; ignores -algo/-target)")
+		ckptDir   = flag.String("checkpoint-dir", "", "write driver checkpoints to this directory and auto-resume after a crash")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every K iterations (with -checkpoint-dir)")
 		saveModel = flag.String("save-model", "", "save the fitted model to this file")
 		loadModel = flag.String("load-model", "", "skip fitting; load a model saved with -save-model")
 		transform = flag.String("transform", "", "write the input's latent representation (N x d, dmx) to this file")
@@ -107,6 +109,9 @@ func main() {
 			Nodes:          *nodes,
 			DriverMemoryGB: *driver,
 		},
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = spca.CheckpointSpec{Interval: *ckptEvery, Dir: *ckptDir}
 	}
 	res, err = spca.Fit(y, cfg)
 	if err != nil {

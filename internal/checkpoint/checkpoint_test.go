@@ -1,0 +1,173 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spca/internal/cluster"
+	"spca/internal/matrix"
+)
+
+func sampleSnapshot(iter int) *Snapshot {
+	dims, d := 5, 2
+	c := matrix.NewDense(dims, d)
+	for i := range c.Data {
+		// Awkward floats exercise the exact round-trip property.
+		c.Data[i] = math.Sqrt(float64(i+1)) * 1e-3
+	}
+	best := matrix.NewDense(dims, d)
+	for i := range best.Data {
+		best.Data[i] = 1 / float64(i+3)
+	}
+	return &Snapshot{
+		Iter: iter, N: 40, Dims: dims, D: d, Seed: 42, FaultEpoch: 17,
+		SS: 0.1234567890123456789, SS1: 987.654321,
+		RidgeLevel: 1, Rising: 2,
+		Mean: []float64{0.1, -0.25, math.Pi, 0, 1e-300},
+		C:    c,
+		Best: &BestState{Iter: iter - 1, Err: 0.5, SS: 0.2, C: best},
+		Metrics: cluster.Metrics{
+			ComputeOps: 1234, ShuffleBytes: 99, DiskBytes: 1000, Tasks: 7, Phases: 3,
+			SimSeconds: 12.34567890123, DriverPeak: 1 << 20,
+			FailedAttempts: 1, RecomputedOps: 11, RecoverySeconds: 0.5,
+			CheckpointBytes: 100, CheckpointSeconds: 1e-6, DriverRestarts: 1,
+		},
+		History: []HistoryEntry{
+			{Iter: 1, Err: 2.5, Accuracy: 0.1, SS: 1.5, SimSeconds: 3.25},
+			{Iter: 2, Err: 1.25, Accuracy: 0.2, SS: 0.75, SimSeconds: 6.5, Ridge: 1e-8, RidgeRetries: 2, Rollback: true},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sampleSnapshot(7)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if s.Bytes != int64(buf.Len()) {
+		t.Fatalf("Bytes = %d, want %d", s.Bytes, buf.Len())
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	got.Bytes = s.Bytes // Read does not set Bytes
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestRoundTripNoBest(t *testing.T) {
+	s := sampleSnapshot(3)
+	s.Best = nil
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Best != nil {
+		t.Fatalf("Best = %+v, want nil", got.Best)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Write(&a, sampleSnapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, sampleSnapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same snapshot differ")
+	}
+}
+
+func TestSaveLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Latest(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest(empty) = %v, want ErrNoCheckpoint", err)
+	}
+	for _, iter := range []int{2, 10, 4} {
+		if _, err := Save(dir, sampleSnapshot(iter)); err != nil {
+			t.Fatalf("Save(%d): %v", iter, err)
+		}
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if got.Iter != 10 {
+		t.Fatalf("Latest picked iter %d, want 10", got.Iter)
+	}
+	if got.Bytes <= 0 {
+		t.Fatalf("Latest did not set Bytes: %d", got.Bytes)
+	}
+	if _, err := Latest(filepath.Join(dir, "missing")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest(missing dir) = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "nonsense\n",
+		"bad version": strings.Replace(text, "spcackpt 1", "spcackpt 99", 1),
+		"truncated":   text[:len(text)/2],
+		"bad float":   strings.Replace(text, "ss ", "ss x", 1),
+		// C.Data[0] serializes as "0.001 "; swap it for NaN.
+		"nonfinite C": strings.Replace(text, "0.001 ", "NaN ", 1),
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted corrupt input", name)
+		} else if !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: error %v does not wrap ErrBadSnapshot", name, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := sampleSnapshot(7)
+	if err := s.Validate(40, 5, 2, 42); err != nil {
+		t.Fatalf("Validate(matching) = %v", err)
+	}
+	var mm *MismatchError
+	if err := s.Validate(41, 5, 2, 42); !errors.As(err, &mm) {
+		t.Fatalf("Validate(wrong n) = %v, want MismatchError", err)
+	}
+	if err := s.Validate(40, 5, 2, 43); !errors.As(err, &mm) {
+		t.Fatalf("Validate(wrong seed) = %v, want MismatchError", err)
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, sampleSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}

@@ -139,15 +139,33 @@ type Metrics struct {
 	RecomputedOps    int64   // ops re-executed for retries and lineage recovery
 	SpeculativeTasks int64   // backup copies launched against stragglers
 	RecoverySeconds  float64 // simulated time attributable to fault recovery
+
+	// Driver-durability accounting. CheckpointBytes/CheckpointSeconds charge
+	// the periodic EM driver snapshots written to durable storage (zero when
+	// checkpointing is disabled); DriverRestarts counts crash/resume cycles.
+	// Checkpoint writes advance SimSeconds (both the uninterrupted and the
+	// resumed run pay them identically), while the cost of a restore lands
+	// only in RecoverySeconds: the resumed run's clock is rewound to the
+	// snapshot's clock so its iteration trajectory stays bit-identical to an
+	// uninterrupted run, and the restore overhead is reported out-of-band.
+	CheckpointBytes   int64   // bytes of driver snapshots written
+	CheckpointSeconds float64 // simulated time spent writing snapshots
+	DriverRestarts    int64   // driver crash/resume cycles
 }
 
 // String renders the headline numbers, including the recovery metrics (all
-// zero unless a FaultPlan injected failures).
+// zero unless a FaultPlan injected failures) and, when checkpointing was
+// armed, the driver-durability charges.
 func (m Metrics) String() string {
-	return fmt.Sprintf("sim=%.1fs shuffle=%s disk=%s intermediate=%s ops=%d tasks=%d driverPeak=%s failed=%d recomputed=%d spec=%d recovery=%.1fs",
+	s := fmt.Sprintf("sim=%.1fs shuffle=%s disk=%s intermediate=%s ops=%d tasks=%d driverPeak=%s failed=%d recomputed=%d spec=%d recovery=%.1fs",
 		m.SimSeconds, FormatBytes(m.ShuffleBytes), FormatBytes(m.DiskBytes),
 		FormatBytes(m.MaterializedBytes), m.ComputeOps, m.Tasks, FormatBytes(m.DriverPeak),
 		m.FailedAttempts, m.RecomputedOps, m.SpeculativeTasks, m.RecoverySeconds)
+	if m.CheckpointBytes > 0 || m.DriverRestarts > 0 {
+		s += fmt.Sprintf(" ckpt=%s ckptTime=%.1fs restarts=%d",
+			FormatBytes(m.CheckpointBytes), m.CheckpointSeconds, m.DriverRestarts)
+	}
+	return s
 }
 
 // Cluster is a live simulated cluster instance. It is safe for concurrent
@@ -240,6 +258,52 @@ func (c *Cluster) AddDriverCompute(ops int64) {
 	defer c.mu.Unlock()
 	c.metrics.ComputeOps += ops
 	c.metrics.SimSeconds += float64(ops) / c.cfg.FlopsPerCore
+}
+
+// ChargeCheckpoint charges writing one driver snapshot of the given size to
+// simulated durable storage. The write shares the disk bandwidth and advances
+// the simulated clock: checkpointing is a real cost the run pays whether or
+// not a crash ever happens, which is exactly the interval-vs-recovery
+// trade-off the checkpoint experiment sweeps.
+func (c *Cluster) ChargeCheckpoint(bytes int64) {
+	if bytes < 0 {
+		panic("cluster: negative checkpoint size")
+	}
+	t := float64(bytes) / c.cfg.DiskBps
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics.CheckpointBytes += bytes
+	c.metrics.CheckpointSeconds += t
+	c.metrics.DiskBytes += bytes
+	c.metrics.SimSeconds += t
+}
+
+// ChargeDriverRestore charges one driver crash/resume cycle: reading the
+// snapshot back from durable storage plus extraSeconds of setup work the new
+// driver incarnation had to redo (e.g. re-loading the input RDD). The cost
+// lands in RecoverySeconds and DriverRestarts only — NOT in SimSeconds —
+// because RestoreMetrics has just rewound the clock to the snapshot's value
+// so that the resumed iteration trajectory stays bit-identical to an
+// uninterrupted run; the restore overhead is reported out-of-band.
+func (c *Cluster) ChargeDriverRestore(bytes int64, extraSeconds float64) {
+	if bytes < 0 || extraSeconds < 0 {
+		panic("cluster: negative driver-restore charge")
+	}
+	rec := float64(bytes)/c.cfg.DiskBps + extraSeconds
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics.DriverRestarts++
+	c.metrics.RecoverySeconds += rec
+}
+
+// RestoreMetrics overwrites the accumulated metrics with a snapshot taken by
+// an earlier driver incarnation — the resume path of driver checkpointing.
+// Everything charged on this cluster before the call (setup the restarted
+// driver redid) is discarded; account it via ChargeDriverRestore instead.
+func (c *Cluster) RestoreMetrics(m Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = m
 }
 
 // AllocDriver reserves bytes of driver memory, failing with ErrDriverOOM if

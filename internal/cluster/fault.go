@@ -8,6 +8,11 @@
 // and without injected faults.
 package cluster
 
+import (
+	"errors"
+	"fmt"
+)
+
 // FaultPlan describes deterministic fault injection for the engines built on
 // the simulated cluster (internal/mapred, internal/rdd). The zero value (and
 // a nil plan) injects nothing; all methods are nil-receiver safe.
@@ -45,11 +50,33 @@ type FaultPlan struct {
 	// (the MapReduce engine; Spark-style lineage recovery retries until it
 	// succeeds). Zero defers to the engine's own default.
 	MaxAttempts int
+
+	// DriverCrashIters schedules driver crashes: the i-th driver incarnation
+	// (0-based) crashes at the end of EM iteration DriverCrashIters[i], after
+	// any checkpoint due at that iteration has been written. Incarnation
+	// indexing means a resumed driver consults the next entry rather than
+	// re-crashing forever at the same iteration; a run with checkpointing
+	// disabled surfaces the crash as a terminal *DriverCrashError. Unlike the
+	// rate-driven task faults, the schedule is explicit — crash placement
+	// relative to the checkpoint interval is exactly the variable the
+	// checkpoint experiment sweeps.
+	DriverCrashIters []int
 }
 
-// Enabled reports whether the plan can inject any fault at all.
+// Enabled reports whether the plan can inject any task-level fault at all.
+// Driver crashes are deliberately excluded: they are handled by the EM driver
+// itself, not by the task schedulers that consult Enabled.
 func (f *FaultPlan) Enabled() bool {
 	return f != nil && (f.TaskFailureRate > 0 || f.NodeLossRate > 0 || f.StragglerRate > 0)
+}
+
+// DriverCrashAt reports whether the given driver incarnation (0-based) is
+// scheduled to crash at the end of EM iteration iter (1-based).
+func (f *FaultPlan) DriverCrashAt(iter, incarnation int) bool {
+	if f == nil || incarnation < 0 || incarnation >= len(f.DriverCrashIters) {
+		return false
+	}
+	return f.DriverCrashIters[incarnation] == iter
 }
 
 // AttemptFails decides whether attempt att (1-based) of task in phase fails.
@@ -95,6 +122,26 @@ func (f *FaultPlan) Attempts(engineDefault int) int {
 	}
 	return 4
 }
+
+// ErrDriverCrash is the sentinel all driver-crash errors unwrap to; callers
+// match it with errors.Is and recover the crash site via errors.As on
+// *DriverCrashError.
+var ErrDriverCrash = errors.New("cluster: driver crashed")
+
+// DriverCrashError reports an injected driver crash: which incarnation died
+// and at the end of which EM iteration. The resume machinery in the facade
+// uses it to decide whether a later snapshot exists to restart from.
+type DriverCrashError struct {
+	Iter        int     // 1-based EM iteration the driver completed before dying
+	Incarnation int     // 0-based driver incarnation that crashed
+	SimSeconds  float64 // simulated clock at the moment of death
+}
+
+func (e *DriverCrashError) Error() string {
+	return fmt.Sprintf("cluster: driver incarnation %d crashed after iteration %d", e.Incarnation, e.Iter)
+}
+
+func (e *DriverCrashError) Unwrap() error { return ErrDriverCrash }
 
 // draw maps (seed, kind, phase, a, b) to a uniform value in [0, 1) via an
 // FNV-1a accumulation finished with a splitmix64-style mix. It is the single

@@ -309,7 +309,7 @@ type Renderable interface {
 
 // IDs lists every experiment in paper order.
 func IDs() []string {
-	return []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling", "faults"}
+	return []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling", "faults", "checkpoint"}
 }
 
 // Produce executes one experiment and returns its result for rendering.
@@ -339,6 +339,8 @@ func (r Runner) Produce(id string) (Renderable, error) {
 		return r.Scaling()
 	case "faults":
 		return r.Faults()
+	case "checkpoint":
+		return r.Checkpoint()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s, or all)",
 			id, strings.Join(IDs(), ", "))

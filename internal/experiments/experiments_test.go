@@ -341,6 +341,41 @@ func TestFaultsRecoveryComparison(t *testing.T) {
 	}
 }
 
+func TestCheckpointIntervalSweep(t *testing.T) {
+	tab, err := quickRunner().Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("checkpoint table has %d rows, want 4 policies", len(tab.Rows))
+	}
+	byPolicy := map[string][]string{}
+	for _, row := range tab.Rows {
+		byPolicy[row[0]] = row
+	}
+	// Denser checkpoints cost more snapshot bytes...
+	every := parseSeconds(t, byPolicy["interval=1"][1])
+	sparse := parseSeconds(t, byPolicy["interval=2"][1])
+	if every <= sparse {
+		t.Fatalf("interval=1 wrote %v KiB, not more than interval=2's %v", every, sparse)
+	}
+	if restart := parseSeconds(t, byPolicy["full-restart"][1]); restart != 0 {
+		t.Fatalf("full-restart baseline wrote %v KiB of checkpoints", restart)
+	}
+	// ...but lose less work to the crash: the full-restart baseline re-pays
+	// every destroyed iteration and must have the most expensive recovery.
+	restartRec := parseSeconds(t, byPolicy["full-restart"][4])
+	for _, pol := range []string{"interval=1", "interval=2"} {
+		rec := parseSeconds(t, byPolicy[pol][4])
+		if rec <= 0 {
+			t.Fatalf("%s charged no recovery time", pol)
+		}
+		if rec >= restartRec {
+			t.Fatalf("%s recovery %vs not cheaper than full restart %vs", pol, rec, restartRec)
+		}
+	}
+}
+
 func TestRunnerRunAndRender(t *testing.T) {
 	var buf bytes.Buffer
 	r := quickRunner()
@@ -357,7 +392,7 @@ func TestRunnerRunAndRender(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling", "faults"}
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling", "faults", "checkpoint"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)

@@ -59,8 +59,14 @@ func (r Runner) fit(alg spca.Algorithm, y *matrix.Sparse, target float64, mutate
 	// layer leaked into the baseline accounting).
 	if err == nil && cfg.Faults == nil {
 		if m := res.Metrics; m.FailedAttempts != 0 || m.RecomputedOps != 0 ||
-			m.SpeculativeTasks != 0 || m.RecoverySeconds != 0 {
+			m.SpeculativeTasks != 0 || m.RecoverySeconds != 0 || m.DriverRestarts != 0 {
 			return nil, fmt.Errorf("experiments: fault-free %s run charged recovery metrics: %v", alg, m)
+		}
+		// Without a checkpoint config the durability layer must be fully
+		// dormant — not a byte or a simulated second charged.
+		if m := res.Metrics; !cfg.Checkpoint.Enabled() &&
+			(m.CheckpointBytes != 0 || m.CheckpointSeconds != 0) {
+			return nil, fmt.Errorf("experiments: %s run without checkpointing charged checkpoint metrics: %v", alg, m)
 		}
 	}
 	return res, err

@@ -144,6 +144,22 @@ func (e *Engine) NumSplits(n int) int {
 	return splits
 }
 
+// JobSeq reports the engine's job sequence counter, which salts per-job
+// fault decisions. Checkpoints capture it so a resumed driver draws the
+// exact same faults an uninterrupted run would for the remaining jobs.
+func (e *Engine) JobSeq() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.jobSeq
+}
+
+// SetJobSeq restores the job sequence counter from a checkpoint.
+func (e *Engine) SetJobSeq(seq int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.jobSeq = seq
+}
+
 // plan resolves the effective fault plan for the next job (nil = fault-free)
 // and assigns the job its sequence number, which salts the per-job fault
 // decisions so repeated jobs with the same name (one per EM iteration) draw

@@ -3,6 +3,7 @@ package matrix
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -19,6 +20,46 @@ import (
 //
 //	dmx <rows> <cols>
 //	<v0> <v1> ... <v_{c-1}>  (one row per line)
+
+// ErrMalformedMatrix is the sentinel wrapped by every parse failure in this
+// package's readers — bad headers, out-of-range or unordered indices,
+// count mismatches, and non-finite values. Readers never panic on untrusted
+// input; they return an error that errors.Is-matches this sentinel.
+var ErrMalformedMatrix = errors.New("matrix: malformed input")
+
+// malformed builds a parse error wrapping ErrMalformedMatrix.
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformedMatrix, fmt.Sprintf(format, args...))
+}
+
+// Plausibility bounds on untrusted headers, so a corrupt or hostile file
+// cannot make a reader allocate unbounded memory before the first data
+// byte is validated.
+const (
+	maxReadDim   = 1 << 32 // rows/cols/nnz ceiling for sparse inputs
+	maxDenseRead = 1 << 27 // element ceiling for dense inputs (1 GiB)
+)
+
+// checkSparseHeader validates an untrusted spmx/SPMB header.
+func checkSparseHeader(rows, cols, nnz int64) error {
+	if rows < 0 || cols < 0 || nnz < 0 || rows > maxReadDim || cols > maxReadDim || nnz > maxReadDim {
+		return malformed("implausible sparse header %d x %d nnz %d", rows, cols, nnz)
+	}
+	return nil
+}
+
+// parseFiniteFloat parses a float64 and rejects NaN/±Inf — model inputs must
+// be finite or every downstream sum is poisoned.
+func parseFiniteFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, malformed("bad float %q", s)
+	}
+	if v != v || math.IsInf(v, 0) {
+		return 0, malformed("non-finite value %q", s)
+	}
+	return v, nil
+}
 
 // WriteSparse writes m in the spmx text format.
 func WriteSparse(w io.Writer, m *Sparse) error {
@@ -37,19 +78,25 @@ func WriteSparse(w io.Writer, m *Sparse) error {
 	return bw.Flush()
 }
 
-// ReadSparse parses the spmx text format.
+// ReadSparse parses the spmx text format. Untrusted input is fully
+// validated — indices out of range or out of order, header mismatches, and
+// non-finite values all return errors wrapping ErrMalformedMatrix.
 func ReadSparse(r io.Reader) (*Sparse, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("matrix: empty sparse input: %w", sc.Err())
+		return nil, malformed("empty sparse input")
 	}
 	var rows, cols, nnz int
 	if _, err := fmt.Sscanf(sc.Text(), "spmx %d %d %d", &rows, &cols, &nnz); err != nil {
-		return nil, fmt.Errorf("matrix: bad spmx header %q: %w", sc.Text(), err)
+		return nil, malformed("bad spmx header %q", sc.Text())
+	}
+	if err := checkSparseHeader(int64(rows), int64(cols), int64(nnz)); err != nil {
+		return nil, err
 	}
 	b := NewSparseBuilder(cols)
 	curRow := 0
+	prevCol := -1
 	var idx []int
 	var vals []float64
 	flushTo := func(row int) {
@@ -57,6 +104,7 @@ func ReadSparse(r io.Reader) (*Sparse, error) {
 			b.AddRow(idx, vals)
 			idx, vals = idx[:0], vals[:0]
 			curRow++
+			prevCol = -1
 		}
 	}
 	for sc.Scan() {
@@ -66,34 +114,44 @@ func ReadSparse(r io.Reader) (*Sparse, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("matrix: bad spmx triplet %q", line)
+			return nil, malformed("bad spmx triplet %q", line)
 		}
 		ri, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, err
+			return nil, malformed("bad spmx row index %q", fields[0])
 		}
 		ci, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, err
+			return nil, malformed("bad spmx column index %q", fields[1])
 		}
-		v, err := strconv.ParseFloat(fields[2], 64)
+		v, err := parseFiniteFloat(fields[2])
 		if err != nil {
 			return nil, err
 		}
 		if ri < curRow {
-			return nil, fmt.Errorf("matrix: spmx rows out of order at row %d", ri)
+			return nil, malformed("spmx rows out of order at row %d", ri)
+		}
+		if ri >= rows {
+			return nil, malformed("spmx row index %d out of range (rows %d)", ri, rows)
+		}
+		if ci < 0 || ci >= cols {
+			return nil, malformed("spmx column index %d out of range (cols %d)", ci, cols)
 		}
 		flushTo(ri)
+		if ci <= prevCol {
+			return nil, malformed("spmx columns out of order in row %d (%d after %d)", ri, ci, prevCol)
+		}
+		prevCol = ci
 		idx = append(idx, ci)
 		vals = append(vals, v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("matrix: reading spmx: %w", err)
 	}
 	flushTo(rows) // flush the final buffered row and any trailing empty rows
 	m := b.Build()
 	if m.NNZ() != nnz {
-		return nil, fmt.Errorf("matrix: spmx nnz mismatch: header %d, parsed %d", nnz, m.NNZ())
+		return nil, malformed("spmx nnz mismatch: header %d, parsed %d", nnz, m.NNZ())
 	}
 	return m, nil
 }
@@ -123,29 +181,33 @@ func WriteDense(w io.Writer, m *Dense) error {
 	return bw.Flush()
 }
 
-// ReadDense parses the dmx text format.
+// ReadDense parses the dmx text format, rejecting implausible headers,
+// ragged rows, and non-finite values with errors wrapping ErrMalformedMatrix.
 func ReadDense(r io.Reader) (*Dense, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("matrix: empty dense input: %w", sc.Err())
+		return nil, malformed("empty dense input")
 	}
 	var rows, cols int
 	if _, err := fmt.Sscanf(sc.Text(), "dmx %d %d", &rows, &cols); err != nil {
-		return nil, fmt.Errorf("matrix: bad dmx header %q: %w", sc.Text(), err)
+		return nil, malformed("bad dmx header %q", sc.Text())
+	}
+	if rows < 0 || cols < 0 || (cols > 0 && rows > maxDenseRead/cols) {
+		return nil, malformed("implausible dmx header %d x %d", rows, cols)
 	}
 	m := NewDense(rows, cols)
 	for i := 0; i < rows; i++ {
 		if !sc.Scan() {
-			return nil, fmt.Errorf("matrix: dmx truncated at row %d: %w", i, sc.Err())
+			return nil, malformed("dmx truncated at row %d", i)
 		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) != cols {
-			return nil, fmt.Errorf("matrix: dmx row %d has %d values, want %d", i, len(fields), cols)
+			return nil, malformed("dmx row %d has %d values, want %d", i, len(fields), cols)
 		}
 		row := m.Row(i)
 		for j, f := range fields {
-			v, err := strconv.ParseFloat(f, 64)
+			v, err := parseFiniteFloat(f)
 			if err != nil {
 				return nil, err
 			}
@@ -187,53 +249,88 @@ func WriteSparseBinary(w io.Writer, m *Sparse) error {
 	return bw.Flush()
 }
 
-// ReadSparseBinary parses the SPMB binary layout.
+// ReadSparseBinary parses the SPMB binary layout. The full CSR invariant is
+// validated — a non-decreasing row-pointer array ending at nnz, in-range and
+// strictly increasing column indices within each row, finite values — so a
+// corrupt file can never produce a matrix that panics downstream. Buffers
+// grow incrementally, bounded by the bytes actually present, so a hostile
+// header cannot trigger a huge up-front allocation.
 func ReadSparseBinary(r io.Reader) (*Sparse, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, err
+		return nil, malformed("short binary magic: %v", err)
 	}
 	if string(magic) != "SPMB" {
-		return nil, fmt.Errorf("matrix: bad binary magic %q", magic)
+		return nil, malformed("bad binary magic %q", magic)
 	}
 	var rows, cols, nnz uint64
 	for _, p := range []*uint64{&rows, &cols, &nnz} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
+			return nil, malformed("short binary header: %v", err)
 		}
 	}
-	const maxDim = 1 << 40
-	if rows > maxDim || cols > maxDim || nnz > maxDim {
-		return nil, fmt.Errorf("matrix: implausible binary header %d x %d nnz %d", rows, cols, nnz)
+	if err := checkSparseHeader(int64(rows), int64(cols), int64(nnz)); err != nil {
+		return nil, err
+	}
+	// Cap speculative allocation: slices start at a modest capacity and grow
+	// as data is actually read, so "nnz = 2^32" with a 50-byte file fails on
+	// the read, not in make().
+	capFor := func(n uint64) int {
+		if n > 1<<16 {
+			return 1 << 16
+		}
+		return int(n)
 	}
 	m := &Sparse{
 		R: int(rows), C: int(cols),
-		RowPtr: make([]int, rows+1),
-		Cols:   make([]int, nnz),
-		Vals:   make([]float64, nnz),
+		RowPtr: make([]int, 0, capFor(rows+1)),
+		Cols:   make([]int, 0, capFor(nnz)),
+		Vals:   make([]float64, 0, capFor(nnz)),
 	}
 	var u uint64
-	for i := range m.RowPtr {
+	prev := uint64(0)
+	for i := uint64(0); i <= rows; i++ {
 		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
-			return nil, err
+			return nil, malformed("binary rowptr truncated at %d: %v", i, err)
 		}
-		m.RowPtr[i] = int(u)
+		if u > nnz || u < prev {
+			return nil, malformed("binary rowptr not monotone at %d: %d (prev %d, nnz %d)", i, u, prev, nnz)
+		}
+		prev = u
+		m.RowPtr = append(m.RowPtr, int(u))
 	}
-	for i := range m.Cols {
+	if m.RowPtr[0] != 0 {
+		return nil, malformed("binary rowptr must start at 0, got %d", m.RowPtr[0])
+	}
+	if m.RowPtr[rows] != int(nnz) {
+		return nil, malformed("binary rowptr/nnz mismatch: %d vs %d", m.RowPtr[rows], nnz)
+	}
+	for i := uint64(0); i < nnz; i++ {
 		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
-			return nil, err
+			return nil, malformed("binary column indices truncated at %d: %v", i, err)
 		}
-		m.Cols[i] = int(u)
+		if u >= cols {
+			return nil, malformed("binary column index %d out of range (cols %d)", u, cols)
+		}
+		m.Cols = append(m.Cols, int(u))
 	}
-	for i := range m.Vals {
+	for i := uint64(0); i < nnz; i++ {
 		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
-			return nil, err
+			return nil, malformed("binary values truncated at %d: %v", i, err)
 		}
-		m.Vals[i] = math.Float64frombits(u)
+		v := math.Float64frombits(u)
+		if v != v || math.IsInf(v, 0) {
+			return nil, malformed("non-finite binary value at %d", i)
+		}
+		m.Vals = append(m.Vals, v)
 	}
-	if m.RowPtr[len(m.RowPtr)-1] != int(nnz) {
-		return nil, fmt.Errorf("matrix: binary rowptr/nnz mismatch")
+	for i := 0; i < m.R; i++ {
+		for k := m.RowPtr[i] + 1; k < m.RowPtr[i+1]; k++ {
+			if m.Cols[k] <= m.Cols[k-1] {
+				return nil, malformed("binary columns out of order in row %d (%d after %d)", i, m.Cols[k], m.Cols[k-1])
+			}
+		}
 	}
 	return m, nil
 }

@@ -2,6 +2,9 @@ package matrix
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -44,12 +47,26 @@ func TestReadSparseErrors(t *testing.T) {
 		"",
 		"bogus header",
 		"spmx 2 2 1\nnot a triplet line here",
-		"spmx 2 2 5\n0 0 1\n",        // nnz mismatch
-		"spmx 2 2 2\n1 0 1\n0 1 2\n", // rows out of order
+		"spmx 2 2 5\n0 0 1\n",             // nnz mismatch
+		"spmx 2 2 2\n1 0 1\n0 1 2\n",      // rows out of order
+		"spmx 2 2 1\n0 5 1\n",             // column out of range
+		"spmx 2 2 1\n0 -1 1\n",            // negative column
+		"spmx 2 2 1\n7 0 1\n",             // row out of range
+		"spmx 2 3 2\n0 2 1\n0 1 2\n",      // columns out of order in a row
+		"spmx 2 3 2\n0 1 1\n0 1 2\n",      // duplicate column in a row
+		"spmx 2 2 1\n0 1 NaN\n",           // non-finite value
+		"spmx 2 2 1\n0 1 +Inf\n",          // non-finite value
+		"spmx -3 2 0\n",                   // negative rows
+		"spmx 2 99999999999999999999 0\n", // implausible header
+		"spmx 2 2 -1\n",                   // negative nnz
 	}
 	for _, c := range cases {
-		if _, err := ReadSparse(strings.NewReader(c)); err == nil {
+		_, err := ReadSparse(strings.NewReader(c))
+		if err == nil {
 			t.Fatalf("expected error for input %q", c)
+		}
+		if !errors.Is(err, ErrMalformedMatrix) {
+			t.Fatalf("error for %q does not wrap ErrMalformedMatrix: %v", c, err)
 		}
 	}
 }
@@ -72,13 +89,21 @@ func TestReadDenseErrors(t *testing.T) {
 	cases := []string{
 		"",
 		"nope",
-		"dmx 2 3\n1 2 3\n",   // truncated
-		"dmx 1 3\n1 2\n",     // short row
-		"dmx 1 2\nfoo bar\n", // non-numeric
+		"dmx 2 3\n1 2 3\n",           // truncated
+		"dmx 1 3\n1 2\n",             // short row
+		"dmx 1 2\nfoo bar\n",         // non-numeric
+		"dmx 1 2\n1 Inf\n",           // non-finite value
+		"dmx 1 2\nNaN 0\n",           // non-finite value
+		"dmx -1 2\n",                 // negative rows
+		"dmx 99999999 99999999\n1\n", // implausible header
 	}
 	for _, c := range cases {
-		if _, err := ReadDense(strings.NewReader(c)); err == nil {
+		_, err := ReadDense(strings.NewReader(c))
+		if err == nil {
 			t.Fatalf("expected error for input %q", c)
+		}
+		if !errors.Is(err, ErrMalformedMatrix) {
+			t.Fatalf("error for %q does not wrap ErrMalformedMatrix: %v", c, err)
 		}
 	}
 }
@@ -103,6 +128,45 @@ func TestReadSparseBinaryBadMagic(t *testing.T) {
 	}
 	if _, err := ReadSparseBinary(strings.NewReader("")); err == nil {
 		t.Fatal("expected error for empty input")
+	}
+}
+
+// binBlob serializes a hand-built SPMB file so each CSR invariant can be
+// violated independently.
+func binBlob(rows, cols, nnz uint64, rowPtr, colIdx []uint64, vals []float64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("SPMB")
+	words := append([]uint64{rows, cols, nnz}, rowPtr...)
+	words = append(words, colIdx...)
+	for _, w := range words {
+		binary.Write(&buf, binary.LittleEndian, w)
+	}
+	for _, v := range vals {
+		binary.Write(&buf, binary.LittleEndian, math.Float64bits(v))
+	}
+	return buf.Bytes()
+}
+
+func TestReadSparseBinaryRejectsCorruptCSR(t *testing.T) {
+	cases := map[string][]byte{
+		"rowptr decreasing":    binBlob(2, 3, 2, []uint64{0, 2, 1}, []uint64{0, 1}, []float64{1, 2}),
+		"rowptr over nnz":      binBlob(2, 3, 2, []uint64{0, 5, 2}, []uint64{0, 1}, []float64{1, 2}),
+		"rowptr short of nnz":  binBlob(2, 3, 2, []uint64{0, 1, 1}, []uint64{0, 1}, []float64{1, 2}),
+		"column out of range":  binBlob(2, 3, 2, []uint64{0, 1, 2}, []uint64{0, 9}, []float64{1, 2}),
+		"columns out of order": binBlob(1, 3, 2, []uint64{0, 2}, []uint64{2, 1}, []float64{1, 2}),
+		"duplicate column":     binBlob(1, 3, 2, []uint64{0, 2}, []uint64{1, 1}, []float64{1, 2}),
+		"non-finite value":     binBlob(1, 3, 1, []uint64{0, 1}, []uint64{0}, []float64{math.NaN()}),
+		"truncated values":     binBlob(1, 3, 2, []uint64{0, 2}, []uint64{0, 1}, []float64{1}),
+		"huge nnz small file":  binBlob(1, 3, 1<<31, []uint64{0, 1}, []uint64{0}, []float64{1}),
+	}
+	for name, blob := range cases {
+		_, err := ReadSparseBinary(bytes.NewReader(blob))
+		if err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+		if !errors.Is(err, ErrMalformedMatrix) {
+			t.Fatalf("%s: error does not wrap ErrMalformedMatrix: %v", name, err)
+		}
 	}
 }
 

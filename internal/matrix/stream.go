@@ -57,7 +57,10 @@ func OpenFileRowSource(path string) (*FileRowSource, error) {
 		return nil, fmt.Errorf("matrix: reading %s header: %w", path, err)
 	}
 	if _, err := fmt.Sscanf(header, "spmx %d %d %d", &rows, &cols, &nnz); err != nil {
-		return nil, fmt.Errorf("matrix: bad spmx header %q in %s: %w", strings.TrimSpace(header), path, err)
+		return nil, malformed("bad spmx header %q in %s", strings.TrimSpace(header), path)
+	}
+	if err := checkSparseHeader(int64(rows), int64(cols), int64(nnz)); err != nil {
+		return nil, err
 	}
 	return &FileRowSource{path: path, rows: rows, cols: cols}, nil
 }
@@ -79,6 +82,7 @@ func (s *FileRowSource) Scan(fn func(int, SparseVector) error) error {
 	}
 
 	cur := 0
+	prevCol := -1
 	var idx []int
 	var vals []float64
 	emitTo := func(row int) error {
@@ -88,6 +92,7 @@ func (s *FileRowSource) Scan(fn func(int, SparseVector) error) error {
 			}
 			idx, vals = idx[:0], vals[:0]
 			cur++
+			prevCol = -1
 		}
 		return nil
 	}
@@ -98,26 +103,36 @@ func (s *FileRowSource) Scan(fn func(int, SparseVector) error) error {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return fmt.Errorf("matrix: bad triplet %q in %s", line, s.path)
+			return malformed("bad triplet %q in %s", line, s.path)
 		}
 		ri, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return err
+			return malformed("bad row index %q in %s", fields[0], s.path)
 		}
 		ci, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return err
+			return malformed("bad column index %q in %s", fields[1], s.path)
 		}
-		v, err := strconv.ParseFloat(fields[2], 64)
+		v, err := parseFiniteFloat(fields[2])
 		if err != nil {
-			return err
+			return fmt.Errorf("%w (in %s)", err, s.path)
 		}
 		if ri < cur {
-			return fmt.Errorf("matrix: rows out of order in %s at row %d", s.path, ri)
+			return malformed("rows out of order in %s at row %d", s.path, ri)
+		}
+		if ri >= s.rows {
+			return malformed("row index %d out of range in %s (rows %d)", ri, s.path, s.rows)
+		}
+		if ci < 0 || ci >= s.cols {
+			return malformed("column index %d out of range in %s (cols %d)", ci, s.path, s.cols)
 		}
 		if err := emitTo(ri); err != nil {
 			return err
 		}
+		if ci <= prevCol {
+			return malformed("columns out of order in %s row %d (%d after %d)", s.path, ri, ci, prevCol)
+		}
+		prevCol = ci
 		idx = append(idx, ci)
 		vals = append(vals, v)
 	}

@@ -3,6 +3,7 @@ package ppca
 import (
 	"fmt"
 
+	"spca/internal/cluster"
 	"spca/internal/matrix"
 	"spca/internal/parallel"
 )
@@ -25,48 +26,60 @@ func FitLocal(y *matrix.Sparse, opt Options) (*Result, error) {
 	mean := y.ColMeans()
 	ss1 := y.CenteredFrobeniusSq(mean)
 	em := newEMDriver(opt, y.R, y.C, mean, ss1)
+	res := &Result{}
 
-	if opt.SmartGuess {
+	if snap := opt.Resume; snap != nil {
+		// Local fits have no simulated cluster: the restore only counts the
+		// snapshot read and the restart in the Result metrics.
+		if err := snap.Validate(y.R, y.C, opt.Components, opt.Seed); err != nil {
+			return nil, err
+		}
+		res.Metrics = snap.Metrics
+		res.Metrics.DriverRestarts++
+		em.restore(snap, res)
+	} else if opt.SmartGuess {
 		if err := smartGuessLocal(y, opt, em); err != nil {
 			return nil, fmt.Errorf("ppca: smart guess: %w", err)
 		}
 	}
+	if opt.Resume == nil && opt.Incarnation > 0 {
+		res.Metrics.DriverRestarts++
+	}
+	res.Mean = mean
 
-	rows := sampleIdx(y.R, opt.sampleRows(), opt.Seed)
 	// Pass scratch allocated once and recycled every iteration (nil = legacy
 	// allocating path kept for A/B benchmarking).
 	var scr *localScratch
 	if reuseScratch {
 		scr = newLocalScratch(y.C, em.d)
 	}
-	res := &Result{Mean: mean}
-	for iter := 1; iter <= opt.MaxIter; iter++ {
-		if err := em.prepare(); err != nil {
-			return nil, err
-		}
-		sums := localPass(y, em, scr)
-		cNew, err := em.update(sums)
-		if err != nil {
-			return nil, err
-		}
-		em.finishVariance(localSS3(y, em, cNew, scr))
-
-		e := em.reconError(y, rows)
-		res.History = append(res.History, IterationStat{
-			Iter:     iter,
-			Err:      e,
-			Accuracy: opt.accuracyOf(e),
-			SS:       em.ss,
-		})
-		if opt.converged(res.History) {
-			break
-		}
+	e := &localEngine{y: y, scr: scr, sample: sampleIdx(y.R, opt.sampleRows(), opt.Seed)}
+	if err := runEM(em, opt, e, res); err != nil {
+		return nil, err
 	}
-	res.Components = em.c
-	res.SS = em.ss
-	res.Iterations = len(res.History)
 	return res, nil
 }
+
+// localEngine adapts the single-machine passes to the shared guarded EM
+// loop. There is no simulated cluster, so the broadcast/compute charge hooks
+// are no-ops and History.SimSeconds stays zero, as before.
+type localEngine struct {
+	y      *matrix.Sparse
+	scr    *localScratch
+	sample []int
+}
+
+func (e *localEngine) cluster() *cluster.Cluster { return nil }
+func (e *localEngine) faultEpoch() int64         { return 0 }
+func (e *localEngine) prepared(*emDriver)        {}
+func (e *localEngine) pass(em *emDriver) (jobSums, error) {
+	return localPass(e.y, em, e.scr), nil
+}
+func (e *localEngine) solved(*emDriver, *matrix.Dense) {}
+func (e *localEngine) ss3(em *emDriver, cNew *matrix.Dense) (float64, error) {
+	return localSS3(e.y, em, cNew, e.scr), nil
+}
+func (e *localEngine) reconErr(em *emDriver) float64 { return em.reconError(e.y, e.sample) }
 
 // localScratch is FitLocal's per-fit reusable pass state: the job sums, the
 // per-block latent rows, the per-block ss3 terms, and per-worker xi/ct

@@ -27,26 +27,45 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		return nil, err
 	}
 	cl := eng.Cluster
+	res := &Result{}
 
-	// meanJob + FnormJob run once before the loop (Algorithm 4 lines 3-4).
-	mean, err := meanJob(eng, rows, dims)
-	if err != nil {
-		return nil, err
-	}
-	ss1, err := fnormJob(eng, rows, mean, opt.EfficientFrobenius)
-	if err != nil {
-		return nil, err
-	}
-
-	em := newEMDriver(opt, len(rows), dims, mean, ss1)
-	if opt.SmartGuess {
-		if err := smartGuessMapReduce(eng, rows, dims, opt, em); err != nil {
-			return nil, fmt.Errorf("ppca: smart guess: %w", err)
+	var em *emDriver
+	if snap := opt.Resume; snap != nil {
+		// Resume: the mean/Frobenius jobs (and SmartGuess) were already paid
+		// for by the crashed incarnation and live in the snapshot; restore
+		// its clock wholesale and report the restore out-of-band.
+		if err := snap.Validate(len(rows), dims, opt.Components, opt.Seed); err != nil {
+			return nil, err
+		}
+		em = newEMDriver(opt, len(rows), dims, snap.Mean, snap.SS1)
+		cl.RestoreMetrics(snap.Metrics)
+		cl.ChargeDriverRestore(snap.Bytes, opt.RecoveredSeconds)
+		eng.SetJobSeq(snap.FaultEpoch)
+		em.restore(snap, res)
+	} else {
+		// meanJob + FnormJob run once before the loop (Algorithm 4 lines 3-4).
+		mean, err := meanJob(eng, rows, dims)
+		if err != nil {
+			return nil, err
+		}
+		ss1, err := fnormJob(eng, rows, mean, opt.EfficientFrobenius)
+		if err != nil {
+			return nil, err
+		}
+		em = newEMDriver(opt, len(rows), dims, mean, ss1)
+		if opt.SmartGuess {
+			if err := smartGuessMapReduce(eng, rows, dims, opt, em); err != nil {
+				return nil, fmt.Errorf("ppca: smart guess: %w", err)
+			}
+		}
+		if opt.Incarnation > 0 {
+			// Restarted from scratch after a crash with no usable snapshot:
+			// count the restart and the previous incarnation's wasted time.
+			cl.ChargeDriverRestore(0, opt.RecoveredSeconds)
 		}
 	}
+	res.Mean = em.mean
 
-	y := sparseFromRows(rows, dims)
-	sample := sampleIdx(len(rows), opt.sampleRows(), opt.Seed)
 	// Per-task mapper scratch plus the driver-side job sums, allocated once
 	// and recycled every iteration (nil scratch = legacy allocating path).
 	var scr *mrScratch
@@ -55,56 +74,57 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		scr = newMRScratch(eng.NumSplits(len(rows)))
 		pooledSums = newJobSums(dims, em.d)
 	}
-	res := &Result{Mean: mean}
-	for iter := 1; iter <= opt.MaxIter; iter++ {
-		if err := em.prepare(); err != nil {
-			return nil, err
-		}
-		// Ship CM (and later C) to every node, like Hadoop's distributed cache.
-		broadcast(cl, "ytx/cache", mapred.BytesOfDense(em.cm))
-
-		var sums jobSums
-		if opt.MinimizeIntermediate {
-			sums, err = ytxJob(eng, rows, dims, em, opt, scr, pooledSums)
-		} else {
-			sums, err = unoptimizedPasses(eng, rows, dims, em, opt)
-		}
-		if err != nil {
-			return nil, err
-		}
-		cNew, err := em.update(sums)
-		if err != nil {
-			return nil, err
-		}
-		// Driver-side small-matrix work: M, M⁻¹, the solve, ss2.
-		d := int64(opt.Components)
-		cl.AddDriverCompute(int64(dims)*d*d + d*d*d)
-
-		broadcast(cl, "ss3/cache", mapred.BytesOfDense(cNew))
-		ss3raw, err := ss3Job(eng, rows, em, cNew, opt, scr)
-		if err != nil {
-			return nil, err
-		}
-		em.finishVariance(ss3raw)
-
-		e := em.reconError(y, sample)
-		res.History = append(res.History, IterationStat{
-			Iter:       iter,
-			Err:        e,
-			Accuracy:   opt.accuracyOf(e),
-			SS:         em.ss,
-			SimSeconds: cl.Metrics().SimSeconds,
-		})
-		if opt.converged(res.History) {
-			break
-		}
+	e := &mrEngine{
+		eng: eng, rows: rows, dims: dims, opt: opt,
+		scr: scr, pooled: pooledSums,
+		y:      sparseFromRows(rows, dims),
+		sample: sampleIdx(len(rows), opt.sampleRows(), opt.Seed),
 	}
-	res.Components = em.c
-	res.SS = em.ss
-	res.Iterations = len(res.History)
-	res.Metrics = cl.Metrics()
+	if err := runEM(em, opt, e, res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
+
+// mrEngine adapts the MapReduce jobs to the shared guarded EM loop.
+type mrEngine struct {
+	eng    *mapred.Engine
+	rows   []matrix.SparseVector
+	dims   int
+	opt    Options
+	scr    *mrScratch
+	pooled jobSums
+	y      *matrix.Sparse
+	sample []int
+}
+
+func (e *mrEngine) cluster() *cluster.Cluster { return e.eng.Cluster }
+func (e *mrEngine) faultEpoch() int64         { return e.eng.JobSeq() }
+
+func (e *mrEngine) prepared(em *emDriver) {
+	// Ship CM (and later C) to every node, like Hadoop's distributed cache.
+	broadcast(e.eng.Cluster, "ytx/cache", mapred.BytesOfDense(em.cm))
+}
+
+func (e *mrEngine) pass(em *emDriver) (jobSums, error) {
+	if e.opt.MinimizeIntermediate {
+		return ytxJob(e.eng, e.rows, e.dims, em, e.opt, e.scr, e.pooled)
+	}
+	return unoptimizedPasses(e.eng, e.rows, e.dims, em, e.opt)
+}
+
+func (e *mrEngine) solved(em *emDriver, cNew *matrix.Dense) {
+	// Driver-side small-matrix work: M, M⁻¹, the solve, ss2.
+	d := int64(e.opt.Components)
+	e.eng.Cluster.AddDriverCompute(int64(e.dims)*d*d + d*d*d)
+	broadcast(e.eng.Cluster, "ss3/cache", mapred.BytesOfDense(cNew))
+}
+
+func (e *mrEngine) ss3(em *emDriver, cNew *matrix.Dense) (float64, error) {
+	return ss3Job(e.eng, e.rows, em, cNew, e.opt, e.scr)
+}
+
+func (e *mrEngine) reconErr(em *emDriver) float64 { return em.reconError(e.y, e.sample) }
 
 // broadcast charges shipping driver state to every worker node.
 func broadcast(cl *cluster.Cluster, name string, bytes int64) {

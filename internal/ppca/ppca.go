@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"spca/internal/checkpoint"
 	"spca/internal/cluster"
 	"spca/internal/matrix"
 	"spca/internal/parallel"
@@ -67,6 +68,33 @@ type Options struct {
 	// SmartGuessRows is the sample size for SmartGuess (default N/10,
 	// clamped to [2d, 2000]).
 	SmartGuessRows int
+
+	// DivergeWindow arms the divergence guard: when the reconstruction error
+	// rises this many consecutive iterations, the driver rolls back to the
+	// best model seen so far and escalates a standing ridge on the M-step
+	// solves. Zero disables the guard (and its best-model tracking).
+	DivergeWindow int
+
+	// Checkpoint configures periodic durable driver snapshots. The zero
+	// value disables them; see CheckpointSpec.
+	Checkpoint CheckpointSpec
+	// Resume, when non-nil, restarts the fit from a snapshot instead of from
+	// the random initialization: the mean/Frobenius jobs and SmartGuess are
+	// skipped, the snapshot's model/guard/history/metrics state is restored,
+	// and iteration continues at snap.Iter+1 — producing a final model
+	// bit-identical to the uninterrupted run.
+	Resume *checkpoint.Snapshot
+	// Faults carries the fault plan for driver-crash injection (task-level
+	// faults are configured on the engines themselves). Incarnation is this
+	// driver's 0-based crash-schedule index: the facade increments it on
+	// every restart so a resumed driver consults the next scheduled crash.
+	Faults      *cluster.FaultPlan
+	Incarnation int
+	// RecoveredSeconds is the simulated time a previous incarnation wasted
+	// on work this run redoes (iterations past the snapshot, or the whole
+	// run when restarting from scratch). It is charged to RecoverySeconds at
+	// restore time and never touches the simulated clock.
+	RecoveredSeconds float64
 }
 
 // DefaultOptions returns the paper's settings: d components, at most 10
@@ -116,6 +144,11 @@ type IterationStat struct {
 	Accuracy   float64 // fraction of ideal accuracy (0 when IdealError unset)
 	SS         float64 // noise variance estimate
 	SimSeconds float64 // cumulative simulated seconds (engine fits only)
+
+	// Numerical-guard trace (all zero on a healthy iteration).
+	Ridge        float64 // total ridge applied to this iteration's M-step solve
+	RidgeRetries int     // reactive ridge retries the solve needed
+	Rollback     bool    // divergence guard rolled back to the best model
 }
 
 // Result is the output of a fit.
@@ -208,40 +241,71 @@ type emDriver struct {
 	errXi   []float64 // d: latent position scratch for the error metric
 	errNum  []float64 // dims
 	errDen  []float64 // dims
+
+	// Durability and numerical-guard state (see guard.go). startIter is 1
+	// for a fresh run and snapshot.Iter+1 after a restore; ridgeLevel is the
+	// standing ridge escalation from divergence rollbacks; lastRidge and
+	// iterRidgeRetries trace the current iteration's guard activity into its
+	// History entry; bestC/bestSS/bestErr/bestIter track the rollback target
+	// (bestC preallocated only when the divergence guard is armed).
+	startIter        int
+	ridgeLevel       int
+	rising           int
+	lastRidge        float64
+	iterRidgeRetries int
+	haveBest         bool
+	bestErr          float64
+	bestSS           float64
+	bestIter         int
+	bestC            *matrix.Dense
 }
 
 func newEMDriver(opt Options, n, dims int, mean []float64, ss1 float64) *emDriver {
 	rng := matrix.NewRNG(opt.Seed + 0x5354)
 	d := opt.Components
+	var bestC *matrix.Dense
+	if opt.DivergeWindow > 0 {
+		bestC = matrix.NewDense(dims, d) // rollback target, copied into in place
+	}
 	return &emDriver{
-		opt:     opt,
-		n:       n,
-		d:       d,
-		dims:    dims,
-		c:       matrix.NormRnd(rng, dims, d),
-		ss:      math.Abs(matrix.NewRNG(opt.Seed+0x9999).NormFloat64()) + 1,
-		mean:    mean,
-		ss1:     ss1,
-		cNext:   matrix.NewDense(dims, d),
-		cm:      matrix.NewDense(dims, d),
-		minv:    matrix.NewDense(d, d),
-		xm:      make([]float64, d),
-		mWork:   matrix.NewDense(d, d),
-		invWork: matrix.NewDense(d, 2*d),
-		ctc:     matrix.NewDense(d, d),
-		ctym:    make([]float64, d),
-		errXi:   make([]float64, d),
-		errNum:  make([]float64, dims),
-		errDen:  make([]float64, dims),
+		startIter: 1,
+		bestC:     bestC,
+		opt:       opt,
+		n:         n,
+		d:         d,
+		dims:      dims,
+		c:         matrix.NormRnd(rng, dims, d),
+		ss:        math.Abs(matrix.NewRNG(opt.Seed+0x9999).NormFloat64()) + 1,
+		mean:      mean,
+		ss1:       ss1,
+		cNext:     matrix.NewDense(dims, d),
+		cm:        matrix.NewDense(dims, d),
+		minv:      matrix.NewDense(d, d),
+		xm:        make([]float64, d),
+		mWork:     matrix.NewDense(d, d),
+		invWork:   matrix.NewDense(d, 2*d),
+		ctc:       matrix.NewDense(d, d),
+		ctym:      make([]float64, d),
+		errXi:     make([]float64, d),
+		errNum:    make([]float64, dims),
+		errDen:    make([]float64, dims),
 	}
 }
 
 // prepare computes the per-iteration broadcast matrices (CM, M⁻¹, Xm).
+// M = CᵀC + ss·I is positive definite whenever C is well conditioned; if the
+// inverse still fails, the same bounded escalating ridge as the M-step solve
+// is applied to M's diagonal (equivalent to temporarily inflating ss).
 func (em *emDriver) prepare() error {
 	if !reuseScratch {
 		cm, minv, err := latentMap(em.c, em.ss)
-		if err != nil {
-			return err
+		for attempt := 0; err != nil; attempt++ {
+			if !errors.Is(err, matrix.ErrSingular) || attempt >= maxRidgeRetries {
+				return fmt.Errorf("%w (%w)", err, ErrNumericalBreakdown)
+			}
+			lam := (1 + em.ss) * 1e-10 * pow10(attempt)
+			em.iterRidgeRetries++
+			cm, minv, err = latentMap(em.c, em.ss+lam)
 		}
 		em.cm, em.minv = cm, minv
 		em.xm = make([]float64, em.d)
@@ -258,8 +322,15 @@ func (em *emDriver) prepare() error {
 	for i := 0; i < em.d; i++ {
 		em.mWork.Data[i*em.d+i] += em.ss
 	}
-	if err := matrix.InverseInto(em.mWork, em.minv, em.invWork); err != nil {
-		return fmt.Errorf("ppca: M = CᵀC+ss·I singular: %w", err)
+	err := matrix.InverseInto(em.mWork, em.minv, em.invWork)
+	for attempt := 0; err != nil; attempt++ {
+		if !errors.Is(err, matrix.ErrSingular) || attempt >= maxRidgeRetries {
+			return fmt.Errorf("ppca: M = CᵀC+ss·I singular: %w (%w)", err, ErrNumericalBreakdown)
+		}
+		lam := (1 + em.ss) * 1e-10 * pow10(attempt)
+		addDiag(em.mWork, lam)
+		em.iterRidgeRetries++
+		err = matrix.InverseInto(em.mWork, em.minv, em.invWork)
 	}
 	em.c.MulInto(em.minv, em.cm)
 	for k := range em.xm {
@@ -298,9 +369,9 @@ func (em *emDriver) update(s jobSums) (*matrix.Dense, error) {
 		})
 		// XtX = Σ Xi_cᵀ Xi_c + ss·M⁻¹
 		xtx := s.xtx.Add(em.minv.Scale(em.ss))
-		cNew, err := matrix.SolveSPD(xtx, ytx) // C = YtX / XtX
-		if err != nil {
-			return nil, fmt.Errorf("ppca: XtX solve failed: %w", err)
+		cNew := matrix.NewDense(ytx.R, ytx.C)
+		if err := em.solveGuarded(xtx, ytx, cNew, &matrix.SPDWorkspace{}); err != nil {
+			return nil, err
 		}
 		em.c = cNew
 
@@ -324,8 +395,8 @@ func (em *emDriver) update(s jobSums) (*matrix.Dense, error) {
 	xtx := matrix.AddScaledInto(em.mWork, s.xtx, em.ss, em.minv)
 	// Solve into the spare components buffer, then swap it in: the previous
 	// C's storage becomes next iteration's solve output.
-	if err := matrix.SolveSPDInto(xtx, ytx, em.cNext, &em.spdWS); err != nil {
-		return nil, fmt.Errorf("ppca: XtX solve failed: %w", err)
+	if err := em.solveGuarded(xtx, ytx, em.cNext, &em.spdWS); err != nil {
+		return nil, err
 	}
 	em.c, em.cNext = em.cNext, em.c
 	cNew := em.c

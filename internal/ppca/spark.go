@@ -3,6 +3,7 @@ package ppca
 import (
 	"fmt"
 
+	"spca/internal/cluster"
 	"spca/internal/mapred"
 	"spca/internal/matrix"
 	"spca/internal/rdd"
@@ -23,72 +24,96 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 	y.Persist()
 	defer y.Unpersist()
 
-	mean, err := sparkMean(ctx, y, dims)
-	if err != nil {
-		return nil, err
-	}
-	ss1, err := sparkFnorm(ctx, y, mean, opt.EfficientFrobenius)
-	if err != nil {
-		return nil, err
-	}
-
-	em := newEMDriver(opt, len(rows), dims, mean, ss1)
-	if opt.SmartGuess {
-		if err := smartGuessSpark(ctx, rows, dims, opt, em); err != nil {
-			return nil, fmt.Errorf("ppca: smart guess: %w", err)
+	res := &Result{}
+	var em *emDriver
+	if snap := opt.Resume; snap != nil {
+		// Resume: the RDD setup above had to be redone by this incarnation,
+		// so its cost (everything charged so far) moves to RecoverySeconds
+		// when the clock is rewound to the snapshot's value; the mean and
+		// Frobenius jobs are restored, not re-run.
+		if err := snap.Validate(len(rows), dims, opt.Components, opt.Seed); err != nil {
+			return nil, err
+		}
+		setup := cl.Metrics().SimSeconds
+		em = newEMDriver(opt, len(rows), dims, snap.Mean, snap.SS1)
+		cl.RestoreMetrics(snap.Metrics)
+		cl.ChargeDriverRestore(snap.Bytes, opt.RecoveredSeconds+setup)
+		ctx.SetEpoch(snap.FaultEpoch)
+		em.restore(snap, res)
+	} else {
+		mean, err := sparkMean(ctx, y, dims)
+		if err != nil {
+			return nil, err
+		}
+		ss1, err := sparkFnorm(ctx, y, mean, opt.EfficientFrobenius)
+		if err != nil {
+			return nil, err
+		}
+		em = newEMDriver(opt, len(rows), dims, mean, ss1)
+		if opt.SmartGuess {
+			if err := smartGuessSpark(ctx, rows, dims, opt, em); err != nil {
+				return nil, fmt.Errorf("ppca: smart guess: %w", err)
+			}
+		}
+		if opt.Incarnation > 0 {
+			cl.ChargeDriverRestore(0, opt.RecoveredSeconds)
 		}
 	}
+	res.Mean = em.mean
 
-	ymat := sparseFromRows(rows, dims)
-	sample := sampleIdx(len(rows), opt.sampleRows(), opt.Seed)
 	// Per-partition task scratch plus the driver-side sums, allocated once
 	// and recycled every iteration (nil = legacy allocating path).
 	var scr *sparkScratch
 	if reuseScratch {
 		scr = newSparkScratch(y.NumPartitions(), dims, em.d)
 	}
-	res := &Result{Mean: mean}
-	for iter := 1; iter <= opt.MaxIter; iter++ {
-		if err := em.prepare(); err != nil {
-			return nil, err
-		}
-		rdd.Broadcast(ctx, "CM", mapred.BytesOfDense(em.cm))
-
-		var sums jobSums
-		if opt.MinimizeIntermediate {
-			sums = sparkYtXJob(ctx, y, dims, em, opt, scr)
-		} else {
-			sums = sparkUnoptimized(ctx, y, dims, em, opt)
-		}
-		cNew, err := em.update(sums)
-		if err != nil {
-			return nil, err
-		}
-		d := int64(opt.Components)
-		cl.AddDriverCompute(int64(dims)*d*d + d*d*d)
-
-		rdd.Broadcast(ctx, "C", mapred.BytesOfDense(cNew))
-		ss3raw := sparkSS3Job(ctx, y, em, cNew, opt, scr)
-		em.finishVariance(ss3raw)
-
-		e := em.reconError(ymat, sample)
-		res.History = append(res.History, IterationStat{
-			Iter:       iter,
-			Err:        e,
-			Accuracy:   opt.accuracyOf(e),
-			SS:         em.ss,
-			SimSeconds: cl.Metrics().SimSeconds,
-		})
-		if opt.converged(res.History) {
-			break
-		}
+	e := &sparkEngine{
+		ctx: ctx, y: y, dims: dims, opt: opt, scr: scr,
+		ymat:   sparseFromRows(rows, dims),
+		sample: sampleIdx(len(rows), opt.sampleRows(), opt.Seed),
 	}
-	res.Components = em.c
-	res.SS = em.ss
-	res.Iterations = len(res.History)
-	res.Metrics = cl.Metrics()
+	if err := runEM(em, opt, e, res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
+
+// sparkEngine adapts the RDD jobs to the shared guarded EM loop.
+type sparkEngine struct {
+	ctx    *rdd.Context
+	y      *rdd.RDD[matrix.SparseVector]
+	dims   int
+	opt    Options
+	scr    *sparkScratch
+	ymat   *matrix.Sparse
+	sample []int
+}
+
+func (e *sparkEngine) cluster() *cluster.Cluster { return e.ctx.Cluster() }
+func (e *sparkEngine) faultEpoch() int64         { return e.ctx.Epoch() }
+
+func (e *sparkEngine) prepared(em *emDriver) {
+	rdd.Broadcast(e.ctx, "CM", mapred.BytesOfDense(em.cm))
+}
+
+func (e *sparkEngine) pass(em *emDriver) (jobSums, error) {
+	if e.opt.MinimizeIntermediate {
+		return sparkYtXJob(e.ctx, e.y, e.dims, em, e.opt, e.scr), nil
+	}
+	return sparkUnoptimized(e.ctx, e.y, e.dims, em, e.opt), nil
+}
+
+func (e *sparkEngine) solved(em *emDriver, cNew *matrix.Dense) {
+	d := int64(e.opt.Components)
+	e.ctx.Cluster().AddDriverCompute(int64(e.dims)*d*d + d*d*d)
+	rdd.Broadcast(e.ctx, "C", mapred.BytesOfDense(cNew))
+}
+
+func (e *sparkEngine) ss3(em *emDriver, cNew *matrix.Dense) (float64, error) {
+	return sparkSS3Job(e.ctx, e.y, em, cNew, e.opt, e.scr), nil
+}
+
+func (e *sparkEngine) reconErr(em *emDriver) float64 { return em.reconError(e.ymat, e.sample) }
 
 // meanPartial is the per-partition state of the mean computation.
 type meanPartial struct {

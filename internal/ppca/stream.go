@@ -3,6 +3,7 @@ package ppca
 import (
 	"fmt"
 
+	"spca/internal/cluster"
 	"spca/internal/matrix"
 )
 
@@ -77,74 +78,105 @@ func FitStream(src matrix.RowSource, opt Options) (*Result, error) {
 	}
 
 	em := newEMDriver(opt, n, dims, mean, ss1)
-	res := &Result{Mean: mean}
+	res := &Result{}
+	if snap := opt.Resume; snap != nil {
+		// Streaming resume: pass 0 above is re-run (the sample capture needs
+		// a scan regardless, and its mean/ss1 are bit-identical to the
+		// snapshot's), then the model/guard/history state is restored.
+		if err := snap.Validate(n, dims, opt.Components, opt.Seed); err != nil {
+			return nil, err
+		}
+		res.Metrics = snap.Metrics
+		res.Metrics.DriverRestarts++
+		em.restore(snap, res)
+	} else if opt.Incarnation > 0 {
+		res.Metrics.DriverRestarts++
+	}
+	res.Mean = mean
+
 	d := em.d
-	xi := make([]float64, d)
-	ct := make([]float64, d)
 	// The pass sums are hoisted out of the iteration loop and zeroed in place
 	// each iteration (legacy per-iteration allocation kept for A/B runs).
 	var pooled jobSums
 	if reuseScratch {
 		pooled = newJobSums(dims, d)
 	}
-	for iter := 1; iter <= opt.MaxIter; iter++ {
-		if err := em.prepare(); err != nil {
-			return nil, err
-		}
-		// Pass 1 of the iteration: consolidated YtX/XtX/ΣX.
-		var sums jobSums
-		if reuseScratch {
-			sums = pooled
-			sums.ytx.Zero()
-			sums.xtx.Zero()
-			for k := range sums.sumX {
-				sums.sumX[k] = 0
-			}
-		} else {
-			sums = newJobSums(dims, d)
-		}
-		if err := src.Scan(func(i int, row matrix.SparseVector) error {
-			computeLatentRow(row, em, xi)
-			for k, j := range row.Indices {
-				matrix.AXPY(row.Values[k], xi, sums.ytx.Row(j))
-			}
-			matrix.OuterAdd(sums.xtx, xi, xi)
-			matrix.AXPY(1, xi, sums.sumX)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-		cNew, err := em.update(sums)
-		if err != nil {
-			return nil, err
-		}
-		// Pass 2: ss3 with the new C.
-		var ss3 float64
-		if err := src.Scan(func(i int, row matrix.SparseVector) error {
-			computeLatentRow(row, em, xi)
-			for k := range ct {
-				ct[k] = 0
-			}
-			for k, j := range row.Indices {
-				matrix.AXPY(row.Values[k], cNew.Row(j), ct)
-			}
-			ss3 += matrix.Dot(xi, ct)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-		em.finishVariance(ss3)
-
-		e := em.reconError(sample, sampleRows)
-		res.History = append(res.History, IterationStat{
-			Iter: iter, Err: e, SS: em.ss,
-		})
-		if opt.converged(res.History) {
-			break
-		}
+	e := &streamEngine{
+		src: src, dims: dims, pooled: pooled,
+		sample: sample, sampleRows: sampleRows,
+		xi: make([]float64, d), ct: make([]float64, d),
 	}
-	res.Components = em.c
-	res.SS = em.ss
-	res.Iterations = len(res.History)
+	if err := runEM(em, opt, e, res); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// streamEngine adapts the two streaming passes to the shared guarded EM
+// loop. Like the local engine it has no simulated cluster; the error metric
+// runs on the row sample captured during pass 0.
+type streamEngine struct {
+	src        matrix.RowSource
+	dims       int
+	pooled     jobSums
+	sample     *matrix.Sparse
+	sampleRows []int
+	xi, ct     []float64
+}
+
+func (e *streamEngine) cluster() *cluster.Cluster { return nil }
+func (e *streamEngine) faultEpoch() int64         { return 0 }
+func (e *streamEngine) prepared(*emDriver)        {}
+
+func (e *streamEngine) pass(em *emDriver) (jobSums, error) {
+	// Consolidated YtX/XtX/ΣX in one sequential scan.
+	var sums jobSums
+	if reuseScratch {
+		sums = e.pooled
+		sums.ytx.Zero()
+		sums.xtx.Zero()
+		for k := range sums.sumX {
+			sums.sumX[k] = 0
+		}
+	} else {
+		sums = newJobSums(e.dims, em.d)
+	}
+	xi := e.xi
+	if err := e.src.Scan(func(i int, row matrix.SparseVector) error {
+		computeLatentRow(row, em, xi)
+		for k, j := range row.Indices {
+			matrix.AXPY(row.Values[k], xi, sums.ytx.Row(j))
+		}
+		matrix.OuterAdd(sums.xtx, xi, xi)
+		matrix.AXPY(1, xi, sums.sumX)
+		return nil
+	}); err != nil {
+		return jobSums{}, err
+	}
+	return sums, nil
+}
+
+func (e *streamEngine) solved(*emDriver, *matrix.Dense) {}
+
+func (e *streamEngine) ss3(em *emDriver, cNew *matrix.Dense) (float64, error) {
+	var ss3 float64
+	xi, ct := e.xi, e.ct
+	if err := e.src.Scan(func(i int, row matrix.SparseVector) error {
+		computeLatentRow(row, em, xi)
+		for k := range ct {
+			ct[k] = 0
+		}
+		for k, j := range row.Indices {
+			matrix.AXPY(row.Values[k], cNew.Row(j), ct)
+		}
+		ss3 += matrix.Dot(xi, ct)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return ss3, nil
+}
+
+func (e *streamEngine) reconErr(em *emDriver) float64 {
+	return em.reconError(e.sample, e.sampleRows)
 }

@@ -133,6 +133,22 @@ func (c *Context) CachedBytes() int64 {
 	return c.state.cachedBytes
 }
 
+// Epoch reports the action counter that salts per-action fault decisions.
+// Checkpoints capture it so a resumed driver draws the exact same faults an
+// uninterrupted run would for the remaining actions.
+func (c *Context) Epoch() int64 {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	return c.state.epoch
+}
+
+// SetEpoch restores the action counter from a checkpoint.
+func (c *Context) SetEpoch(epoch int64) {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	c.state.epoch = epoch
+}
+
 // TaskOps is handed to task functions so they can charge arithmetic work.
 type TaskOps struct{ ops int64 }
 

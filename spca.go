@@ -19,8 +19,11 @@
 package spca
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
+	"spca/internal/checkpoint"
 	"spca/internal/cluster"
 	"spca/internal/covpca"
 	"spca/internal/dataset"
@@ -31,6 +34,30 @@ import (
 	"spca/internal/ssvd"
 	"spca/internal/svdbidiag"
 )
+
+// Typed errors returned by Fit and FitStreamFile input validation, matchable
+// with errors.Is.
+var (
+	// ErrEmptyInput rejects a nil or zero-sized input matrix.
+	ErrEmptyInput = errors.New("spca: empty input matrix")
+	// ErrNonFiniteInput rejects NaN/Inf values in the input. This is distinct
+	// from FitMissing, which interprets NaN in a *dense* matrix as a
+	// missing-entry marker; the sparse fit paths require finite data.
+	ErrNonFiniteInput = errors.New("spca: input contains non-finite values")
+	// ErrBadConfig rejects out-of-range Config fields.
+	ErrBadConfig = errors.New("spca: invalid configuration")
+	// ErrNumericalBreakdown surfaces a numerical-guard failure inside the EM
+	// loop: non-finite model state or an unrecoverably singular solve.
+	ErrNumericalBreakdown = ppca.ErrNumericalBreakdown
+	// ErrDriverCrash is the sentinel under every injected driver crash. Fit
+	// only returns it when checkpointing is disabled — with a Checkpoint
+	// configured the driver auto-resumes instead.
+	ErrDriverCrash = cluster.ErrDriverCrash
+)
+
+// ErrMalformedMatrix re-exports the typed parse error of the matrix readers
+// (bad headers, out-of-range indices, non-finite values in files).
+var ErrMalformedMatrix = matrix.ErrMalformedMatrix
 
 // Matrix and vector types used throughout the public API.
 type (
@@ -114,12 +141,27 @@ type Metrics = cluster.Metrics
 // fields, and the fitted model stays bit-identical to a fault-free run.
 type FaultPlan = cluster.FaultPlan
 
+// CheckpointSpec configures periodic durable driver snapshots; see
+// Config.Checkpoint.
+type CheckpointSpec = ppca.CheckpointSpec
+
+// DriverCrashError reports an injected driver crash: the EM iteration the
+// driver completed before dying, the incarnation that crashed, and the
+// simulated clock at the moment of death. Unwraps to ErrDriverCrash.
+type DriverCrashError = cluster.DriverCrashError
+
 // IterationStat mirrors ppca.IterationStat for the unified result.
 type IterationStat struct {
 	Iter       int
 	Err        float64
 	Accuracy   float64
 	SimSeconds float64
+	// Ridge is the total ridge regularization added to this iteration's
+	// M-step solve (zero in a healthy run); RidgeRetries counts singular-solve
+	// retries; Rollback marks an iteration the divergence guard rolled back.
+	Ridge        float64
+	RidgeRetries int
+	Rollback     bool
 }
 
 // Config configures Fit. Zero values select paper defaults.
@@ -140,6 +182,23 @@ type Config struct {
 	// Faults arms deterministic fault injection for the distributed
 	// algorithms (nil, the default, runs fault-free). See FaultPlan.
 	Faults *FaultPlan
+	// Tol is the convergence tolerance for the PPCA-family algorithms: the
+	// fit stops early once the relative reconstruction-error improvement
+	// drops below it. Zero keeps the paper default (1e-3); a negative value
+	// disables early stopping entirely.
+	Tol float64
+	// DivergeWindow arms the EM divergence guard: after this many consecutive
+	// iterations of rising error the driver rolls back to the best model seen
+	// and applies an escalating ridge to later solves. Zero disables it.
+	DivergeWindow int
+	// Checkpoint enables periodic durable snapshots of the EM driver state
+	// for the PPCA-family algorithms. With an Interval and Dir set, the fit
+	// survives injected driver crashes (FaultPlan.DriverCrashIters): Fit
+	// auto-resumes from the latest snapshot and the final model is
+	// bit-identical to an uninterrupted run, with the recovery cost reported
+	// in Metrics (RecoverySeconds, DriverRestarts). The zero value disables
+	// checkpointing at zero cost.
+	Checkpoint CheckpointSpec
 
 	// Optimization switches for sPCA ablations. DisableX turns an
 	// optimization OFF (the zero value keeps full sPCA behaviour).
@@ -282,39 +341,82 @@ func (c Config) normalize(dims int) Config {
 	return c
 }
 
+// validateInput performs the typed input checks shared by the fit entry
+// points: a usable shape and finite data.
+func validateInput(y *Sparse) error {
+	if y == nil || y.R == 0 || y.C == 0 {
+		return ErrEmptyInput
+	}
+	for _, v := range y.Vals {
+		if v != v || math.IsInf(v, 0) {
+			return fmt.Errorf("%w (found %v; FitMissing accepts NaN-marked dense matrices)", ErrNonFiniteInput, v)
+		}
+	}
+	return nil
+}
+
+// check validates the user-facing Config ranges before normalize fills in
+// defaults.
+func (c Config) check() error {
+	if c.TargetAccuracy < 0 || c.TargetAccuracy > 1 {
+		return fmt.Errorf("%w: TargetAccuracy %v outside (0, 1]", ErrBadConfig, c.TargetAccuracy)
+	}
+	if c.Checkpoint.Interval < 0 {
+		return fmt.Errorf("%w: negative Checkpoint.Interval %d", ErrBadConfig, c.Checkpoint.Interval)
+	}
+	if c.Checkpoint.Interval > 0 && c.Checkpoint.Dir == "" {
+		return fmt.Errorf("%w: Checkpoint.Interval set without Checkpoint.Dir", ErrBadConfig)
+	}
+	if c.DivergeWindow < 0 {
+		return fmt.Errorf("%w: negative DivergeWindow %d", ErrBadConfig, c.DivergeWindow)
+	}
+	return nil
+}
+
 // Fit computes the principal components of y with the configured algorithm
 // on a fresh simulated cluster, returning the components together with the
 // run's accuracy history and cluster metrics.
 func Fit(y *Sparse, cfg Config) (*Result, error) {
+	if err := validateInput(y); err != nil {
+		return nil, err
+	}
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.normalize(y.C)
 	rows := dataset.Rows(y)
 
 	switch cfg.Algorithm {
 	case LocalPPCA:
-		opt := cfg.ppcaOptions(y)
-		res, err := ppca.FitLocal(y, opt)
+		res, err := cfg.runWithResume(cfg.ppcaOptions(y), func(opt ppca.Options) (*ppca.Result, error) {
+			return ppca.FitLocal(y, opt)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return fromPPCA(cfg.Algorithm, res), nil
 
 	case SPCAMapReduce:
-		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
-		if err != nil {
-			return nil, err
-		}
-		res, err := ppca.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, cfg.ppcaOptions(y))
+		res, err := cfg.runWithResume(cfg.ppcaOptions(y), func(opt ppca.Options) (*ppca.Result, error) {
+			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			if err != nil {
+				return nil, err
+			}
+			return ppca.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return fromPPCA(cfg.Algorithm, res), nil
 
 	case SPCASpark:
-		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
-		if err != nil {
-			return nil, err
-		}
-		res, err := ppca.FitSpark(cfg.rddContext(cl), rows, y.C, cfg.ppcaOptions(y))
+		res, err := cfg.runWithResume(cfg.ppcaOptions(y), func(opt ppca.Options) (*ppca.Result, error) {
+			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			if err != nil {
+				return nil, err
+			}
+			return ppca.FitSpark(cfg.rddContext(cl), rows, y.C, opt)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -345,7 +447,9 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			orthonormal: true,
 		}
 		for _, h := range res.History {
-			out.History = append(out.History, IterationStat(h))
+			out.History = append(out.History, IterationStat{
+				Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SimSeconds: h.SimSeconds,
+			})
 		}
 		if len(out.History) > 0 {
 			out.Err = out.History[len(out.History)-1].Err
@@ -415,6 +519,49 @@ func (c Config) rddContext(cl *cluster.Cluster) *rdd.Context {
 	return ctx
 }
 
+// runWithResume executes one PPCA fit attempt per driver incarnation,
+// restarting after injected driver crashes. With checkpointing enabled the
+// next incarnation resumes from the latest snapshot (or from scratch when the
+// crash predates the first write); the wasted simulated time between the
+// snapshot and the crash is charged to the new incarnation's recovery
+// metrics. Without checkpointing a driver crash is fatal, as it is for a
+// stock Hadoop/Spark driver.
+func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Result, error)) (*ppca.Result, error) {
+	// A deterministic plan crashes at most once per scheduled incarnation,
+	// so this bound is never hit by a plan Fit can survive; it only guards
+	// against a runaway loop.
+	const maxRestarts = 64
+	for attempt := 0; ; attempt++ {
+		opt.Incarnation = attempt
+		res, err := run(opt)
+		var crash *cluster.DriverCrashError
+		if err == nil || !errors.As(err, &crash) {
+			return res, err
+		}
+		if !opt.Checkpoint.Enabled() {
+			return nil, err
+		}
+		if attempt >= maxRestarts {
+			return nil, fmt.Errorf("spca: driver crashed %d times, giving up: %w", attempt+1, err)
+		}
+		opt.Resume = nil
+		opt.RecoveredSeconds = crash.SimSeconds // scratch restart wastes the whole incarnation
+		snap, lerr := checkpoint.Latest(opt.Checkpoint.Dir)
+		switch {
+		case lerr == nil:
+			opt.Resume = snap
+			opt.RecoveredSeconds = 0
+			if waste := crash.SimSeconds - snap.Metrics.SimSeconds; waste > 0 {
+				opt.RecoveredSeconds = waste
+			}
+		case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
+			// Crash before the first snapshot: restart from scratch.
+		default:
+			return nil, fmt.Errorf("spca: resuming after driver crash: %w", lerr)
+		}
+	}
+}
+
 func (c Config) ppcaBaseOptions() ppca.Options {
 	opt := ppca.DefaultOptions(c.Components)
 	opt.MaxIter = c.MaxIter
@@ -425,6 +572,15 @@ func (c Config) ppcaBaseOptions() ppca.Options {
 	opt.StatefulCombiner = !c.DisableStatefulCombiner
 	opt.AssociativeSS3 = !c.DisableAssociativeSS3
 	opt.SmartGuess = c.SmartGuess
+	switch {
+	case c.Tol > 0:
+		opt.Tol = c.Tol
+	case c.Tol < 0:
+		opt.Tol = 0
+	}
+	opt.DivergeWindow = c.DivergeWindow
+	opt.Checkpoint = c.Checkpoint
+	opt.Faults = c.Faults
 	return opt
 }
 
@@ -449,6 +605,7 @@ func fromPPCA(alg Algorithm, res *ppca.Result) *Result {
 	for _, h := range res.History {
 		out.History = append(out.History, IterationStat{
 			Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SimSeconds: h.SimSeconds,
+			Ridge: h.Ridge, RidgeRetries: h.RidgeRetries, Rollback: h.Rollback,
 		})
 	}
 	if len(out.History) > 0 {
@@ -482,6 +639,9 @@ func FitStreamFile(path string, components, maxIter int, seed uint64) (*Result, 
 	src, err := matrix.OpenFileRowSource(path)
 	if err != nil {
 		return nil, err
+	}
+	if n, d := src.Dims(); n == 0 || d == 0 {
+		return nil, fmt.Errorf("%w: %s is %d x %d", ErrEmptyInput, path, n, d)
 	}
 	opt := ppca.DefaultOptions(components)
 	if maxIter > 0 {

@@ -2,6 +2,7 @@ package spca
 
 import (
 	"errors"
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -298,3 +299,59 @@ func TestFitStreamFileFacade(t *testing.T) {
 		t.Fatal("expected error for missing file")
 	}
 }
+
+func TestFitInputValidation(t *testing.T) {
+	y := smallDataset(t)
+	cfg := Config{Algorithm: LocalPPCA, Components: 3, MaxIter: 3}
+
+	if _, err := Fit(nil, cfg); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("Fit(nil) = %v, want ErrEmptyInput", err)
+	}
+	if _, err := Fit(matrix.NewSparse(0, 10), cfg); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("Fit(0 rows) = %v, want ErrEmptyInput", err)
+	}
+	if _, err := Fit(matrix.NewSparse(10, 0), cfg); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("Fit(0 cols) = %v, want ErrEmptyInput", err)
+	}
+
+	b := matrix.NewSparseBuilder(4)
+	b.AddRow([]int{0, 2}, []float64{1, nan()})
+	bad := b.Build()
+	if _, err := Fit(bad, cfg); !errors.Is(err, ErrNonFiniteInput) {
+		t.Fatalf("Fit(NaN value) = %v, want ErrNonFiniteInput", err)
+	}
+
+	for name, broken := range map[string]Config{
+		"accuracy too high":    {Algorithm: LocalPPCA, Components: 3, TargetAccuracy: 1.5},
+		"accuracy negative":    {Algorithm: LocalPPCA, Components: 3, TargetAccuracy: -0.1},
+		"negative interval":    {Algorithm: LocalPPCA, Components: 3, Checkpoint: CheckpointSpec{Interval: -1, Dir: "x"}},
+		"interval without dir": {Algorithm: LocalPPCA, Components: 3, Checkpoint: CheckpointSpec{Interval: 2}},
+		"negative window":      {Algorithm: LocalPPCA, Components: 3, DivergeWindow: -1},
+	} {
+		if _, err := Fit(y, broken); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: Fit = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestTolConfig(t *testing.T) {
+	y := smallDataset(t)
+	// Tol < 0 disables early stop: the fit must run all MaxIter rounds.
+	res, err := Fit(y, Config{Algorithm: LocalPPCA, Components: 3, MaxIter: 8, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 8 {
+		t.Fatalf("Tol<0 stopped early at %d iterations", res.Iterations)
+	}
+	// A very loose Tol stops well before MaxIter.
+	res, err = Fit(y, Config{Algorithm: LocalPPCA, Components: 3, MaxIter: 50, Tol: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 50 {
+		t.Fatalf("loose Tol did not stop early (%d iterations)", res.Iterations)
+	}
+}
+
+func nan() float64 { return math.NaN() }
