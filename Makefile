@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz-smoke bench bench-kernels bench-json bench-smoke experiments
+.PHONY: check vet build test race chaos fuzz-smoke trace-smoke bench bench-kernels bench-json bench-smoke experiments
 
-check: vet build test race chaos fuzz-smoke bench-smoke
+check: vet build test race chaos fuzz-smoke trace-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,12 @@ chaos:
 fuzz-smoke:
 	$(GO) test ./internal/matrix -run '^$$' -fuzz FuzzReadSparse$$ -fuzztime 5s
 	$(GO) test ./internal/matrix -run '^$$' -fuzz FuzzReadSparseBinary$$ -fuzztime 5s
+
+# End-to-end observability gate: fit with a JSONL observer, re-parse the
+# stream, and require the reconstructed trace to fingerprint identically to
+# the in-memory collector's; then validate the Chrome trace_event export.
+trace-smoke:
+	$(GO) test -count=1 -run 'TestTraceSmoke' .
 
 bench:
 	$(GO) test -bench=. -benchmem

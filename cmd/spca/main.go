@@ -41,6 +41,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream the -in file row by row (out-of-core PPCA; ignores -algo/-target)")
 		ckptDir   = flag.String("checkpoint-dir", "", "write driver checkpoints to this directory and auto-resume after a crash")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every K iterations (with -checkpoint-dir)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of the run (open in Perfetto)")
 		saveModel = flag.String("save-model", "", "save the fitted model to this file")
 		loadModel = flag.String("load-model", "", "skip fitting; load a model saved with -save-model")
 		transform = flag.String("transform", "", "write the input's latent representation (N x d, dmx) to this file")
@@ -57,18 +58,39 @@ func main() {
 		return
 	}
 
+	cfg := spca.Config{
+		Algorithm:      spca.Algorithm(*algo),
+		Components:     *d,
+		MaxIter:        *iters,
+		TargetAccuracy: *target,
+		Seed:           *seed,
+		SmartGuess:     *smart,
+		CollectTrace:   *traceOut != "",
+		Cluster: spca.ClusterConfig{
+			Nodes:          *nodes,
+			DriverMemoryGB: *driver,
+		},
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = spca.CheckpointSpec{Interval: *ckptEvery, Dir: *ckptDir}
+	}
+
 	if *stream {
 		// Out-of-core mode: the matrix is never loaded; every EM pass
 		// streams the file. Only load it if a -transform was requested.
 		if *in == "" {
 			fatal(fmt.Errorf("-stream requires -in <file>"))
 		}
-		res, err := spca.FitStreamFile(*in, *d, *iters, *seed)
+		streamCfg := cfg
+		streamCfg.Algorithm = ""     // streaming is always local PPCA
+		streamCfg.TargetAccuracy = 0 // accuracy targets need an in-memory fit
+		res, err := spca.FitStreamFileConfig(*in, streamCfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("streamed fit: %d x %d components, %d iterations, final error %.6f\n",
 			res.Components.R, res.Components.C, res.Iterations, res.Err)
+		writeTrace(res, *traceOut)
 		var y *spca.Sparse
 		if *transform != "" {
 			if y, err = spca.LoadSparseFile(*in); err != nil {
@@ -98,21 +120,6 @@ func main() {
 		return
 	}
 
-	cfg := spca.Config{
-		Algorithm:      spca.Algorithm(*algo),
-		Components:     *d,
-		MaxIter:        *iters,
-		TargetAccuracy: *target,
-		Seed:           *seed,
-		SmartGuess:     *smart,
-		Cluster: spca.ClusterConfig{
-			Nodes:          *nodes,
-			DriverMemoryGB: *driver,
-		},
-	}
-	if *ckptDir != "" {
-		cfg.Checkpoint = spca.CheckpointSpec{Interval: *ckptEvery, Dir: *ckptDir}
-	}
 	res, err = spca.Fit(y, cfg)
 	if err != nil {
 		fatal(err)
@@ -133,8 +140,35 @@ func main() {
 		}
 		fmt.Printf(" t=%.1fs\n", h.SimSeconds)
 	}
+	if sum := res.Summary(); len(sum) > 0 {
+		fmt.Printf("phases:\n")
+		for _, p := range sum {
+			fmt.Printf("  %-28s x%-5d %9.1fs  shuffle %8.1f MB  disk %8.1f MB\n",
+				p.Name, p.Count, p.Seconds,
+				float64(p.ShuffleBytes)/1e6, float64(p.DiskBytes)/1e6)
+		}
+	}
+	writeTrace(res, *traceOut)
 
 	finish(res, y, *out, *saveModel, *transform)
+}
+
+// writeTrace exports the collected trace in Chrome trace_event format.
+func writeTrace(res *spca.Result, path string) {
+	if path == "" || res.Trace == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := spca.WriteChromeTrace(f, res.Trace); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", path)
 }
 
 // finish handles the output options shared by the fit and load paths.

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"spca/internal/trace"
 )
 
 // Config describes a simulated cluster. The zero value is not usable; start
@@ -173,6 +175,12 @@ func (m Metrics) String() string {
 type Cluster struct {
 	cfg Config
 
+	// tracer, when non-nil, receives a leaf span for every charge (RunPhase,
+	// driver compute, checkpoint) stamped with the simulated clock. It is set
+	// once by the driver before any work runs and never mutated concurrently;
+	// spans are emitted outside c.mu so the tracer may read the clock back.
+	tracer *trace.Tracer
+
 	mu         sync.Mutex
 	metrics    Metrics
 	phaseLog   []PhaseStats
@@ -199,6 +207,20 @@ func MustNew(cfg Config) *Cluster {
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// SetTracer attaches a tracer to the cluster and points its simulated clock
+// at this cluster's SimSeconds. Must be called from the driver before any
+// phases run. A nil tracer disables tracing (the default).
+func (c *Cluster) SetTracer(t *trace.Tracer) {
+	c.tracer = t
+	if t != nil {
+		t.SetClock(func() float64 { return c.Metrics().SimSeconds })
+	}
+}
+
+// Tracer returns the attached tracer, or nil. Engines use it to open
+// job/action spans around their phase charges.
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
 // TotalCores returns the number of simulated cores.
 func (c *Cluster) TotalCores() int { return c.cfg.TotalCores() }
 
@@ -214,30 +236,11 @@ func (c *Cluster) TotalCores() int { return c.cfg.TotalCores() }
 // in Metrics.RecoverySeconds, so the cost of failure is isolated from the
 // cost of useful work.
 func (c *Cluster) RunPhase(p PhaseStats) {
-	cores := float64(c.cfg.TotalCores())
-	t := float64(p.ComputeOps) / (cores * c.cfg.FlopsPerCore)
-	t += float64(p.ShuffleBytes) / c.cfg.NetworkBps
-	t += float64(p.DiskBytes) / c.cfg.DiskBps
-	t += float64(p.Records) * c.cfg.RecordCost / cores
-	if p.Tasks > 0 {
-		waves := (p.Tasks + int64(cores) - 1) / int64(cores)
-		t += float64(waves) * c.cfg.TaskOverhead
-	}
-
-	// Recovery time: re-executed work parallelizes over cores, re-read state
-	// shares the disks, retry/backup attempts cost scheduling waves, and an
-	// unmitigated straggler's extra time is serial on its one slow core.
-	rec := float64(p.RecomputedOps) / (cores * c.cfg.FlopsPerCore)
-	rec += float64(p.RecoveryDiskBytes) / c.cfg.DiskBps
-	rec += float64(p.StragglerOps) / c.cfg.FlopsPerCore
-	if n := p.FailedAttempts + p.SpeculativeTasks; n > 0 {
-		waves := (n + int64(cores) - 1) / int64(cores)
-		rec += float64(waves) * c.cfg.TaskOverhead
-	}
+	t, rec := c.cfg.PhaseCost(p)
 	t += rec
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	start := c.metrics.SimSeconds
 	c.metrics.ComputeOps += p.ComputeOps + p.RecomputedOps
 	c.metrics.ShuffleBytes += p.ShuffleBytes
 	c.metrics.DiskBytes += p.DiskBytes + p.RecoveryDiskBytes
@@ -249,15 +252,85 @@ func (c *Cluster) RunPhase(p PhaseStats) {
 	c.metrics.RecoverySeconds += rec
 	c.metrics.Phases++
 	c.metrics.SimSeconds += t
+	end := c.metrics.SimSeconds
 	c.phaseLog = append(c.phaseLog, p)
+	c.mu.Unlock()
+
+	if tr := c.tracer; tr != nil {
+		// The span's "seconds" attribute carries the exact charge added to
+		// SimSeconds (end-start would lose low bits to float subtraction), so
+		// summing the leaf spans of a trace reproduces Metrics bit-for-bit.
+		attrs := []trace.Attr{
+			trace.F("seconds", t),
+			trace.I("compute_ops", p.ComputeOps),
+			trace.I("shuffle_bytes", p.ShuffleBytes),
+			trace.I("disk_bytes", p.DiskBytes),
+			trace.I("materialized_bytes", p.MaterializedBytes),
+			trace.I("tasks", p.Tasks),
+			trace.I("records", p.Records),
+		}
+		faulted := p.FailedAttempts != 0 || p.RecomputedOps != 0 ||
+			p.RecoveryDiskBytes != 0 || p.SpeculativeTasks != 0 || p.StragglerOps != 0
+		if faulted || rec != 0 {
+			attrs = append(attrs,
+				trace.F("recovery_seconds", rec),
+				trace.I("failed_attempts", p.FailedAttempts),
+				trace.I("recomputed_ops", p.RecomputedOps),
+				trace.I("recovery_disk_bytes", p.RecoveryDiskBytes),
+				trace.I("speculative_tasks", p.SpeculativeTasks),
+				trace.I("straggler_ops", p.StragglerOps),
+			)
+		}
+		id := tr.Emit(p.Name, trace.KindPhase, start, end, attrs...)
+		if faulted {
+			tr.EventAt("recovery", end, id,
+				trace.I("failed_attempts", p.FailedAttempts),
+				trace.I("speculative_tasks", p.SpeculativeTasks),
+				trace.F("recovery_seconds", rec))
+		}
+	}
+}
+
+// PhaseCost prices one phase under the cost model, returning the useful-work
+// seconds and the fault-recovery seconds separately (RunPhase charges their
+// sum to the clock and the recovery part to Metrics.RecoverySeconds).
+func (c Config) PhaseCost(p PhaseStats) (useful, recovery float64) {
+	cores := float64(c.TotalCores())
+	t := float64(p.ComputeOps) / (cores * c.FlopsPerCore)
+	t += float64(p.ShuffleBytes) / c.NetworkBps
+	t += float64(p.DiskBytes) / c.DiskBps
+	t += float64(p.Records) * c.RecordCost / cores
+	if p.Tasks > 0 {
+		waves := (p.Tasks + int64(cores) - 1) / int64(cores)
+		t += float64(waves) * c.TaskOverhead
+	}
+
+	// Recovery time: re-executed work parallelizes over cores, re-read state
+	// shares the disks, retry/backup attempts cost scheduling waves, and an
+	// unmitigated straggler's extra time is serial on its one slow core.
+	rec := float64(p.RecomputedOps) / (cores * c.FlopsPerCore)
+	rec += float64(p.RecoveryDiskBytes) / c.DiskBps
+	rec += float64(p.StragglerOps) / c.FlopsPerCore
+	if n := p.FailedAttempts + p.SpeculativeTasks; n > 0 {
+		waves := (n + int64(cores) - 1) / int64(cores)
+		rec += float64(waves) * c.TaskOverhead
+	}
+	return t, rec
 }
 
 // AddDriverCompute charges sequential driver-side computation (single core).
 func (c *Cluster) AddDriverCompute(ops int64) {
+	t := float64(ops) / c.cfg.FlopsPerCore
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	start := c.metrics.SimSeconds
 	c.metrics.ComputeOps += ops
-	c.metrics.SimSeconds += float64(ops) / c.cfg.FlopsPerCore
+	c.metrics.SimSeconds += t
+	end := c.metrics.SimSeconds
+	c.mu.Unlock()
+	if tr := c.tracer; tr != nil {
+		tr.Emit("driver-compute", trace.KindDriver, start, end,
+			trace.F("seconds", t), trace.I("compute_ops", ops))
+	}
 }
 
 // ChargeCheckpoint charges writing one driver snapshot of the given size to
@@ -271,11 +344,17 @@ func (c *Cluster) ChargeCheckpoint(bytes int64) {
 	}
 	t := float64(bytes) / c.cfg.DiskBps
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	start := c.metrics.SimSeconds
 	c.metrics.CheckpointBytes += bytes
 	c.metrics.CheckpointSeconds += t
 	c.metrics.DiskBytes += bytes
 	c.metrics.SimSeconds += t
+	end := c.metrics.SimSeconds
+	c.mu.Unlock()
+	if tr := c.tracer; tr != nil {
+		tr.Emit("checkpoint", trace.KindDriver, start, end,
+			trace.F("seconds", t), trace.I("checkpoint_bytes", bytes), trace.I("disk_bytes", bytes))
+	}
 }
 
 // ChargeDriverRestore charges one driver crash/resume cycle: reading the
@@ -291,9 +370,13 @@ func (c *Cluster) ChargeDriverRestore(bytes int64, extraSeconds float64) {
 	}
 	rec := float64(bytes)/c.cfg.DiskBps + extraSeconds
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.metrics.DriverRestarts++
 	c.metrics.RecoverySeconds += rec
+	c.mu.Unlock()
+	if tr := c.tracer; tr != nil {
+		tr.Event("driver-restore",
+			trace.F("recovery_seconds", rec), trace.I("snapshot_bytes", bytes))
+	}
 }
 
 // RestoreMetrics overwrites the accumulated metrics with a snapshot taken by

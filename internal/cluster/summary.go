@@ -1,0 +1,52 @@
+package cluster
+
+// PhaseSummary is the per-phase-name aggregate of a run's phase log: how many
+// times the phase ran and what it cost under the cluster's cost model. It is
+// the typed breakdown Result.Summary() exposes on the facade.
+type PhaseSummary struct {
+	Name            string
+	Count           int64
+	Seconds         float64 // total clock seconds charged (recovery included)
+	RecoverySeconds float64 // the fault-recovery portion of Seconds
+	ComputeOps      int64
+	ShuffleBytes    int64
+	DiskBytes       int64
+	Tasks           int64
+	Records         int64
+	FailedAttempts  int64
+}
+
+// Summarize aggregates a phase log per phase name, in first-seen order,
+// pricing each entry with cfg's cost model (the same arithmetic RunPhase
+// charged, so the summed seconds reproduce the clock's phase contributions
+// exactly). Note the log covers one cluster incarnation: after a driver
+// crash/resume, phases charged before the crash live in the previous
+// incarnation's log.
+func Summarize(log []PhaseStats, cfg Config) []PhaseSummary {
+	var order []string
+	byName := map[string]*PhaseSummary{}
+	for _, p := range log {
+		s := byName[p.Name]
+		if s == nil {
+			s = &PhaseSummary{Name: p.Name}
+			byName[p.Name] = s
+			order = append(order, p.Name)
+		}
+		t, rec := cfg.PhaseCost(p)
+		t += rec // same arithmetic as RunPhase, so the bits match its charge
+		s.Count++
+		s.Seconds += t
+		s.RecoverySeconds += rec
+		s.ComputeOps += p.ComputeOps + p.RecomputedOps
+		s.ShuffleBytes += p.ShuffleBytes
+		s.DiskBytes += p.DiskBytes + p.RecoveryDiskBytes
+		s.Tasks += p.Tasks
+		s.Records += p.Records
+		s.FailedAttempts += p.FailedAttempts
+	}
+	out := make([]PhaseSummary, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"spca/internal/matrix"
 	"spca/internal/parallel"
 	"spca/internal/rdd"
+	"spca/internal/trace"
 )
 
 // Options configures an MLlib-PCA-style run.
@@ -28,6 +29,9 @@ type Options struct {
 	// Seed drives the error-metric row sample (the algorithm itself is
 	// deterministic).
 	Seed uint64
+	// Tracer, when non-nil, receives fit/action/phase spans for the run.
+	// The nil default disables tracing with zero overhead.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions mirrors the paper's MLlib-PCA configuration.
@@ -44,6 +48,9 @@ type Result struct {
 	// Err is the sampled relative 1-norm reconstruction error.
 	Err     float64
 	Metrics cluster.Metrics
+	// Phases is the per-phase cost breakdown derived from the cluster's
+	// phase log.
+	Phases []cluster.PhaseSummary
 }
 
 // FitSpark runs MLlib-PCA on the Spark-like engine. It returns a wrapped
@@ -60,6 +67,15 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 	}
 	cl := ctx.Cluster()
 	n := len(rows)
+
+	if tr := opt.Tracer; tr != nil {
+		cl.SetTracer(tr)
+		tr.Begin("FitCovPCA", trace.KindFit,
+			trace.I("rows", int64(n)),
+			trace.I("dims", int64(dims)),
+			trace.I("components", int64(opt.Components)))
+		defer tr.End()
+	}
 
 	y := rdd.Parallelize(ctx, "Y", rows, mapred.BytesOfSparseVec)
 	y.Persist()
@@ -156,6 +172,12 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 		Err:         reconstructionError(ymat, mean, comps, sample),
 	}
 	res.Metrics = cl.Metrics()
+	res.Phases = cluster.Summarize(cl.PhaseLog(), cl.Config())
+	if tr := opt.Tracer; tr != nil {
+		// The pipeline is single-pass; report it as one logical iteration so
+		// observers see the same shape as the iterative algorithms.
+		tr.IterationDone(trace.Iteration{Iter: 1, Err: res.Err, SimSeconds: res.Metrics.SimSeconds})
+	}
 	return res, nil
 }
 

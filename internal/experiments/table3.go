@@ -35,21 +35,26 @@ func (r Runner) Table3() (*Table, error) {
 		cfg.FlopsPerCore = 1e6
 		return cfg
 	}
-	runOnce := func(mutate func(*ppca.Options)) ([]cluster.PhaseStats, error) {
+	runOnce := func(mutate func(*ppca.Options)) ([]cluster.PhaseSummary, error) {
 		cl := cluster.MustNew(calibrated())
 		opt := ppca.DefaultOptions(d)
 		opt.MaxIter = 1
 		opt.Seed = p.Seed
 		mutate(&opt)
-		if _, err := ppca.FitSpark(rdd.NewContext(cl), records, cols, opt); err != nil {
+		res, err := ppca.FitSpark(rdd.NewContext(cl), records, cols, opt)
+		if err != nil {
 			return nil, err
 		}
-		return cl.PhaseLog(), nil
+		return res.Phases, nil
 	}
-	phaseSeconds := func(log []cluster.PhaseStats, cl cluster.Config, prefixes ...string) float64 {
+	// Attribute time from the per-phase summaries. The record-scan overhead is
+	// identical with and without each optimization, so only the ops, shuffle,
+	// and disk components count here (not PhaseSummary.Seconds, which includes
+	// the scan cost and task overhead).
+	phaseSeconds := func(sum []cluster.PhaseSummary, cl cluster.Config, prefixes ...string) float64 {
 		cores := float64(cl.TotalCores())
 		var total float64
-		for _, ph := range log {
+		for _, ph := range sum {
 			for _, pre := range prefixes {
 				if strings.HasPrefix(ph.Name, pre) {
 					total += float64(ph.ComputeOps)/(cores*cl.FlopsPerCore) +

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"spca/internal/cluster"
+	"spca/internal/trace"
 )
 
 // Emitter receives key/value pairs from mappers, and lets tasks charge
@@ -182,8 +183,8 @@ func (e *Engine) plan() (*cluster.FaultPlan, int64) {
 }
 
 type emitter[K comparable, V any] struct {
-	pairs map[K][]V // non-combiner path: values per key in emission order
-	vals  map[K]V   // combiner path: one merged value per key, no slice boxing
+	pairs map[K][]V      // non-combiner path: values per key in emission order
+	vals  map[K]V        // combiner path: one merged value per key, no slice boxing
 	merge func(a, b V) V // nil: append values
 	ops   int64
 }
@@ -276,6 +277,14 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	mapPhase := fmt.Sprintf("%s#%d/map", job.Name, seq)
 	maxAtt := plan.Attempts(e.MaxAttempts)
 
+	// Job span: wraps the map and reduce phase charges so they nest under
+	// one node per submitted job in the trace.
+	tr := e.Cluster.Tracer()
+	if tr != nil {
+		tr.Begin(job.Name, trace.KindJob,
+			trace.I("seq", int64(seq)), trace.I("splits", int64(splits)))
+	}
+
 	// ---- Map phase ----
 	type taskOut struct {
 		pairs map[K][]V
@@ -367,6 +376,9 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			// the terminal failure (no shuffle happens for an aborted job).
 			mapStats.ComputeOps = mapOps
 			e.Cluster.RunPhase(mapStats)
+			if tr != nil {
+				tr.End(trace.I("failed", 1))
+			}
 			return nil, fmt.Errorf("%w: job %q map task %d (%d attempts)",
 				ErrTaskFailed, job.Name, t, maxAtt)
 		}
@@ -503,10 +515,16 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			redStats.DiskBytes = 0 // aborted job commits no output
 			redStats.MaterializedBytes = 0
 			e.Cluster.RunPhase(redStats)
+			if tr != nil {
+				tr.End(trace.I("failed", 1))
+			}
 			return nil, fmt.Errorf("%w: job %q reduce task %d (%d attempts)",
 				ErrTaskFailed, job.Name, t, maxAtt)
 		}
 	}
 	e.Cluster.RunPhase(redStats)
+	if tr != nil {
+		tr.End(trace.I("reducers", int64(redTasks)), trace.I("shuffle_bytes", shuffleBytes))
+	}
 	return result, nil
 }

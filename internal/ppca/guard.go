@@ -13,6 +13,7 @@ import (
 	"spca/internal/checkpoint"
 	"spca/internal/cluster"
 	"spca/internal/matrix"
+	"spca/internal/trace"
 )
 
 // ErrNumericalBreakdown is the sentinel every numerical-guard failure wraps:
@@ -87,55 +88,8 @@ func runEM(em *emDriver, opt Options, eng emEngine, res *Result) error {
 		if opt.converged(res.History) {
 			break
 		}
-		if err := em.prepare(); err != nil {
+		if err := runEMIter(em, opt, eng, res, cl, iter); err != nil {
 			return err
-		}
-		eng.prepared(em)
-		sums, err := eng.pass(em)
-		if err != nil {
-			return err
-		}
-		cNew, err := em.update(sums)
-		if err != nil {
-			return err
-		}
-		eng.solved(em, cNew)
-		ss3raw, err := eng.ss3(em, cNew)
-		if err != nil {
-			return err
-		}
-		em.finishVariance(ss3raw)
-		if err := em.checkFinite(iter); err != nil {
-			return err
-		}
-
-		e := eng.reconErr(em)
-		stat := IterationStat{
-			Iter:         iter,
-			Err:          e,
-			Accuracy:     opt.accuracyOf(e),
-			SS:           em.ss,
-			Ridge:        em.lastRidge,
-			RidgeRetries: em.iterRidgeRetries,
-		}
-		em.iterRidgeRetries = 0
-		if cl != nil {
-			stat.SimSeconds = cl.Metrics().SimSeconds
-		}
-		em.observeDivergence(&stat, opt, res.History)
-		res.History = append(res.History, stat)
-
-		if opt.Checkpoint.Enabled() && iter%opt.Checkpoint.Interval == 0 {
-			if err := em.writeCheckpoint(iter, opt, res, cl, eng.faultEpoch()); err != nil {
-				return err
-			}
-		}
-		if opt.Faults.DriverCrashAt(iter, opt.Incarnation) {
-			crash := &cluster.DriverCrashError{Iter: iter, Incarnation: opt.Incarnation}
-			if cl != nil {
-				crash.SimSeconds = cl.Metrics().SimSeconds
-			}
-			return crash
 		}
 	}
 	res.Components = em.c
@@ -143,6 +97,87 @@ func runEM(em *emDriver, opt Options, eng emEngine, res *Result) error {
 	res.Iterations = len(res.History)
 	if cl != nil {
 		res.Metrics = cl.Metrics()
+		res.Phases = cluster.Summarize(cl.PhaseLog(), cl.Config())
+	}
+	return nil
+}
+
+// runEMIter is one guarded EM iteration, factored out so the iteration span
+// brackets exactly the work of the iteration (including its checkpoint write)
+// on every exit path.
+func runEMIter(em *emDriver, opt Options, eng emEngine, res *Result, cl *cluster.Cluster, iter int) (err error) {
+	tr := opt.Tracer
+	if tr != nil {
+		tr.Begin("iteration", trace.KindIteration, trace.I("iter", int64(iter)))
+		defer func() {
+			if err != nil {
+				tr.End(trace.I("aborted", 1))
+				return
+			}
+			last := res.History[len(res.History)-1]
+			tr.End(trace.F("err", last.Err), trace.F("ss", last.SS))
+		}()
+	}
+	if err := em.prepare(); err != nil {
+		return err
+	}
+	eng.prepared(em)
+	sums, err := eng.pass(em)
+	if err != nil {
+		return err
+	}
+	cNew, err := em.update(sums)
+	if err != nil {
+		return err
+	}
+	eng.solved(em, cNew)
+	ss3raw, err := eng.ss3(em, cNew)
+	if err != nil {
+		return err
+	}
+	em.finishVariance(ss3raw)
+	if err := em.checkFinite(iter); err != nil {
+		return err
+	}
+
+	e := eng.reconErr(em)
+	stat := IterationStat{
+		Iter:         iter,
+		Err:          e,
+		Accuracy:     opt.accuracyOf(e),
+		SS:           em.ss,
+		Ridge:        em.lastRidge,
+		RidgeRetries: em.iterRidgeRetries,
+	}
+	em.iterRidgeRetries = 0
+	if cl != nil {
+		stat.SimSeconds = cl.Metrics().SimSeconds
+	}
+	em.observeDivergence(&stat, opt, res.History)
+	res.History = append(res.History, stat)
+	if tr != nil {
+		tr.IterationDone(trace.Iteration{
+			Iter: stat.Iter, Err: stat.Err, Accuracy: stat.Accuracy, SS: stat.SS,
+			SimSeconds: stat.SimSeconds, Ridge: stat.Ridge,
+			RidgeRetries: stat.RidgeRetries, Rollback: stat.Rollback,
+		})
+	}
+
+	if opt.Checkpoint.Enabled() && iter%opt.Checkpoint.Interval == 0 {
+		if err := em.writeCheckpoint(iter, opt, res, cl, eng.faultEpoch()); err != nil {
+			return err
+		}
+	}
+	if opt.Faults.DriverCrashAt(iter, opt.Incarnation) {
+		crash := &cluster.DriverCrashError{Iter: iter, Incarnation: opt.Incarnation}
+		if cl != nil {
+			crash.SimSeconds = cl.Metrics().SimSeconds
+		}
+		if tr != nil {
+			tr.Event("driver-crash",
+				trace.I("iter", int64(iter)), trace.I("incarnation", int64(opt.Incarnation)))
+		}
+		return crash
 	}
 	return nil
 }
@@ -305,9 +340,10 @@ func (em *emDriver) writeCheckpoint(iter int, opt Options, res *Result, cl *clus
 	}
 	cost := snap.CostBytes()
 	if cl != nil {
-		cl.ChargeCheckpoint(cost)
+		cl.ChargeCheckpoint(cost) // emits the checkpoint span itself
 	} else {
 		res.Metrics.CheckpointBytes += cost
+		opt.Tracer.Event("checkpoint", trace.I("checkpoint_bytes", cost))
 	}
 	snap.Metrics = snapMetrics(cl, res)
 	if _, err := checkpoint.Save(opt.Checkpoint.Dir, snap); err != nil {

@@ -6,6 +6,7 @@ import (
 	"spca/internal/cluster"
 	"spca/internal/matrix"
 	"spca/internal/parallel"
+	"spca/internal/trace"
 )
 
 // latentBlock is how many rows the local pass precomputes latent vectors for
@@ -22,6 +23,14 @@ const latentBlock = 256
 func FitLocal(y *matrix.Sparse, opt Options) (*Result, error) {
 	if err := opt.validate(y.R, y.C); err != nil {
 		return nil, err
+	}
+	if tr := opt.Tracer; tr != nil {
+		// No simulated cluster: the trace carries structure (iterations,
+		// events) with all timestamps at zero.
+		tr.Begin("FitLocal", trace.KindFit,
+			trace.I("rows", int64(y.R)), trace.I("dims", int64(y.C)),
+			trace.I("components", int64(opt.Components)), trace.I("incarnation", int64(opt.Incarnation)))
+		defer tr.End()
 	}
 	mean := y.ColMeans()
 	ss1 := y.CenteredFrobeniusSq(mean)

@@ -6,6 +6,7 @@ import (
 	"spca/internal/cluster"
 	"spca/internal/mapred"
 	"spca/internal/matrix"
+	"spca/internal/trace"
 )
 
 // Special composite-key values for the consolidated YtXJob (§4.1 uses a
@@ -27,6 +28,13 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		return nil, err
 	}
 	cl := eng.Cluster
+	if tr := opt.Tracer; tr != nil {
+		cl.SetTracer(tr)
+		tr.Begin("FitMapReduce", trace.KindFit,
+			trace.I("rows", int64(len(rows))), trace.I("dims", int64(dims)),
+			trace.I("components", int64(opt.Components)), trace.I("incarnation", int64(opt.Incarnation)))
+		defer tr.End()
+	}
 	res := &Result{}
 
 	var em *emDriver

@@ -22,6 +22,7 @@ import (
 	"spca/internal/cluster"
 	"spca/internal/matrix"
 	"spca/internal/parallel"
+	"spca/internal/trace"
 )
 
 // Options configures a PPCA/sPCA fit. The zero value is not valid; start
@@ -95,6 +96,12 @@ type Options struct {
 	// run when restarting from scratch). It is charged to RecoverySeconds at
 	// restore time and never touches the simulated clock.
 	RecoveredSeconds float64
+
+	// Tracer, when non-nil, receives deterministic spans for the fit, every
+	// EM iteration, every engine job/action/phase charge, and fault events,
+	// all stamped with the simulated clock. Nil (the default) disables
+	// tracing with zero overhead on the steady-state paths.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns the paper's settings: d components, at most 10
@@ -165,6 +172,10 @@ type Result struct {
 	History []IterationStat
 	// Metrics holds the simulated-cluster accounting (engine fits only).
 	Metrics cluster.Metrics
+	// Phases is the per-phase cost breakdown of the run (engine fits only),
+	// aggregated from the cluster's phase log. After a crash/resume it covers
+	// the final driver incarnation — the phase log is not checkpointed.
+	Phases []cluster.PhaseSummary
 }
 
 // Transform projects rows of y (sparse, uncentered) onto the fitted

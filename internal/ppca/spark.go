@@ -7,6 +7,7 @@ import (
 	"spca/internal/mapred"
 	"spca/internal/matrix"
 	"spca/internal/rdd"
+	"spca/internal/trace"
 )
 
 // FitSpark runs sPCA on the Spark-like engine (Algorithm 5, YtXSparkJob).
@@ -19,6 +20,13 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 		return nil, err
 	}
 	cl := ctx.Cluster()
+	if tr := opt.Tracer; tr != nil {
+		cl.SetTracer(tr)
+		tr.Begin("FitSpark", trace.KindFit,
+			trace.I("rows", int64(len(rows))), trace.I("dims", int64(dims)),
+			trace.I("components", int64(opt.Components)), trace.I("incarnation", int64(opt.Incarnation)))
+		defer tr.End()
+	}
 
 	y := rdd.Parallelize(ctx, "Y", rows, mapred.BytesOfSparseVec)
 	y.Persist()

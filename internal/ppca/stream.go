@@ -5,6 +5,7 @@ import (
 
 	"spca/internal/cluster"
 	"spca/internal/matrix"
+	"spca/internal/trace"
 )
 
 // FitStream runs the PPCA EM algorithm over a row source — typically a
@@ -25,6 +26,14 @@ func FitStream(src matrix.RowSource, opt Options) (*Result, error) {
 	}
 	if opt.TargetAccuracy > 0 {
 		return nil, fmt.Errorf("ppca: TargetAccuracy is not supported in streaming mode (stop by Tol/MaxIter)")
+	}
+	if tr := opt.Tracer; tr != nil {
+		// No simulated cluster: the trace carries structure (iterations,
+		// events) with all timestamps at zero.
+		tr.Begin("FitStream", trace.KindFit,
+			trace.I("rows", int64(n)), trace.I("dims", int64(dims)),
+			trace.I("components", int64(opt.Components)), trace.I("incarnation", int64(opt.Incarnation)))
+		defer tr.End()
 	}
 
 	// Pass 0: column means, Frobenius norm (Algorithm 3 streamed), and the

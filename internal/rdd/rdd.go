@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"spca/internal/cluster"
+	"spca/internal/trace"
 )
 
 // Context owns the simulated cluster state shared by all RDDs of a session.
@@ -304,6 +305,12 @@ func applyActionFaults[T any](r *RDD[T], plan *cluster.FaultPlan, phase string, 
 // phase, like Spark's checkpoint job.
 func (r *RDD[T]) Checkpoint() *RDD[T] {
 	bytes := r.totalBytes()
+	tr := r.ctx.cl.Tracer()
+	if tr != nil {
+		tr.Begin(r.name+"/checkpoint", trace.KindAction,
+			trace.I("partitions", int64(len(r.parts))), trace.I("bytes", bytes))
+		defer tr.End()
+	}
 	r.ctx.cl.RunPhase(cluster.PhaseStats{
 		Name:              r.name + "/checkpoint",
 		DiskBytes:         bytes,
@@ -418,6 +425,11 @@ func (r *RDD[T]) scanDiskBytes() int64 {
 // It is the engine primitive behind every distributed job in this repo.
 func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *TaskOps)) {
 	plan, phase := r.ctx.actionPlan(name)
+	tr := r.ctx.cl.Tracer()
+	if tr != nil {
+		tr.Begin(name, trace.KindAction, trace.I("partitions", int64(len(r.parts))))
+		defer tr.End()
+	}
 	opsPer := make([]TaskOps, len(r.parts))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, r.ctx.cl.TotalCores())
@@ -452,6 +464,11 @@ func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *T
 // transformation is charged as one phase; opsPerRec charges arithmetic.
 func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, opsPerRec int64) *RDD[U] {
 	plan, phase := r.ctx.actionPlan(name)
+	tr := r.ctx.cl.Tracer()
+	if tr != nil {
+		tr.Begin(name, trace.KindAction, trace.I("partitions", int64(len(r.parts))))
+		defer tr.End()
+	}
 	out := &RDD[U]{
 		ctx: r.ctx, name: name, sizeOf: sizeOf, parts: make([][]U, len(r.parts)),
 		// Lineage: the child re-derives a lost partition by re-applying f to
@@ -504,7 +521,15 @@ func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, op
 func (r *RDD[T]) Collect() ([]T, error) {
 	plan, phase := r.ctx.actionPlan(r.name + "/collect")
 	bytes := r.totalBytes()
+	tr := r.ctx.cl.Tracer()
+	if tr != nil {
+		tr.Begin(r.name+"/collect", trace.KindAction,
+			trace.I("partitions", int64(len(r.parts))), trace.I("bytes", bytes))
+	}
 	if err := r.ctx.cl.AllocDriver(bytes); err != nil {
+		if tr != nil {
+			tr.End(trace.I("driver_oom", 1))
+		}
 		return nil, fmt.Errorf("rdd: collect %s: %w", r.name, err)
 	}
 	stats := cluster.PhaseStats{
@@ -518,6 +543,9 @@ func (r *RDD[T]) Collect() ([]T, error) {
 	// applies (nil taskOps: no per-task arithmetic to re-execute).
 	applyActionFaults(r, plan, phase, &stats, nil)
 	r.ctx.cl.RunPhase(stats)
+	if tr != nil {
+		tr.End()
+	}
 	out := make([]T, 0, r.Count())
 	for _, p := range r.parts {
 		out = append(out, p...)
@@ -544,6 +572,10 @@ func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *
 // action.
 func AggregateInto[T, U any](r *RDD[T], name string, zero func(task int) U, seq func(U, T, *TaskOps) U, comb func(U, U) U, sizeOf func(U) int64) (U, error) {
 	plan, phase := r.ctx.actionPlan(name)
+	tr := r.ctx.cl.Tracer()
+	if tr != nil {
+		tr.Begin(name, trace.KindAction, trace.I("partitions", int64(len(r.parts))))
+	}
 	partials := make([]U, len(r.parts))
 	opsPer := make([]TaskOps, len(r.parts))
 	var wg sync.WaitGroup
@@ -588,10 +620,16 @@ func AggregateInto[T, U any](r *RDD[T], name string, zero func(task int) U, seq 
 		var zeroU U
 		// The phase still ran before the driver fell over.
 		r.ctx.cl.RunPhase(stats)
+		if tr != nil {
+			tr.End(trace.I("driver_oom", 1))
+		}
 		return zeroU, fmt.Errorf("rdd: aggregate %s: %w", name, err)
 	}
 	stats.MaterializedBytes = resBytes
 	r.ctx.cl.RunPhase(stats)
+	if tr != nil {
+		tr.End(trace.I("result_bytes", resBytes))
+	}
 	return result, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"spca/internal/cluster"
 	"spca/internal/mapred"
 	"spca/internal/matrix"
+	"spca/internal/trace"
 )
 
 // Options configures a Mahout-PCA-style stochastic SVD run.
@@ -44,6 +45,9 @@ type Options struct {
 	SampleRows int
 	// Seed drives the random test matrices Ω.
 	Seed uint64
+	// Tracer, when non-nil, receives deterministic spans for the fit, each
+	// refinement round, and every job/phase charge. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions mirrors the paper's Mahout-PCA configuration: Mahout's
@@ -77,6 +81,8 @@ type Result struct {
 	Iterations int
 	History    []IterationStat
 	Metrics    cluster.Metrics
+	// Phases is the per-phase cost breakdown aggregated from the phase log.
+	Phases []cluster.PhaseSummary
 }
 
 // FitMapReduce runs the SSVD-PCA pipeline on the MapReduce engine.
@@ -91,6 +97,14 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		return nil, fmt.Errorf("ssvd: Components %d exceeds dimensionality %d", opt.Components, dims)
 	}
 	cl := eng.Cluster
+	tr := opt.Tracer
+	if tr != nil {
+		cl.SetTracer(tr)
+		tr.Begin("FitSSVD", trace.KindFit,
+			trace.I("rows", int64(len(rows))), trace.I("dims", int64(dims)),
+			trace.I("components", int64(opt.Components)))
+		defer tr.End()
+	}
 	n := len(rows)
 	k := opt.Components + opt.Oversample
 	if k > dims {
@@ -125,61 +139,80 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 	res := &Result{}
 	bestErr := math.Inf(1)
 	for round := 1; round <= maxRounds; round++ {
-		// Ω: a fresh D x k Gaussian test matrix per round, broadcast to all
-		// mappers. (Mahout cannot use sPCA's smart-guess trick — its random
-		// matrix would need as many rows as the input, §5.2.)
-		omega := matrix.NormRnd(matrix.NewRNG(opt.Seed+0x55D+uint64(round)), dims, k)
-		broadcastBytes(cl, "ssvd/omega", mapred.BytesOfDense(omega))
+		// The round body runs in a closure so the round span closes on every
+		// exit path (job error or normal completion).
+		stop, err := func() (bool, error) {
+			if tr != nil {
+				tr.Begin("round", trace.KindIteration, trace.I("round", int64(round)))
+				defer tr.End()
+			}
+			// Ω: a fresh D x k Gaussian test matrix per round, broadcast to all
+			// mappers. (Mahout cannot use sPCA's smart-guess trick — its random
+			// matrix would need as many rows as the input, §5.2.)
+			omega := matrix.NormRnd(matrix.NewRNG(opt.Seed+0x55D+uint64(round)), dims, k)
+			broadcastBytes(cl, "ssvd/omega", mapred.BytesOfDense(omega))
 
-		// Q job: project and orthonormalize. The projected matrix (N x k)
-		// is materialized to HDFS, then QR'd blockwise (one charged phase).
-		proj, err := projectJob(eng, "QJob", indexed, mean, omega)
-		if err != nil {
-			return nil, err
-		}
-		q := qrPhase(cl, proj)
+			// Q job: project and orthonormalize. The projected matrix (N x k)
+			// is materialized to HDFS, then QR'd blockwise (one charged phase).
+			proj, err := projectJob(eng, "QJob", indexed, mean, omega)
+			if err != nil {
+				return false, err
+			}
+			q := qrPhase(cl, proj)
 
-		// Optional power iterations (Mahout -q): Q ← QR(Yc·(YcᵀQ)).
-		var bt *matrix.Dense
-		for p := 0; p < opt.PowerIterations; p++ {
+			// Optional power iterations (Mahout -q): Q ← QR(Yc·(YcᵀQ)).
+			var bt *matrix.Dense
+			for p := 0; p < opt.PowerIterations; p++ {
+				bt, err = btJob(eng, indexed, dims, mean, q)
+				if err != nil {
+					return false, err
+				}
+				broadcastBytes(cl, "ssvd/bt", mapred.BytesOfDense(bt))
+				proj, err = projectJob(eng, fmt.Sprintf("PowerJob-%d", p), indexed, mean, bt)
+				if err != nil {
+					return false, err
+				}
+				q = qrPhase(cl, proj)
+			}
+
+			// Bt job: Bt = Ycᵀ·Q (D x k), Mahout-style per-row emission.
 			bt, err = btJob(eng, indexed, dims, mean, q)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			broadcastBytes(cl, "ssvd/bt", mapred.BytesOfDense(bt))
-			proj, err = projectJob(eng, fmt.Sprintf("PowerJob-%d", p), indexed, mean, bt)
-			if err != nil {
-				return nil, err
-			}
-			q = qrPhase(cl, proj)
-		}
+			// Small SVD of Bt on the driver: PCs are Bt's left singular vectors.
+			w, s, _ := matrix.TopSVD(bt, opt.Components)
+			cl.AddDriverCompute(int64(dims) * int64(k) * int64(k))
 
-		// Bt job: Bt = Ycᵀ·Q (D x k), Mahout-style per-row emission.
-		bt, err = btJob(eng, indexed, dims, mean, q)
+			// Keep the best-of-rounds components (§2.3's accuracy/compute trade).
+			e := recon.reconstructionError(y, mean, w, sample)
+			if e < bestErr {
+				bestErr = e
+				res.Components = w
+				res.Singular = s
+			}
+			acc := accuracyOf(opt, bestErr)
+			stat := IterationStat{
+				Iter: round, Err: bestErr, Accuracy: acc, SimSeconds: cl.Metrics().SimSeconds,
+			}
+			res.History = append(res.History, stat)
+			if tr != nil {
+				tr.IterationDone(trace.Iteration{
+					Iter: stat.Iter, Err: stat.Err, Accuracy: stat.Accuracy, SimSeconds: stat.SimSeconds,
+				})
+			}
+			return opt.TargetAccuracy > 0 && acc >= opt.TargetAccuracy, nil
+		}()
 		if err != nil {
 			return nil, err
 		}
-		// Small SVD of Bt on the driver: PCs are Bt's left singular vectors.
-		w, s, _ := matrix.TopSVD(bt, opt.Components)
-		cl.AddDriverCompute(int64(dims) * int64(k) * int64(k))
-
-		// Keep the best-of-rounds components (§2.3's accuracy/compute trade).
-		e := recon.reconstructionError(y, mean, w, sample)
-		if e < bestErr {
-			bestErr = e
-			res.Components = w
-			res.Singular = s
-		}
-		acc := accuracyOf(opt, bestErr)
-		res.History = append(res.History, IterationStat{
-			Iter: round, Err: bestErr, Accuracy: acc, SimSeconds: cl.Metrics().SimSeconds,
-		})
-		if opt.TargetAccuracy > 0 && acc >= opt.TargetAccuracy {
+		if stop {
 			break
 		}
 	}
 	res.Iterations = len(res.History)
 	res.Metrics = cl.Metrics()
+	res.Phases = cluster.Summarize(cl.PhaseLog(), cl.Config())
 	return res, nil
 }
 

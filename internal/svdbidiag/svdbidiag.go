@@ -21,6 +21,7 @@ import (
 	"spca/internal/cluster"
 	"spca/internal/mapred"
 	"spca/internal/matrix"
+	"spca/internal/trace"
 )
 
 // Options configures a run.
@@ -31,6 +32,9 @@ type Options struct {
 	SampleRows int
 	// Seed drives the error-metric row sample.
 	Seed uint64
+	// Tracer, when non-nil, receives fit/job/phase spans for the run.
+	// The nil default disables tracing with zero overhead.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -47,6 +51,9 @@ type Result struct {
 	// Err is the sampled relative 1-norm reconstruction error.
 	Err     float64
 	Metrics cluster.Metrics
+	// Phases is the per-phase cost breakdown derived from the cluster's
+	// phase log.
+	Phases []cluster.PhaseSummary
 }
 
 // FitMapReduce runs the SVD-Bidiag PCA pipeline on the MapReduce engine.
@@ -65,6 +72,15 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 	}
 	cl := eng.Cluster
 	n := len(rows)
+
+	if tr := opt.Tracer; tr != nil {
+		cl.SetTracer(tr)
+		tr.Begin("FitSVDBidiag", trace.KindFit,
+			trace.I("rows", int64(n)),
+			trace.I("dims", int64(dims)),
+			trace.I("components", int64(opt.Components)))
+		defer tr.End()
+	}
 
 	// Column means, one light job (the pipeline centers explicitly).
 	mean, err := meanJob(eng, rows, dims)
@@ -113,6 +129,12 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		Err:        reconstructionError(y, mean, comps, sampleIdx(n, opt.sampleRows(), opt.Seed)),
 	}
 	res.Metrics = cl.Metrics()
+	res.Phases = cluster.Summarize(cl.PhaseLog(), cl.Config())
+	if tr := opt.Tracer; tr != nil {
+		// Single-pass pipeline; report one logical iteration so observers see
+		// the same shape as the iterative algorithms.
+		tr.IterationDone(trace.Iteration{Iter: 1, Err: res.Err, SimSeconds: res.Metrics.SimSeconds})
+	}
 	return res, nil
 }
 

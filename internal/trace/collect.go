@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Trace is the in-memory record of one run: completed spans in completion
+// order (children before parents, charges in emission order — summing charge
+// attributes in slice order reproduces the cluster's float accumulation
+// bit-for-bit), plus events and iteration stats in arrival order.
+type Trace struct {
+	Spans      []Span
+	Events     []Event
+	Iterations []Iteration
+}
+
+// Collector is the built-in in-memory sink: an Observer accumulating a Trace.
+type Collector struct {
+	mu sync.Mutex
+	tr Trace
+}
+
+// NewCollector returns an empty in-memory sink.
+func NewCollector() *Collector { return &Collector{} }
+
+// SpanStart implements Observer; open spans are recorded only at SpanEnd.
+func (c *Collector) SpanStart(Span) {}
+
+// SpanEnd implements Observer.
+func (c *Collector) SpanEnd(s Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tr.Spans = append(c.tr.Spans, s)
+}
+
+// Event implements Observer.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tr.Events = append(c.tr.Events, e)
+}
+
+// IterationDone implements Observer.
+func (c *Collector) IterationDone(it Iteration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tr.Iterations = append(c.tr.Iterations, it)
+}
+
+// Trace returns the collected trace.
+func (c *Collector) Trace() *Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.tr
+	return &out
+}
+
+// Node is a span with its children resolved, for tree walks.
+type Node struct {
+	Span     Span
+	Children []*Node
+}
+
+// Tree resolves parent links into a forest, children ordered by span ID.
+func (t *Trace) Tree() []*Node {
+	nodes := make(map[int]*Node, len(t.Spans))
+	for _, s := range t.Spans {
+		nodes[s.ID] = &Node{Span: s}
+	}
+	var roots []*Node
+	for _, s := range t.Spans {
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(ns []*Node) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Span.ID < ns[j].Span.ID })
+	}
+	order(roots)
+	for _, n := range nodes {
+		order(n.Children)
+	}
+	return roots
+}
+
+// Walk visits every span of the forest in depth-first span-ID order.
+func (t *Trace) Walk(fn func(s Span, depth int)) {
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		fn(n.Span, depth)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range t.Tree() {
+		rec(r, 0)
+	}
+}
+
+// Find returns all spans with the given name, in completion order.
+func (t *Trace) Find(name string) []Span {
+	var out []Span
+	for _, s := range t.Spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FindKind returns all spans of the given kind, in completion order.
+func (t *Trace) FindKind(kind Kind) []Span {
+	var out []Span
+	for _, s := range t.Spans {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FindEvents returns all events with the given name, in arrival order.
+func (t *Trace) FindEvents(name string) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Breakdown aggregates the trace's charge spans (the given kinds; defaults to
+// KindPhase alone) into per-name totals, first-seen order — the same shape
+// the cluster derives from its phase log.
+func (t *Trace) Breakdown(kinds ...Kind) []PhaseMetrics {
+	if len(kinds) == 0 {
+		kinds = []Kind{KindPhase}
+	}
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	reg := NewRegistry()
+	for i := range t.Spans {
+		if want[t.Spans[i].Kind] {
+			reg.observe(&t.Spans[i])
+		}
+	}
+	return reg.Snapshot()
+}
+
+// Fingerprint returns an FNV-64a hash over the canonical serialization of
+// the trace: the span forest in depth-first order (IDs, lanes, names, kinds,
+// exact timestamp and attribute bit patterns), then events, then iteration
+// stats. Two runs with identical inputs produce identical fingerprints; this
+// is the determinism contract the golden trace tests pin.
+func (t *Trace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	attrs := func(as []Attr) {
+		u64(uint64(len(as)))
+		for _, a := range as {
+			str(a.Key)
+			if a.IsFloat {
+				u64(1)
+				f64(a.Float)
+			} else {
+				u64(0)
+				u64(uint64(a.Int))
+			}
+		}
+	}
+	t.Walk(func(s Span, depth int) {
+		str("span")
+		u64(uint64(s.ID))
+		u64(uint64(s.Parent))
+		u64(uint64(s.Lane))
+		u64(uint64(depth))
+		str(s.Name)
+		str(string(s.Kind))
+		f64(s.Start)
+		f64(s.End)
+		attrs(s.Attrs)
+	})
+	for _, e := range t.Events {
+		str("event")
+		u64(uint64(e.Span))
+		u64(uint64(e.Lane))
+		str(e.Name)
+		f64(e.Time)
+		attrs(e.Attrs)
+	}
+	for _, it := range t.Iterations {
+		str("iter")
+		u64(uint64(it.Iter))
+		f64(it.Err)
+		f64(it.Accuracy)
+		f64(it.SS)
+		f64(it.SimSeconds)
+		f64(it.Ridge)
+		u64(uint64(it.RidgeRetries))
+		if it.Rollback {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	return h.Sum64()
+}
+
+// String renders the span forest as an indented outline (debug aid).
+func (t *Trace) String() string {
+	out := ""
+	t.Walk(func(s Span, depth int) {
+		for i := 0; i < depth; i++ {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s [%s] %.6g..%.6gs\n", s.Name, s.Kind, s.Start, s.End)
+	})
+	return out
+}

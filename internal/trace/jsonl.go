@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// jsonAttr is the wire form of an Attr. Int and float values are kept in
+// separate fields so the round trip is lossless: encoding/json emits the
+// shortest decimal that parses back to the identical float64, and int64s
+// never pass through a float.
+type jsonAttr struct {
+	K string   `json:"k"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+}
+
+func toJSONAttrs(as []Attr) []jsonAttr {
+	if len(as) == 0 {
+		return nil
+	}
+	out := make([]jsonAttr, len(as))
+	for i, a := range as {
+		out[i].K = a.Key
+		if a.IsFloat {
+			f := a.Float
+			out[i].F = &f
+		} else {
+			v := a.Int
+			out[i].I = &v
+		}
+	}
+	return out
+}
+
+func fromJSONAttrs(as []jsonAttr) []Attr {
+	if len(as) == 0 {
+		return nil
+	}
+	out := make([]Attr, len(as))
+	for i, a := range as {
+		out[i].Key = a.K
+		if a.F != nil {
+			out[i].Float = *a.F
+			out[i].IsFloat = true
+		} else if a.I != nil {
+			out[i].Int = *a.I
+		}
+	}
+	return out
+}
+
+// jsonLine is one JSONL record; T discriminates span/event/iter.
+type jsonLine struct {
+	T      string     `json:"t"`
+	ID     int        `json:"id,omitempty"`
+	Parent int        `json:"parent,omitempty"`
+	Span   int        `json:"span,omitempty"`
+	Lane   int        `json:"lane,omitempty"`
+	Name   string     `json:"name,omitempty"`
+	Kind   string     `json:"kind,omitempty"`
+	Start  *float64   `json:"start,omitempty"`
+	End    *float64   `json:"end,omitempty"`
+	Time   *float64   `json:"time,omitempty"`
+	Attrs  []jsonAttr `json:"attrs,omitempty"`
+	Iter   *Iteration `json:"iter,omitempty"`
+}
+
+// JSONLWriter is the streaming sink: one JSON object per line for each
+// completed span, event, and iteration, in emission order. A trace written
+// to JSONL and re-read with ReadJSONL fingerprints identically to the
+// in-memory Collector's trace.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter returns a sink writing to w. Call Flush when the run ends.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+func (j *JSONLWriter) write(l jsonLine) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(l)
+}
+
+// SpanStart implements Observer; only completed spans are written.
+func (j *JSONLWriter) SpanStart(Span) {}
+
+// SpanEnd implements Observer.
+func (j *JSONLWriter) SpanEnd(s Span) {
+	start, end := s.Start, s.End
+	j.write(jsonLine{T: "span", ID: s.ID, Parent: s.Parent, Lane: s.Lane,
+		Name: s.Name, Kind: string(s.Kind), Start: &start, End: &end, Attrs: toJSONAttrs(s.Attrs)})
+}
+
+// Event implements Observer.
+func (j *JSONLWriter) Event(e Event) {
+	at := e.Time
+	j.write(jsonLine{T: "event", Span: e.Span, Lane: e.Lane, Name: e.Name, Time: &at, Attrs: toJSONAttrs(e.Attrs)})
+}
+
+// IterationDone implements Observer.
+func (j *JSONLWriter) IterationDone(it Iteration) {
+	j.write(jsonLine{T: "iter", Iter: &it})
+}
+
+// Flush drains the buffer and reports the first write error, if any.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// ReadJSONL parses a JSONL trace stream back into a Trace equivalent to the
+// one the in-memory Collector would have produced for the same run.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l jsonLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("trace jsonl line %d: %w", lineNo, err)
+		}
+		switch l.T {
+		case "span":
+			s := Span{ID: l.ID, Parent: l.Parent, Lane: l.Lane, Name: l.Name, Kind: Kind(l.Kind), Attrs: fromJSONAttrs(l.Attrs)}
+			if l.Start != nil {
+				s.Start = *l.Start
+			}
+			if l.End != nil {
+				s.End = *l.End
+			}
+			tr.Spans = append(tr.Spans, s)
+		case "event":
+			e := Event{Span: l.Span, Lane: l.Lane, Name: l.Name, Attrs: fromJSONAttrs(l.Attrs)}
+			if l.Time != nil {
+				e.Time = *l.Time
+			}
+			tr.Events = append(tr.Events, e)
+		case "iter":
+			if l.Iter == nil {
+				return nil, fmt.Errorf("trace jsonl line %d: iter record without payload", lineNo)
+			}
+			tr.Iterations = append(tr.Iterations, *l.Iter)
+		default:
+			return nil, fmt.Errorf("trace jsonl line %d: unknown record type %q", lineNo, l.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,150 @@
+package trace
+
+import "sync"
+
+// PhaseMetrics is the per-phase-name aggregate the registry maintains: counts
+// and sums over every charge span with that name. Seconds sums the spans'
+// exact "seconds" attributes (the cost-model charge), not End-Start
+// subtractions, so the totals reproduce the cluster's float accumulation.
+type PhaseMetrics struct {
+	Name              string
+	Count             int64
+	Seconds           float64
+	RecoverySeconds   float64
+	ComputeOps        int64
+	ShuffleBytes      int64
+	DiskBytes         int64
+	MaterializedBytes int64
+	Tasks             int64
+	Records           int64
+	FailedAttempts    int64
+	RecomputedOps     int64
+	RecoveryDiskBytes int64
+	SpeculativeTasks  int64
+	StragglerOps      int64
+}
+
+// Registry aggregates charge spans per phase name and holds named gauges for
+// end-of-run scalars. Aggregation happens inside the Tracer as spans close;
+// Snapshot returns phases in first-seen order, which for a deterministic
+// trace is itself deterministic.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]*PhaseMetrics
+	gOrder []string
+	gauges map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*PhaseMetrics{}, gauges: map[string]float64{}}
+}
+
+// observe folds one completed charge span (phase/driver kinds) into the
+// per-name aggregates. Other kinds are structural and skipped.
+func (r *Registry) observe(s *Span) {
+	if r == nil || (s.Kind != KindPhase && s.Kind != KindDriver) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.byName[s.Name]
+	if m == nil {
+		m = &PhaseMetrics{Name: s.Name}
+		r.byName[s.Name] = m
+		r.order = append(r.order, s.Name)
+	}
+	m.Count++
+	for _, a := range s.Attrs {
+		switch a.Key {
+		case "seconds":
+			m.Seconds += a.Float
+		case "recovery_seconds":
+			m.RecoverySeconds += a.Float
+		case "compute_ops":
+			m.ComputeOps += a.Int
+		case "shuffle_bytes":
+			m.ShuffleBytes += a.Int
+		case "disk_bytes":
+			m.DiskBytes += a.Int
+		case "materialized_bytes":
+			m.MaterializedBytes += a.Int
+		case "tasks":
+			m.Tasks += a.Int
+		case "records":
+			m.Records += a.Int
+		case "failed_attempts":
+			m.FailedAttempts += a.Int
+		case "recomputed_ops":
+			m.RecomputedOps += a.Int
+		case "recovery_disk_bytes":
+			m.RecoveryDiskBytes += a.Int
+		case "speculative_tasks":
+			m.SpeculativeTasks += a.Int
+		case "straggler_ops":
+			m.StragglerOps += a.Int
+		}
+	}
+}
+
+// SetGauge records a named end-of-run scalar (final error, iterations, ...).
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauges[name]; !ok {
+		r.gOrder = append(r.gOrder, name)
+	}
+	r.gauges[name] = v
+}
+
+// Gauge returns a named gauge and whether it was set.
+func (r *Registry) Gauge(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	return v, ok
+}
+
+// Gauges returns all gauges in first-set order.
+func (r *Registry) Gauges() []struct {
+	Name  string
+	Value float64
+} {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]struct {
+		Name  string
+		Value float64
+	}, 0, len(r.gOrder))
+	for _, n := range r.gOrder {
+		out = append(out, struct {
+			Name  string
+			Value float64
+		}{n, r.gauges[n]})
+	}
+	return out
+}
+
+// Snapshot returns the per-phase aggregates in first-seen order.
+func (r *Registry) Snapshot() []PhaseMetrics {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PhaseMetrics, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, *r.byName[n])
+	}
+	return out
+}

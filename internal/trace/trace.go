@@ -1,0 +1,315 @@
+// Package trace is the deterministic observability layer of the simulated
+// cluster stack. Spans and events are timestamped with the *simulated* clock
+// (cluster.Metrics.SimSeconds) — never time.Now() — so the trace of a fit is
+// bit-reproducible across runs, with the same guarantee as the golden
+// model-fingerprint tests: identical inputs produce an identical span tree,
+// down to the float64 bit patterns of every timestamp and attribute.
+//
+// The layering mirrors the engines themselves:
+//
+//	fit            one span per driver incarnation (FitSpark, FitMapReduce, ...)
+//	iteration      one span per EM iteration / refinement round
+//	job / action   one span per MapReduce job or RDD action
+//	phase          one span per cluster.RunPhase charge (the cost-model leaf)
+//	driver         driver-side compute and checkpoint charges
+//
+// Phase and driver spans carry the full cost-model accounting as attributes
+// (ops, shuffle/disk bytes, task attempts, recovery seconds), so summing the
+// leaf spans of a trace reproduces the run's end-of-run Metrics exactly.
+//
+// A nil *Tracer is a valid no-op: every method is nil-receiver safe, and the
+// engines only build attributes after a nil check, so untraced runs stay on
+// the zero-allocation steady-state paths.
+package trace
+
+import "sync"
+
+// Kind classifies a span within the engine stack.
+type Kind string
+
+// Span kinds, outermost to innermost.
+const (
+	KindFit       Kind = "fit"       // one driver incarnation of a fit
+	KindIteration Kind = "iteration" // one EM iteration / refinement round
+	KindJob       Kind = "job"       // one MapReduce job (map+shuffle+reduce)
+	KindAction    Kind = "action"    // one RDD action
+	KindPhase     Kind = "phase"     // one cluster.RunPhase charge
+	KindDriver    Kind = "driver"    // driver-side compute or checkpoint charge
+)
+
+// Attr is one typed key/value attribute on a span or event. Exactly one of
+// Int/Float is meaningful, selected by IsFloat; keeping the two domains
+// separate preserves exact int64 byte counts and exact float64 bit patterns
+// through serialization round trips.
+type Attr struct {
+	Key     string
+	Int     int64
+	Float   float64
+	IsFloat bool
+}
+
+// I builds an integer attribute (byte counts, ops, task counts).
+func I(key string, v int64) Attr { return Attr{Key: key, Int: v} }
+
+// F builds a float attribute (simulated seconds, errors).
+func F(key string, v float64) Attr { return Attr{Key: key, Float: v, IsFloat: true} }
+
+// Span is one timed region of a run. Start/End are simulated seconds. Parent
+// is the ID of the enclosing span (0 for a root); Lane is the driver
+// incarnation that produced the span (0 before any crash/restart).
+type Span struct {
+	ID     int
+	Parent int
+	Lane   int
+	Name   string
+	Kind   Kind
+	Start  float64
+	End    float64
+	Attrs  []Attr
+}
+
+// AttrInt returns the named integer attribute, or 0 when absent.
+func (s *Span) AttrInt(key string) int64 {
+	for _, a := range s.Attrs {
+		if a.Key == key && !a.IsFloat {
+			return a.Int
+		}
+	}
+	return 0
+}
+
+// AttrFloat returns the named float attribute, or 0 when absent.
+func (s *Span) AttrFloat(key string) float64 {
+	for _, a := range s.Attrs {
+		if a.Key == key && a.IsFloat {
+			return a.Float
+		}
+	}
+	return 0
+}
+
+// Event is an instantaneous annotation (fault recovery, driver crash,
+// checkpoint write on a cluster-less engine) tied to the span that was open
+// when it fired (Span 0 = no enclosing span).
+type Event struct {
+	Span  int
+	Lane  int
+	Name  string
+	Time  float64
+	Attrs []Attr
+}
+
+// Iteration is the per-iteration progress callback payload, mirroring the
+// engines' IterationStat.
+type Iteration struct {
+	Iter         int
+	Err          float64
+	Accuracy     float64
+	SS           float64
+	SimSeconds   float64
+	Ridge        float64
+	RidgeRetries int
+	Rollback     bool
+}
+
+// Observer receives trace callbacks. Implementations must be safe for calls
+// from the driver goroutine of a fit; callbacks are serialized by the Tracer.
+// SpanStart fires when a span opens (End still zero); SpanEnd fires with the
+// completed span. Leaf charge spans (phase/driver) are emitted atomically:
+// SpanStart and SpanEnd fire back to back.
+type Observer interface {
+	SpanStart(s Span)
+	SpanEnd(s Span)
+	Event(e Event)
+	IterationDone(it Iteration)
+}
+
+// Tracer stamps spans with the simulated clock and fans them out to
+// observers, maintaining the open-span stack of one driver. Driver code is
+// sequential, so the stack needs no per-fit coordination; the mutex only
+// protects against engine-internal concurrency. A nil *Tracer is a no-op.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() float64
+	obs    []Observer
+	reg    *Registry
+	nextID int
+	lane   int
+	stack  []*Span
+}
+
+// New returns a tracer reporting to the given observers.
+func New(obs ...Observer) *Tracer {
+	return &Tracer{obs: obs, reg: NewRegistry()}
+}
+
+// AddObserver attaches another observer.
+func (t *Tracer) AddObserver(o Observer) {
+	if t == nil || o == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.obs = append(t.obs, o)
+}
+
+// SetClock installs the simulated-clock source (typically the cluster's
+// SimSeconds). A nil clock keeps all timestamps at zero, which is what the
+// single-machine engines use: their spans carry structure, not time.
+func (t *Tracer) SetClock(fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = fn
+}
+
+// SetLane tags subsequent spans and events with a driver incarnation. The
+// resume loop bumps it after every injected crash so the overlapping clocks
+// of successive incarnations land on separate timelines in exporters.
+func (t *Tracer) SetLane(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lane = n
+}
+
+// Registry returns the tracer's per-run metrics registry.
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// now reads the simulated clock. Called without t.mu held: the clock closure
+// typically takes the cluster's metrics lock, and the cluster emits spans
+// while holding no locks, so the two mutexes never nest in both orders.
+func (t *Tracer) now() float64 {
+	t.mu.Lock()
+	fn := t.clock
+	t.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// Begin opens a span at the current simulated clock, parented to the
+// innermost open span.
+func (t *Tracer) Begin(name string, kind Kind, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{ID: t.nextID, Lane: t.lane, Name: name, Kind: kind, Start: now, Attrs: attrs}
+	if n := len(t.stack); n > 0 {
+		s.Parent = t.stack[n-1].ID
+	}
+	t.stack = append(t.stack, s)
+	obs := t.obs
+	sv := *s
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.SpanStart(sv)
+	}
+}
+
+// End closes the innermost open span at the current simulated clock,
+// appending attrs to the ones given at Begin.
+func (t *Tracer) End(attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	n := len(t.stack)
+	if n == 0 {
+		t.mu.Unlock()
+		return
+	}
+	s := t.stack[n-1]
+	t.stack = t.stack[:n-1]
+	s.End = now
+	s.Attrs = append(s.Attrs, attrs...)
+	t.reg.observe(s)
+	obs := t.obs
+	sv := *s
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.SpanEnd(sv)
+	}
+}
+
+// Emit records a complete leaf span with explicit timestamps — the form the
+// cluster uses for phase and driver charges, whose start/end clocks are known
+// exactly at charge time. It returns the span's ID so follow-up events can
+// reference it.
+func (t *Tracer) Emit(name string, kind Kind, start, end float64, attrs ...Attr) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{ID: t.nextID, Lane: t.lane, Name: name, Kind: kind, Start: start, End: end, Attrs: attrs}
+	if n := len(t.stack); n > 0 {
+		s.Parent = t.stack[n-1].ID
+	}
+	t.reg.observe(s)
+	obs := t.obs
+	sv := *s
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.SpanStart(sv)
+		o.SpanEnd(sv)
+	}
+	return s.ID
+}
+
+// Event records an instantaneous event at the current simulated clock, tied
+// to the innermost open span.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.EventAt(name, t.now(), -1, attrs...)
+}
+
+// EventAt records an event with an explicit timestamp. span names the
+// associated span ID; pass -1 to attach to the innermost open span.
+func (t *Tracer) EventAt(name string, at float64, span int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if span < 0 {
+		span = 0
+		if n := len(t.stack); n > 0 {
+			span = t.stack[n-1].ID
+		}
+	}
+	e := Event{Span: span, Lane: t.lane, Name: name, Time: at, Attrs: attrs}
+	obs := t.obs
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.Event(e)
+	}
+}
+
+// IterationDone reports one completed EM iteration / refinement round.
+func (t *Tracer) IterationDone(it Iteration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	obs := t.obs
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.IterationDone(it)
+	}
+}

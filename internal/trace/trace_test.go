@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestNilTracerIsNoOp: every method must be safe on a nil receiver — that is
+// the zero-overhead contract all call sites rely on.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.AddObserver(NewCollector())
+	tr.SetClock(func() float64 { return 1 })
+	tr.SetLane(3)
+	tr.Begin("a", KindFit)
+	tr.End()
+	tr.Emit("b", KindPhase, 0, 1)
+	tr.Event("c")
+	tr.EventAt("d", 1, -1)
+	tr.IterationDone(Iteration{Iter: 1})
+	if tr.Registry() != nil {
+		t.Fatal("nil tracer returned a registry")
+	}
+}
+
+func TestSpanNestingAndClock(t *testing.T) {
+	clock := 0.0
+	col := NewCollector()
+	tr := New(col)
+	tr.SetClock(func() float64 { return clock })
+
+	tr.Begin("fit", KindFit, I("rows", 10))
+	clock = 1
+	tr.Begin("iter", KindIteration)
+	clock = 2
+	tr.Emit("phase", KindPhase, 1.5, 2, F("seconds", 0.5))
+	tr.End(F("err", 0.25))
+	clock = 3
+	tr.End()
+
+	tc := col.Trace()
+	if len(tc.Spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(tc.Spans))
+	}
+	// Completion order: leaf first, root last.
+	if tc.Spans[0].Name != "phase" || tc.Spans[1].Name != "iter" || tc.Spans[2].Name != "fit" {
+		t.Fatalf("bad completion order: %s, %s, %s", tc.Spans[0].Name, tc.Spans[1].Name, tc.Spans[2].Name)
+	}
+	fit, iter, phase := tc.Spans[2], tc.Spans[1], tc.Spans[0]
+	if fit.Parent != 0 || iter.Parent != fit.ID || phase.Parent != iter.ID {
+		t.Fatalf("bad parentage: fit=%d iter=%d<-%d phase=%d<-%d",
+			fit.Parent, iter.ID, iter.Parent, phase.ID, phase.Parent)
+	}
+	if fit.Start != 0 || fit.End != 3 || iter.Start != 1 || iter.End != 2 {
+		t.Fatalf("bad clocks: fit [%v,%v], iter [%v,%v]", fit.Start, fit.End, iter.Start, iter.End)
+	}
+	if fit.AttrInt("rows") != 10 || iter.AttrFloat("err") != 0.25 {
+		t.Fatal("attrs lost")
+	}
+	tree := tc.Tree()
+	if len(tree) != 1 || tree[0].Span.Name != "fit" || len(tree[0].Children) != 1 {
+		t.Fatal("Tree() did not rebuild the hierarchy")
+	}
+}
+
+func TestRegistryAggregation(t *testing.T) {
+	tr := New()
+	reg := tr.Registry()
+	tr.Emit("job/map", KindPhase, 0, 1, F("seconds", 1), I("shuffle_bytes", 100), I("tasks", 4))
+	tr.Emit("job/map", KindPhase, 1, 2, F("seconds", 2), I("shuffle_bytes", 50), I("tasks", 4),
+		F("recovery_seconds", 0.5), I("failed_attempts", 1))
+	tr.Emit("other", KindPhase, 2, 3, F("seconds", 7))
+	// Non-phase spans must not pollute the per-phase registry.
+	tr.Begin("fit", KindFit)
+	tr.End()
+
+	snap := reg.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("%d phase entries, want 2", len(snap))
+	}
+	m := snap[0]
+	if m.Name != "job/map" || m.Count != 2 || m.Seconds != 3 || m.ShuffleBytes != 150 ||
+		m.Tasks != 8 || m.RecoverySeconds != 0.5 || m.FailedAttempts != 1 {
+		t.Fatalf("bad aggregate: %+v", m)
+	}
+	if snap[1].Name != "other" || snap[1].Seconds != 7 {
+		t.Fatalf("bad second entry: %+v", snap[1])
+	}
+
+	reg.SetGauge("final_err", 0.125)
+	if v, ok := reg.Gauge("final_err"); !ok || v != 0.125 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+}
+
+func buildSampleTrace() *Trace {
+	col := NewCollector()
+	tr := New(col)
+	clock := 0.0
+	tr.SetClock(func() float64 { return clock })
+	tr.Begin("fit", KindFit, I("rows", 4))
+	tr.Emit("phase-a", KindPhase, 0, 0.5, F("seconds", 0.5), I("tasks", 2))
+	tr.EventAt("recovery", 0.5, -1, I("failed_attempts", 1))
+	tr.IterationDone(Iteration{Iter: 1, Err: 0.5, SimSeconds: 0.5})
+	clock = 1
+	tr.SetLane(1)
+	tr.Emit("phase-b", KindPhase, 0.5, 1, F("seconds", 0.5))
+	tr.SetLane(0)
+	tr.End()
+	return col.Trace()
+}
+
+func TestJSONLRoundTripPreservesFingerprint(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	col := NewCollector()
+	tr := New(w, col)
+	clock := 0.0
+	tr.SetClock(func() float64 { return clock })
+	tr.Begin("fit", KindFit)
+	tr.Emit("phase", KindPhase, 0, 0.25, F("seconds", 0.25), I("tasks", 1))
+	tr.Event("marker", F("recovery_seconds", 0.125))
+	tr.IterationDone(Iteration{Iter: 1, Err: 1.0 / 3.0, SimSeconds: 0.25})
+	clock = 0.25
+	tr.End()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := col.Trace()
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("round trip changed fingerprint: %#x -> %#x\nwant:\n%s\ngot:\n%s",
+			want.Fingerprint(), got.Fingerprint(), want, got)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tc := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tc); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var complete, instant, meta int
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete++
+			if e.Name == "phase-a" && (e.Ts != 0 || e.Dur != 0.5e6) {
+				t.Errorf("phase-a ts/dur = %v/%v, want 0/5e5 microseconds", e.Ts, e.Dur)
+			}
+			if e.Name == "phase-b" && e.Tid != 2 {
+				t.Errorf("lane-1 span on tid %d, want 2", e.Tid)
+			}
+		case "i":
+			instant++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 3 || instant != 1 || meta == 0 {
+		t.Fatalf("events: %d complete, %d instant, %d metadata", complete, instant, meta)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := buildSampleTrace().Fingerprint()
+	if base != buildSampleTrace().Fingerprint() {
+		t.Fatal("identical traces fingerprint differently")
+	}
+	tc := buildSampleTrace()
+	tc.Spans[0].Attrs[0].Float += 1e-15
+	if tc.Fingerprint() == base {
+		t.Fatal("fingerprint ignored a one-ulp attribute change")
+	}
+	tc2 := buildSampleTrace()
+	tc2.Spans[0].Name = "phase-A"
+	if tc2.Fingerprint() == base {
+		t.Fatal("fingerprint ignored a span rename")
+	}
+}
+
+func TestBreakdownFiltersKinds(t *testing.T) {
+	col := NewCollector()
+	tr := New(col)
+	tr.Emit("p", KindPhase, 0, 1, F("seconds", 1))
+	tr.Emit("d", KindDriver, 1, 2, F("seconds", 2))
+	tc := col.Trace()
+	if got := tc.Breakdown(); len(got) != 1 || got[0].Name != "p" {
+		t.Fatalf("default Breakdown = %+v, want phases only", got)
+	}
+	if got := tc.Breakdown(KindPhase, KindDriver); len(got) != 2 {
+		t.Fatalf("Breakdown(phase, driver) = %+v, want both", got)
+	}
+}
+
+func TestFindHelpers(t *testing.T) {
+	tc := buildSampleTrace()
+	if len(tc.Find("phase-a")) != 1 || len(tc.FindKind(KindPhase)) != 2 {
+		t.Fatal("Find/FindKind miscounted")
+	}
+	if evs := tc.FindEvents("recovery"); len(evs) != 1 || evs[0].Attrs[0].Int != 1 {
+		t.Fatal("FindEvents lost the event or its attrs")
+	}
+}

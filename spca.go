@@ -21,6 +21,7 @@ package spca
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"spca/internal/checkpoint"
@@ -33,6 +34,7 @@ import (
 	"spca/internal/rdd"
 	"spca/internal/ssvd"
 	"spca/internal/svdbidiag"
+	"spca/internal/trace"
 )
 
 // Typed errors returned by Fit and FitStreamFile input validation, matchable
@@ -150,6 +152,58 @@ type CheckpointSpec = ppca.CheckpointSpec
 // simulated clock at the moment of death. Unwraps to ErrDriverCrash.
 type DriverCrashError = cluster.DriverCrashError
 
+// Tracing and observability types, re-exported from the deterministic trace
+// subsystem (see the Observability section of DESIGN.md). All timestamps are
+// simulated-cluster seconds; with a fixed Config the span stream is
+// bit-reproducible across runs and platforms.
+type (
+	// Observer receives spans, events, and iteration stats as a fit runs.
+	// Implementations must be cheap: callbacks fire synchronously on the
+	// driver's goroutine in deterministic order.
+	Observer = trace.Observer
+	// Trace is the in-memory span tree collected by Config.CollectTrace.
+	Trace = trace.Trace
+	// Span is one traced operation (fit, iteration, job, action, phase).
+	Span = trace.Span
+	// TraceEvent is an instantaneous marker (recovery, driver-crash, ...).
+	TraceEvent = trace.Event
+	// TraceAttr is one typed key/value attribute on a span or event.
+	TraceAttr = trace.Attr
+	// TraceIteration is the per-EM-iteration observer payload.
+	TraceIteration = trace.Iteration
+	// SpanKind classifies a span's layer.
+	SpanKind = trace.Kind
+	// JSONLTraceWriter streams completed spans as JSON lines.
+	JSONLTraceWriter = trace.JSONLWriter
+	// PhaseSummary is one row of Result.Summary: the aggregate cost of all
+	// cluster phases sharing a name.
+	PhaseSummary = cluster.PhaseSummary
+)
+
+// Span kinds, from outermost to innermost layer.
+const (
+	KindFit       = trace.KindFit
+	KindIteration = trace.KindIteration
+	KindJob       = trace.KindJob
+	KindAction    = trace.KindAction
+	KindPhase     = trace.KindPhase
+	KindDriver    = trace.KindDriver
+)
+
+// NewJSONLTraceWriter returns an Observer that writes one JSON line per
+// completed span, event, and iteration to w. Call Flush before reading the
+// output. The format round-trips exactly: ReadJSONLTrace reconstructs a
+// Trace with the same Fingerprint.
+func NewJSONLTraceWriter(w io.Writer) *JSONLTraceWriter { return trace.NewJSONLWriter(w) }
+
+// ReadJSONLTrace parses a stream written by NewJSONLTraceWriter.
+func ReadJSONLTrace(r io.Reader) (*Trace, error) { return trace.ReadJSONL(r) }
+
+// WriteChromeTrace exports t in Chrome trace_event format, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing. Span timestamps are
+// simulated seconds rendered as microseconds.
+func WriteChromeTrace(w io.Writer, t *Trace) error { return trace.WriteChrome(w, t) }
+
 // IterationStat mirrors ppca.IterationStat for the unified result.
 type IterationStat struct {
 	Iter       int
@@ -191,6 +245,13 @@ type Config struct {
 	// iterations of rising error the driver rolls back to the best model seen
 	// and applies an escalating ridge to later solves. Zero disables it.
 	DivergeWindow int
+	// Observer, when non-nil, receives every span, event, and EM-iteration
+	// stat the fit produces, synchronously and in deterministic order on the
+	// simulated clock. The nil default disables tracing with zero overhead.
+	Observer Observer
+	// CollectTrace attaches an in-memory sink and returns the full span tree
+	// on Result.Trace. It composes with Observer (both see the same stream).
+	CollectTrace bool
 	// Checkpoint enables periodic durable snapshots of the EM driver state
 	// for the PPCA-family algorithms. With an Interval and Dir set, the fit
 	// survives injected driver crashes (FaultPlan.DriverCrashIters): Fit
@@ -230,8 +291,43 @@ type Result struct {
 	History []IterationStat
 	// Metrics is the simulated-cluster accounting of the run.
 	Metrics Metrics
+	// Trace is the collected span tree when Config.CollectTrace was set
+	// (nil otherwise). Spans appear in completion order — children before
+	// parents — with timestamps on the simulated clock.
+	Trace *Trace
 
 	orthonormal bool // baselines produce orthonormal components
+	// phases is the final incarnation's phase-log summary, the Summary
+	// fallback when no trace was collected.
+	phases []cluster.PhaseSummary
+}
+
+// Summary returns the per-phase cost breakdown of the run: for every distinct
+// phase name, the aggregate simulated seconds, shuffle/disk bytes, compute
+// ops, and attempt counts. When a trace was collected the breakdown is
+// derived from its phase spans and covers every driver incarnation; otherwise
+// it comes from the final incarnation's phase log.
+func (r *Result) Summary() []PhaseSummary {
+	if r.Trace != nil {
+		pm := r.Trace.Breakdown()
+		out := make([]PhaseSummary, len(pm))
+		for i, p := range pm {
+			out[i] = PhaseSummary{
+				Name:            p.Name,
+				Count:           p.Count,
+				Seconds:         p.Seconds,
+				RecoverySeconds: p.RecoverySeconds,
+				ComputeOps:      p.ComputeOps + p.RecomputedOps,
+				ShuffleBytes:    p.ShuffleBytes,
+				DiskBytes:       p.DiskBytes + p.RecoveryDiskBytes,
+				Tasks:           p.Tasks,
+				Records:         p.Records,
+				FailedAttempts:  p.FailedAttempts,
+			}
+		}
+		return out
+	}
+	return r.phases
 }
 
 // Transform projects rows of y onto the fitted components. For PPCA-family
@@ -385,19 +481,24 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 	}
 	cfg = cfg.normalize(y.C)
 	rows := dataset.Rows(y)
+	tr, col := cfg.tracer()
 
 	switch cfg.Algorithm {
 	case LocalPPCA:
-		res, err := cfg.runWithResume(cfg.ppcaOptions(y), func(opt ppca.Options) (*ppca.Result, error) {
+		opt := cfg.ppcaOptions(y)
+		opt.Tracer = tr
+		res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
 			return ppca.FitLocal(y, opt)
 		})
 		if err != nil {
 			return nil, err
 		}
-		return fromPPCA(cfg.Algorithm, res), nil
+		return attachTrace(fromPPCA(cfg.Algorithm, res), col), nil
 
 	case SPCAMapReduce:
-		res, err := cfg.runWithResume(cfg.ppcaOptions(y), func(opt ppca.Options) (*ppca.Result, error) {
+		opt := cfg.ppcaOptions(y)
+		opt.Tracer = tr
+		res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
 			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
 			if err != nil {
 				return nil, err
@@ -407,10 +508,12 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return fromPPCA(cfg.Algorithm, res), nil
+		return attachTrace(fromPPCA(cfg.Algorithm, res), col), nil
 
 	case SPCASpark:
-		res, err := cfg.runWithResume(cfg.ppcaOptions(y), func(opt ppca.Options) (*ppca.Result, error) {
+		opt := cfg.ppcaOptions(y)
+		opt.Tracer = tr
+		res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
 			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
 			if err != nil {
 				return nil, err
@@ -420,7 +523,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return fromPPCA(cfg.Algorithm, res), nil
+		return attachTrace(fromPPCA(cfg.Algorithm, res), col), nil
 
 	case MahoutPCA:
 		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
@@ -434,6 +537,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			opt.TargetAccuracy = cfg.TargetAccuracy
 			opt.IdealError = ppca.IdealError(y, cfg.Components, cfg.ppcaBaseOptions())
 		}
+		opt.Tracer = tr
 		res, err := ssvd.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
 		if err != nil {
 			return nil, err
@@ -445,6 +549,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			Iterations:  res.Iterations,
 			Metrics:     res.Metrics,
 			orthonormal: true,
+			phases:      res.Phases,
 		}
 		for _, h := range res.History {
 			out.History = append(out.History, IterationStat{
@@ -454,7 +559,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if len(out.History) > 0 {
 			out.Err = out.History[len(out.History)-1].Err
 		}
-		return out, nil
+		return attachTrace(out, col), nil
 
 	case MLlibPCA:
 		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
@@ -463,19 +568,24 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		}
 		opt := covpca.DefaultOptions(cfg.Components)
 		opt.Seed = cfg.Seed
+		opt.Tracer = tr
 		res, err := covpca.FitSpark(cfg.rddContext(cl), rows, y.C, opt)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{
-			Algorithm:   cfg.Algorithm,
-			Components:  res.Components,
-			Mean:        y.ColMeans(),
-			Err:         res.Err,
-			Iterations:  1,
+		return attachTrace(&Result{
+			Algorithm:  cfg.Algorithm,
+			Components: res.Components,
+			Mean:       y.ColMeans(),
+			Err:        res.Err,
+			Iterations: 1,
+			History: []IterationStat{{
+				Iter: 1, Err: res.Err, SimSeconds: res.Metrics.SimSeconds,
+			}},
 			Metrics:     res.Metrics,
 			orthonormal: true,
-		}, nil
+			phases:      res.Phases,
+		}, col), nil
 
 	case SVDBidiag:
 		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
@@ -484,23 +594,55 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		}
 		opt := svdbidiag.DefaultOptions(cfg.Components)
 		opt.Seed = cfg.Seed
+		opt.Tracer = tr
 		res, err := svdbidiag.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{
-			Algorithm:   cfg.Algorithm,
-			Components:  res.Components,
-			Mean:        y.ColMeans(),
-			Err:         res.Err,
-			Iterations:  1,
+		return attachTrace(&Result{
+			Algorithm:  cfg.Algorithm,
+			Components: res.Components,
+			Mean:       y.ColMeans(),
+			Err:        res.Err,
+			Iterations: 1,
+			History: []IterationStat{{
+				Iter: 1, Err: res.Err, SimSeconds: res.Metrics.SimSeconds,
+			}},
 			Metrics:     res.Metrics,
 			orthonormal: true,
-		}, nil
+			phases:      res.Phases,
+		}, col), nil
 
 	default:
 		return nil, fmt.Errorf("spca: unknown algorithm %q", cfg.Algorithm)
 	}
+}
+
+// tracer builds the run's Tracer from the observer-related Config fields. It
+// returns (nil, nil) — tracing fully disabled, zero overhead on every call
+// site — unless an Observer is set or CollectTrace is requested.
+func (c Config) tracer() (*trace.Tracer, *trace.Collector) {
+	if c.Observer == nil && !c.CollectTrace {
+		return nil, nil
+	}
+	tr := trace.New()
+	if c.Observer != nil {
+		tr.AddObserver(c.Observer)
+	}
+	var col *trace.Collector
+	if c.CollectTrace {
+		col = trace.NewCollector()
+		tr.AddObserver(col)
+	}
+	return tr, col
+}
+
+// attachTrace moves the collected span tree (if any) onto the result.
+func attachTrace(r *Result, col *trace.Collector) *Result {
+	if col != nil {
+		r.Trace = col.Trace()
+	}
+	return r
 }
 
 // mapredEngine builds the Hadoop-like engine for a fit, arming fault
@@ -533,6 +675,9 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 	const maxRestarts = 64
 	for attempt := 0; ; attempt++ {
 		opt.Incarnation = attempt
+		// Spans from a resumed incarnation land on their own lane so crashed
+		// and resumed work stay distinguishable in exported traces.
+		opt.Tracer.SetLane(attempt)
 		res, err := run(opt)
 		var crash *cluster.DriverCrashError
 		if err == nil || !errors.As(err, &crash) {
@@ -601,6 +746,7 @@ func fromPPCA(alg Algorithm, res *ppca.Result) *Result {
 		NoiseVariance: res.SS,
 		Iterations:    res.Iterations,
 		Metrics:       res.Metrics,
+		phases:        res.Phases,
 	}
 	for _, h := range res.History {
 		out.History = append(out.History, IterationStat{
@@ -617,44 +763,86 @@ func fromPPCA(alg Algorithm, res *ppca.Result) *Result {
 // MissingResult is the output of FitMissing.
 type MissingResult = ppca.MissingResult
 
-// FitMissing runs PPCA EM on a dense matrix whose missing entries are
-// marked with NaN — the §2.4 property that PPCA "can be obtained even when
-// some data values are missing". See the examples/missingdata program.
-func FitMissing(y *Dense, components, maxIter int, seed uint64) (*MissingResult, error) {
-	opt := ppca.DefaultOptions(components)
-	if maxIter > 0 {
-		opt.MaxIter = maxIter
+// validateDenseInput performs the typed input checks for the dense
+// missing-data path: a usable shape and no infinities. NaN is allowed — it is
+// the missing-entry marker.
+func validateDenseInput(y *Dense) error {
+	if y == nil || y.R == 0 || y.C == 0 {
+		return ErrEmptyInput
 	}
-	if seed != 0 {
-		opt.Seed = seed
+	for i := 0; i < y.R; i++ {
+		for _, v := range y.Row(i) {
+			if math.IsInf(v, 0) {
+				return fmt.Errorf("%w (found %v; NaN marks a missing entry, Inf is rejected)", ErrNonFiniteInput, v)
+			}
+		}
 	}
-	return ppca.FitMissing(y, opt)
+	return nil
 }
 
-// FitStreamFile fits PPCA over a disk-resident spmx matrix without loading
-// it into memory: every EM pass streams the file row by row, so the input
-// may be far larger than RAM. Stopping is by tolerance and maxIter
-// (accuracy targets need an in-memory ideal-error solve; use Fit for that).
-func FitStreamFile(path string, components, maxIter int, seed uint64) (*Result, error) {
+// FitMissingConfig runs PPCA EM on a dense matrix whose missing entries are
+// marked with NaN — the §2.4 property that PPCA "can be obtained even when
+// some data values are missing". It accepts the same Config as Fit and
+// applies the same validation and defaulting; algorithm- and cluster-related
+// fields are ignored (the missing-data fit is single-machine). See the
+// examples/missingdata program.
+func FitMissingConfig(y *Dense, cfg Config) (*MissingResult, error) {
+	if err := validateDenseInput(y); err != nil {
+		return nil, err
+	}
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize(y.C)
+	return ppca.FitMissing(y, cfg.ppcaBaseOptions())
+}
+
+// FitMissing is the positional-argument form of FitMissingConfig.
+//
+// Deprecated: use FitMissingConfig, which accepts the full Config.
+func FitMissing(y *Dense, components, maxIter int, seed uint64) (*MissingResult, error) {
+	return FitMissingConfig(y, Config{Components: components, MaxIter: maxIter, Seed: seed})
+}
+
+// FitStreamFileConfig fits PPCA over a disk-resident spmx matrix without
+// loading it into memory: every EM pass streams the file row by row, so the
+// input may be far larger than RAM. It accepts the same Config as Fit —
+// including Observer, CollectTrace, and Checkpoint — and applies the same
+// validation and defaulting. Stopping is by tolerance and MaxIter
+// (TargetAccuracy needs an in-memory ideal-error solve; use Fit for that).
+func FitStreamFileConfig(path string, cfg Config) (*Result, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
 	src, err := matrix.OpenFileRowSource(path)
 	if err != nil {
 		return nil, err
 	}
-	if n, d := src.Dims(); n == 0 || d == 0 {
-		return nil, fmt.Errorf("%w: %s is %d x %d", ErrEmptyInput, path, n, d)
+	n, dims := src.Dims()
+	if n == 0 || dims == 0 {
+		return nil, fmt.Errorf("%w: %s is %d x %d", ErrEmptyInput, path, n, dims)
 	}
-	opt := ppca.DefaultOptions(components)
-	if maxIter > 0 {
-		opt.MaxIter = maxIter
-	}
-	if seed != 0 {
-		opt.Seed = seed
-	}
-	res, err := ppca.FitStream(src, opt)
+	cfg = cfg.normalize(dims)
+	tr, col := cfg.tracer()
+	opt := cfg.ppcaBaseOptions()
+	// Passed through so ppca.FitStream reports its "accuracy targets need
+	// Fit" error instead of silently ignoring the field.
+	opt.TargetAccuracy = cfg.TargetAccuracy
+	opt.Tracer = tr
+	res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
+		return ppca.FitStream(src, opt)
+	})
 	if err != nil {
 		return nil, err
 	}
-	return fromPPCA(LocalPPCA, res), nil
+	return attachTrace(fromPPCA(LocalPPCA, res), col), nil
+}
+
+// FitStreamFile is the positional-argument form of FitStreamFileConfig.
+//
+// Deprecated: use FitStreamFileConfig, which accepts the full Config.
+func FitStreamFile(path string, components, maxIter int, seed uint64) (*Result, error) {
+	return FitStreamFileConfig(path, Config{Components: components, MaxIter: maxIter, Seed: seed})
 }
 
 // MixtureResult is the output of FitMixture.
