@@ -15,9 +15,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The two distributed engines run real goroutines; keep them race-clean.
+# The two distributed engines run real goroutines; keep them race-clean,
+# along with the kernel worker pool and the sketch engines that fan out
+# across both platforms.
 race:
-	$(GO) test -race ./internal/rdd ./internal/mapred ./internal/parallel
+	$(GO) test -race ./internal/rdd ./internal/mapred ./internal/parallel ./internal/rsvd
 
 # Fault-injection suite under the race detector: once with the fixed default
 # seed, then with a randomized seed, logged so any failure is replayable via
@@ -49,12 +51,14 @@ bench-kernels:
 	$(GO) test . -run '^$$' -bench BenchmarkParallelSpeedup
 
 # Machine-readable benchmark baseline: in-place kernels, steady-state mapper
-# allocations, and the pooled-vs-legacy end-to-end fit A/B pairs, written to
-# $(BENCH_JSON) for committing and diffing against earlier BENCH_*.json files.
-BENCH_JSON ?= BENCH_3.json
+# allocations, the pooled-vs-legacy end-to-end fit A/B pairs, and the sketch
+# engines' fit paths, written to $(BENCH_JSON) for committing and diffing
+# against earlier BENCH_*.json files.
+BENCH_JSON ?= BENCH_6.json
 bench-json:
 	{ $(GO) test ./internal/matrix -run '^$$' -bench BenchmarkKernelsInPlace -benchmem -benchtime 20x; \
-	  $(GO) test ./internal/ppca -run '^$$' -bench 'BenchmarkSteady|Pooled|Legacy' -benchmem -benchtime 10x; } \
+	  $(GO) test ./internal/ppca -run '^$$' -bench 'BenchmarkSteady|Pooled|Legacy' -benchmem -benchtime 10x; \
+	  $(GO) test ./internal/rsvd -run '^$$' -bench 'BenchmarkFitRSVD' -benchmem -benchtime 10x; } \
 	| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # One-iteration smoke of the bench harness and the JSON converter; part of

@@ -50,7 +50,7 @@ func chaosPlan(seed uint64) *FaultPlan {
 func TestChaosModelsBitIdentical(t *testing.T) {
 	y := GenerateDataset(DatasetSpec{Kind: Tweets, Rows: 600, Cols: 80, Seed: 9})
 	seed := chaosSeed(t)
-	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark, MahoutPCA, MLlibPCA, SVDBidiag} {
+	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark, MahoutPCA, MLlibPCA, SVDBidiag, RSVDMapReduce, RSVDSpark} {
 		alg := alg
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()
@@ -133,7 +133,7 @@ func TestChaosDriverCrashResume(t *testing.T) {
 		"last-iteration": {5},
 		"three-crashes":  {1, 3, 4},
 	}
-	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark, LocalPPCA} {
+	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark, LocalPPCA, RSVDMapReduce, RSVDSpark} {
 		alg := alg
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()
@@ -177,7 +177,7 @@ func TestChaosDriverCrashResume(t *testing.T) {
 func TestChaosCombinedTaskAndDriverFaults(t *testing.T) {
 	y := GenerateDataset(DatasetSpec{Kind: Tweets, Rows: 500, Cols: 70, Seed: 9})
 	seed := chaosSeed(t)
-	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark} {
+	for _, alg := range []Algorithm{SPCAMapReduce, SPCASpark, RSVDMapReduce, RSVDSpark} {
 		alg := alg
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		algo      = flag.String("algo", string(spca.SPCASpark), "algorithm: spca-spark | spca-mapreduce | mahout-pca | mllib-pca | svd-bidiag | ppca-local")
+		algo      = flag.String("algo", string(spca.SPCASpark), "algorithm: spca-spark | spca-mapreduce | mahout-pca | mllib-pca | svd-bidiag | rsvd-mapreduce | rsvd-spark | ppca-local")
 		in        = flag.String("in", "", "input matrix file (spmx text or SPMB binary)")
 		out       = flag.String("out", "", "write components to this file (dmx text); default: summary only")
 		dsKind    = flag.String("dataset", "", "generate a dataset instead of reading one: tweets | biotext | diabetes | images")
@@ -37,6 +37,8 @@ func main() {
 		nodes     = flag.Int("nodes", 0, "simulated cluster nodes (0 = paper default of 8)")
 		driver    = flag.Float64("driver-gb", 0, "simulated driver memory in GB (0 = 32)")
 		smart     = flag.Bool("smart-guess", false, "enable sPCA-SG initialization")
+		oversamp  = flag.Int("oversample", 0, "extra sketch columns for rsvd-* / mahout-pca (0 = engine default)")
+		power     = flag.Int("power", 0, "power iterations for rsvd-* / mahout-pca (0 = engine default, negative = none)")
 		listAlg   = flag.Bool("list", false, "list algorithms and exit")
 		stream    = flag.Bool("stream", false, "stream the -in file row by row (out-of-core PPCA; ignores -algo/-target)")
 		ckptDir   = flag.String("checkpoint-dir", "", "write driver checkpoints to this directory and auto-resume after a crash")
@@ -54,18 +56,22 @@ func main() {
 		fmt.Println("mahout-pca      stochastic SVD baseline on MapReduce")
 		fmt.Println("mllib-pca       covariance + eigendecomposition baseline on Spark")
 		fmt.Println("svd-bidiag      dense QR + bidiagonal-SVD pipeline on MapReduce (RScaLAPACK-style)")
+		fmt.Println("rsvd-mapreduce  distributed randomized SVD (seeded range finder + power iterations) on MapReduce")
+		fmt.Println("rsvd-spark      communication-optimal randomized SVD (one sketch per node, driver merge) on Spark")
 		fmt.Println("ppca-local      single-machine PPCA reference (Algorithm 1)")
 		return
 	}
 
 	cfg := spca.Config{
-		Algorithm:      spca.Algorithm(*algo),
-		Components:     *d,
-		MaxIter:        *iters,
-		TargetAccuracy: *target,
-		Seed:           *seed,
-		SmartGuess:     *smart,
-		CollectTrace:   *traceOut != "",
+		Algorithm:       spca.Algorithm(*algo),
+		Components:      *d,
+		MaxIter:         *iters,
+		TargetAccuracy:  *target,
+		Seed:            *seed,
+		SmartGuess:      *smart,
+		Oversample:      *oversamp,
+		PowerIterations: *power,
+		CollectTrace:    *traceOut != "",
 		Cluster: spca.ClusterConfig{
 			Nodes:          *nodes,
 			DriverMemoryGB: *driver,

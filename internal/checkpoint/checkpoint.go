@@ -106,6 +106,13 @@ type Snapshot struct {
 	Rising     int // consecutive iterations with rising reconstruction error
 	Best       *BestState
 
+	// Singular holds the singular values that accompany C for the sketch
+	// engines (rsvd), whose best-of-rounds state includes the small-SVD
+	// spectrum; recomputing it on resume would disturb the simulated clock.
+	// Empty for EM snapshots, and the section is omitted on disk when empty,
+	// so EM snapshot bytes are unchanged.
+	Singular []float64
+
 	// Simulated-cluster accounting at snapshot time; restored wholesale on
 	// resume so the re-executed iterations replay the same simulated clock.
 	Metrics cluster.Metrics
@@ -135,6 +142,7 @@ func (s *Snapshot) CostBytes() int64 {
 	if s.Best != nil && s.Best.C != nil {
 		b += 32 + int64(s.Best.C.R)*int64(s.Best.C.C)*8
 	}
+	b += int64(len(s.Singular)) * 8
 	return b
 }
 
@@ -202,6 +210,14 @@ func Write(w io.Writer, s *Snapshot) error {
 		}
 	} else {
 		bw.WriteString("best none\n")
+	}
+	if len(s.Singular) > 0 {
+		bw.WriteString("singular")
+		for _, v := range s.Singular {
+			bw.WriteByte(' ')
+			bw.WriteString(ff(v))
+		}
+		bw.WriteByte('\n')
 	}
 	bw.WriteString("components\n")
 	if err := bw.Flush(); err != nil {
@@ -410,10 +426,26 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: bad best line %q", ErrBadSnapshot, bestLine)
 	}
 
-	if l, err := line("components"); err != nil {
+	// Optional singular-value section (sketch-engine snapshots only; EM
+	// snapshots omit it, so the reader accepts both layouts).
+	marker, err := line("components")
+	if err != nil {
 		return nil, err
-	} else if l != "components" {
-		return nil, fmt.Errorf("%w: expected components marker, got %q", ErrBadSnapshot, l)
+	}
+	if strings.HasPrefix(marker, "singular ") {
+		f := strings.Fields(marker)
+		s.Singular = make([]float64, len(f)-1)
+		for i, field := range f[1:] {
+			if s.Singular[i], err = parseF(field); err != nil {
+				return nil, err
+			}
+		}
+		if marker, err = line("components"); err != nil {
+			return nil, err
+		}
+	}
+	if marker != "components" {
+		return nil, fmt.Errorf("%w: expected components marker, got %q", ErrBadSnapshot, marker)
 	}
 	if s.C, err = readDense(sc, s.Dims, s.D); err != nil {
 		return nil, err

@@ -80,6 +80,41 @@ func TestRoundTripNoBest(t *testing.T) {
 	}
 }
 
+// TestRoundTripSingular covers the sketch-engine snapshot shape: singular
+// values ride along with the components, and the section adds exactly its
+// own float64s to the cost model.
+func TestRoundTripSingular(t *testing.T) {
+	s := sampleSnapshot(5)
+	plainCost := s.CostBytes()
+	s.Singular = []float64{12.5, 3.25, 1e-17}
+	if got, want := s.CostBytes(), plainCost+3*8; got != want {
+		t.Fatalf("CostBytes with Singular = %d, want %d", got, want)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	got.Bytes = s.Bytes
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+
+	// An EM snapshot (no singular values) must serialize to the exact same
+	// bytes as before the field existed: the section is omitted when empty.
+	s.Singular = nil
+	var plain bytes.Buffer
+	if err := Write(&plain, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if bytes.Contains(plain.Bytes(), []byte("singular")) {
+		t.Fatal("empty Singular must be omitted from the encoding")
+	}
+}
+
 func TestWriteDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
 	if err := Write(&a, sampleSnapshot(7)); err != nil {

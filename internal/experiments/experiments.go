@@ -309,7 +309,7 @@ type Renderable interface {
 
 // IDs lists every experiment in paper order.
 func IDs() []string {
-	return []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling", "faults", "checkpoint"}
+	return []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "frontier", "scaling", "faults", "checkpoint"}
 }
 
 // Produce executes one experiment and returns its result for rendering.
@@ -335,6 +335,8 @@ func (r Runner) Produce(id string) (Renderable, error) {
 		return r.Table4()
 	case "intermediate":
 		return r.Intermediate()
+	case "frontier":
+		return r.Frontier()
 	case "scaling":
 		return r.Scaling()
 	case "faults":

@@ -392,7 +392,7 @@ func TestRunnerRunAndRender(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "scaling", "faults", "checkpoint"}
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "intermediate", "frontier", "scaling", "faults", "checkpoint"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -482,6 +482,59 @@ func TestIntermediateDataShapes(t *testing.T) {
 	tw := parseHumanBytes(t, tab.Rows[1][4]) / parseHumanBytes(t, tab.Rows[1][3])
 	if tw <= bio {
 		t.Fatalf("reduction should grow with scale: biotext %.0fx, tweets %.0fx", bio, tw)
+	}
+}
+
+// TestFrontierSketchBeatsEM pins the sketch family's reason to exist: in
+// the intermediate-data configuration, one sketch round must cost less
+// simulated time than the EM engines' three iterations while still landing
+// at substantial accuracy, and the communication-optimal Spark variant must
+// shuffle less than its MapReduce sibling.
+func TestFrontierSketchBeatsEM(t *testing.T) {
+	tab, err := quickRunner().Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("frontier rows = %d, want 5", len(tab.Rows))
+	}
+	byAlg := map[string][]string{}
+	for _, row := range tab.Rows {
+		byAlg[row[0]] = row
+	}
+	// Platform-matched pairs: each sketch engine must beat the EM engine on
+	// its own runtime (cross-platform comparisons conflate the algorithm with
+	// MapReduce's between-job materialization).
+	pairs := map[spca.Algorithm]spca.Algorithm{
+		spca.RSVDMapReduce: spca.SPCAMapReduce,
+		spca.RSVDSpark:     spca.SPCASpark,
+	}
+	for sketch, em := range pairs {
+		sk := parseSeconds(t, byAlg[string(sketch)][3])
+		if emT := parseSeconds(t, byAlg[string(em)][3]); sk >= emT {
+			t.Fatalf("%s time %v not cheaper than %s's %v", sketch, sk, em, emT)
+		}
+		acc, err := strconv.ParseFloat(strings.TrimSuffix(byAlg[string(sketch)][6], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 80 {
+			t.Fatalf("%s accuracy %.1f%% too low for the frontier's pitch", sketch, acc)
+		}
+	}
+	// The communication-optimal variant must also beat every EM engine
+	// outright — its one-round, one-sketch-per-node protocol is the frontier's
+	// left edge.
+	spT := parseSeconds(t, byAlg[string(spca.RSVDSpark)][3])
+	for _, em := range []spca.Algorithm{spca.SPCAMapReduce, spca.SPCASpark} {
+		if emT := parseSeconds(t, byAlg[string(em)][3]); spT >= emT {
+			t.Fatalf("rsvd-spark time %v not cheaper than %s's %v", spT, em, emT)
+		}
+	}
+	spShuffle := parseHumanBytes(t, byAlg[string(spca.RSVDSpark)][4])
+	mrShuffle := parseHumanBytes(t, byAlg[string(spca.RSVDMapReduce)][4])
+	if spShuffle >= mrShuffle {
+		t.Fatalf("communication-optimal variant shuffled %v, MapReduce %v", spShuffle, mrShuffle)
 	}
 }
 

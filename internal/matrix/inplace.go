@@ -14,6 +14,46 @@ import (
 // bit-identical by sharing the exact same loops. Outputs must not alias
 // inputs unless a kernel documents otherwise.
 
+// The hot Mul kernels dispatch their chunk loops through parallel.ForRunner
+// with pooled body structs rather than closures: a closure capturing the
+// operands escapes to the heap on every call, which showed up as the lone
+// steady-state allocation in the EM inner loop (BenchmarkKernelsInPlace). The
+// pools are mutex-guarded, so concurrent kernels (e.g. simulated map tasks)
+// each get a private body; fields are cleared before Put so pooled bodies
+// never pin operand matrices live.
+
+// mulBody is MulInto's chunk loop with its captures as fields.
+type mulBody struct {
+	m, b, out *Dense
+	kBlock    int
+}
+
+var mulBodies = parallel.NewPool(func() *mulBody { return new(mulBody) })
+
+func (t *mulBody) Run(lo, hi int) {
+	m, b, out, kBlock := t.m, t.b, t.out, t.kBlock
+	for k0 := 0; k0 < m.C; k0 += kBlock {
+		k1 := k0 + kBlock
+		if k1 > m.C {
+			k1 = m.C
+		}
+		for i := lo; i < hi; i++ {
+			arow := m.Row(i)
+			orow := out.Row(i)
+			for k := k0; k < k1; k++ {
+				a := arow[k]
+				if a == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
+			}
+		}
+	}
+}
+
 // MulInto computes out = m*b, overwriting out (dims m.R x b.C).
 func (m *Dense) MulInto(b, out *Dense) *Dense {
 	if m.C != b.R {
@@ -31,28 +71,11 @@ func (m *Dense) MulInto(b, out *Dense) *Dense {
 	if kBlock < 8 {
 		kBlock = 8
 	}
-	parallel.For(m.R, flopGrain(2*m.C*b.C), func(lo, hi int) {
-		for k0 := 0; k0 < m.C; k0 += kBlock {
-			k1 := k0 + kBlock
-			if k1 > m.C {
-				k1 = m.C
-			}
-			for i := lo; i < hi; i++ {
-				arow := m.Row(i)
-				orow := out.Row(i)
-				for k := k0; k < k1; k++ {
-					a := arow[k]
-					if a == 0 {
-						continue
-					}
-					brow := b.Row(k)
-					for j, bv := range brow {
-						orow[j] += a * bv
-					}
-				}
-			}
-		}
-	})
+	body := mulBodies.Get()
+	body.m, body.b, body.out, body.kBlock = m, b, out, kBlock
+	parallel.ForRunner(m.R, flopGrain(2*m.C*b.C), body)
+	*body = mulBody{}
+	mulBodies.Put(body)
 	return out
 }
 
@@ -69,23 +92,37 @@ func (m *Dense) MulTInto(b, out *Dense) *Dense {
 	// touches out rows lo..hi-1, and each out[k][j] still accumulates over i
 	// in ascending order, so the sum is bit-identical to the sequential
 	// row-streaming loop.
-	parallel.For(m.C, flopGrain(2*m.R*b.C), func(lo, hi int) {
-		for i := 0; i < m.R; i++ {
-			arow := m.Row(i)
-			brow := b.Row(i)
-			for k := lo; k < hi; k++ {
-				a := arow[k]
-				if a == 0 {
-					continue
-				}
-				orow := out.Row(k)
-				for j, bv := range brow {
-					orow[j] += a * bv
-				}
+	body := mulTBodies.Get()
+	body.m, body.b, body.out = m, b, out
+	parallel.ForRunner(m.C, flopGrain(2*m.R*b.C), body)
+	*body = mulTBody{}
+	mulTBodies.Put(body)
+	return out
+}
+
+// mulTBody is MulTInto's chunk loop with its captures as fields.
+type mulTBody struct {
+	m, b, out *Dense
+}
+
+var mulTBodies = parallel.NewPool(func() *mulTBody { return new(mulTBody) })
+
+func (t *mulTBody) Run(lo, hi int) {
+	m, b, out := t.m, t.b, t.out
+	for i := 0; i < m.R; i++ {
+		arow := m.Row(i)
+		brow := b.Row(i)
+		for k := lo; k < hi; k++ {
+			a := arow[k]
+			if a == 0 {
+				continue
+			}
+			orow := out.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
 			}
 		}
-	})
-	return out
+	}
 }
 
 // MulBTInto computes out = m*bᵀ, overwriting out (dims m.R x b.R).
@@ -103,22 +140,37 @@ func (m *Dense) MulBTInto(b, out *Dense) *Dense {
 	if jTile < 8 {
 		jTile = 8
 	}
-	parallel.For(m.R, flopGrain(2*m.C*b.R), func(lo, hi int) {
-		for j0 := 0; j0 < b.R; j0 += jTile {
-			j1 := j0 + jTile
-			if j1 > b.R {
-				j1 = b.R
-			}
-			for i := lo; i < hi; i++ {
-				arow := m.Row(i)
-				orow := out.Row(i)
-				for j := j0; j < j1; j++ {
-					orow[j] = dot(arow, b.Row(j))
-				}
+	body := mulBTBodies.Get()
+	body.m, body.b, body.out, body.jTile = m, b, out, jTile
+	parallel.ForRunner(m.R, flopGrain(2*m.C*b.R), body)
+	*body = mulBTBody{}
+	mulBTBodies.Put(body)
+	return out
+}
+
+// mulBTBody is MulBTInto's chunk loop with its captures as fields.
+type mulBTBody struct {
+	m, b, out *Dense
+	jTile     int
+}
+
+var mulBTBodies = parallel.NewPool(func() *mulBTBody { return new(mulBTBody) })
+
+func (t *mulBTBody) Run(lo, hi int) {
+	m, b, out, jTile := t.m, t.b, t.out, t.jTile
+	for j0 := 0; j0 < b.R; j0 += jTile {
+		j1 := j0 + jTile
+		if j1 > b.R {
+			j1 = b.R
+		}
+		for i := lo; i < hi; i++ {
+			arow := m.Row(i)
+			orow := out.Row(i)
+			for j := j0; j < j1; j++ {
+				orow[j] = dot(arow, b.Row(j))
 			}
 		}
-	})
-	return out
+	}
 }
 
 // MulVecTInto computes out = mᵀ*x, overwriting out (length m.C).

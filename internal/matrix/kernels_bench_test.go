@@ -83,11 +83,11 @@ func BenchmarkKernelsSymEigen(b *testing.B) {
 }
 
 // BenchmarkKernelsInPlace measures the *Into kernel variants on warm
-// workspaces: steady-state allocs/op must be ~0 (that is the contract the
-// pooled EM paths are built on). MulInto/MulTInto report exactly one 48-byte
-// allocation — the parallel-dispatch closure, constant per call and amortized
-// over O(n³) work; SolveSPDInto caches even that in its workspace because it
-// sits on the once-per-iteration driver path next to per-row code.
+// workspaces: steady-state allocs/op must be exactly 0 (that is the contract
+// the pooled EM and sketch paths are built on). The Mul kernels dispatch via
+// pooled parallel.Runner bodies and SolveSPDInto caches its ForWorker closure
+// in the workspace, so none of them allocate once warm; the AllocsPerRun gate
+// in inplace_alloc_test.go pins this.
 func BenchmarkKernelsInPlace(b *testing.B) {
 	rng := NewRNG(7)
 	const n = 192

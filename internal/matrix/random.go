@@ -72,6 +72,43 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
+// DeriveSeed expands one base seed into an independent sub-seed for a named
+// random stream and round. It is the single seed-derivation scheme shared by
+// every engine (ssvd Ω draws, rsvd sketch rounds, error-sample index draws):
+// the FNV-1a hash of (base, stream, round) — with an 0xFF separator after the
+// stream so distinct (stream, round) pairs can never produce the same byte
+// sequence — pushed through a splitmix64 finalizer so structured inputs
+// (consecutive rounds, common prefixes) still land far apart in seed space.
+// Ad-hoc "base + constant" offsets are banned: two offset streams are only
+// one subtraction away from colliding, whereas distinct DeriveSeed streams
+// are independent by construction.
+func DeriveSeed(base uint64, stream string, round uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(base)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= prime64
+	}
+	h ^= 0xff
+	h *= prime64
+	mix(round)
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
 // NormRnd returns an r-by-c matrix of standard normal deviates, matching the
 // paper's normrnd(r, c) pseudo-code helper.
 func NormRnd(rng *RNG, r, c int) *Dense {

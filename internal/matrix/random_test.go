@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -83,6 +84,43 @@ func TestRNGPerm(t *testing.T) {
 			t.Fatalf("invalid permutation %v", p)
 		}
 		seen[v] = true
+	}
+}
+
+// TestDeriveSeedUnique enumerates every (stream, round) pair the engines
+// actually use — plus adversarial prefix/suffix pairs — across several base
+// seeds and asserts all derived seeds are distinct. This is the regression
+// gate for the old ad-hoc "base + constant" offsets, where two streams were
+// one subtraction apart from colliding.
+func TestDeriveSeedUnique(t *testing.T) {
+	streams := []string{
+		// every named stream in the tree
+		"ssvd/omega", "sample",
+		"rsvd/omega", "rsvd/local-omega",
+		"ppca/init-c", "ppca/init-ss", "ppca/smart-guess", "ppca/ideal",
+		// adversarial: common prefixes and concatenation ambiguity
+		"a", "ab", "b", "a/b", "ab/", "",
+	}
+	bases := []uint64{0, 1, 42, 31, 0xACC, 0x55D, math.MaxUint64}
+	seen := map[uint64]string{}
+	for _, base := range bases {
+		for _, s := range streams {
+			for round := uint64(0); round < 64; round++ {
+				d := DeriveSeed(base, s, round)
+				id := fmt.Sprintf("base=%d stream=%q round=%d", base, s, round)
+				if prev, dup := seen[d]; dup {
+					t.Fatalf("derived seed collision: %s and %s both map to %#x", prev, id, d)
+				}
+				seen[d] = id
+			}
+		}
+	}
+	// Derivation must differ from the base itself and be stable.
+	if DeriveSeed(42, "ssvd/omega", 1) != DeriveSeed(42, "ssvd/omega", 1) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(42, "ssvd/omega", 1) == 42 {
+		t.Fatal("DeriveSeed returned its base unchanged")
 	}
 }
 

@@ -54,6 +54,72 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Runner is the interface form of For's chunk body. A closure literal passed
+// to For escapes to the heap on every call — escape analysis sees it flow
+// into the worker goroutines even when execution stays inline — which costs
+// the hot kernels one allocation per invocation. Converting a pointer to an
+// interface allocates nothing, so kernels that must be allocation-free in
+// steady state implement Run on a pooled struct (carrying the would-be
+// captures as fields) and dispatch through ForRunner instead.
+type Runner interface {
+	Run(lo, hi int)
+}
+
+// ForRunner is For with the chunk body passed as a Runner instead of a
+// closure. Chunking, scheduling, and the bit-reproducibility contract are
+// identical to For; the only difference is that the inline fast path performs
+// no allocation at the call site.
+func ForRunner(n, grain int, r Runner) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := Workers()
+	if sequential.Load() || workers == 1 || n <= grain {
+		r.Run(0, n)
+		return
+	}
+	chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunk < grain {
+		chunk = grain
+	}
+	chunks := (n + chunk - 1) / chunk
+	if chunks <= 1 {
+		r.Run(0, n)
+		return
+	}
+	if chunks < workers {
+		workers = chunks
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			r.Run(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}
+
 // For splits [0, n) into contiguous chunks of at least grain indices and runs
 // fn(lo, hi) once per chunk, possibly concurrently. fn must only write state
 // owned by its chunk, and the value it computes for an index must not depend
@@ -62,6 +128,8 @@ func Workers() int {
 // Small inputs (n <= grain), a single available worker, or the sequential
 // knob all collapse to one inline fn(0, n) call with no goroutine overhead.
 // Pick grain so a chunk amortizes scheduling: tens of microseconds of work.
+// Note the closure itself still escapes (see Runner); allocation-sensitive
+// callers use ForRunner.
 func For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return

@@ -1,0 +1,56 @@
+package rsvd
+
+// Real-CPU benchmarks of the two sketch engines' fit paths, mirroring the
+// ppca fit benchmarks: one round of range finder + power iteration on a
+// Tweets-like sparse matrix. These feed the committed BENCH_*.json baseline
+// via `make bench-json`.
+
+import (
+	"testing"
+
+	"spca/internal/cluster"
+	"spca/internal/dataset"
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+	"spca/internal/rdd"
+)
+
+func benchData(b *testing.B, n, dims int) []matrix.SparseVector {
+	b.Helper()
+	y := dataset.MustGenerate(dataset.Spec{
+		Kind: dataset.KindTweets, Rows: n, Cols: dims, Seed: 1,
+	})
+	return dataset.Rows(y)
+}
+
+func benchOptions() Options {
+	opt := DefaultOptions(10)
+	opt.MaxRounds = 1
+	opt.PowerIterations = 1
+	return opt
+}
+
+func BenchmarkFitRSVDMapReduce(b *testing.B) {
+	rows := benchData(b, 2000, 500)
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := mapred.NewEngine(cluster.MustNew(cluster.DefaultConfig()))
+		if _, err := FitMapReduce(eng, rows, 500, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitRSVDSpark(b *testing.B) {
+	rows := benchData(b, 2000, 500)
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := cluster.MustNew(cluster.DefaultConfig().WithTaskOverhead(0.05))
+		ctx := rdd.NewContext(cl).WithPartitions(cl.Config().Nodes)
+		if _, err := FitSpark(ctx, rows, 500, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

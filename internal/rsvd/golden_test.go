@@ -1,4 +1,4 @@
-package ssvd
+package rsvd
 
 import (
 	"encoding/binary"
@@ -9,8 +9,7 @@ import (
 )
 
 // fingerprint hashes the exact float64 bits of a fitted model plus its
-// history so the scratch-reuse refactor can prove bit-identity to the
-// pre-change tree.
+// history, so future refactors must prove bit-identity to this tree.
 func fingerprint(res *Result) string {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -24,6 +23,9 @@ func fingerprint(res *Result) string {
 	for _, v := range res.Singular {
 		put(v)
 	}
+	for _, v := range res.Mean {
+		put(v)
+	}
 	put(float64(res.Iterations))
 	for _, st := range res.History {
 		put(float64(st.Iter))
@@ -33,27 +35,28 @@ func fingerprint(res *Result) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// Pre-refactor fingerprints; a missing entry makes the test print the
-// observed hash so it can be pinned.
+// Pinned fingerprints; a missing entry makes the test print the observed
+// hash so it can be pinned.
 var goldenHashes = map[string]string{
-	"rounds": "0c1d0af1ddfb7d10",
-	"power":  "a2b8c72a56556e44",
+	"mapreduce": "d0071af6473269d5",
+	"spark":     "abbc94bfee4c5de3",
 }
 
 func TestGoldenFitsBitIdentical(t *testing.T) {
 	fits := map[string]func() (*Result, error){
-		"rounds": func() (*Result, error) {
+		"mapreduce": func() (*Result, error) {
 			_, rows := plantedData(150, 40, 3, 31)
 			opt := DefaultOptions(3)
 			opt.MaxRounds = 2
+			opt.PowerIterations = 1
 			return FitMapReduce(testEngine(), rows, 40, opt)
 		},
-		"power": func() (*Result, error) {
+		"spark": func() (*Result, error) {
 			_, rows := plantedData(150, 40, 3, 31)
 			opt := DefaultOptions(3)
-			opt.MaxRounds = 1
-			opt.PowerIterations = 2
-			return FitMapReduce(testEngine(), rows, 40, opt)
+			opt.MaxRounds = 2
+			opt.PowerIterations = 1
+			return FitSpark(testCtx(), rows, 40, opt)
 		},
 	}
 	for name, fit := range fits {

@@ -1,0 +1,440 @@
+package rsvd
+
+import (
+	"fmt"
+
+	"spca/internal/cluster"
+	"spca/internal/mapred"
+	"spca/internal/matrix"
+	"spca/internal/trace"
+)
+
+// FitMapReduce runs distributed randomized SVD on the MapReduce engine:
+// broadcast a seeded Gaussian test matrix Ω, project P = Yc·Ω, orthonormalize
+// with a charged QR phase, refine with q QR re-orthonormalized power
+// iterations (Q ← QR(Yc·(YcᵀQ))), then take the small SVD of B = YcᵀQ on the
+// driver. Unlike the Mahout baseline in internal/ssvd, the B job uses
+// in-mapper combining (one k-vector per column per task instead of one per
+// non-zero), and every mapper runs on per-task pooled scratch with zero
+// steady-state allocations.
+func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt Options) (*Result, error) {
+	if err := opt.validate(len(rows), dims); err != nil {
+		return nil, err
+	}
+	cl := eng.Cluster
+	tr := opt.Tracer
+	if tr != nil {
+		cl.SetTracer(tr)
+		tr.Begin("FitRSVD", trace.KindFit,
+			trace.I("rows", int64(len(rows))), trace.I("dims", int64(dims)),
+			trace.I("components", int64(opt.Components)), trace.I("incarnation", int64(opt.Incarnation)))
+		defer tr.End()
+	}
+	res := &Result{}
+	dr := newDriver(cl, opt, rows, dims)
+
+	indexed := make([]indexedRow, len(rows))
+	for i, r := range rows {
+		indexed[i] = indexedRow{idx: i, row: r}
+	}
+	me := &mrEngine{
+		eng: eng, opt: opt, dims: dims, indexed: indexed,
+		scr: newMRScratch(eng.NumSplits(len(rows))),
+	}
+
+	if snap := opt.Resume; snap != nil {
+		// Resume: the mean job was already paid for by the crashed
+		// incarnation and lives in the snapshot; restore its clock wholesale
+		// and replay the remaining rounds under the same fault cursor.
+		if err := snap.Validate(len(rows), dims, opt.Components, opt.Seed); err != nil {
+			return nil, err
+		}
+		cl.RestoreMetrics(snap.Metrics)
+		cl.ChargeDriverRestore(snap.Bytes, opt.RecoveredSeconds)
+		eng.SetJobSeq(snap.FaultEpoch)
+		dr.restore(snap, res)
+	} else {
+		mean, err := meanJob(eng, rows, dims)
+		if err != nil {
+			return nil, err
+		}
+		dr.mean = mean
+		if opt.Incarnation > 0 {
+			// Restarted from scratch after a crash with no usable snapshot:
+			// count the restart and the previous incarnation's wasted time.
+			cl.ChargeDriverRestore(0, opt.RecoveredSeconds)
+		}
+	}
+	me.mean = dr.mean
+
+	if err := dr.run(me, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+type indexedRow struct {
+	idx int
+	row matrix.SparseVector
+}
+
+// mrEngine implements one randomized-SVD sketch round as MapReduce jobs. The
+// projection matrix P (N x k), the small matrix B (D x k), and all per-task
+// mapper scratch are allocated on the first round and reused afterwards.
+type mrEngine struct {
+	eng     *mapred.Engine
+	opt     Options
+	dims    int
+	mean    []float64
+	indexed []indexedRow
+	scr     *mrScratch
+	p       *matrix.Dense // N x k projection, refilled by every project job
+	b       *matrix.Dense // D x k, refilled by every B job
+}
+
+func (e *mrEngine) faultEpoch() int64 { return e.eng.JobSeq() }
+
+func (e *mrEngine) round(round, k int) (*matrix.Dense, []float64, error) {
+	cl := e.eng.Cluster
+	// Ω: a fresh D x k Gaussian test matrix per round, broadcast to all
+	// mappers. Independent of ssvd's draws by stream name, not by offset.
+	omega := matrix.NormRnd(matrix.NewRNG(matrix.DeriveSeed(e.opt.Seed, "rsvd/omega", uint64(round))), e.dims, k)
+	broadcastBytes(cl, "rsvd/omega", mapred.BytesOfDense(omega))
+
+	if err := e.projectJob("rsvd-range", omega); err != nil {
+		return nil, nil, err
+	}
+	q := qrPhase(cl, e.p)
+
+	// Power iterations: Q ← QR(Yc·(YcᵀQ)), re-orthonormalizing after every
+	// application so the basis never degenerates (Halko's recommendation).
+	for pi := 0; pi < e.opt.PowerIterations; pi++ {
+		if err := e.bJob(q); err != nil {
+			return nil, nil, err
+		}
+		broadcastBytes(cl, "rsvd/b", mapred.BytesOfDense(e.b))
+		if err := e.projectJob(fmt.Sprintf("rsvd-power-%d", pi), e.b); err != nil {
+			return nil, nil, err
+		}
+		q = qrPhase(cl, e.p)
+	}
+
+	// B = YcᵀQ (D x k), then the small SVD on the driver: principal
+	// directions are B's left singular vectors.
+	if err := e.bJob(q); err != nil {
+		return nil, nil, err
+	}
+	w, s, _ := matrix.TopSVD(e.b, e.opt.Components)
+	cl.AddDriverCompute(int64(e.dims) * int64(k) * int64(k))
+	return w, s, nil
+}
+
+// broadcastBytes charges shipping one driver-side matrix to every node.
+func broadcastBytes(cl *cluster.Cluster, name string, bytes int64) {
+	cl.RunPhase(cluster.PhaseStats{
+		Name:         name,
+		ShuffleBytes: bytes * int64(cl.Config().Nodes),
+	})
+}
+
+// qrPhase orthonormalizes the materialized projection: the real QR runs on
+// the driver's copy and the distributed cost is charged — O(N·k²) compute
+// plus a full write+read of Q.
+func qrPhase(cl *cluster.Cluster, p *matrix.Dense) *matrix.Dense {
+	q, _ := matrix.QR(p)
+	nk := int64(p.R) * int64(p.C) * 8
+	cl.RunPhase(cluster.PhaseStats{
+		Name:              "rsvd/qr",
+		ComputeOps:        int64(p.R) * int64(p.C) * int64(p.C) * 2,
+		DiskBytes:         2 * nk, // write Q, read it back in the next job
+		MaterializedBytes: nk,
+		Tasks:             int64(cl.TotalCores()),
+	})
+	return q
+}
+
+// projectJob computes P = Yc·B for an in-memory D x k matrix B with mean
+// propagation, filling the reused e.p. Each mapper emits one pooled k-vector
+// per row — zero allocations once the per-task freelists are warm.
+func (e *mrEngine) projectJob(name string, b *matrix.Dense) error {
+	k := b.C
+	// Ym·B, subtracted from every projected row (mean propagation).
+	mb := e.scr.mb(k)
+	for j, mj := range e.mean {
+		if mj != 0 {
+			matrix.AXPY(mj, b.Row(j), mb)
+		}
+	}
+	job := mapred.Job[indexedRow, int, []float64, []float64]{
+		Name: name,
+		NewMapper: func(task int) mapred.Mapper[indexedRow, int, []float64] {
+			m := e.scr.proj[task]
+			m.reset(k, b, mb) // reset handles fault replays too
+			return m
+		},
+		Reduce:      func(_ int, vs [][]float64, _ mapred.Ops) []float64 { return vs[0] },
+		InputBytes:  func(r indexedRow) int64 { return mapred.BytesOfSparseVec(r.row) },
+		KeyBytes:    mapred.BytesOfInt,
+		ValueBytes:  mapred.BytesOfVec,
+		ResultBytes: mapred.BytesOfVec,
+	}
+	out, err := mapred.Run(e.eng, job, e.indexed)
+	if err != nil {
+		return err
+	}
+	if e.p == nil {
+		e.p = matrix.NewDense(len(e.indexed), k)
+	}
+	for i := range e.indexed {
+		v, ok := out[i]
+		if !ok {
+			return fmt.Errorf("rsvd: %s lost row %d", name, i)
+		}
+		copy(e.p.Row(i), v)
+	}
+	return nil
+}
+
+// bJob computes B = YcᵀQ (D x k) with in-mapper combining: each task folds
+// its rows into a column-keyed accumulator map and emits one k-vector per
+// touched column in Cleanup — the combining Mahout's Bt job lacks.
+func (e *mrEngine) bJob(q *matrix.Dense) error {
+	k := q.C
+	job := mapred.Job[indexedRow, int, []float64, []float64]{
+		Name: "rsvd-b",
+		NewMapper: func(task int) mapred.Mapper[indexedRow, int, []float64] {
+			m := e.scr.bt[task]
+			m.reset(k, q)
+			return m
+		},
+		Combine: func(a, b []float64) []float64 {
+			matrix.AXPY(1, b, a)
+			return a
+		},
+		Reduce: func(_ int, vs [][]float64, o mapred.Ops) []float64 {
+			sum := make([]float64, k)
+			for _, v := range vs {
+				matrix.AXPY(1, v, sum)
+				o.AddOps(int64(k))
+			}
+			return sum
+		},
+		InputBytes: func(r indexedRow) int64 {
+			return mapred.BytesOfSparseVec(r.row) + int64(k)*8 // reads Y and Q
+		},
+		KeyBytes:    mapred.BytesOfInt,
+		ValueBytes:  mapred.BytesOfVec,
+		ResultBytes: mapred.BytesOfVec,
+	}
+	out, err := mapred.Run(e.eng, job, e.indexed)
+	if err != nil {
+		return err
+	}
+	if e.b == nil {
+		e.b = matrix.NewDense(e.dims, k)
+	}
+	e.b.Zero()
+	for j, v := range out {
+		copy(e.b.Row(j), v)
+	}
+	// Mean propagation on the driver: B = YᵀQ - Ym ⊗ colSum(Q).
+	colSum := e.scr.mb(k) // reuse of the k-sized driver buffer is safe here
+	for i := 0; i < q.R; i++ {
+		matrix.AXPY(1, q.Row(i), colSum)
+	}
+	for j, mj := range e.mean {
+		if mj != 0 {
+			matrix.AXPY(-mj, colSum, e.b.Row(j))
+		}
+	}
+	e.eng.Cluster.AddDriverCompute(int64(q.R)*int64(k) + int64(e.dims)*int64(k))
+	return nil
+}
+
+// meanJob computes column means with a small job (same shape as sPCA's).
+func meanJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int) ([]float64, error) {
+	job := mapred.Job[matrix.SparseVector, int, float64, float64]{
+		Name: "rsvd-mean",
+		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, float64] {
+			return &meanMapper{partial: map[int]float64{}}
+		},
+		Combine: func(a, b float64) float64 { return a + b },
+		Reduce: func(k int, vs []float64, o mapred.Ops) float64 {
+			var s float64
+			for _, v := range vs {
+				s += v
+				o.AddOps(1)
+			}
+			return s
+		},
+		InputBytes: mapred.BytesOfSparseVec,
+		KeyBytes:   mapred.BytesOfInt,
+		ValueBytes: mapred.BytesOfFloat64,
+	}
+	out, err := mapred.Run(eng, job, rows)
+	if err != nil {
+		return nil, err
+	}
+	count := out[-1]
+	if count == 0 {
+		return nil, fmt.Errorf("rsvd: mean job saw no rows")
+	}
+	mean := make([]float64, dims)
+	for j, v := range out {
+		if j >= 0 {
+			mean[j] = v / count
+		}
+	}
+	return mean, nil
+}
+
+type meanMapper struct {
+	partial map[int]float64
+	count   float64
+}
+
+func (m *meanMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64]) {
+	for k, j := range row.Indices {
+		m.partial[j] += row.Values[k]
+	}
+	m.count++
+	out.AddOps(int64(row.NNZ()))
+}
+
+func (m *meanMapper) Cleanup(out mapred.Emitter[int, float64]) {
+	for j, v := range m.partial {
+		out.Emit(j, v)
+	}
+	out.Emit(-1, m.count)
+}
+
+// mrScratch owns every reused mapper-side buffer, indexed by task.
+type mrScratch struct {
+	proj  []*projMapper
+	bt    []*btMapper
+	mbBuf []float64
+}
+
+func newMRScratch(tasks int) *mrScratch {
+	s := &mrScratch{proj: make([]*projMapper, tasks), bt: make([]*btMapper, tasks)}
+	for i := range s.proj {
+		s.proj[i] = &projMapper{}
+		s.bt[i] = &btMapper{}
+	}
+	return s
+}
+
+// mb returns the zeroed driver-side k-vector.
+func (s *mrScratch) mb(k int) []float64 {
+	if cap(s.mbBuf) < k {
+		s.mbBuf = make([]float64, k)
+	}
+	s.mbBuf = s.mbBuf[:k]
+	for i := range s.mbBuf {
+		s.mbBuf[i] = 0
+	}
+	return s.mbBuf
+}
+
+// projMapper emits one pooled k-vector per input row. reset reclaims every
+// vector handed out by the previous job (or a failed attempt of this one).
+type projMapper struct {
+	k    int
+	b    *matrix.Dense
+	mb   []float64
+	free [][]float64
+	out  [][]float64
+}
+
+func (m *projMapper) reset(k int, b *matrix.Dense, mb []float64) {
+	if m.k != k {
+		m.free, m.out, m.k = nil, nil, k
+	}
+	m.free = append(m.free, m.out...)
+	m.out = m.out[:0]
+	m.b, m.mb = b, mb
+}
+
+func (m *projMapper) vec() []float64 {
+	var v []float64
+	if n := len(m.free); n > 0 {
+		v = m.free[n-1]
+		m.free = m.free[:n-1]
+		for i := range v {
+			v[i] = 0
+		}
+	} else {
+		v = make([]float64, m.k)
+	}
+	m.out = append(m.out, v)
+	return v
+}
+
+func (m *projMapper) Map(rec indexedRow, out mapred.Emitter[int, []float64]) {
+	p := m.vec()
+	for t, j := range rec.row.Indices {
+		matrix.AXPY(rec.row.Values[t], m.b.Row(j), p)
+	}
+	matrix.AXPY(-1, m.mb, p)
+	out.Emit(rec.idx, p)
+	out.AddOps(int64(rec.row.NNZ()*m.k + m.k))
+}
+
+func (m *projMapper) Cleanup(mapred.Emitter[int, []float64]) {}
+
+// btMapper folds B-contributions into a column-keyed map (in-mapper
+// combining) and emits once per touched column in Cleanup. Emission order is
+// the map's, which is fine: every column is emitted at most once per task,
+// and the reducer's value list is ordered by task, so the fold stays
+// deterministic.
+type btMapper struct {
+	k    int
+	q    *matrix.Dense
+	bt   map[int][]float64
+	free [][]float64
+}
+
+func (m *btMapper) reset(k int, q *matrix.Dense) {
+	if m.k != k {
+		m.bt, m.free, m.k = nil, nil, k
+	}
+	if m.bt == nil {
+		m.bt = map[int][]float64{}
+	}
+	for j, v := range m.bt {
+		m.free = append(m.free, v)
+		delete(m.bt, j)
+	}
+	m.q = q
+}
+
+func (m *btMapper) vec() []float64 {
+	if n := len(m.free); n > 0 {
+		v := m.free[n-1]
+		m.free = m.free[:n-1]
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	return make([]float64, m.k)
+}
+
+func (m *btMapper) Map(rec indexedRow, out mapred.Emitter[int, []float64]) {
+	qi := m.q.Row(rec.idx)
+	for t, j := range rec.row.Indices {
+		v := m.bt[j]
+		if v == nil {
+			v = m.vec()
+			m.bt[j] = v
+		}
+		matrix.AXPY(rec.row.Values[t], qi, v)
+	}
+	out.AddOps(int64(rec.row.NNZ() * m.k))
+}
+
+func (m *btMapper) Cleanup(out mapred.Emitter[int, []float64]) {
+	for j, v := range m.bt {
+		out.Emit(j, v)
+	}
+}

@@ -149,7 +149,7 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 			// Ω: a fresh D x k Gaussian test matrix per round, broadcast to all
 			// mappers. (Mahout cannot use sPCA's smart-guess trick — its random
 			// matrix would need as many rows as the input, §5.2.)
-			omega := matrix.NormRnd(matrix.NewRNG(opt.Seed+0x55D+uint64(round)), dims, k)
+			omega := matrix.NormRnd(matrix.NewRNG(matrix.DeriveSeed(opt.Seed, "ssvd/omega", uint64(round))), dims, k)
 			broadcastBytes(cl, "ssvd/omega", mapred.BytesOfDense(omega))
 
 			// Q job: project and orthonormalize. The projected matrix (N x k)
@@ -474,7 +474,7 @@ func sampleIdx(n, want int, seed uint64) []int {
 		}
 		return idx
 	}
-	perm := matrix.NewRNG(seed + 0xACC).Perm(n)
+	perm := matrix.NewRNG(matrix.DeriveSeed(seed, "sample", 0)).Perm(n)
 	idx := perm[:want]
 	for i := 1; i < len(idx); i++ {
 		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {

@@ -32,6 +32,7 @@ import (
 	"spca/internal/matrix"
 	"spca/internal/ppca"
 	"spca/internal/rdd"
+	"spca/internal/rsvd"
 	"spca/internal/ssvd"
 	"spca/internal/svdbidiag"
 	"spca/internal/trace"
@@ -90,6 +91,16 @@ const (
 	SVDBidiag Algorithm = "svd-bidiag"
 	// LocalPPCA is the single-machine PPCA reference (Algorithm 1).
 	LocalPPCA Algorithm = "ppca-local"
+	// RSVDMapReduce is distributed randomized SVD on the Hadoop-like engine:
+	// a seeded Gaussian range finder with QR re-orthonormalized power
+	// iterations and a small driver-side SVD. The modern sketch competitor
+	// to the iterative EM algorithms.
+	RSVDMapReduce Algorithm = "rsvd-mapreduce"
+	// RSVDSpark is the communication-optimal distributed sketch (Balcan et
+	// al.) on the Spark-like engine: each partition computes a complete
+	// local sketch and ships only a k x D block; the driver merges the
+	// stacked blocks with one small SVD.
+	RSVDSpark Algorithm = "rsvd-spark"
 )
 
 // Dataset kinds, mirroring the paper's four evaluation datasets.
@@ -270,6 +281,15 @@ type Config struct {
 	DisableAssociativeSS3       bool // §4.1 Eq. 3 multiplication order
 	// SmartGuess enables sPCA-SG initialization (§5.2).
 	SmartGuess bool
+
+	// Oversample adds extra random projections beyond Components for the
+	// sketch algorithms (RSVDMapReduce, RSVDSpark, MahoutPCA). Zero keeps
+	// each engine's default.
+	Oversample int
+	// PowerIterations sets q for the sketch algorithms. Zero keeps each
+	// engine's default; a negative value selects zero power iterations
+	// (Mahout's stock configuration).
+	PowerIterations int
 }
 
 // Result is the unified output of Fit.
@@ -282,6 +302,10 @@ type Result struct {
 	Mean []float64
 	// NoiseVariance is PPCA's fitted ss (zero for the baselines).
 	NoiseVariance float64
+	// SingularValues holds the estimated singular values of the centered
+	// data for the SVD-flavoured algorithms (RSVD family, MahoutPCA); nil
+	// for the EM family, which does not compute a spectrum.
+	SingularValues []float64
 	// Err is the final sampled relative 1-norm reconstruction error.
 	Err float64
 	// Iterations counts refinement rounds.
@@ -412,7 +436,7 @@ func (c ClusterConfig) build(alg Algorithm) cluster.Config {
 	}
 	// Spark-style engines schedule tasks far more cheaply than Hadoop's
 	// JVM-per-task model.
-	if alg == SPCASpark || alg == MLlibPCA {
+	if alg == SPCASpark || alg == MLlibPCA || alg == RSVDSpark {
 		cfg = cfg.WithTaskOverhead(0.05)
 	}
 	return cfg
@@ -525,6 +549,36 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		}
 		return attachTrace(fromPPCA(cfg.Algorithm, res), col), nil
 
+	case RSVDMapReduce:
+		opt := cfg.rsvdOptions(y)
+		opt.Tracer = tr
+		res, err := cfg.runSketchWithResume(opt, func(opt rsvd.Options) (*rsvd.Result, error) {
+			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			if err != nil {
+				return nil, err
+			}
+			return rsvd.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return attachTrace(fromRSVD(cfg.Algorithm, res), col), nil
+
+	case RSVDSpark:
+		opt := cfg.rsvdOptions(y)
+		opt.Tracer = tr
+		res, err := cfg.runSketchWithResume(opt, func(opt rsvd.Options) (*rsvd.Result, error) {
+			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			if err != nil {
+				return nil, err
+			}
+			return rsvd.FitSpark(cfg.sketchRDDContext(cl), rows, y.C, opt)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return attachTrace(fromRSVD(cfg.Algorithm, res), col), nil
+
 	case MahoutPCA:
 		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
 		if err != nil {
@@ -533,6 +587,12 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		opt := ssvd.DefaultOptions(cfg.Components)
 		opt.Seed = cfg.Seed
 		opt.MaxRounds = cfg.MaxIter
+		if cfg.Oversample > 0 {
+			opt.Oversample = cfg.Oversample
+		}
+		if cfg.PowerIterations != 0 {
+			opt.PowerIterations = max(cfg.PowerIterations, 0)
+		}
 		if cfg.TargetAccuracy > 0 {
 			opt.TargetAccuracy = cfg.TargetAccuracy
 			opt.IdealError = ppca.IdealError(y, cfg.Components, cfg.ppcaBaseOptions())
@@ -543,13 +603,14 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		out := &Result{
-			Algorithm:   cfg.Algorithm,
-			Components:  res.Components,
-			Mean:        y.ColMeans(),
-			Iterations:  res.Iterations,
-			Metrics:     res.Metrics,
-			orthonormal: true,
-			phases:      res.Phases,
+			Algorithm:      cfg.Algorithm,
+			Components:     res.Components,
+			Mean:           y.ColMeans(),
+			SingularValues: res.Singular,
+			Iterations:     res.Iterations,
+			Metrics:        res.Metrics,
+			orthonormal:    true,
+			phases:         res.Phases,
 		}
 		for _, h := range res.History {
 			out.History = append(out.History, IterationStat{
@@ -661,6 +722,16 @@ func (c Config) rddContext(cl *cluster.Cluster) *rdd.Context {
 	return ctx
 }
 
+// sketchRDDContext gives the communication-optimal sketch engine one
+// partition per node — the granularity Balcan et al.'s merge protocol
+// assumes, and what keeps its shuffle volume at s·k·D instead of scaling
+// with the task count.
+func (c Config) sketchRDDContext(cl *cluster.Cluster) *rdd.Context {
+	ctx := rdd.NewContext(cl).WithPartitions(cl.Config().Nodes)
+	ctx.SetFaultPlan(c.Faults)
+	return ctx
+}
+
 // runWithResume executes one PPCA fit attempt per driver incarnation,
 // restarting after injected driver crashes. With checkpointing enabled the
 // next incarnation resumes from the latest snapshot (or from scratch when the
@@ -705,6 +776,85 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 			return nil, fmt.Errorf("spca: resuming after driver crash: %w", lerr)
 		}
 	}
+}
+
+// runSketchWithResume is runWithResume for the randomized-sketch family:
+// one rsvd fit attempt per driver incarnation, resuming from the latest
+// round-granularity snapshot after an injected driver crash.
+func (c Config) runSketchWithResume(opt rsvd.Options, run func(rsvd.Options) (*rsvd.Result, error)) (*rsvd.Result, error) {
+	const maxRestarts = 64
+	for attempt := 0; ; attempt++ {
+		opt.Incarnation = attempt
+		opt.Tracer.SetLane(attempt)
+		res, err := run(opt)
+		var crash *cluster.DriverCrashError
+		if err == nil || !errors.As(err, &crash) {
+			return res, err
+		}
+		if !opt.Checkpoint.Enabled() {
+			return nil, err
+		}
+		if attempt >= maxRestarts {
+			return nil, fmt.Errorf("spca: driver crashed %d times, giving up: %w", attempt+1, err)
+		}
+		opt.Resume = nil
+		opt.RecoveredSeconds = crash.SimSeconds // scratch restart wastes the whole incarnation
+		snap, lerr := checkpoint.Latest(opt.Checkpoint.Dir)
+		switch {
+		case lerr == nil:
+			opt.Resume = snap
+			opt.RecoveredSeconds = 0
+			if waste := crash.SimSeconds - snap.Metrics.SimSeconds; waste > 0 {
+				opt.RecoveredSeconds = waste
+			}
+		case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
+			// Crash before the first snapshot: restart from scratch.
+		default:
+			return nil, fmt.Errorf("spca: resuming after driver crash: %w", lerr)
+		}
+	}
+}
+
+// rsvdOptions maps the user-facing Config onto the sketch-engine options.
+func (c Config) rsvdOptions(y *Sparse) rsvd.Options {
+	opt := rsvd.DefaultOptions(c.Components)
+	opt.Seed = c.Seed
+	opt.MaxRounds = c.MaxIter
+	if c.Oversample > 0 {
+		opt.Oversample = c.Oversample
+	}
+	if c.PowerIterations != 0 {
+		opt.PowerIterations = max(c.PowerIterations, 0)
+	}
+	if c.TargetAccuracy > 0 {
+		opt.TargetAccuracy = c.TargetAccuracy
+		opt.IdealError = ppca.IdealError(y, c.Components, c.ppcaBaseOptions())
+	}
+	opt.Checkpoint = rsvd.CheckpointSpec{Interval: c.Checkpoint.Interval, Dir: c.Checkpoint.Dir}
+	opt.Faults = c.Faults
+	return opt
+}
+
+func fromRSVD(alg Algorithm, res *rsvd.Result) *Result {
+	out := &Result{
+		Algorithm:      alg,
+		Components:     res.Components,
+		Mean:           res.Mean,
+		SingularValues: res.Singular,
+		Iterations:     res.Iterations,
+		Metrics:        res.Metrics,
+		orthonormal:    true,
+		phases:         res.Phases,
+	}
+	for _, h := range res.History {
+		out.History = append(out.History, IterationStat{
+			Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SimSeconds: h.SimSeconds,
+		})
+	}
+	if len(out.History) > 0 {
+		out.Err = out.History[len(out.History)-1].Err
+	}
+	return out
 }
 
 func (c Config) ppcaBaseOptions() ppca.Options {

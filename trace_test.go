@@ -13,7 +13,7 @@ import (
 
 // traceAlgorithms lists every algorithm the trace subsystem covers.
 func traceAlgorithms() []Algorithm {
-	return []Algorithm{LocalPPCA, SPCAMapReduce, SPCASpark, MahoutPCA, MLlibPCA, SVDBidiag}
+	return []Algorithm{LocalPPCA, SPCAMapReduce, SPCASpark, MahoutPCA, MLlibPCA, SVDBidiag, RSVDMapReduce, RSVDSpark}
 }
 
 func fitTraced(t *testing.T, alg Algorithm, mutate func(*Config)) *Result {
@@ -79,9 +79,11 @@ func TestTraceGoldenFingerprints(t *testing.T) {
 		LocalPPCA:     0x4f63394ba8e98f3c,
 		SPCAMapReduce: 0xeb53a8ac35bd7766,
 		SPCASpark:     0xae5704138f03fe9d,
-		MahoutPCA:     0x67e81f011c3d5ea0,
+		MahoutPCA:     0xfa1af892991a883c,
 		MLlibPCA:      0x651bd4ec61edf4da,
 		SVDBidiag:     0xa4d9058398b474f8,
+		RSVDMapReduce: 0xf4125ca1a93dbd5f,
+		RSVDSpark:     0x44065c71a7fce699,
 	}
 	for _, alg := range traceAlgorithms() {
 		first := fitTraced(t, alg, nil).Trace.Fingerprint()
