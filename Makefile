@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz-smoke trace-smoke bench bench-kernels bench-json bench-smoke experiments
+.PHONY: check vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench bench-kernels bench-json bench-smoke experiments
 
-check: vet build test race chaos fuzz-smoke trace-smoke bench-smoke
+check: vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,12 +30,22 @@ chaos:
 	echo "chaos: randomized seed $$seed (replay with SPCA_CHAOS_SEED=$$seed)"; \
 	SPCA_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' .
 
+# Data-integrity suite: payload-corruption and checkpoint-corruption
+# injection, multi-generation recovery, quarantine, and the clean-run
+# snapshot golden. Same fixed-then-randomized seed discipline as chaos.
+corrupt-smoke:
+	$(GO) test -race -count=1 -run 'TestCorrupt' .
+	@seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
+	echo "corrupt: randomized seed $$seed (replay with SPCA_CHAOS_SEED=$$seed)"; \
+	SPCA_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestCorrupt' .
+
 # Short randomized pass over the matrix-reader fuzzers (the seed corpus
 # always runs; this adds a few seconds of real mutation). Part of `make
 # check` so the parsers stay panic-free on hostile input.
 fuzz-smoke:
 	$(GO) test ./internal/matrix -run '^$$' -fuzz FuzzReadSparse$$ -fuzztime 5s
 	$(GO) test ./internal/matrix -run '^$$' -fuzz FuzzReadSparseBinary$$ -fuzztime 5s
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzReadSnapshot$$ -fuzztime 5s
 
 # End-to-end observability gate: fit with a JSONL observer, re-parse the
 # stream, and require the reconstructed trace to fingerprint identically to
@@ -54,7 +64,7 @@ bench-kernels:
 # allocations, the pooled-vs-legacy end-to-end fit A/B pairs, and the sketch
 # engines' fit paths, written to $(BENCH_JSON) for committing and diffing
 # against earlier BENCH_*.json files.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 bench-json:
 	{ $(GO) test ./internal/matrix -run '^$$' -bench BenchmarkKernelsInPlace -benchmem -benchtime 20x; \
 	  $(GO) test ./internal/ppca -run '^$$' -bench 'BenchmarkSteady|Pooled|Legacy' -benchmem -benchtime 10x; \

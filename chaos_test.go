@@ -60,7 +60,8 @@ func TestChaosModelsBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			if m := clean.Metrics; m.FailedAttempts != 0 || m.RecomputedOps != 0 ||
-				m.SpeculativeTasks != 0 || m.RecoverySeconds != 0 {
+				m.SpeculativeTasks != 0 || m.RecoverySeconds != 0 ||
+				m.CorruptPayloads != 0 || m.ReverifySeconds != 0 {
 				t.Fatalf("fault-free fit charged recovery metrics: %v", m)
 			}
 

@@ -43,6 +43,11 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream the -in file row by row (out-of-core PPCA; ignores -algo/-target)")
 		ckptDir   = flag.String("checkpoint-dir", "", "write driver checkpoints to this directory and auto-resume after a crash")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every K iterations (with -checkpoint-dir)")
+		ckptKeep  = flag.Int("keep-snapshots", 0, "checkpoint generations to retain (0 = default 3, negative = unlimited)")
+		maxAtt    = flag.Int("max-attempts", 0, "task attempts per MapReduce phase before the job fails (0 = engine default 4)")
+		corrupt   = flag.Float64("corrupt-rate", 0, "inject payload corruption: probability a task's shuffle/cache/broadcast payload arrives corrupt (detected by checksum, recovered by retry)")
+		ckptCorr  = flag.Float64("ckpt-corrupt-rate", 0, "inject checkpoint corruption: probability a written snapshot is torn or bit-flipped on disk (recovered from an older generation on resume)")
+		badBudget = flag.Int("bad-record-budget", 0, "malformed input records to skip per pass instead of failing (text inputs; 0 = strict)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of the run (open in Perfetto)")
 		saveModel = flag.String("save-model", "", "save the fitted model to this file")
 		loadModel = flag.String("load-model", "", "skip fitting; load a model saved with -save-model")
@@ -77,8 +82,17 @@ func main() {
 			DriverMemoryGB: *driver,
 		},
 	}
+	cfg.MaxAttempts = *maxAtt
+	cfg.BadRecordBudget = *badBudget
 	if *ckptDir != "" {
-		cfg.Checkpoint = spca.CheckpointSpec{Interval: *ckptEvery, Dir: *ckptDir}
+		cfg.Checkpoint = spca.CheckpointSpec{Interval: *ckptEvery, Dir: *ckptDir, Keep: *ckptKeep}
+	}
+	if *corrupt > 0 || *ckptCorr > 0 {
+		cfg.Faults = &spca.FaultPlan{
+			Seed:                     *seed,
+			CorruptionRate:           *corrupt,
+			CheckpointCorruptionRate: *ckptCorr,
+		}
 	}
 
 	if *stream {
@@ -96,6 +110,9 @@ func main() {
 		}
 		fmt.Printf("streamed fit: %d x %d components, %d iterations, final error %.6f\n",
 			res.Components.R, res.Components.C, res.Iterations, res.Err)
+		if res.SkippedRecords > 0 {
+			fmt.Printf("skipped %d malformed records per pass (budget %d)\n", res.SkippedRecords, *badBudget)
+		}
 		writeTrace(res, *traceOut)
 		var y *spca.Sparse
 		if *transform != "" {
@@ -107,7 +124,7 @@ func main() {
 		return
 	}
 
-	y, err := loadInput(*in, *dsKind, *rows, *cols, *rank, *seed)
+	y, err := loadInput(*in, *dsKind, *rows, *cols, *rank, *seed, *badBudget)
 	if err != nil {
 		fatal(err)
 	}
@@ -217,12 +234,16 @@ func finish(res *spca.Result, y *spca.Sparse, out, saveModel, transform string) 
 	}
 }
 
-func loadInput(in, dsKind string, rows, cols, rank int, seed uint64) (*spca.Sparse, error) {
+func loadInput(in, dsKind string, rows, cols, rank int, seed uint64, badBudget int) (*spca.Sparse, error) {
 	switch {
 	case in != "" && dsKind != "":
 		return nil, fmt.Errorf("use either -in or -dataset, not both")
 	case in != "":
-		return spca.LoadSparseFile(in)
+		m, skipped, err := spca.LoadSparseFileBudget(in, badBudget)
+		if skipped > 0 {
+			fmt.Printf("skipped %d malformed records in %s (budget %d)\n", skipped, in, badBudget)
+		}
+		return m, err
 	case dsKind != "":
 		return spca.NewDataset(spca.DatasetSpec{
 			Kind: spca.DatasetKind(dsKind), Rows: rows, Cols: cols, Rank: rank, Seed: seed,

@@ -8,22 +8,22 @@ import (
 )
 
 func TestLoadInputValidation(t *testing.T) {
-	if _, err := loadInput("", "", 0, 0, 0, 1); err == nil {
+	if _, err := loadInput("", "", 0, 0, 0, 1, 0); err == nil {
 		t.Fatal("expected error with neither -in nor -dataset")
 	}
-	if _, err := loadInput("x", "tweets", 10, 10, 0, 1); err == nil {
+	if _, err := loadInput("x", "tweets", 10, 10, 0, 1, 0); err == nil {
 		t.Fatal("expected error with both -in and -dataset")
 	}
-	if _, err := loadInput("", "bogus-kind", 10, 10, 0, 1); err == nil {
+	if _, err := loadInput("", "bogus-kind", 10, 10, 0, 1, 0); err == nil {
 		t.Fatal("expected error for unknown dataset kind")
 	}
-	if _, err := loadInput(filepath.Join(t.TempDir(), "missing"), "", 0, 0, 0, 1); err == nil {
+	if _, err := loadInput(filepath.Join(t.TempDir(), "missing"), "", 0, 0, 0, 1, 0); err == nil {
 		t.Fatal("expected error for missing file")
 	}
 }
 
 func TestLoadInputGenerate(t *testing.T) {
-	y, err := loadInput("", "tweets", 50, 30, 0, 7)
+	y, err := loadInput("", "tweets", 50, 30, 0, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestLoadInputFile(t *testing.T) {
 	if err := spca.SaveSparseFile(path, y, false); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadInput(path, "", 0, 0, 0, 1)
+	got, err := loadInput(path, "", 0, 0, 0, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

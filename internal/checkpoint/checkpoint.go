@@ -19,6 +19,7 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -34,8 +35,15 @@ import (
 )
 
 // Version is the current snapshot format version. Readers reject versions
-// they do not understand rather than guessing.
-const Version = 1
+// they do not understand rather than guessing. Version 2 added the FNV-64a
+// checksum trailer and the data-integrity metrics fields; version 1 files
+// (no trailer) remain readable.
+const Version = 2
+
+// DefaultKeep is the number of snapshot generations Prune retains when the
+// caller does not choose one. Three generations means a resume survives the
+// newest snapshot being corrupt (torn write, flipped bit) twice over.
+const DefaultKeep = 3
 
 // ErrNoCheckpoint is returned by Latest when the directory holds no readable
 // snapshot — the resume path treats it as "start from scratch".
@@ -161,7 +169,12 @@ func (s *Snapshot) Validate(n, dims, d int, seed uint64) error {
 		return &MismatchError{Field: "seed", Want: strconv.FormatUint(seed, 10), Got: strconv.FormatUint(s.Seed, 10)}
 	}
 	if s.C == nil || s.C.R != dims || s.C.C != d || len(s.Mean) != dims {
-		return fmt.Errorf("%w: state shapes do not match header (C %v, mean %d)", ErrBadSnapshot, s.C != nil, len(s.Mean))
+		cr, cc := 0, 0
+		if s.C != nil {
+			cr, cc = s.C.R, s.C.C
+		}
+		return fmt.Errorf("%w: state shapes do not match header (C is %dx%d, mean has %d values; want C %dx%d, mean %d)",
+			ErrBadSnapshot, cr, cc, len(s.Mean), dims, d, dims)
 	}
 	return nil
 }
@@ -171,7 +184,7 @@ func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // Write serializes s. The output is byte-deterministic for equal snapshots.
 // On success s.Bytes is set to the serialized size.
 func Write(w io.Writer, s *Snapshot) error {
-	cw := &countWriter{w: w}
+	cw := &countWriter{w: w, h: checksumOffset, hash: true}
 	bw := bufio.NewWriter(cw)
 	fmt.Fprintf(bw, "spcackpt %d\n", Version)
 	fmt.Fprintf(bw, "iter %d\n", s.Iter)
@@ -181,10 +194,11 @@ func Write(w io.Writer, s *Snapshot) error {
 	fmt.Fprintf(bw, "ss %s %s\n", ff(s.SS), ff(s.SS1))
 	fmt.Fprintf(bw, "guard %d %d\n", s.RidgeLevel, s.Rising)
 	m := s.Metrics
-	fmt.Fprintf(bw, "metrics %d %d %d %d %d %d %s %d %d %d %d %s %d %s %d\n",
+	fmt.Fprintf(bw, "metrics %d %d %d %d %d %d %s %d %d %d %d %s %d %s %d %d %s\n",
 		m.ComputeOps, m.ShuffleBytes, m.DiskBytes, m.MaterializedBytes, m.Tasks, m.Phases,
 		ff(m.SimSeconds), m.DriverPeak, m.FailedAttempts, m.RecomputedOps, m.SpeculativeTasks,
-		ff(m.RecoverySeconds), m.CheckpointBytes, ff(m.CheckpointSeconds), m.DriverRestarts)
+		ff(m.RecoverySeconds), m.CheckpointBytes, ff(m.CheckpointSeconds), m.DriverRestarts,
+		m.CorruptPayloads, ff(m.ReverifySeconds))
 	bw.WriteString("mean")
 	for _, v := range s.Mean {
 		bw.WriteByte(' ')
@@ -226,26 +240,95 @@ func Write(w io.Writer, s *Snapshot) error {
 	if err := matrix.WriteDense(cw, s.C); err != nil {
 		return err
 	}
+	// Checksum trailer: FNV-64a over every byte written so far. The trailer
+	// itself is counted in Bytes but not hashed, so the reader verifies
+	// data[:len-trailerLen] against the hex digest in the last line.
+	cw.hash = false
+	if _, err := fmt.Fprintf(cw, "checksum %016x\n", cw.h); err != nil {
+		return err
+	}
 	s.Bytes = cw.n
 	return nil
 }
 
+// trailerLen is the byte length of the v2 checksum trailer line:
+// "checksum " + 16 hex digits + "\n".
+const trailerLen = len("checksum ") + 16 + 1
+
+// checksumOffset/checksumPrime are the FNV-64a parameters for the snapshot
+// body checksum.
+const (
+	checksumOffset = 14695981039346656037
+	checksumPrime  = 1099511628211
+)
+
 type countWriter struct {
-	w io.Writer
-	n int64
+	w    io.Writer
+	n    int64
+	h    uint64
+	hash bool
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
+	if c.hash {
+		for _, b := range p[:n] {
+			c.h ^= uint64(b)
+			c.h *= checksumPrime
+		}
+	}
 	c.n += int64(n)
 	return n, err
 }
 
 // Read parses a snapshot written by Write, returning errors that wrap
-// ErrBadSnapshot for any malformed input. s.Bytes is NOT set (the reader may
-// not be a file); Save/Latest set it from the file size.
+// ErrBadSnapshot for any malformed input. Version-2 files carry a whole-file
+// FNV-64a checksum trailer that is verified before any field is parsed, so a
+// flipped bit or torn write anywhere in the file is detected up front;
+// version-1 files (no trailer) remain readable. s.Bytes is NOT set (the
+// reader may not be a file); Save/Latest set it from the file size.
 func Read(r io.Reader) (*Snapshot, error) {
-	sc := bufio.NewScanner(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading snapshot: %v", ErrBadSnapshot, err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: truncated before header", ErrBadSnapshot)
+	}
+	hdr := string(data[:nl])
+	var ver int
+	if _, err := fmt.Sscanf(hdr, "spcackpt %d", &ver); err != nil {
+		return nil, fmt.Errorf("%w: bad header %q", ErrBadSnapshot, hdr)
+	}
+	if ver < 1 || ver > Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrBadSnapshot, ver, Version)
+	}
+	body := data
+	if ver >= 2 {
+		if len(data) < trailerLen {
+			return nil, fmt.Errorf("%w: truncated before checksum trailer", ErrBadSnapshot)
+		}
+		body = data[:len(data)-trailerLen]
+		trailer := data[len(data)-trailerLen:]
+		if !bytes.HasPrefix(trailer, []byte("checksum ")) || trailer[trailerLen-1] != '\n' {
+			return nil, fmt.Errorf("%w: missing checksum trailer", ErrBadSnapshot)
+		}
+		want, perr := strconv.ParseUint(string(trailer[len("checksum "):trailerLen-1]), 16, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("%w: bad checksum trailer %q", ErrBadSnapshot, string(trailer[:trailerLen-1]))
+		}
+		h := uint64(checksumOffset)
+		for _, b := range body {
+			h ^= uint64(b)
+			h *= checksumPrime
+		}
+		if h != want {
+			return nil, fmt.Errorf("%w: checksum mismatch (trailer says %016x, body hashes to %016x)", ErrBadSnapshot, want, h)
+		}
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(body))
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	line := func(what string) (string, error) {
 		if !sc.Scan() {
@@ -256,17 +339,8 @@ func Read(r io.Reader) (*Snapshot, error) {
 		}
 		return sc.Text(), nil
 	}
-
-	hdr, err := line("header")
-	if err != nil {
+	if _, err := line("header"); err != nil {
 		return nil, err
-	}
-	var ver int
-	if _, err := fmt.Sscanf(hdr, "spcackpt %d", &ver); err != nil {
-		return nil, fmt.Errorf("%w: bad header %q", ErrBadSnapshot, hdr)
-	}
-	if ver != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrBadSnapshot, ver, Version)
 	}
 
 	s := &Snapshot{}
@@ -318,14 +392,18 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	mf := strings.Fields(ml)
-	if len(mf) != 16 || mf[0] != "metrics" {
+	wantMetrics := 18 // v2 appended CorruptPayloads and ReverifySeconds
+	if ver == 1 {
+		wantMetrics = 16
+	}
+	if len(mf) != wantMetrics || mf[0] != "metrics" {
 		return nil, fmt.Errorf("%w: bad metrics line %q", ErrBadSnapshot, ml)
 	}
 	m := &s.Metrics
 	ints := []*int64{&m.ComputeOps, &m.ShuffleBytes, &m.DiskBytes, &m.MaterializedBytes, &m.Tasks, &m.Phases,
 		nil, &m.DriverPeak, &m.FailedAttempts, &m.RecomputedOps, &m.SpeculativeTasks,
-		nil, &m.CheckpointBytes, nil, &m.DriverRestarts}
-	floats := map[int]*float64{6: &m.SimSeconds, 11: &m.RecoverySeconds, 13: &m.CheckpointSeconds}
+		nil, &m.CheckpointBytes, nil, &m.DriverRestarts, &m.CorruptPayloads, nil}
+	floats := map[int]*float64{6: &m.SimSeconds, 11: &m.RecoverySeconds, 13: &m.CheckpointSeconds, 16: &m.ReverifySeconds}
 	for i, field := range mf[1:] {
 		if fp, ok := floats[i]; ok {
 			if *fp, err = parseF(field); err != nil {
@@ -528,18 +606,83 @@ func Save(dir string, s *Snapshot) (int64, error) {
 	return s.Bytes, nil
 }
 
-// Latest loads the highest-iteration snapshot in dir. It returns
-// ErrNoCheckpoint when the directory is missing or holds no snapshot files;
-// an unreadable or corrupt latest snapshot is an error (silently resuming
-// from an older one would change the iteration trajectory's cost accounting
-// in a way the caller should decide about, not this package).
-func Latest(dir string) (*Snapshot, error) {
+// Corrupt damages the snapshot file at path in place, simulating the two
+// storage failure modes the scan path must survive: a torn write (the file
+// truncated at offset, as if the machine died mid-flush of a non-atomic
+// writer) or a flipped bit (the low bit of the byte at offset XOR-ed, as
+// silent media corruption). offset is clamped into the file. It exists for
+// fault injection (FaultPlan.SnapshotCorrupt) and tests; production code
+// never calls it.
+func Corrupt(path string, torn bool, offset int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= size {
+		offset = size - 1
+	}
+	if torn {
+		return os.Truncate(path, offset)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, offset); err != nil {
+		return err
+	}
+	b[0] ^= 0x01
+	_, err = f.WriteAt(b, offset)
+	return err
+}
+
+// QuarantinedSnapshot records one snapshot file that failed verification
+// during a Latest/LatestReport scan and was renamed aside.
+type QuarantinedSnapshot struct {
+	Name  string // original file name (ckpt-NNNNNN.spck)
+	Path  string // current path after the quarantine rename
+	Err   error  // why it was rejected (wraps ErrBadSnapshot)
+	Bytes int64  // on-disk size of the bad file
+}
+
+// ScanReport describes what a LatestReport scan found: which snapshot files
+// (newest first) failed verification and were quarantined before a verifiable
+// generation was reached.
+type ScanReport struct {
+	Quarantined []QuarantinedSnapshot
+}
+
+// quarantineSuffix is appended to a bad snapshot's file name. The renamed
+// file no longer matches the ckpt-*.spck filter, so later scans, Prune, and
+// resume never look at it again, but the evidence stays on disk for
+// inspection instead of being deleted.
+const quarantineSuffix = ".quarantined"
+
+// LatestReport loads the newest *verifiable* snapshot in dir, scanning
+// generations newest-to-oldest. A generation that fails to parse (torn write,
+// flipped bit, bad version) is renamed aside with a ".quarantined" suffix and
+// recorded in the report, and the scan falls back to the next-older
+// generation — this is what multi-generation retention (Prune/DefaultKeep)
+// buys. It returns ErrNoCheckpoint when the directory is missing, holds no
+// snapshot files, or every generation was quarantined (the caller starts from
+// scratch); the report is non-nil in every case.
+func LatestReport(dir string) (*Snapshot, *ScanReport, error) {
+	report := &ScanReport{}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, ErrNoCheckpoint
+			return nil, report, ErrNoCheckpoint
 		}
-		return nil, err
+		return nil, report, err
 	}
 	var names []string
 	for _, e := range entries {
@@ -549,21 +692,94 @@ func Latest(dir string) (*Snapshot, error) {
 		}
 	}
 	if len(names) == 0 {
-		return nil, ErrNoCheckpoint
+		return nil, report, ErrNoCheckpoint
 	}
 	sort.Strings(names)
-	path := filepath.Join(dir, names[len(names)-1])
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		s, size, rerr := readFile(path)
+		if rerr == nil {
+			return s, report, nil
+		}
+		if !errors.Is(rerr, ErrBadSnapshot) {
+			// A real I/O error (permissions, disappearing directory) is not
+			// corruption; surface it rather than quarantining sound data.
+			return nil, report, rerr
+		}
+		qpath := path + quarantineSuffix
+		if err := os.Rename(path, qpath); err != nil {
+			return nil, report, fmt.Errorf("quarantining %s: %v (rejected because: %w)", path, err, rerr)
+		}
+		report.Quarantined = append(report.Quarantined, QuarantinedSnapshot{
+			Name:  names[i],
+			Path:  qpath,
+			Err:   rerr,
+			Bytes: size,
+		})
+	}
+	return nil, report, ErrNoCheckpoint
+}
+
+// readFile opens and parses one snapshot file, returning its on-disk size
+// even when parsing fails (for quarantine reporting).
+func readFile(path string) (*Snapshot, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
+	var size int64
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
 	s, err := Read(f)
 	if err != nil {
-		return nil, fmt.Errorf("reading %s: %w", path, err)
+		return nil, size, fmt.Errorf("reading %s: %w", path, err)
 	}
-	if fi, err := f.Stat(); err == nil {
-		s.Bytes = fi.Size()
+	s.Bytes = size
+	return s, size, nil
+}
+
+// Latest loads the newest verifiable snapshot in dir, quarantining any newer
+// corrupt generations along the way (see LatestReport, which also returns
+// what was quarantined). It returns ErrNoCheckpoint when no generation is
+// usable.
+func Latest(dir string) (*Snapshot, error) {
+	s, _, err := LatestReport(dir)
+	return s, err
+}
+
+// Prune removes the oldest snapshot generations in dir beyond the newest
+// keep, so a long run does not accumulate unbounded checkpoint files while
+// still retaining enough history for LatestReport to fall back over corrupt
+// generations. keep <= 0 means DefaultKeep. Quarantined files are never
+// pruned. Missing directories are fine (nothing to prune).
+func Prune(dir string, keep int) error {
+	if keep <= 0 {
+		keep = DefaultKeep
 	}
-	return s, nil
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".spck") {
+			names = append(names, n)
+		}
+	}
+	if len(names) <= keep {
+		return nil
+	}
+	sort.Strings(names)
+	for _, n := range names[:len(names)-keep] {
+		if err := os.Remove(filepath.Join(dir, n)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

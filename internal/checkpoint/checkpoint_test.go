@@ -37,6 +37,7 @@ func sampleSnapshot(iter int) *Snapshot {
 			SimSeconds: 12.34567890123, DriverPeak: 1 << 20,
 			FailedAttempts: 1, RecomputedOps: 11, RecoverySeconds: 0.5,
 			CheckpointBytes: 100, CheckpointSeconds: 1e-6, DriverRestarts: 1,
+			CorruptPayloads: 3, ReverifySeconds: 0.75,
 		},
 		History: []HistoryEntry{
 			{Iter: 1, Err: 2.5, Accuracy: 0.1, SS: 1.5, SimSeconds: 3.25},
@@ -153,20 +154,70 @@ func TestSaveLatest(t *testing.T) {
 	}
 }
 
+// toV1 rewrites a serialized v2 snapshot into the v1 layout: version-1
+// header, no checksum trailer, and the 15-value metrics line (the two
+// data-integrity values did not exist yet). Used to exercise back-compat and
+// the structural parse errors the v2 checksum would otherwise mask.
+func toV1(t testing.TB, text string) string {
+	t.Helper()
+	if len(text) < trailerLen || !strings.HasPrefix(text[len(text)-trailerLen:], "checksum ") {
+		t.Fatal("serialized snapshot has no checksum trailer")
+	}
+	body := text[:len(text)-trailerLen]
+	lines := strings.Split(body, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "metrics ") {
+			f := strings.Fields(l)
+			lines[i] = strings.Join(f[:len(f)-2], " ")
+		}
+	}
+	return strings.Replace(strings.Join(lines, "\n"), "spcackpt 2", "spcackpt 1", 1)
+}
+
+// TestReadV1 locks in back-compat: a version-1 file (no trailer, shorter
+// metrics line) still parses, with the new metrics fields zero.
+func TestReadV1(t *testing.T) {
+	s := sampleSnapshot(7)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(toV1(t, buf.String())))
+	if err != nil {
+		t.Fatalf("Read(v1): %v", err)
+	}
+	if got.Metrics.CorruptPayloads != 0 || got.Metrics.ReverifySeconds != 0 {
+		t.Fatalf("v1 snapshot has data-integrity metrics: %d / %g", got.Metrics.CorruptPayloads, got.Metrics.ReverifySeconds)
+	}
+	s.Metrics.CorruptPayloads, s.Metrics.ReverifySeconds = 0, 0
+	got.Bytes = s.Bytes
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("v1 round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
 func TestReadRejectsCorruption(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Write(&buf, sampleSnapshot(7)); err != nil {
 		t.Fatal(err)
 	}
 	text := buf.String()
+	v1 := toV1(t, text)
+	flipped := []byte(text)
+	flipped[len(flipped)/3] ^= 0x01
 	cases := map[string]string{
-		"empty":       "",
-		"bad header":  "nonsense\n",
-		"bad version": strings.Replace(text, "spcackpt 1", "spcackpt 99", 1),
-		"truncated":   text[:len(text)/2],
-		"bad float":   strings.Replace(text, "ss ", "ss x", 1),
+		"empty":           "",
+		"bad header":      "nonsense\n",
+		"bad version":     strings.Replace(text, "spcackpt 2", "spcackpt 99", 1),
+		"truncated":       text[:len(text)/2],
+		"flipped bit":     string(flipped),
+		"missing trailer": text[:len(text)-trailerLen],
+		// Structural damage to a v1 body (no checksum) exercises the parse
+		// errors directly rather than the trailer check.
+		"v1 truncated": v1[:len(v1)/2],
+		"v1 bad float": strings.Replace(v1, "ss ", "ss x", 1),
 		// C.Data[0] serializes as "0.001 "; swap it for NaN.
-		"nonfinite C": strings.Replace(text, "0.001 ", "NaN ", 1),
+		"v1 nonfinite C": strings.Replace(v1, "0.001 ", "NaN ", 1),
 	}
 	for name, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
@@ -174,6 +225,111 @@ func TestReadRejectsCorruption(t *testing.T) {
 		} else if !errors.Is(err, ErrBadSnapshot) {
 			t.Errorf("%s: error %v does not wrap ErrBadSnapshot", name, err)
 		}
+	}
+}
+
+// TestCorruptAndQuarantine drives the multi-generation degradation path: the
+// newest snapshot gets a flipped bit, the next a torn write, and LatestReport
+// must fall back to the oldest intact generation while renaming the bad files
+// aside (not deleting them) exactly once.
+func TestCorruptAndQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	for _, iter := range []int{1, 2, 3} {
+		if _, err := Save(dir, sampleSnapshot(iter)); err != nil {
+			t.Fatalf("Save(%d): %v", iter, err)
+		}
+	}
+	if err := Corrupt(filepath.Join(dir, FileName(3)), false, 40); err != nil {
+		t.Fatalf("Corrupt(bit flip): %v", err)
+	}
+	if err := Corrupt(filepath.Join(dir, FileName(2)), true, 30); err != nil {
+		t.Fatalf("Corrupt(torn): %v", err)
+	}
+	s, report, err := LatestReport(dir)
+	if err != nil {
+		t.Fatalf("LatestReport: %v", err)
+	}
+	if s.Iter != 1 {
+		t.Fatalf("resumed from iter %d, want 1", s.Iter)
+	}
+	if len(report.Quarantined) != 2 {
+		t.Fatalf("quarantined %d files, want 2: %+v", len(report.Quarantined), report.Quarantined)
+	}
+	if report.Quarantined[0].Name != FileName(3) || report.Quarantined[1].Name != FileName(2) {
+		t.Fatalf("quarantine order wrong: %+v", report.Quarantined)
+	}
+	for _, q := range report.Quarantined {
+		if !errors.Is(q.Err, ErrBadSnapshot) {
+			t.Errorf("%s: quarantine error %v does not wrap ErrBadSnapshot", q.Name, q.Err)
+		}
+		if _, err := os.Stat(q.Path); err != nil {
+			t.Errorf("quarantined file %s missing: %v", q.Path, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, q.Name)); !os.IsNotExist(err) {
+			t.Errorf("original %s still present after quarantine", q.Name)
+		}
+	}
+	// A second scan sees only the intact generation and quarantines nothing.
+	s2, report2, err := LatestReport(dir)
+	if err != nil {
+		t.Fatalf("second LatestReport: %v", err)
+	}
+	if s2.Iter != 1 || len(report2.Quarantined) != 0 {
+		t.Fatalf("second scan: iter %d, %d quarantined; want 1, 0", s2.Iter, len(report2.Quarantined))
+	}
+}
+
+func TestLatestAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, sampleSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Corrupt(filepath.Join(dir, FileName(1)), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := LatestReport(dir)
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("LatestReport(all corrupt) = %v, want ErrNoCheckpoint", err)
+	}
+	if len(report.Quarantined) != 1 {
+		t.Fatalf("quarantined %d files, want 1", len(report.Quarantined))
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for iter := 1; iter <= 5; iter++ {
+		if _, err := Save(dir, sampleSnapshot(iter)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("after Prune(keep=2): %v", names)
+	}
+	got, err := Latest(dir)
+	if err != nil || got.Iter != 5 {
+		t.Fatalf("Latest after prune: iter %d, err %v; want 5, nil", got.Iter, err)
+	}
+	// keep <= 0 means DefaultKeep; with 2 files left it is a no-op.
+	if err := Prune(dir, 0); err != nil {
+		t.Fatalf("Prune(0): %v", err)
+	}
+	if got, _ := Latest(dir); got == nil || got.Iter != 5 {
+		t.Fatal("Prune(0) removed files it should have kept")
+	}
+	if err := Prune(filepath.Join(dir, "missing"), 3); err != nil {
+		t.Fatalf("Prune(missing dir): %v", err)
 	}
 }
 

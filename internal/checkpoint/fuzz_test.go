@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSnapshot hammers the snapshot parser the same way the matrix
+// fuzzers hammer the matrix readers: any input may be rejected (with an error
+// wrapping ErrBadSnapshot), but none may panic, and any accepted input must
+// re-serialize and re-parse to the same state.
+func FuzzReadSnapshot(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot(7)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-body
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x01
+	f.Add(flipped)                         // flipped bit (checksum must catch)
+	f.Add([]byte(toV1(f, string(valid))))  // valid v1 (no trailer)
+	f.Add(valid[:len(valid)-trailerLen])   // trailer sheared off
+	f.Add([]byte("spcackpt 2\n"))          // header only
+	f.Add([]byte("spcackpt 99\niter 1\n")) // future version
+	f.Add([]byte("nonsense\n"))            // not a snapshot at all
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if s.C == nil || len(s.Mean) != s.Dims || s.C.R != s.Dims || s.C.C != s.D {
+			t.Fatalf("accepted snapshot with inconsistent shapes: C=%v mean=%d dims=%d d=%d",
+				s.C != nil, len(s.Mean), s.Dims, s.D)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, s); err != nil {
+			t.Fatalf("re-serializing accepted snapshot: %v", err)
+		}
+		s2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing own output: %v", err)
+		}
+		if s2.Iter != s.Iter || s2.Seed != s.Seed || s2.Dims != s.Dims || s2.D != s.D {
+			t.Fatalf("round-trip changed identity: %+v -> %+v", s, s2)
+		}
+	})
+}
+
+// fuzzSeedV1 guards the toV1 helper against drifting out of sync with the
+// writer: its output must actually parse as version 1.
+func TestFuzzSeedV1Parses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(strings.NewReader(toV1(t, buf.String()))); err != nil {
+		t.Fatalf("v1 seed corpus does not parse: %v", err)
+	}
+}

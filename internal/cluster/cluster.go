@@ -118,6 +118,13 @@ type PhaseStats struct {
 	RecoveryDiskBytes int64 // bytes re-read/re-written purely to recover lost state
 	SpeculativeTasks  int64 // backup copies launched against stragglers
 	StragglerOps      int64 // extra serial op-time of unmitigated stragglers (one slow core)
+
+	// Data-integrity charges. CorruptPayloads counts payloads whose checksum
+	// failed verification at consume time; ReverifyBytes counts the bytes
+	// re-transferred to replace them (priced at network rate on top of the
+	// producing attempt's re-execution, which lands in RecomputedOps).
+	CorruptPayloads int64
+	ReverifyBytes   int64
 }
 
 // Metrics aggregates the charges of a full algorithm run. ComputeOps and
@@ -142,6 +149,14 @@ type Metrics struct {
 	SpeculativeTasks int64   // backup copies launched against stragglers
 	RecoverySeconds  float64 // simulated time attributable to fault recovery
 
+	// Data-integrity accounting. CorruptPayloads counts payloads (shuffle
+	// outputs, cached partitions, broadcast blocks, checkpoint generations)
+	// that failed checksum verification; ReverifySeconds is the simulated
+	// time spent re-transferring and re-verifying them. Both stay exactly
+	// zero in a corruption-free run — the chaos suite asserts this.
+	CorruptPayloads int64
+	ReverifySeconds float64
+
 	// Driver-durability accounting. CheckpointBytes/CheckpointSeconds charge
 	// the periodic EM driver snapshots written to durable storage (zero when
 	// checkpointing is disabled); DriverRestarts counts crash/resume cycles.
@@ -163,6 +178,9 @@ func (m Metrics) String() string {
 		m.SimSeconds, FormatBytes(m.ShuffleBytes), FormatBytes(m.DiskBytes),
 		FormatBytes(m.MaterializedBytes), m.ComputeOps, m.Tasks, FormatBytes(m.DriverPeak),
 		m.FailedAttempts, m.RecomputedOps, m.SpeculativeTasks, m.RecoverySeconds)
+	if m.CorruptPayloads > 0 {
+		s += fmt.Sprintf(" corrupt=%d reverify=%.1fs", m.CorruptPayloads, m.ReverifySeconds)
+	}
 	if m.CheckpointBytes > 0 || m.DriverRestarts > 0 {
 		s += fmt.Sprintf(" ckpt=%s ckptTime=%.1fs restarts=%d",
 			FormatBytes(m.CheckpointBytes), m.CheckpointSeconds, m.DriverRestarts)
@@ -238,6 +256,9 @@ func (c *Cluster) TotalCores() int { return c.cfg.TotalCores() }
 func (c *Cluster) RunPhase(p PhaseStats) {
 	t, rec := c.cfg.PhaseCost(p)
 	t += rec
+	// The reverify component of rec, recomputed with the identical float
+	// expression PhaseCost uses so the split is bit-exact.
+	rev := float64(p.ReverifyBytes) / c.cfg.NetworkBps
 
 	c.mu.Lock()
 	start := c.metrics.SimSeconds
@@ -250,6 +271,8 @@ func (c *Cluster) RunPhase(p PhaseStats) {
 	c.metrics.RecomputedOps += p.RecomputedOps
 	c.metrics.SpeculativeTasks += p.SpeculativeTasks
 	c.metrics.RecoverySeconds += rec
+	c.metrics.CorruptPayloads += p.CorruptPayloads
+	c.metrics.ReverifySeconds += rev
 	c.metrics.Phases++
 	c.metrics.SimSeconds += t
 	end := c.metrics.SimSeconds
@@ -270,7 +293,8 @@ func (c *Cluster) RunPhase(p PhaseStats) {
 			trace.I("records", p.Records),
 		}
 		faulted := p.FailedAttempts != 0 || p.RecomputedOps != 0 ||
-			p.RecoveryDiskBytes != 0 || p.SpeculativeTasks != 0 || p.StragglerOps != 0
+			p.RecoveryDiskBytes != 0 || p.SpeculativeTasks != 0 || p.StragglerOps != 0 ||
+			p.CorruptPayloads != 0 || p.ReverifyBytes != 0
 		if faulted || rec != 0 {
 			attrs = append(attrs,
 				trace.F("recovery_seconds", rec),
@@ -281,12 +305,24 @@ func (c *Cluster) RunPhase(p PhaseStats) {
 				trace.I("straggler_ops", p.StragglerOps),
 			)
 		}
+		if p.CorruptPayloads != 0 || p.ReverifyBytes != 0 {
+			attrs = append(attrs,
+				trace.I("corrupt_payloads", p.CorruptPayloads),
+				trace.I("reverify_bytes", p.ReverifyBytes),
+				trace.F("reverify_seconds", rev),
+			)
+		}
 		id := tr.Emit(p.Name, trace.KindPhase, start, end, attrs...)
 		if faulted {
 			tr.EventAt("recovery", end, id,
 				trace.I("failed_attempts", p.FailedAttempts),
 				trace.I("speculative_tasks", p.SpeculativeTasks),
 				trace.F("recovery_seconds", rec))
+		}
+		if p.CorruptPayloads != 0 {
+			tr.EventAt("corruption-detected", end, id,
+				trace.I("corrupt_payloads", p.CorruptPayloads),
+				trace.I("reverify_bytes", p.ReverifyBytes))
 		}
 	}
 }
@@ -311,7 +347,11 @@ func (c Config) PhaseCost(p PhaseStats) (useful, recovery float64) {
 	rec := float64(p.RecomputedOps) / (cores * c.FlopsPerCore)
 	rec += float64(p.RecoveryDiskBytes) / c.DiskBps
 	rec += float64(p.StragglerOps) / c.FlopsPerCore
-	if n := p.FailedAttempts + p.SpeculativeTasks; n > 0 {
+	// Corrupted payloads are re-transferred over the interconnect once their
+	// producing attempt has been re-executed (the re-execution itself rides
+	// in RecomputedOps), and each one costs a retry scheduling wave below.
+	rec += float64(p.ReverifyBytes) / c.NetworkBps
+	if n := p.FailedAttempts + p.SpeculativeTasks + p.CorruptPayloads; n > 0 {
 		waves := (n + int64(cores) - 1) / int64(cores)
 		rec += float64(waves) * c.TaskOverhead
 	}

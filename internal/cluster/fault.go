@@ -51,6 +51,25 @@ type FaultPlan struct {
 	// succeeds). Zero defers to the engine's own default.
 	MaxAttempts int
 
+	// CorruptionRate is the per-(phase, task, attempt) probability that a
+	// committed payload — a map task's shuffle output, a reduce task's
+	// result, a cached RDD partition, or a broadcast block — is silently
+	// corrupted in flight (bit flip or truncation). The engines detect the
+	// corruption via FNV-64 payload checksums at consume time and convert it
+	// into a re-execution of the producing attempt, so fitted models stay
+	// bit-identical with corruption on or off; the detection and re-execution
+	// cost is charged to CorruptPayloads/ReverifySeconds.
+	CorruptionRate float64
+
+	// CheckpointCorruptionRate is the per-generation probability that a
+	// driver snapshot file is corrupted after it reaches durable storage
+	// (a flipped bit, or a torn partial write — SnapshotTorn decides which).
+	// The resume path detects it via the snapshot checksum trailer,
+	// quarantines the bad generation, and falls back to the previous one.
+	// Like DriverCrashIters this is driver-level injection and deliberately
+	// excluded from Enabled().
+	CheckpointCorruptionRate float64
+
 	// DriverCrashIters schedules driver crashes: the i-th driver incarnation
 	// (0-based) crashes at the end of EM iteration DriverCrashIters[i], after
 	// any checkpoint due at that iteration has been written. Incarnation
@@ -67,7 +86,8 @@ type FaultPlan struct {
 // Driver crashes are deliberately excluded: they are handled by the EM driver
 // itself, not by the task schedulers that consult Enabled.
 func (f *FaultPlan) Enabled() bool {
-	return f != nil && (f.TaskFailureRate > 0 || f.NodeLossRate > 0 || f.StragglerRate > 0)
+	return f != nil && (f.TaskFailureRate > 0 || f.NodeLossRate > 0 || f.StragglerRate > 0 ||
+		f.CorruptionRate > 0)
 }
 
 // DriverCrashAt reports whether the given driver incarnation (0-based) is
@@ -101,6 +121,48 @@ func (f *FaultPlan) Straggles(phase string, task, att int) bool {
 		return false
 	}
 	return f.draw('S', phase, task, att) < f.StragglerRate
+}
+
+// PayloadCorrupt decides whether the payload committed by attempt att
+// (1-based) of task in phase is corrupted before its consumer reads it. The
+// 'C' kind byte keeps the corruption stream decorrelated from the
+// failure/node-loss/straggler streams, so arming corruption does not perturb
+// any existing fault decision.
+func (f *FaultPlan) PayloadCorrupt(phase string, task, att int) bool {
+	if f == nil || f.CorruptionRate <= 0 {
+		return false
+	}
+	return f.draw('C', phase, task, att) < f.CorruptionRate
+}
+
+// SnapshotCorrupt decides whether the checkpoint generation written at EM
+// iteration iter is corrupted on durable storage.
+func (f *FaultPlan) SnapshotCorrupt(iter int) bool {
+	if f == nil || f.CheckpointCorruptionRate <= 0 {
+		return false
+	}
+	return f.draw('K', "ckpt", iter, 0) < f.CheckpointCorruptionRate
+}
+
+// SnapshotTorn decides, for a generation SnapshotCorrupt selected, whether
+// the corruption is a torn partial write (file truncated mid-stream) rather
+// than a flipped bit. Both are detected identically by the checksum trailer;
+// the torn case additionally exercises the truncation paths of the reader.
+func (f *FaultPlan) SnapshotTorn(iter int) bool {
+	if f == nil {
+		return false
+	}
+	return f.draw('T', "ckpt", iter, 0) < 0.5
+}
+
+// CorruptOffset returns a deterministic offset in [0, n) at which to damage a
+// payload of n bytes (the flipped bit / truncation point), derived from the
+// same seed discipline as every other fault decision.
+func (f *FaultPlan) CorruptOffset(phase string, iter int, n int64) int64 {
+	if f == nil || n <= 0 {
+		return 0
+	}
+	return int64(f.draw('O', phase, iter, 0) * float64(n))
 }
 
 // SlowFactor returns the straggler slowdown multiple (>= 1).

@@ -83,6 +83,10 @@ type Ops interface{ AddOps(n int64) }
 // mapred.map.max.attempts is exhausted.
 var ErrTaskFailed = errors.New("mapred: task failed after max attempts")
 
+// ErrCorruptPayload re-exports the cluster sentinel for checksum failures on
+// this engine's shuffle and reduce-output payloads.
+var ErrCorruptPayload = cluster.ErrCorruptPayload
+
 // Engine runs jobs against a simulated cluster.
 type Engine struct {
 	Cluster *cluster.Cluster
@@ -262,6 +266,63 @@ func sumFaults(stats *cluster.PhaseStats, faults []taskFaults) {
 	}
 }
 
+// payloadSize walks one task's map output, returning its total modeled wire
+// size and its order-independent checksum. The producing attempt stamps the
+// digest at commit time; the shuffle recomputes it at consume time and the
+// two must match — the simulated equivalent of checksumming a payload before
+// and after it crosses the wire.
+func payloadSize[I any, K comparable, V any, R any](job *Job[I, K, V, R], pairs map[K][]V, vals map[K]V) (int64, uint64) {
+	var total int64
+	var dig cluster.PayloadDigest
+	for k, vs := range pairs {
+		var kb int64 = 8
+		if job.KeyBytes != nil {
+			kb = job.KeyBytes(k)
+		}
+		for _, v := range vs {
+			var vb int64 = 8
+			if job.ValueBytes != nil {
+				vb = job.ValueBytes(v)
+			}
+			total += kb + vb
+			dig.Add(kb, vb)
+		}
+	}
+	for k, v := range vals {
+		var kb int64 = 8
+		if job.KeyBytes != nil {
+			kb = job.KeyBytes(k)
+		}
+		var vb int64 = 8
+		if job.ValueBytes != nil {
+			vb = job.ValueBytes(v)
+		}
+		total += kb + vb
+		dig.Add(kb, vb)
+	}
+	return total, dig.Sum()
+}
+
+// chargeCorruptFetches applies the plan's payload-corruption decisions to one
+// committed task payload: each corrupted fetch re-executes the producing
+// attempt (ops re-charged) and re-ships the payload (bytes re-charged),
+// bounded by maxAtt re-fetches. It returns false when every re-fetch came
+// back corrupted — the terminal, unrecoverable case.
+func chargeCorruptFetches(stats *cluster.PhaseStats, plan *cluster.FaultPlan, phase string, task, att, maxAtt int, ops, bytes int64) bool {
+	if plan == nil || plan.CorruptionRate <= 0 {
+		return true
+	}
+	for re := 0; re < maxAtt; re++ {
+		if !plan.PayloadCorrupt(phase, task, att+re) {
+			return true
+		}
+		stats.CorruptPayloads++
+		stats.ReverifyBytes += bytes
+		stats.RecomputedOps += ops
+	}
+	return false
+}
+
 // Run executes the job over the input records and returns the reduce output
 // per key. It is the moral equivalent of submitting a job to a Hadoop
 // cluster and reading its part files back. Under an active FaultPlan, failed
@@ -287,9 +348,12 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 
 	// ---- Map phase ----
 	type taskOut struct {
-		pairs map[K][]V
-		vals  map[K]V
-		ops   int64
+		pairs  map[K][]V
+		vals   map[K]V
+		ops    int64
+		att    int    // 1-based attempt that committed this output
+		bytes  int64  // modeled wire size of the output
+		digest uint64 // checksum stamped by the committing attempt
 	}
 	outs := make([]taskOut, splits)
 	mapFaults := make([]taskFaults, splits)
@@ -331,6 +395,8 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 				outs[task].pairs = em.pairs
 				outs[task].vals = em.vals
 				outs[task].ops = em.ops
+				outs[task].att = att
+				outs[task].bytes, outs[task].digest = payloadSize(&job, em.pairs, em.vals)
 				tf.chargeStraggler(plan, mapPhase, task, att, em.ops)
 				return
 			}
@@ -384,34 +450,44 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 		}
 	}
 
-	// ---- Shuffle: group map output by key, counting bytes ----
+	// ---- Shuffle: verify each task's payload checksum, group map output by
+	// key, counting bytes ----
 	var shuffleBytes int64
 	grouped := make(map[K][]V)
-	for _, o := range outs {
+	for t := range outs {
+		o := &outs[t]
+		// Consume-side verification: recompute the digest the committing
+		// attempt stamped. A mismatch means the output was damaged between
+		// commit and shuffle — a real integrity violation, not an injected
+		// one — and fails the job with the typed sentinel.
+		tb, sum := payloadSize(&job, o.pairs, o.vals)
+		if tb != o.bytes || sum != o.digest {
+			mapStats.ComputeOps = mapOps
+			mapStats.CorruptPayloads++
+			e.Cluster.RunPhase(mapStats)
+			if tr != nil {
+				tr.End(trace.I("failed", 1))
+			}
+			return nil, fmt.Errorf("%w: job %q map task %d shuffle payload",
+				ErrCorruptPayload, job.Name, t)
+		}
+		// Injected corruption: the plan decides whether this payload arrives
+		// corrupted; each detected corruption re-executes the mapper and
+		// re-ships the payload, up to maxAtt re-fetches.
+		if !chargeCorruptFetches(&mapStats, plan, mapPhase, t, o.att, maxAtt, o.ops, tb) {
+			mapStats.ComputeOps = mapOps
+			e.Cluster.RunPhase(mapStats)
+			if tr != nil {
+				tr.End(trace.I("failed", 1))
+			}
+			return nil, fmt.Errorf("%w: job %q map task %d payload corrupt after %d re-fetches",
+				ErrCorruptPayload, job.Name, t, maxAtt)
+		}
+		shuffleBytes += tb
 		for k, vs := range o.pairs {
-			var kb int64 = 8
-			if job.KeyBytes != nil {
-				kb = job.KeyBytes(k)
-			}
-			for _, v := range vs {
-				var vb int64 = 8
-				if job.ValueBytes != nil {
-					vb = job.ValueBytes(v)
-				}
-				shuffleBytes += kb + vb
-			}
 			grouped[k] = append(grouped[k], vs...)
 		}
 		for k, v := range o.vals {
-			var kb int64 = 8
-			if job.KeyBytes != nil {
-				kb = job.KeyBytes(k)
-			}
-			var vb int64 = 8
-			if job.ValueBytes != nil {
-				vb = job.ValueBytes(v)
-			}
-			shuffleBytes += kb + vb
 			grouped[k] = append(grouped[k], v)
 		}
 	}
@@ -451,6 +527,16 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	result := make(map[K]R, len(keys))
 	var resMu sync.Mutex
 	var redOps, outBytes int64
+	// Per-task commit records: the committing attempt, its modeled output
+	// size and ops (for corrupt-fetch re-execution charges), and the checksum
+	// it stamped over its part file.
+	type redOut struct {
+		att    int
+		ops    int64
+		bytes  int64
+		digest uint64
+	}
+	redOuts := make([]redOut, redTasks)
 	redFaults := make([]taskFaults, redTasks)
 	var redWg sync.WaitGroup
 	slots := reducers
@@ -470,14 +556,20 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			for att := 1; att <= maxAtt; att++ {
 				oc := &opsCounter{}
 				var taskBytes int64
+				var dig cluster.PayloadDigest
 				partial := make(map[K]R, len(taskKeys))
 				for _, k := range taskKeys {
 					r := job.Reduce(k, grouped[k], oc)
+					var kb int64 = 8
+					if job.KeyBytes != nil {
+						kb = job.KeyBytes(k)
+					}
 					var rb int64 = 8
 					if job.ResultBytes != nil {
 						rb = job.ResultBytes(r)
 					}
 					taskBytes += rb
+					dig.Add(kb, rb)
 					partial[k] = r
 				}
 				if plan.AttemptFails(redPhase, task, att) {
@@ -493,6 +585,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 				redOps += oc.n
 				outBytes += taskBytes
 				resMu.Unlock()
+				redOuts[task] = redOut{att: att, ops: oc.n, bytes: taskBytes, digest: dig.Sum()}
 				return
 			}
 			tf.exhausted = true
@@ -520,6 +613,45 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			}
 			return nil, fmt.Errorf("%w: job %q reduce task %d (%d attempts)",
 				ErrTaskFailed, job.Name, t, maxAtt)
+		}
+	}
+	// The driver consumes the reduce part files: re-verify each task's
+	// checksum against the committed results, then apply the plan's
+	// corruption decisions (a corrupted part file re-runs its reduce task and
+	// is re-read).
+	for t := 0; t < redTasks; t++ {
+		lo := t * len(keys) / redTasks
+		hi := (t + 1) * len(keys) / redTasks
+		var tb int64
+		var dig cluster.PayloadDigest
+		for _, k := range keys[lo:hi] {
+			var kb int64 = 8
+			if job.KeyBytes != nil {
+				kb = job.KeyBytes(k)
+			}
+			var rb int64 = 8
+			if job.ResultBytes != nil {
+				rb = job.ResultBytes(result[k])
+			}
+			tb += rb
+			dig.Add(kb, rb)
+		}
+		if tb != redOuts[t].bytes || dig.Sum() != redOuts[t].digest {
+			redStats.CorruptPayloads++
+			e.Cluster.RunPhase(redStats)
+			if tr != nil {
+				tr.End(trace.I("failed", 1))
+			}
+			return nil, fmt.Errorf("%w: job %q reduce task %d output",
+				ErrCorruptPayload, job.Name, t)
+		}
+		if !chargeCorruptFetches(&redStats, plan, redPhase, t, redOuts[t].att, maxAtt, redOuts[t].ops, tb) {
+			e.Cluster.RunPhase(redStats)
+			if tr != nil {
+				tr.End(trace.I("failed", 1))
+			}
+			return nil, fmt.Errorf("%w: job %q reduce task %d output corrupt after %d re-fetches",
+				ErrCorruptPayload, job.Name, t, maxAtt)
 		}
 	}
 	e.Cluster.RunPhase(redStats)

@@ -78,25 +78,68 @@ func WriteSparse(w io.Writer, m *Sparse) error {
 	return bw.Flush()
 }
 
+// parseTriplet validates one spmx data line against the header shape and the
+// running (curRow, prevCol) order cursor. Any failure wraps
+// ErrMalformedMatrix; the caller decides whether to fail the parse or spend
+// a bad-record budget on it.
+func parseTriplet(line string, rows, cols, curRow, prevCol int) (ri, ci int, v float64, err error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return 0, 0, 0, malformed("bad spmx triplet %q", line)
+	}
+	if ri, err = strconv.Atoi(fields[0]); err != nil {
+		return 0, 0, 0, malformed("bad spmx row index %q", fields[0])
+	}
+	if ci, err = strconv.Atoi(fields[1]); err != nil {
+		return 0, 0, 0, malformed("bad spmx column index %q", fields[1])
+	}
+	if v, err = parseFiniteFloat(fields[2]); err != nil {
+		return 0, 0, 0, err
+	}
+	switch {
+	case ri < curRow:
+		return 0, 0, 0, malformed("spmx rows out of order at row %d", ri)
+	case ri >= rows:
+		return 0, 0, 0, malformed("spmx row index %d out of range (rows %d)", ri, rows)
+	case ci < 0 || ci >= cols:
+		return 0, 0, 0, malformed("spmx column index %d out of range (cols %d)", ci, cols)
+	case ri == curRow && ci <= prevCol:
+		return 0, 0, 0, malformed("spmx columns out of order in row %d (%d after %d)", ri, ci, prevCol)
+	}
+	return ri, ci, v, nil
+}
+
 // ReadSparse parses the spmx text format. Untrusted input is fully
 // validated — indices out of range or out of order, header mismatches, and
 // non-finite values all return errors wrapping ErrMalformedMatrix.
 func ReadSparse(r io.Reader) (*Sparse, error) {
+	m, _, err := ReadSparseBudget(r, 0)
+	return m, err
+}
+
+// ReadSparseBudget is ReadSparse with an opt-in bad-record budget: up to
+// budget malformed triplet lines are skipped (dropped from the matrix)
+// instead of failing the parse, and the number skipped is returned. The
+// header nnz check loosens by exactly the skipped count, so a file that lost
+// records to corruption still parses deterministically while anything worse
+// still fails. budget <= 0 is the strict ReadSparse behaviour.
+func ReadSparseBudget(r io.Reader, budget int) (*Sparse, int64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
-		return nil, malformed("empty sparse input")
+		return nil, 0, malformed("empty sparse input")
 	}
 	var rows, cols, nnz int
 	if _, err := fmt.Sscanf(sc.Text(), "spmx %d %d %d", &rows, &cols, &nnz); err != nil {
-		return nil, malformed("bad spmx header %q", sc.Text())
+		return nil, 0, malformed("bad spmx header %q", sc.Text())
 	}
 	if err := checkSparseHeader(int64(rows), int64(cols), int64(nnz)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	b := NewSparseBuilder(cols)
 	curRow := 0
 	prevCol := -1
+	var skipped int64
 	var idx []int
 	var vals []float64
 	flushTo := func(row int) {
@@ -112,48 +155,28 @@ func ReadSparse(r io.Reader) (*Sparse, error) {
 		if line == "" {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			return nil, malformed("bad spmx triplet %q", line)
-		}
-		ri, err := strconv.Atoi(fields[0])
+		ri, ci, v, err := parseTriplet(line, rows, cols, curRow, prevCol)
 		if err != nil {
-			return nil, malformed("bad spmx row index %q", fields[0])
-		}
-		ci, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, malformed("bad spmx column index %q", fields[1])
-		}
-		v, err := parseFiniteFloat(fields[2])
-		if err != nil {
-			return nil, err
-		}
-		if ri < curRow {
-			return nil, malformed("spmx rows out of order at row %d", ri)
-		}
-		if ri >= rows {
-			return nil, malformed("spmx row index %d out of range (rows %d)", ri, rows)
-		}
-		if ci < 0 || ci >= cols {
-			return nil, malformed("spmx column index %d out of range (cols %d)", ci, cols)
+			if skipped < int64(budget) {
+				skipped++
+				continue
+			}
+			return nil, skipped, err
 		}
 		flushTo(ri)
-		if ci <= prevCol {
-			return nil, malformed("spmx columns out of order in row %d (%d after %d)", ri, ci, prevCol)
-		}
 		prevCol = ci
 		idx = append(idx, ci)
 		vals = append(vals, v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("matrix: reading spmx: %w", err)
+		return nil, skipped, fmt.Errorf("matrix: reading spmx: %w", err)
 	}
 	flushTo(rows) // flush the final buffered row and any trailing empty rows
 	m := b.Build()
-	if m.NNZ() != nnz {
-		return nil, malformed("spmx nnz mismatch: header %d, parsed %d", nnz, m.NNZ())
+	if got := int64(m.NNZ()); got != int64(nnz) && (got > int64(nnz) || int64(nnz)-got > skipped) {
+		return nil, skipped, malformed("spmx nnz mismatch: header %d, parsed %d (%d skipped)", nnz, m.NNZ(), skipped)
 	}
-	return m, nil
+	return m, skipped, nil
 }
 
 // WriteDense writes m in the dmx text format.

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 )
 
@@ -42,7 +41,21 @@ type FileRowSource struct {
 	path string
 	rows int
 	cols int
+	// budget is the per-scan bad-record allowance (0 = strict); skipped
+	// counts the records the most recent scan dropped against it. Because
+	// the file does not change between EM passes, every scan skips the same
+	// records and the accounting is deterministic.
+	budget  int
+	skipped int64
 }
+
+// SetBadRecordBudget allows up to n malformed triplet lines per scan to be
+// skipped (dropped) instead of failing the scan. n <= 0 restores the strict
+// default.
+func (s *FileRowSource) SetBadRecordBudget(n int) { s.budget = n }
+
+// Skipped reports how many malformed records the most recent scan dropped.
+func (s *FileRowSource) Skipped() int64 { return s.skipped }
 
 // OpenFileRowSource validates the file header and returns a source.
 func OpenFileRowSource(path string) (*FileRowSource, error) {
@@ -83,6 +96,7 @@ func (s *FileRowSource) Scan(fn func(int, SparseVector) error) error {
 
 	cur := 0
 	prevCol := -1
+	s.skipped = 0
 	var idx []int
 	var vals []float64
 	emitTo := func(row int) error {
@@ -101,36 +115,16 @@ func (s *FileRowSource) Scan(fn func(int, SparseVector) error) error {
 		if line == "" {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			return malformed("bad triplet %q in %s", line, s.path)
-		}
-		ri, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return malformed("bad row index %q in %s", fields[0], s.path)
-		}
-		ci, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return malformed("bad column index %q in %s", fields[1], s.path)
-		}
-		v, err := parseFiniteFloat(fields[2])
-		if err != nil {
-			return fmt.Errorf("%w (in %s)", err, s.path)
-		}
-		if ri < cur {
-			return malformed("rows out of order in %s at row %d", s.path, ri)
-		}
-		if ri >= s.rows {
-			return malformed("row index %d out of range in %s (rows %d)", ri, s.path, s.rows)
-		}
-		if ci < 0 || ci >= s.cols {
-			return malformed("column index %d out of range in %s (cols %d)", ci, s.path, s.cols)
+		ri, ci, v, perr := parseTriplet(line, s.rows, s.cols, cur, prevCol)
+		if perr != nil {
+			if s.skipped < int64(s.budget) {
+				s.skipped++
+				continue
+			}
+			return fmt.Errorf("%w (in %s)", perr, s.path)
 		}
 		if err := emitTo(ri); err != nil {
 			return err
-		}
-		if ci <= prevCol {
-			return malformed("columns out of order in %s row %d (%d after %d)", s.path, ri, ci, prevCol)
 		}
 		prevCol = ci
 		idx = append(idx, ci)

@@ -9,6 +9,7 @@ package ppca
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"spca/internal/checkpoint"
 	"spca/internal/cluster"
@@ -42,6 +43,11 @@ type CheckpointSpec struct {
 	Interval int
 	// Dir is the directory snapshot files are written to (created if absent).
 	Dir string
+	// Keep bounds how many snapshot generations are retained after each
+	// write: 0 means checkpoint.DefaultKeep, negative means unlimited.
+	// Keeping more than one generation is what lets a resume fall back past
+	// a corrupt newest snapshot.
+	Keep int
 }
 
 // Enabled reports whether snapshots will be written.
@@ -349,7 +355,38 @@ func (em *emDriver) writeCheckpoint(iter int, opt Options, res *Result, cl *clus
 	if _, err := checkpoint.Save(opt.Checkpoint.Dir, snap); err != nil {
 		return fmt.Errorf("ppca: writing checkpoint at iteration %d: %w", iter, err)
 	}
+	if err := injectSnapshotFault(opt, iter, snap.Bytes); err != nil {
+		return fmt.Errorf("ppca: injecting checkpoint fault at iteration %d: %w", iter, err)
+	}
+	if opt.Checkpoint.Keep >= 0 {
+		if err := checkpoint.Prune(opt.Checkpoint.Dir, opt.Checkpoint.Keep); err != nil {
+			return fmt.Errorf("ppca: pruning checkpoints at iteration %d: %w", iter, err)
+		}
+	}
 	return nil
+}
+
+// injectSnapshotFault damages the just-written snapshot file when the fault
+// plan says this generation is the unlucky one: either a torn write
+// (truncation, as if the process died mid-flush of a non-atomic writer) or a
+// flipped bit at a plan-derived offset. The damage is to the file only — the
+// in-memory driver state and simulated clock are untouched, so the run
+// continues exactly as if the write had succeeded, and only a later resume
+// discovers (and quarantines) the bad generation.
+func injectSnapshotFault(opt Options, iter int, size int64) error {
+	if !opt.Faults.SnapshotCorrupt(iter) {
+		return nil
+	}
+	path := filepath.Join(opt.Checkpoint.Dir, checkpoint.FileName(iter))
+	torn := opt.Faults.SnapshotTorn(iter)
+	off := opt.Faults.CorruptOffset("ckpt", iter, size)
+	kind := int64(0)
+	if torn {
+		kind = 1
+	}
+	opt.Tracer.Event("checkpoint-corrupted",
+		trace.I("iter", int64(iter)), trace.I("torn", kind), trace.I("offset", off))
+	return checkpoint.Corrupt(path, torn, off)
 }
 
 // restore loads a validated snapshot into the driver: model state, guard

@@ -47,7 +47,7 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		}
 		em = newEMDriver(opt, len(rows), dims, snap.Mean, snap.SS1)
 		cl.RestoreMetrics(snap.Metrics)
-		cl.ChargeDriverRestore(snap.Bytes, opt.RecoveredSeconds)
+		cl.ChargeDriverRestore(snap.CostBytes(), opt.RecoveredSeconds)
 		eng.SetJobSeq(snap.FaultEpoch)
 		em.restore(snap, res)
 	} else {

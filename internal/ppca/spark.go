@@ -45,7 +45,7 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 		setup := cl.Metrics().SimSeconds
 		em = newEMDriver(opt, len(rows), dims, snap.Mean, snap.SS1)
 		cl.RestoreMetrics(snap.Metrics)
-		cl.ChargeDriverRestore(snap.Bytes, opt.RecoveredSeconds+setup)
+		cl.ChargeDriverRestore(snap.CostBytes(), opt.RecoveredSeconds+setup)
 		ctx.SetEpoch(snap.FaultEpoch)
 		em.restore(snap, res)
 	} else {

@@ -166,6 +166,12 @@ type RDD[T any] struct {
 	persisted  bool
 	memBytes   int64 // resident in aggregate cluster memory
 	spillBytes int64 // overflow that re-reads from disk on every scan
+	// digests holds one FNV-64 checksum per partition, stamped when the
+	// partition is materialized into the cache (Persist). Scans under an
+	// armed fault plan re-verify them, so a caller mutating records it handed
+	// to Persist — real, silent cache corruption — is caught instead of
+	// poisoning later iterations.
+	digests []uint64
 
 	// Lineage, for Spark-style fault recovery. parent is the RDD this one was
 	// derived from (nil for a root) and recomputeOpsPerRec the arithmetic to
@@ -200,6 +206,8 @@ type recovery struct {
 	disk         int64 // re-read bytes (checkpoint / root re-loads)
 	spec         int64 // speculative backup copies
 	stragglerOps int64 // serial op-time of unmitigated stragglers
+	corrupt      int64 // cached/broadcast payloads that failed checksum verification
+	reverify     int64 // bytes re-shipped to replace corrupt payloads
 }
 
 // maxLineageRetries bounds per-task retries purely as a safeguard against
@@ -215,6 +223,37 @@ func (r *RDD[T]) partBytes(p int) int64 {
 		b += r.sizeOf(rec)
 	}
 	return b
+}
+
+// partDigest checksums partition p: each record's position and modeled size
+// is folded into an FNV-64 payload digest. Stamped at Persist time, verified
+// on scans under an armed fault plan.
+func (r *RDD[T]) partDigest(p int) uint64 {
+	var dig cluster.PayloadDigest
+	for i, rec := range r.parts[p] {
+		dig.Add(int64(i), r.sizeOf(rec))
+	}
+	return dig.Sum()
+}
+
+// verifyCachedLocked re-verifies the checksums of this RDD's cached
+// partitions. A mismatch means the records handed to Persist were mutated
+// afterwards — real cache corruption the simulation cannot recover from, and
+// a caller bug — so it panics with the typed sentinel in the message. Caller
+// holds ctx.state.mu.
+func (r *RDD[T]) verifyCachedLocked() {
+	if !r.persisted || r.digests == nil {
+		return
+	}
+	for p := range r.parts {
+		if r.lost != nil && r.lost[p] {
+			continue // lost partitions are recomputed, not read
+		}
+		if r.partDigest(p) != r.digests[p] {
+			panic(fmt.Sprintf("rdd: %s partition %d: %v (cached records mutated after Persist)",
+				r.name, p, cluster.ErrCorruptPayload))
+		}
+	}
 }
 
 func (r *RDD[T]) recoverLocked(p int, rc *recovery) {
@@ -264,6 +303,10 @@ func applyActionFaults[T any](r *RDD[T], plan *cluster.FaultPlan, phase string, 
 	st := r.ctx.state
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// Scanning under an armed plan re-verifies the cached partitions'
+	// checksums first: injected corruption below is accounting-only, but a
+	// real digest mismatch means the cache itself was clobbered.
+	r.verifyCachedLocked()
 	var rc recovery
 	nodes := r.ctx.cl.Config().Nodes
 	for n := 0; n < nodes; n++ {
@@ -275,6 +318,24 @@ func applyActionFaults[T any](r *RDD[T], plan *cluster.FaultPlan, phase string, 
 		if r.lost != nil && r.lost[p] {
 			rc.failed++
 			r.recoverLocked(p, &rc)
+		}
+	}
+	// Payload corruption on the partitions this scan reads: a corrupted block
+	// is discarded like a lost one — recomputed from lineage, or re-read when
+	// a durable copy exists — and the replacement is re-shipped to the reader.
+	if plan.CorruptionRate > 0 {
+		for p := range r.parts {
+			for att := 1; att <= maxLineageRetries && plan.PayloadCorrupt(phase, p, att); att++ {
+				rc.corrupt++
+				rc.reverify += r.partBytes(p)
+				if r.persisted && !r.checkpointed {
+					if r.lost == nil {
+						r.lost = make([]bool, len(r.parts))
+					}
+					r.lost[p] = true
+				}
+				r.recoverLocked(p, &rc)
+			}
 		}
 	}
 	for p, ops := range taskOps {
@@ -297,6 +358,8 @@ func applyActionFaults[T any](r *RDD[T], plan *cluster.FaultPlan, phase string, 
 	stats.RecoveryDiskBytes += rc.disk
 	stats.SpeculativeTasks += rc.spec
 	stats.StragglerOps += rc.stragglerOps
+	stats.CorruptPayloads += rc.corrupt
+	stats.ReverifyBytes += rc.reverify
 }
 
 // Checkpoint materializes the RDD to simulated durable storage (HDFS),
@@ -393,6 +456,12 @@ func (r *RDD[T]) Persist() *RDD[T] {
 	r.memBytes = r.ctx.reserveCacheLocked(total)
 	r.spillBytes = total - r.memBytes
 	r.persisted = true
+	// Stamp per-partition checksums at materialization time; scans under an
+	// armed fault plan re-verify them.
+	r.digests = make([]uint64, len(r.parts))
+	for p := range r.parts {
+		r.digests[p] = r.partDigest(p)
+	}
 	return r
 }
 
@@ -407,6 +476,7 @@ func (r *RDD[T]) Unpersist() {
 	r.ctx.releaseCacheLocked(r.memBytes)
 	r.persisted = false
 	r.memBytes, r.spillBytes = 0, 0
+	r.digests = nil
 }
 
 // scanDiskBytes is the disk traffic charged per full scan of this RDD.
@@ -634,12 +704,33 @@ func AggregateInto[T, U any](r *RDD[T], name string, zero func(task int) U, seq 
 }
 
 // Broadcast charges shipping bytes of driver state to every worker node
-// (e.g. the small CM = C*M⁻¹ matrix sPCA broadcasts each iteration).
+// (e.g. the small CM = C*M⁻¹ matrix sPCA broadcasts each iteration). Under a
+// fault plan with payload corruption armed, each node's block may arrive
+// corrupted (detected by its checksum) and is re-shipped until a clean copy
+// lands. Unlike actions, broadcasts never bump the fault epoch — the
+// corruption draws are keyed off the current epoch plus the broadcast name,
+// which the sequential driver makes deterministic and which checkpoint/resume
+// restores exactly.
 func Broadcast(ctx *Context, name string, bytes int64) {
-	ctx.cl.RunPhase(cluster.PhaseStats{
+	stats := cluster.PhaseStats{
 		Name:         name + "/broadcast",
 		ShuffleBytes: bytes * int64(ctx.cl.Config().Nodes),
-	})
+	}
+	ctx.state.mu.Lock()
+	plan := ctx.state.faults
+	epoch := ctx.state.epoch
+	ctx.state.mu.Unlock()
+	if plan != nil && plan.CorruptionRate > 0 {
+		phase := fmt.Sprintf("%s@%d/bcast", name, epoch)
+		nodes := ctx.cl.Config().Nodes
+		for n := 0; n < nodes; n++ {
+			for att := 1; att <= maxLineageRetries && plan.PayloadCorrupt(phase, n, att); att++ {
+				stats.CorruptPayloads++
+				stats.ReverifyBytes += bytes
+			}
+		}
+	}
+	ctx.cl.RunPhase(stats)
 }
 
 // Accumulator is a write-only-from-workers, read-from-driver variable with an

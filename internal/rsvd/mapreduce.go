@@ -50,7 +50,7 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 			return nil, err
 		}
 		cl.RestoreMetrics(snap.Metrics)
-		cl.ChargeDriverRestore(snap.Bytes, opt.RecoveredSeconds)
+		cl.ChargeDriverRestore(snap.CostBytes(), opt.RecoveredSeconds)
 		eng.SetJobSeq(snap.FaultEpoch)
 		dr.restore(snap, res)
 	} else {

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"spca/internal/checkpoint"
 	"spca/internal/cluster"
@@ -45,6 +46,9 @@ type CheckpointSpec struct {
 	Interval int
 	// Dir receives the snapshot files.
 	Dir string
+	// Keep bounds retained snapshot generations after each write: 0 means
+	// checkpoint.DefaultKeep, negative means unlimited.
+	Keep int
 }
 
 // Enabled reports whether checkpointing is armed.
@@ -322,6 +326,27 @@ func (dr *driver) writeCheckpoint(eng roundEngine, res *Result, round int) error
 	snap.Metrics = dr.cl.Metrics()
 	if _, err := checkpoint.Save(opt.Checkpoint.Dir, snap); err != nil {
 		return fmt.Errorf("rsvd: writing checkpoint at round %d: %w", round, err)
+	}
+	// Injected storage corruption damages the file only — driver state and
+	// the simulated clock are untouched, so the run continues as if the write
+	// succeeded and only a later resume discovers the bad generation.
+	if opt.Faults.SnapshotCorrupt(round) {
+		torn := opt.Faults.SnapshotTorn(round)
+		off := opt.Faults.CorruptOffset("ckpt", round, snap.Bytes)
+		kind := int64(0)
+		if torn {
+			kind = 1
+		}
+		opt.Tracer.Event("checkpoint-corrupted",
+			trace.I("iter", int64(round)), trace.I("torn", kind), trace.I("offset", off))
+		if err := checkpoint.Corrupt(filepath.Join(opt.Checkpoint.Dir, checkpoint.FileName(round)), torn, off); err != nil {
+			return fmt.Errorf("rsvd: injecting checkpoint fault at round %d: %w", round, err)
+		}
+	}
+	if opt.Checkpoint.Keep >= 0 {
+		if err := checkpoint.Prune(opt.Checkpoint.Dir, opt.Checkpoint.Keep); err != nil {
+			return fmt.Errorf("rsvd: pruning checkpoints at round %d: %w", round, err)
+		}
 	}
 	return nil
 }

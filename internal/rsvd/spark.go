@@ -44,7 +44,7 @@ func FitSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Option
 		}
 		setup := cl.Metrics().SimSeconds
 		cl.RestoreMetrics(snap.Metrics)
-		cl.ChargeDriverRestore(snap.Bytes, opt.RecoveredSeconds+setup)
+		cl.ChargeDriverRestore(snap.CostBytes(), opt.RecoveredSeconds+setup)
 		ctx.SetEpoch(snap.FaultEpoch)
 		dr.restore(snap, res)
 	} else {

@@ -24,22 +24,33 @@ func WriteDense(w io.Writer, m *Dense) error { return matrix.WriteDense(w, m) }
 // LoadSparseFile reads a sparse matrix from path, auto-detecting the text
 // (spmx) or binary (SPMB) container.
 func LoadSparseFile(path string) (*Sparse, error) {
+	m, _, err := LoadSparseFileBudget(path, 0)
+	return m, err
+}
+
+// LoadSparseFileBudget is LoadSparseFile with an opt-in bad-record budget:
+// up to budget malformed triplet lines in a text (spmx) file are skipped
+// instead of failing the load, and the skipped count is returned. The binary
+// (SPMB) container has no record-level structure to skip past, so it is
+// always parsed strictly.
+func LoadSparseFileBudget(path string, budget int) (*Sparse, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(f, magic); err != nil {
-		return nil, fmt.Errorf("spca: reading %s: %w", path, err)
+		return nil, 0, fmt.Errorf("spca: reading %s: %w", path, err)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if string(magic) == "SPMB" {
-		return matrix.ReadSparseBinary(f)
+		m, err := matrix.ReadSparseBinary(f)
+		return m, 0, err
 	}
-	return matrix.ReadSparse(f)
+	return matrix.ReadSparseBudget(f, budget)
 }
 
 // SaveSparseFile writes a sparse matrix to path; binary selects the compact

@@ -56,6 +56,13 @@ var (
 	// only returns it when checkpointing is disabled — with a Checkpoint
 	// configured the driver auto-resumes instead.
 	ErrDriverCrash = cluster.ErrDriverCrash
+	// ErrCorruptPayload is the sentinel under an unrecoverable data-plane
+	// corruption: a payload whose checksum failed on every re-fetch the
+	// retry budget allowed, or a real producer/consumer digest mismatch.
+	// Recoverable corruption (the normal case under FaultPlan.CorruptionRate)
+	// never surfaces as an error — it is retried and charged to
+	// Metrics.CorruptPayloads/ReverifySeconds.
+	ErrCorruptPayload = cluster.ErrCorruptPayload
 )
 
 // ErrMalformedMatrix re-exports the typed parse error of the matrix readers
@@ -247,6 +254,18 @@ type Config struct {
 	// Faults arms deterministic fault injection for the distributed
 	// algorithms (nil, the default, runs fault-free). See FaultPlan.
 	Faults *FaultPlan
+	// MaxAttempts bounds task attempts per MapReduce phase: the retry budget
+	// injected task failures and corrupt payloads are recovered within
+	// before the job fails. Zero keeps the engine default (4, like Hadoop);
+	// negative values are rejected. A FaultPlan's own MaxAttempts takes
+	// precedence when set.
+	MaxAttempts int
+	// BadRecordBudget allows up to this many malformed input records to be
+	// skipped (dropped) per pass by the streaming fit's file reader instead
+	// of failing the run, with the count reported on Result.SkippedRecords.
+	// Zero, the default, keeps every reader strict. Only FitStreamFileConfig
+	// consumes it; in-memory fits validate their input up front.
+	BadRecordBudget int
 	// Tol is the convergence tolerance for the PPCA-family algorithms: the
 	// fit stops early once the relative reconstruction-error improvement
 	// drops below it. Zero keeps the paper default (1e-3); a negative value
@@ -315,6 +334,11 @@ type Result struct {
 	History []IterationStat
 	// Metrics is the simulated-cluster accounting of the run.
 	Metrics Metrics
+	// SkippedRecords counts malformed input records dropped under
+	// Config.BadRecordBudget by the streaming fit (per pass — the file does
+	// not change between passes, so every pass skips the same records).
+	// Always zero without a budget.
+	SkippedRecords int64
 	// Trace is the collected span tree when Config.CollectTrace was set
 	// (nil otherwise). Spans appear in completion order — children before
 	// parents — with timestamps on the simulated clock.
@@ -489,6 +513,12 @@ func (c Config) check() error {
 	}
 	if c.DivergeWindow < 0 {
 		return fmt.Errorf("%w: negative DivergeWindow %d", ErrBadConfig, c.DivergeWindow)
+	}
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("%w: MaxAttempts %d below 1 (0 selects the engine default)", ErrBadConfig, c.MaxAttempts)
+	}
+	if c.BadRecordBudget < 0 {
+		return fmt.Errorf("%w: negative BadRecordBudget %d", ErrBadConfig, c.BadRecordBudget)
 	}
 	return nil
 }
@@ -711,6 +741,9 @@ func attachTrace(r *Result, col *trace.Collector) *Result {
 func (c Config) mapredEngine(cl *cluster.Cluster) *mapred.Engine {
 	eng := mapred.NewEngine(cl)
 	eng.Faults = c.Faults
+	if c.MaxAttempts > 0 {
+		eng.MaxAttempts = c.MaxAttempts
+	}
 	return eng
 }
 
@@ -744,6 +777,7 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 	// so this bound is never hit by a plan Fit can survive; it only guards
 	// against a runaway loop.
 	const maxRestarts = 64
+	var quarantined int64
 	for attempt := 0; ; attempt++ {
 		opt.Incarnation = attempt
 		// Spans from a resumed incarnation land on their own lane so crashed
@@ -752,6 +786,14 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 		res, err := run(opt)
 		var crash *cluster.DriverCrashError
 		if err == nil || !errors.As(err, &crash) {
+			if err == nil {
+				// Snapshot generations quarantined during resume scans are
+				// detected corruptions: they join the data-plane counter,
+				// out of band of the simulated clock (exactly like
+				// DriverRestarts), so the model and SimSeconds stay
+				// bit-identical to an uninterrupted run.
+				res.Metrics.CorruptPayloads += quarantined
+			}
 			return res, err
 		}
 		if !opt.Checkpoint.Enabled() {
@@ -762,7 +804,8 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 		}
 		opt.Resume = nil
 		opt.RecoveredSeconds = crash.SimSeconds // scratch restart wastes the whole incarnation
-		snap, lerr := checkpoint.Latest(opt.Checkpoint.Dir)
+		snap, report, lerr := checkpoint.LatestReport(opt.Checkpoint.Dir)
+		quarantined += noteQuarantined(opt.Tracer, report)
 		switch {
 		case lerr == nil:
 			opt.Resume = snap
@@ -778,17 +821,33 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 	}
 }
 
+// noteQuarantined emits one trace event per snapshot generation a resume
+// scan quarantined and returns how many there were, so the resume loops can
+// fold the count into the final Metrics.
+func noteQuarantined(tr *trace.Tracer, report *checkpoint.ScanReport) int64 {
+	for _, q := range report.Quarantined {
+		var iter int64
+		fmt.Sscanf(q.Name, "ckpt-%d.spck", &iter)
+		tr.Event("snapshot-quarantined", trace.I("iter", iter), trace.I("bytes", q.Bytes))
+	}
+	return int64(len(report.Quarantined))
+}
+
 // runSketchWithResume is runWithResume for the randomized-sketch family:
 // one rsvd fit attempt per driver incarnation, resuming from the latest
 // round-granularity snapshot after an injected driver crash.
 func (c Config) runSketchWithResume(opt rsvd.Options, run func(rsvd.Options) (*rsvd.Result, error)) (*rsvd.Result, error) {
 	const maxRestarts = 64
+	var quarantined int64
 	for attempt := 0; ; attempt++ {
 		opt.Incarnation = attempt
 		opt.Tracer.SetLane(attempt)
 		res, err := run(opt)
 		var crash *cluster.DriverCrashError
 		if err == nil || !errors.As(err, &crash) {
+			if err == nil {
+				res.Metrics.CorruptPayloads += quarantined
+			}
 			return res, err
 		}
 		if !opt.Checkpoint.Enabled() {
@@ -799,7 +858,8 @@ func (c Config) runSketchWithResume(opt rsvd.Options, run func(rsvd.Options) (*r
 		}
 		opt.Resume = nil
 		opt.RecoveredSeconds = crash.SimSeconds // scratch restart wastes the whole incarnation
-		snap, lerr := checkpoint.Latest(opt.Checkpoint.Dir)
+		snap, report, lerr := checkpoint.LatestReport(opt.Checkpoint.Dir)
+		quarantined += noteQuarantined(opt.Tracer, report)
 		switch {
 		case lerr == nil:
 			opt.Resume = snap
@@ -830,7 +890,7 @@ func (c Config) rsvdOptions(y *Sparse) rsvd.Options {
 		opt.TargetAccuracy = c.TargetAccuracy
 		opt.IdealError = ppca.IdealError(y, c.Components, c.ppcaBaseOptions())
 	}
-	opt.Checkpoint = rsvd.CheckpointSpec{Interval: c.Checkpoint.Interval, Dir: c.Checkpoint.Dir}
+	opt.Checkpoint = rsvd.CheckpointSpec{Interval: c.Checkpoint.Interval, Dir: c.Checkpoint.Dir, Keep: c.Checkpoint.Keep}
 	opt.Faults = c.Faults
 	return opt
 }
@@ -968,6 +1028,7 @@ func FitStreamFileConfig(path string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	src.SetBadRecordBudget(cfg.BadRecordBudget)
 	n, dims := src.Dims()
 	if n == 0 || dims == 0 {
 		return nil, fmt.Errorf("%w: %s is %d x %d", ErrEmptyInput, path, n, dims)
@@ -985,7 +1046,9 @@ func FitStreamFileConfig(path string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return attachTrace(fromPPCA(LocalPPCA, res), col), nil
+	out := attachTrace(fromPPCA(LocalPPCA, res), col)
+	out.SkippedRecords = src.Skipped()
+	return out, nil
 }
 
 // FitStreamFile is the positional-argument form of FitStreamFileConfig.
