@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench bench-kernels bench-json bench-smoke experiments
+.PHONY: check vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench bench-kernels bench-json bench-smoke bench-compare bench-compare-smoke experiments
 
-check: vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench-smoke
+check: vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench-smoke bench-compare-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,12 +64,28 @@ bench-kernels:
 # allocations, the pooled-vs-legacy end-to-end fit A/B pairs, and the sketch
 # engines' fit paths, written to $(BENCH_JSON) for committing and diffing
 # against earlier BENCH_*.json files.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 bench-json:
 	{ $(GO) test ./internal/matrix -run '^$$' -bench BenchmarkKernelsInPlace -benchmem -benchtime 20x; \
-	  $(GO) test ./internal/ppca -run '^$$' -bench 'BenchmarkSteady|Pooled|Legacy' -benchmem -benchtime 10x; \
-	  $(GO) test ./internal/rsvd -run '^$$' -bench 'BenchmarkFitRSVD' -benchmem -benchtime 10x; } \
+	  $(GO) test ./internal/ppca -run '^$$' -bench 'BenchmarkSteady|Pooled|Legacy|BenchmarkFitStream' -benchmem -benchtime 10x; \
+	  $(GO) test ./internal/rsvd -run '^$$' -bench 'BenchmarkFitRSVD' -benchmem -benchtime 10x; \
+	  $(GO) test ./internal/ssvd -run '^$$' -bench 'BenchmarkFitSSVD' -benchmem -benchtime 10x; } \
 	| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# Diff two committed baselines: >10% ns/op growth or any allocs/op increase
+# on a common benchmark exits 1. `make bench-compare` checks the two most
+# recent baselines; override with BENCH_OLD/BENCH_NEW.
+BENCH_OLD ?= BENCH_7.json
+BENCH_NEW ?= BENCH_8.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)
+
+# Fixture-based smoke of the compare gate (no benchmarks re-run); part of
+# `make check` so the comparator itself cannot rot.
+bench-compare-smoke:
+	@$(GO) run ./cmd/benchjson -compare cmd/benchjson/testdata/old.json cmd/benchjson/testdata/new.json >/dev/null
+	@! $(GO) run ./cmd/benchjson -compare cmd/benchjson/testdata/old.json cmd/benchjson/testdata/regressed.json >/dev/null 2>&1
+	@echo "bench-compare-smoke: comparator gates fixtures correctly"
 
 # One-iteration smoke of the bench harness and the JSON converter; part of
 # `make check` so the pipeline cannot rot. The throwaway output stays out of

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func bench(pkg, name string, ns float64, allocs *float64) Benchmark {
+	return Benchmark{Name: name, Pkg: pkg, Iterations: 10, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func doc(bs ...Benchmark) Document { return Document{Benchmarks: bs} }
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	oldDoc := doc(bench("p", "BenchmarkA", 1000, nil))
+	newDoc := doc(bench("p", "BenchmarkA", 1200, nil))
+	var buf bytes.Buffer
+	if got := compareDocs(oldDoc, newDoc, 0.10, &buf); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION p BenchmarkA: ns/op 1000 -> 1200") {
+		t.Errorf("missing ns regression line:\n%s", buf.String())
+	}
+}
+
+func TestCompareToleratesNsWithinTolerance(t *testing.T) {
+	oldDoc := doc(bench("p", "BenchmarkA", 1000, nil))
+	newDoc := doc(bench("p", "BenchmarkA", 1099, nil))
+	var buf bytes.Buffer
+	if got := compareDocs(oldDoc, newDoc, 0.10, &buf); got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, buf.String())
+	}
+}
+
+func TestCompareFlagsAnyAllocIncrease(t *testing.T) {
+	// allocs/op is deterministic, so even +1 alloc is a regression — and an
+	// alloc increase is flagged independently of a (tolerated) ns change.
+	oldDoc := doc(bench("p", "BenchmarkA", 1000, fp(0)))
+	newDoc := doc(bench("p", "BenchmarkA", 1005, fp(1)))
+	var buf bytes.Buffer
+	if got := compareDocs(oldDoc, newDoc, 0.10, &buf); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocs/op 0 -> 1") {
+		t.Errorf("missing alloc regression line:\n%s", buf.String())
+	}
+}
+
+func TestCompareAllocDecreaseAndNsImprovementPass(t *testing.T) {
+	oldDoc := doc(
+		bench("p", "BenchmarkA", 1000, fp(50)),
+		bench("p", "BenchmarkB", 2000, fp(8)),
+	)
+	newDoc := doc(
+		bench("p", "BenchmarkA", 400, fp(3)),
+		bench("p", "BenchmarkB", 2100, fp(8)),
+	)
+	var buf bytes.Buffer
+	if got := compareDocs(oldDoc, newDoc, 0.10, &buf); got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, buf.String())
+	}
+}
+
+func TestCompareSkipsNonCommonBenchmarks(t *testing.T) {
+	// A benchmark only present in one file is informational, never a failure
+	// — new baselines grow benchmarks and that must not break the gate.
+	oldDoc := doc(bench("p", "BenchmarkGone", 1, nil), bench("p", "BenchmarkA", 100, nil))
+	newDoc := doc(bench("p", "BenchmarkA", 100, nil), bench("p", "BenchmarkNew", 1e9, fp(1e6)))
+	var buf bytes.Buffer
+	if got := compareDocs(oldDoc, newDoc, 0.10, &buf); got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p BenchmarkGone only in old") || !strings.Contains(out, "p BenchmarkNew only in new") {
+		t.Errorf("missing only-in notes:\n%s", out)
+	}
+	if !strings.Contains(out, "compared 1 common benchmarks (1 only-old, 1 only-new): 0 regression(s)") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestCompareNormalizesProcSuffix(t *testing.T) {
+	// The -GOMAXPROCS suffix varies across machines; names must still match.
+	oldDoc := doc(bench("p", "BenchmarkA-8", 1000, nil))
+	newDoc := doc(bench("p", "BenchmarkA-32", 5000, nil))
+	var buf bytes.Buffer
+	if got := compareDocs(oldDoc, newDoc, 0.10, &buf); got != 1 {
+		t.Fatalf("regressions = %d, want 1 (suffix-normalized match)\n%s", got, buf.String())
+	}
+}
+
+func TestCompareFixturesClean(t *testing.T) {
+	// The committed fixtures are the `make check` smoke gate: old -> new is
+	// an improvement plus one added benchmark, so the compare must pass.
+	var buf bytes.Buffer
+	if code := runCompare("testdata/old.json", "testdata/new.json", 0.10, &buf); code != 0 {
+		t.Fatalf("runCompare(fixtures) = %d, want 0\n%s", code, buf.String())
+	}
+}
+
+func TestCompareFixtureRegression(t *testing.T) {
+	var buf bytes.Buffer
+	if code := runCompare("testdata/old.json", "testdata/regressed.json", 0.10, &buf); code != 1 {
+		t.Fatalf("runCompare(regressed fixture) = %d, want 1\n%s", code, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ns/op") || !strings.Contains(out, "allocs/op") {
+		t.Errorf("expected both ns and alloc regressions:\n%s", out)
+	}
+}
+
+func TestCompareBadFile(t *testing.T) {
+	var buf bytes.Buffer
+	if code := runCompare("testdata/old.json", "testdata/nope.json", 0.10, &buf); code != 2 {
+		t.Fatalf("runCompare(missing file) = %d, want 2", code)
+	}
+}

@@ -6,6 +6,13 @@
 //
 // Standard per-op metrics (ns/op, B/op, allocs/op) get dedicated fields; any
 // extra `value unit` pairs a benchmark reports land in the "extra" map.
+//
+// With -compare, the tool instead diffs two previously written files:
+//
+//	go run ./cmd/benchjson -compare BENCH_7.json BENCH_8.json
+//
+// and exits 1 if any common benchmark got >10% slower (tunable via -ns-tol)
+// or allocates more per op (any increase).
 package main
 
 import (
@@ -41,7 +48,16 @@ type Document struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json); exit 1 on regression")
+	nsTol := flag.Float64("ns-tol", 0.10, "fractional ns/op growth tolerated by -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two arguments: old.json new.json")
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *nsTol, os.Stdout))
+	}
 
 	doc := Document{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
 	pkg := ""

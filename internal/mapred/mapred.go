@@ -73,6 +73,12 @@ type Job[I any, K comparable, V any, R any] struct {
 	KeyBytes    func(K) int64
 	ValueBytes  func(V) int64
 	ResultBytes func(R) int64
+
+	// Dense opts the job into the flat-slab shuffle fast path (see
+	// DenseSpec). It only takes effect for jobs keyed by int whose value and
+	// result types are []float64 (or float64); any other instantiation runs
+	// the generic path regardless.
+	Dense *DenseSpec
 }
 
 // Ops lets reducers charge arithmetic work.
@@ -104,10 +110,14 @@ type Engine struct {
 	// MaxAttempts bounds retries per task (default 4, like Hadoop). A
 	// FaultPlan's own MaxAttempts takes precedence when set.
 	MaxAttempts int
+	// DisableDense forces jobs carrying a DenseSpec through the generic
+	// map-based shuffle — the A/B switch of the differential tests.
+	DisableDense bool
 
 	mu       sync.Mutex
 	failSeed uint64
 	jobSeq   int64
+	slabs    map[slabKey][]*denseSlab
 }
 
 // NewEngine returns an engine with Hadoop-like defaults on cl.
@@ -266,37 +276,46 @@ func sumFaults(stats *cluster.PhaseStats, faults []taskFaults) {
 	}
 }
 
+// sizeFns resolves the job's optional key/value size callbacks once per Run,
+// so the per-entry accounting loops carry no nil checks. The 8-byte fallbacks
+// are capture-free closures, so resolving them allocates nothing.
+func (job *Job[I, K, V, R]) sizeFns() (kb func(K) int64, vb func(V) int64) {
+	kb, vb = job.KeyBytes, job.ValueBytes
+	if kb == nil {
+		kb = func(K) int64 { return 8 }
+	}
+	if vb == nil {
+		vb = func(V) int64 { return 8 }
+	}
+	return kb, vb
+}
+
+// resultFn resolves ResultBytes the same way sizeFns resolves the others.
+func (job *Job[I, K, V, R]) resultFn() func(R) int64 {
+	if job.ResultBytes == nil {
+		return func(R) int64 { return 8 }
+	}
+	return job.ResultBytes
+}
+
 // payloadSize walks one task's map output, returning its total modeled wire
 // size and its order-independent checksum. The producing attempt stamps the
 // digest at commit time; the shuffle recomputes it at consume time and the
 // two must match — the simulated equivalent of checksumming a payload before
 // and after it crosses the wire.
-func payloadSize[I any, K comparable, V any, R any](job *Job[I, K, V, R], pairs map[K][]V, vals map[K]V) (int64, uint64) {
+func payloadSize[K comparable, V any](kbf func(K) int64, vbf func(V) int64, pairs map[K][]V, vals map[K]V) (int64, uint64) {
 	var total int64
 	var dig cluster.PayloadDigest
 	for k, vs := range pairs {
-		var kb int64 = 8
-		if job.KeyBytes != nil {
-			kb = job.KeyBytes(k)
-		}
+		kb := kbf(k)
 		for _, v := range vs {
-			var vb int64 = 8
-			if job.ValueBytes != nil {
-				vb = job.ValueBytes(v)
-			}
+			vb := vbf(v)
 			total += kb + vb
 			dig.Add(kb, vb)
 		}
 	}
 	for k, v := range vals {
-		var kb int64 = 8
-		if job.KeyBytes != nil {
-			kb = job.KeyBytes(k)
-		}
-		var vb int64 = 8
-		if job.ValueBytes != nil {
-			vb = job.ValueBytes(v)
-		}
+		kb, vb := kbf(k), vbf(v)
 		total += kb + vb
 		dig.Add(kb, vb)
 	}
@@ -333,10 +352,27 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	if job.NewMapper == nil || job.Reduce == nil {
 		return nil, fmt.Errorf("mapred: job %q missing mapper or reducer", job.Name)
 	}
+	// Flat-slab fast path: a whole-job type assertion dispatches the hot
+	// (int, []float64) and (int, float64) shapes without any per-emit boxing;
+	// every other instantiation falls through to the generic shuffle below.
+	if job.Dense != nil && !e.DisableDense {
+		if dj, ok := any(&job).(*Job[I, int, []float64, []float64]); ok {
+			out, err := runDense(e, dj, input, vecCodec)
+			res, _ := any(out).(map[K]R)
+			return res, err
+		}
+		if dj, ok := any(&job).(*Job[I, int, float64, float64]); ok {
+			out, err := runDense(e, dj, input, scalarCodec)
+			res, _ := any(out).(map[K]R)
+			return res, err
+		}
+	}
 	splits := e.NumSplits(len(input))
 	plan, seq := e.plan()
 	mapPhase := fmt.Sprintf("%s#%d/map", job.Name, seq)
 	maxAtt := plan.Attempts(e.MaxAttempts)
+	kbf, vbf := job.sizeFns()
+	rbf := job.resultFn()
 
 	// Job span: wraps the map and reduce phase charges so they nest under
 	// one node per submitted job in the trace.
@@ -396,7 +432,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 				outs[task].vals = em.vals
 				outs[task].ops = em.ops
 				outs[task].att = att
-				outs[task].bytes, outs[task].digest = payloadSize(&job, em.pairs, em.vals)
+				outs[task].bytes, outs[task].digest = payloadSize(kbf, vbf, em.pairs, em.vals)
 				tf.chargeStraggler(plan, mapPhase, task, att, em.ops)
 				return
 			}
@@ -460,7 +496,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 		// attempt stamped. A mismatch means the output was damaged between
 		// commit and shuffle — a real integrity violation, not an injected
 		// one — and fails the job with the typed sentinel.
-		tb, sum := payloadSize(&job, o.pairs, o.vals)
+		tb, sum := payloadSize(kbf, vbf, o.pairs, o.vals)
 		if tb != o.bytes || sum != o.digest {
 			mapStats.ComputeOps = mapOps
 			mapStats.CorruptPayloads++
@@ -560,14 +596,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 				partial := make(map[K]R, len(taskKeys))
 				for _, k := range taskKeys {
 					r := job.Reduce(k, grouped[k], oc)
-					var kb int64 = 8
-					if job.KeyBytes != nil {
-						kb = job.KeyBytes(k)
-					}
-					var rb int64 = 8
-					if job.ResultBytes != nil {
-						rb = job.ResultBytes(r)
-					}
+					kb, rb := kbf(k), rbf(r)
 					taskBytes += rb
 					dig.Add(kb, rb)
 					partial[k] = r
@@ -625,14 +654,7 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 		var tb int64
 		var dig cluster.PayloadDigest
 		for _, k := range keys[lo:hi] {
-			var kb int64 = 8
-			if job.KeyBytes != nil {
-				kb = job.KeyBytes(k)
-			}
-			var rb int64 = 8
-			if job.ResultBytes != nil {
-				rb = job.ResultBytes(result[k])
-			}
+			kb, rb := kbf(k), rbf(result[k])
 			tb += rb
 			dig.Add(kb, rb)
 		}

@@ -1,0 +1,411 @@
+package matrix
+
+// Cache-blocked tiling for the dense Mul kernels. The legacy loop orders in
+// inplace.go stream full rows of b and out for every k, which falls off a
+// cliff once a row of out no longer fits in L1/L2. The tiled path blocks k
+// (MulInto) or i (MulTInto) and j, and computes 4x4 register tiles of out in
+// the inner loop, cutting out-row traffic by 4x.
+//
+// Bit-identity is a hard constraint (the golden fingerprint suites hash every
+// float bit): per output element, contributions still accumulate in exactly
+// the legacy order — ascending k for MulInto, ascending i for MulTInto — and
+// the a == 0 zero-skip is preserved contribution-for-contribution (it guards
+// 0*Inf = NaN, not just speed). Go never contracts x*y+z into an FMA on its
+// own, so `acc += a*b` in the micro-kernel rounds exactly like the legacy
+// `orow[j] += a*bv`. Tiling only reorders work across *distinct* output
+// elements, which addition order cannot observe.
+//
+// The tile shape is resolved once per process: an explicit SetMulTiling wins,
+// then the SPCA_MUL_TILING environment variable ("legacy", "probe", or
+// "KCxJC" e.g. "128x64"), then a one-shot micro-probe that times each
+// candidate on a synthetic workload and keeps the fastest. Small operands
+// (narrow b or short k) stay on the legacy path: the register kernel only
+// pays off when a full sweep no longer fits in cache.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TileConfig selects the cache-block sizes of the tiled Mul kernels. KC is
+// the k-block (i-block for MulTInto) and JC the j-block, both in elements.
+// The zero value means "legacy loop order, no tiling".
+type TileConfig struct {
+	KC, JC int
+}
+
+func (c TileConfig) enabled() bool { return c.KC > 0 && c.JC > 0 }
+
+func (c TileConfig) String() string {
+	if !c.enabled() {
+		return "legacy"
+	}
+	return fmt.Sprintf("%dx%d", c.KC, c.JC)
+}
+
+// tileState guards the once-per-process tiling resolution.
+var tileState struct {
+	mu       sync.Mutex
+	resolved bool
+	cfg      TileConfig
+}
+
+// SetMulTiling pins the tile configuration, overriding the environment and
+// the probe. Pass the zero TileConfig to force the legacy loop order. Only
+// call it from tests or setup code, never mid-kernel.
+func SetMulTiling(cfg TileConfig) {
+	tileState.mu.Lock()
+	tileState.cfg = cfg
+	tileState.resolved = true
+	tileState.mu.Unlock()
+}
+
+// ResetMulTiling clears any pinned or probed configuration; the next eligible
+// Mul call re-resolves (environment, then probe).
+func ResetMulTiling() {
+	tileState.mu.Lock()
+	tileState.resolved = false
+	tileState.cfg = TileConfig{}
+	tileState.mu.Unlock()
+}
+
+// mulTiling returns the process-wide tile configuration, resolving it on
+// first use. Callers resolve before entering parallel chunk loops, so the
+// probe never runs inside a worker.
+func mulTiling() TileConfig {
+	tileState.mu.Lock()
+	defer tileState.mu.Unlock()
+	if tileState.resolved {
+		return tileState.cfg
+	}
+	cfg, ok := tilingFromEnv()
+	if !ok {
+		cfg = probeTiling()
+	}
+	tileState.cfg = cfg
+	tileState.resolved = true
+	return cfg
+}
+
+// tilingFromEnv parses SPCA_MUL_TILING: "legacy" pins the untiled loops,
+// "KCxJC" (e.g. "128x64") pins explicit block sizes, "probe"/"auto"/unset
+// defer to the micro-probe. Malformed values fall back to the probe.
+func tilingFromEnv() (TileConfig, bool) {
+	v := strings.TrimSpace(os.Getenv("SPCA_MUL_TILING"))
+	switch strings.ToLower(v) {
+	case "":
+		return TileConfig{}, false
+	case "legacy", "off":
+		return TileConfig{}, true
+	case "probe", "auto":
+		return TileConfig{}, false
+	}
+	kc, jc, ok := strings.Cut(v, "x")
+	if !ok {
+		return TileConfig{}, false
+	}
+	k, err1 := strconv.Atoi(kc)
+	j, err2 := strconv.Atoi(jc)
+	if err1 != nil || err2 != nil || k <= 0 || j <= 0 {
+		return TileConfig{}, false
+	}
+	return TileConfig{KC: k, JC: j}, true
+}
+
+// tileCandidates are the probed block shapes. {0,0} is the legacy loop
+// order, kept as a candidate so a machine where tiling loses (tiny caches,
+// odd prefetchers) keeps its old performance.
+var tileCandidates = []TileConfig{
+	{},
+	{KC: 64, JC: 64},
+	{KC: 128, JC: 128},
+	{KC: 256, JC: 64},
+}
+
+// probeTiling times each candidate on a deterministic n×n workload (direct
+// sequential body runs — no pools, no parallel machinery) and returns the
+// fastest, by minimum of five runs. A tiled candidate must beat the legacy
+// loop by more than 10% to be selected: on a noisy or throttled host a
+// lucky sample must not flip the whole process onto a slower kernel, so
+// ties and noise stay legacy. Runs once per process; ~tens of milliseconds.
+func probeTiling() TileConfig {
+	const n = 160
+	m := NewDense(n, n)
+	b := NewDense(n, n)
+	out := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = float64(i%13)*0.375 - 2
+		b.Data[i] = float64(i%7)*0.625 - 1.5
+	}
+	kBlock := minParallelFlops / (2 * (b.C + 1))
+	if kBlock < 8 {
+		kBlock = 8
+	}
+	timeCand := func(cand TileConfig) time.Duration {
+		body := mulBody{m: m, b: b, out: out, kBlock: kBlock, cfg: cand}
+		minT := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 5; rep++ {
+			out.Zero()
+			start := time.Now()
+			body.Run(0, n)
+			if d := time.Since(start); d < minT {
+				minT = d
+			}
+		}
+		return minT
+	}
+	legacyT := timeCand(TileConfig{})
+	best := TileConfig{}
+	bestT := legacyT
+	margin := legacyT - legacyT/10
+	for _, cand := range tileCandidates {
+		if !cand.enabled() {
+			continue // legacy already timed
+		}
+		if minT := timeCand(cand); minT < margin && minT < bestT {
+			bestT = minT
+			best = cand
+		}
+	}
+	return best
+}
+
+// --- MulInto micro-kernel -------------------------------------------------
+
+// runTiled is mulBody's cache-blocked loop: k blocked in ascending order
+// (preserving every output element's accumulation order), j blocked so a
+// panel of b stays resident, 4x4 register tiles innermost.
+func (t *mulBody) runTiled(lo, hi int) {
+	m, b := t.m, t.b
+	kc, jc := t.cfg.KC, t.cfg.JC
+	for k0 := 0; k0 < m.C; k0 += kc {
+		k1 := min(k0+kc, m.C)
+		for j0 := 0; j0 < b.C; j0 += jc {
+			j1 := min(j0+jc, b.C)
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				t.mulTile4(i, j0, j1, k0, k1)
+			}
+			// Remainder rows: the legacy row loop restricted to this block.
+			for ; i < hi; i++ {
+				arow := m.Row(i)
+				orow := t.out.Row(i)
+				for k := k0; k < k1; k++ {
+					a := arow[k]
+					if a == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j := j0; j < j1; j++ {
+						orow[j] += a * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// mulTile4 accumulates the 4-row output band [i,i+4) over columns [j0,j1)
+// and the k-block [k0,k1) in 4x4 register tiles. Accumulators load the
+// current out values and store once per tile, so each element's addition
+// chain is exactly the legacy one. The a-rows are re-sliced to a shared
+// length and the 4-wide loads go through array pointers so the bounds
+// checker stays out of the inner loop.
+func (t *mulBody) mulTile4(i, j0, j1, k0, k1 int) {
+	m, b, out := t.m, t.b, t.out
+	a0 := m.Row(i)[k0:k1]
+	a1 := m.Row(i + 1)[k0:k1][:len(a0)]
+	a2 := m.Row(i + 2)[k0:k1][:len(a0)]
+	a3 := m.Row(i + 3)[k0:k1][:len(a0)]
+	o0, o1, o2, o3 := out.Row(i), out.Row(i+1), out.Row(i+2), out.Row(i+3)
+	bData, bStride := b.Data, b.C
+	j := j0
+	for ; j+4 <= j1; j += 4 {
+		p0 := (*[4]float64)(o0[j:])
+		p1 := (*[4]float64)(o1[j:])
+		p2 := (*[4]float64)(o2[j:])
+		p3 := (*[4]float64)(o3[j:])
+		c00, c01, c02, c03 := p0[0], p0[1], p0[2], p0[3]
+		c10, c11, c12, c13 := p1[0], p1[1], p1[2], p1[3]
+		c20, c21, c22, c23 := p2[0], p2[1], p2[2], p2[3]
+		c30, c31, c32, c33 := p3[0], p3[1], p3[2], p3[3]
+		boff := k0*bStride + j
+		for k := 0; k < len(a0); k++ {
+			bq := (*[4]float64)(bData[boff:])
+			boff += bStride
+			b0, b1, b2, b3 := bq[0], bq[1], bq[2], bq[3]
+			if av := a0[k]; av != 0 {
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+			}
+			if av := a1[k]; av != 0 {
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+			}
+			if av := a2[k]; av != 0 {
+				c20 += av * b0
+				c21 += av * b1
+				c22 += av * b2
+				c23 += av * b3
+			}
+			if av := a3[k]; av != 0 {
+				c30 += av * b0
+				c31 += av * b1
+				c32 += av * b2
+				c33 += av * b3
+			}
+		}
+		p0[0], p0[1], p0[2], p0[3] = c00, c01, c02, c03
+		p1[0], p1[1], p1[2], p1[3] = c10, c11, c12, c13
+		p2[0], p2[1], p2[2], p2[3] = c20, c21, c22, c23
+		p3[0], p3[1], p3[2], p3[3] = c30, c31, c32, c33
+	}
+	// Remainder columns, still 4 rows per pass.
+	for ; j < j1; j++ {
+		c0, c1, c2, c3 := o0[j], o1[j], o2[j], o3[j]
+		boff := k0*bStride + j
+		for k := 0; k < len(a0); k++ {
+			bv := bData[boff]
+			boff += bStride
+			if av := a0[k]; av != 0 {
+				c0 += av * bv
+			}
+			if av := a1[k]; av != 0 {
+				c1 += av * bv
+			}
+			if av := a2[k]; av != 0 {
+				c2 += av * bv
+			}
+			if av := a3[k]; av != 0 {
+				c3 += av * bv
+			}
+		}
+		o0[j], o1[j], o2[j], o3[j] = c0, c1, c2, c3
+	}
+}
+
+// --- MulTInto micro-kernel ------------------------------------------------
+
+// runTiled is mulTBody's cache-blocked loop: i blocked in ascending order
+// (the accumulation axis of out = mᵀ*b), j blocked, 4x4 register tiles over
+// (k, j) innermost. The chunk owns output rows [lo,hi).
+func (t *mulTBody) runTiled(lo, hi int) {
+	m, b := t.m, t.b
+	ic, jc := t.cfg.KC, t.cfg.JC
+	for i0 := 0; i0 < m.R; i0 += ic {
+		i1 := min(i0+ic, m.R)
+		for j0 := 0; j0 < b.C; j0 += jc {
+			j1 := min(j0+jc, b.C)
+			k := lo
+			for ; k+4 <= hi; k += 4 {
+				t.mulTTile4(k, j0, j1, i0, i1)
+			}
+			// Remainder output rows: legacy order restricted to this block.
+			for i := i0; i < i1; i++ {
+				arow := m.Row(i)
+				brow := b.Row(i)
+				for kk := k; kk < hi; kk++ {
+					a := arow[kk]
+					if a == 0 {
+						continue
+					}
+					orow := t.out.Row(kk)
+					for j := j0; j < j1; j++ {
+						orow[j] += a * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// mulTTile4 accumulates the 4 output rows [k,k+4) of out = mᵀ*b over columns
+// [j0,j1) and the i-block [i0,i1), keeping a 4x4 tile in registers. The four
+// a-values per i are contiguous (m.Row(i)[k:k+4]) so both operand loads go
+// through array pointers — one bounds check per 16 multiply-adds.
+func (t *mulTBody) mulTTile4(k, j0, j1, i0, i1 int) {
+	m, b, out := t.m, t.b, t.out
+	o0, o1, o2, o3 := out.Row(k), out.Row(k+1), out.Row(k+2), out.Row(k+3)
+	mData, mStride := m.Data, m.C
+	bData, bStride := b.Data, b.C
+	j := j0
+	for ; j+4 <= j1; j += 4 {
+		p0 := (*[4]float64)(o0[j:])
+		p1 := (*[4]float64)(o1[j:])
+		p2 := (*[4]float64)(o2[j:])
+		p3 := (*[4]float64)(o3[j:])
+		c00, c01, c02, c03 := p0[0], p0[1], p0[2], p0[3]
+		c10, c11, c12, c13 := p1[0], p1[1], p1[2], p1[3]
+		c20, c21, c22, c23 := p2[0], p2[1], p2[2], p2[3]
+		c30, c31, c32, c33 := p3[0], p3[1], p3[2], p3[3]
+		moff := i0*mStride + k
+		boff := i0*bStride + j
+		for i := i0; i < i1; i++ {
+			aq := (*[4]float64)(mData[moff:])
+			bq := (*[4]float64)(bData[boff:])
+			moff += mStride
+			boff += bStride
+			b0, b1, b2, b3 := bq[0], bq[1], bq[2], bq[3]
+			if av := aq[0]; av != 0 {
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+			}
+			if av := aq[1]; av != 0 {
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+			}
+			if av := aq[2]; av != 0 {
+				c20 += av * b0
+				c21 += av * b1
+				c22 += av * b2
+				c23 += av * b3
+			}
+			if av := aq[3]; av != 0 {
+				c30 += av * b0
+				c31 += av * b1
+				c32 += av * b2
+				c33 += av * b3
+			}
+		}
+		p0[0], p0[1], p0[2], p0[3] = c00, c01, c02, c03
+		p1[0], p1[1], p1[2], p1[3] = c10, c11, c12, c13
+		p2[0], p2[1], p2[2], p2[3] = c20, c21, c22, c23
+		p3[0], p3[1], p3[2], p3[3] = c30, c31, c32, c33
+	}
+	for ; j < j1; j++ {
+		c0, c1, c2, c3 := o0[j], o1[j], o2[j], o3[j]
+		moff := i0*mStride + k
+		boff := i0*bStride + j
+		for i := i0; i < i1; i++ {
+			aq := (*[4]float64)(mData[moff:])
+			bv := bData[boff]
+			moff += mStride
+			boff += bStride
+			if av := aq[0]; av != 0 {
+				c0 += av * bv
+			}
+			if av := aq[1]; av != 0 {
+				c1 += av * bv
+			}
+			if av := aq[2]; av != 0 {
+				c2 += av * bv
+			}
+			if av := aq[3]; av != 0 {
+				c3 += av * bv
+			}
+		}
+		o0[j], o1[j], o2[j], o3[j] = c0, c1, c2, c3
+	}
+}

@@ -1,0 +1,157 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+// tileTestMat builds a deterministic r×c matrix with zeros sprinkled in (to
+// exercise the zero-skip) and optional NaN/Inf entries (to prove the skip is
+// semantic, not just a speed hack: a zero row element must keep masking a
+// non-finite b row on every path).
+func tileTestMat(rng *RNG, r, c int, zeroFrac float64, withNonFinite bool) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		if rng.Float64() < zeroFrac {
+			continue // stays exactly 0
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	if withNonFinite && r > 2 && c > 2 {
+		m.Set(1, 1, math.Inf(1))
+		m.Set(2, 0, math.NaN())
+	}
+	return m
+}
+
+var tileTestConfigs = []TileConfig{
+	{KC: 64, JC: 64},
+	{KC: 128, JC: 128},
+	{KC: 256, JC: 64},
+	{KC: 8, JC: 8},
+	{KC: 3, JC: 5}, // deliberately awkward: exercises every remainder path
+}
+
+// TestTiledMulIntoBitIdentical pins the tiled MulInto against the legacy
+// loop order, bit for bit, across shapes with ragged remainders and operands
+// containing zeros, NaN, and Inf.
+func TestTiledMulIntoBitIdentical(t *testing.T) {
+	defer ResetMulTiling()
+	shapes := []struct{ m, k, n int }{
+		{64, 64, 64},
+		{193, 61, 53},
+		{97, 128, 17},
+		{66, 65, 19},
+		{160, 160, 160},
+	}
+	rng := NewRNG(11)
+	for _, sh := range shapes {
+		a := tileTestMat(rng, sh.m, sh.k, 0.3, false)
+		b := tileTestMat(rng, sh.k, sh.n, 0.1, true)
+		// Make sure some zero a-entries line up with b's non-finite rows, so
+		// a broken zero-skip would surface as a spurious NaN.
+		for i := 0; i < sh.m; i += 3 {
+			a.Set(i, 1, 0)
+		}
+		SetMulTiling(TileConfig{})
+		want := a.Mul(b)
+		for _, cfg := range tileTestConfigs {
+			SetMulTiling(cfg)
+			got := NewDense(sh.m, sh.n)
+			a.MulInto(b, got)
+			bitsEqual(t, "MulInto "+cfg.String(), want, got)
+		}
+	}
+}
+
+// TestTiledMulTIntoBitIdentical is the same pin for MulTInto (out = mᵀ*b).
+func TestTiledMulTIntoBitIdentical(t *testing.T) {
+	defer ResetMulTiling()
+	shapes := []struct{ r, c, n int }{
+		{64, 64, 64},
+		{193, 61, 53},
+		{128, 97, 17},
+		{65, 66, 19},
+		{160, 160, 160},
+	}
+	rng := NewRNG(23)
+	for _, sh := range shapes {
+		a := tileTestMat(rng, sh.r, sh.c, 0.3, false)
+		b := tileTestMat(rng, sh.r, sh.n, 0.1, true)
+		for i := 0; i < sh.r; i += 3 {
+			a.Set(i, 1, 0)
+		}
+		SetMulTiling(TileConfig{})
+		want := a.MulT(b)
+		for _, cfg := range tileTestConfigs {
+			SetMulTiling(cfg)
+			got := NewDense(sh.c, sh.n)
+			a.MulTInto(b, got)
+			bitsEqual(t, "MulTInto "+cfg.String(), want, got)
+		}
+	}
+}
+
+// TestTiledSequentialMatchesParallel pins that chunk boundaries (which are
+// not multiples of the 4-row micro-tile) cannot change results.
+func TestTiledSequentialMatchesParallel(t *testing.T) {
+	defer ResetMulTiling()
+	SetMulTiling(TileConfig{KC: 64, JC: 64})
+	rng := NewRNG(31)
+	a := tileTestMat(rng, 150, 150, 0.2, false)
+	b := tileTestMat(rng, 150, 150, 0.2, false)
+
+	par := NewDense(150, 150)
+	a.MulInto(b, par)
+	parT := NewDense(150, 150)
+	a.MulTInto(b, parT)
+
+	seqBody := mulBody{m: a, b: b, out: NewDense(150, 150), kBlock: 8, cfg: TileConfig{KC: 64, JC: 64}}
+	seqBody.Run(0, a.R)
+	bitsEqual(t, "MulInto parallel vs sequential", seqBody.out, par)
+
+	seqTBody := mulTBody{m: a, b: b, out: NewDense(150, 150), cfg: TileConfig{KC: 64, JC: 64}}
+	seqTBody.Run(0, a.C)
+	bitsEqual(t, "MulTInto parallel vs sequential", seqTBody.out, parT)
+}
+
+// TestTilingEnvOverride pins the SPCA_MUL_TILING parse rules.
+func TestTilingEnvOverride(t *testing.T) {
+	defer ResetMulTiling()
+	cases := []struct {
+		v    string
+		want TileConfig
+		ok   bool
+	}{
+		{"legacy", TileConfig{}, true},
+		{"off", TileConfig{}, true},
+		{"128x64", TileConfig{KC: 128, JC: 64}, true},
+		{"64X64", TileConfig{}, false}, // capital X is not the separator
+		{"probe", TileConfig{}, false},
+		{"", TileConfig{}, false},
+		{"0x64", TileConfig{}, false},
+		{"axb", TileConfig{}, false},
+	}
+	for _, c := range cases {
+		t.Setenv("SPCA_MUL_TILING", c.v)
+		got, ok := tilingFromEnv()
+		if got != c.want || ok != c.ok {
+			t.Errorf("tilingFromEnv(%q) = %v,%v; want %v,%v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestProbeResolvesOnce pins that the probe result is cached process-wide.
+func TestProbeResolvesOnce(t *testing.T) {
+	defer ResetMulTiling()
+	ResetMulTiling()
+	t.Setenv("SPCA_MUL_TILING", "96x48")
+	first := mulTiling()
+	if (first != TileConfig{KC: 96, JC: 48}) {
+		t.Fatalf("mulTiling() = %v, want 96x48", first)
+	}
+	t.Setenv("SPCA_MUL_TILING", "legacy")
+	if again := mulTiling(); again != first {
+		t.Fatalf("mulTiling() re-resolved to %v after %v", again, first)
+	}
+}

@@ -12,7 +12,7 @@ import (
 // traffic beyond op accounting.
 type nopEmitter[K comparable, V any] struct{}
 
-func (nopEmitter[K, V]) Emit(K, V)   {}
+func (nopEmitter[K, V]) Emit(K, V)    {}
 func (nopEmitter[K, V]) AddOps(int64) {}
 
 func allocTestDriver(t *testing.T, n, dims, d int) (*matrix.Sparse, *emDriver) {

@@ -37,6 +37,23 @@ func BenchmarkFitLocal(b *testing.B) {
 	}
 }
 
+// BenchmarkFitStream exercises the out-of-core engine on the same workload
+// as the other fit benchmarks (two sequential passes per EM iteration over a
+// RowSource). Feeds BENCH_*.json via `make bench-json`.
+func BenchmarkFitStream(b *testing.B) {
+	y, _ := benchData(b, 2000, 500)
+	opt := DefaultOptions(10)
+	opt.MaxIter = 3
+	opt.Tol = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitStream(matrix.SparseSource{M: y}, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFitMapReduce(b *testing.B) {
 	_, rows := benchData(b, 2000, 500)
 	opt := DefaultOptions(10)

@@ -79,7 +79,7 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 	var scr *mrScratch
 	var pooledSums jobSums
 	if reuseScratch {
-		scr = newMRScratch(eng.NumSplits(len(rows)))
+		scr = newMRScratch(eng.NumSplits(len(rows)), em.d, dims)
 		pooledSums = newJobSums(dims, em.d)
 	}
 	e := &mrEngine{
@@ -148,7 +148,7 @@ func meanJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int) ([]float6
 	job := mapred.Job[matrix.SparseVector, int, float64, float64]{
 		Name: "meanJob",
 		NewMapper: func(int) mapred.Mapper[matrix.SparseVector, int, float64] {
-			return &meanMapper{partial: map[int]float64{}}
+			return &meanMapper{}
 		},
 		Combine: func(a, b float64) float64 { return a + b },
 		Reduce: func(k int, vs []float64, o mapred.Ops) float64 {
@@ -162,6 +162,10 @@ func meanJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int) ([]float6
 		InputBytes: mapred.BytesOfSparseVec,
 		KeyBytes:   mapred.BytesOfInt,
 		ValueBytes: mapred.BytesOfFloat64,
+	}
+	if reuseScratch {
+		// Keys are the column range plus the keyMean row-count slot below it.
+		job.Dense = &mapred.DenseSpec{MinKey: keyMean, Keys: dims - keyMean, Width: 1}
 	}
 	out, err := mapred.Run(eng, job, rows)
 	if err != nil {
@@ -180,13 +184,32 @@ func meanJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int) ([]float6
 	return mean, nil
 }
 
+// meanMapper holds its per-column partial sums as a flat array plus a
+// first-touch list rather than a hash map: columns hit by any row of the task
+// index directly into partial, and Cleanup emits exactly the touched set (so
+// the shuffle never carries zero entries for columns the task never saw).
 type meanMapper struct {
-	partial map[int]float64
+	partial []float64
+	seen    []bool
+	touched []int32
 	count   float64
 }
 
 func (m *meanMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float64]) {
+	if len(m.partial) < row.Len {
+		p := make([]float64, row.Len)
+		copy(p, m.partial)
+		s := make([]bool, row.Len)
+		copy(s, m.seen)
+		t := make([]int32, len(m.touched), row.Len)
+		copy(t, m.touched)
+		m.partial, m.seen, m.touched = p, s, t
+	}
 	for k, j := range row.Indices {
+		if !m.seen[j] {
+			m.seen[j] = true
+			m.touched = append(m.touched, int32(j))
+		}
 		m.partial[j] += row.Values[k]
 	}
 	m.count++
@@ -194,8 +217,8 @@ func (m *meanMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, float6
 }
 
 func (m *meanMapper) Cleanup(out mapred.Emitter[int, float64]) {
-	for j, v := range m.partial {
-		out.Emit(j, v)
+	for _, j := range m.touched {
+		out.Emit(int(j), m.partial[j])
 	}
 	out.Emit(keyMean, m.count)
 }
@@ -224,6 +247,9 @@ func fnormJob(eng *mapred.Engine, rows []matrix.SparseVector, mean []float64, ef
 		InputBytes: mapred.BytesOfSparseVec,
 		KeyBytes:   mapred.BytesOfInt,
 		ValueBytes: mapred.BytesOfFloat64,
+	}
+	if reuseScratch {
+		job.Dense = &mapred.DenseSpec{MinKey: keyFro, Keys: 1, Width: 1}
 	}
 	out, err := mapred.Run(eng, job, rows)
 	if err != nil {
@@ -303,6 +329,11 @@ func ytxJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int, em *emDriv
 		// "each mapper generate[s] an entire dense matrix after processing
 		// each sparse row").
 		job.Combine = nil
+	} else if scr != nil {
+		// The pooled path also opts into the flat-slab shuffle: the naive
+		// (combiner-less) ablation stays generic because it emits duplicate
+		// keys per task, and the legacy A/B path stays generic by design.
+		job.Dense = scr.denseYtX(dims, d)
 	}
 	out, err := mapred.Run(eng, job, rows)
 	if err != nil {
@@ -323,13 +354,75 @@ func ytxJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int, em *emDriv
 type mrScratch struct {
 	ytx []*ytxTaskScratch
 	ss3 []*ss3TaskScratch
+	// DenseSpecs of the per-iteration jobs, built once per fit: a stable
+	// spec pointer lets the engine's slab pool take its cheap same-spec
+	// reset path on every EM iteration.
+	ytxSpec *mapred.DenseSpec
+	ss3Spec *mapred.DenseSpec
 }
 
-func newMRScratch(tasks int) *mrScratch {
-	return &mrScratch{
+func newMRScratch(tasks, d, dims int) *mrScratch {
+	sc := &mrScratch{
 		ytx: make([]*ytxTaskScratch, tasks),
 		ss3: make([]*ss3TaskScratch, tasks),
 	}
+	// Batch-carve every task's fixed-size buffers from shared arenas: the
+	// whole fit's scratch costs a handful of allocations instead of several
+	// per task. The YtX row slabs themselves still grow on demand (bounded by
+	// dims·d), since their size depends on the columns a task touches.
+	ytxBlock := make([]ytxTaskScratch, tasks)
+	ss3Block := make([]ss3TaskScratch, tasks)
+	floats := make([]float64, tasks*(d*d+4*d))
+	offs := make([]int32, tasks*2*dims)
+	carve := func(n int) []float64 {
+		v := floats[:n:n]
+		floats = floats[n:]
+		return v
+	}
+	for t := 0; t < tasks; t++ {
+		y := &ytxBlock[t]
+		y.d = d
+		y.xtx = carve(d * d)
+		y.sumX = carve(d)
+		y.xi = carve(d)
+		y.off = offs[:dims:dims]
+		y.touched = offs[dims : dims : 2*dims]
+		offs = offs[2*dims:]
+		for i := range y.off {
+			y.off[i] = -1
+		}
+		y.maxData = dims * d
+		sc.ytx[t] = y
+
+		s := &ss3Block[t]
+		s.xi = carve(d)
+		s.ct = carve(d)
+		sc.ss3[t] = s
+	}
+	return sc
+}
+
+// denseYtX returns the fit-wide DenseSpec of the consolidated YtXJob: the
+// composite key range [keySumX, dims) of d-wide rows, with the single
+// d²-wide XtX partial as a wide key.
+func (sc *mrScratch) denseYtX(dims, d int) *mapred.DenseSpec {
+	if sc.ytxSpec == nil {
+		sc.ytxSpec = &mapred.DenseSpec{
+			MinKey:   keySumX,
+			Keys:     dims - keySumX,
+			Width:    d,
+			WideKeys: map[int]int{keyXtX: d * d},
+		}
+	}
+	return sc.ytxSpec
+}
+
+// denseSS3 returns the single-key scalar spec of the ss3Job.
+func (sc *mrScratch) denseSS3() *mapred.DenseSpec {
+	if sc.ss3Spec == nil {
+		sc.ss3Spec = &mapred.DenseSpec{MinKey: keySS3, Keys: 1, Width: 1}
+	}
+	return sc.ss3Spec
 }
 
 // ytxTask returns task's YtXJob scratch, reset and ready for a new attempt.
@@ -452,37 +545,42 @@ func reduceSumVec(k int, vs [][]float64, o mapred.Ops) []float64 {
 // ytxTaskScratch is the reusable in-mapper state of one YtXJob map task. The
 // engine retains emitted slices only until Run returns and the fit loop runs
 // jobs strictly sequentially, so the same buffers can back every iteration's
-// mapper: reset recycles the previous pass's emitted YtX rows into a freelist
-// instead of letting them become garbage.
+// mapper. YtX partial rows live packed in one flat slab (data + per-column
+// offset table) in first-touch order, mirroring the engine's shuffle slabs:
+// reset truncates the slab in O(touched) and every iteration after the first
+// runs the mapper without a single row allocation.
 type ytxTaskScratch struct {
-	d    int
-	ytx  map[int][]float64
-	free [][]float64 // recycled YtX partial rows
-	xtx  []float64
-	sumX []float64
-	xi   []float64
-	idx  []int // densify scratch for the no-mean-propagation ablation
-	vals []float64
+	d       int
+	data    []float64 // packed d-wide YtX partial rows, claim order
+	off     []int32   // per column: offset into data, -1 while untouched
+	touched []int32   // columns claimed this attempt, claim order
+	maxData int       // growth bound (dims·d) when the fit's dims are known
+	xtx     []float64
+	sumX    []float64
+	xi      []float64
+	idx     []int // densify scratch for the no-mean-propagation ablation
+	vals    []float64
 }
 
 func newYtxTaskScratch(d int) *ytxTaskScratch {
 	return &ytxTaskScratch{
 		d:    d,
-		ytx:  make(map[int][]float64),
 		xtx:  make([]float64, d*d),
 		sumX: make([]float64, d),
 		xi:   make([]float64, d),
 	}
 }
 
-// reset prepares the scratch for a fresh attempt: previously emitted YtX rows
-// move to the freelist (the map keeps only live keys, so a task's shuffle
-// output — and hence the byte accounting — never includes stale zero rows).
+// reset prepares the scratch for a fresh attempt: touched columns revert to
+// untouched and the row slab is truncated, keeping its capacity (the offset
+// table holds only live keys, so a task's shuffle output — and hence the byte
+// accounting — never includes stale zero rows).
 func (s *ytxTaskScratch) reset() {
-	for j, p := range s.ytx {
-		s.free = append(s.free, p)
-		delete(s.ytx, j)
+	for _, j := range s.touched {
+		s.off[j] = -1
 	}
+	s.touched = s.touched[:0]
+	s.data = s.data[:0]
 	for i := range s.xtx {
 		s.xtx[i] = 0
 	}
@@ -491,17 +589,37 @@ func (s *ytxTaskScratch) reset() {
 	}
 }
 
-// vec hands out a zeroed d-vector, recycling the freelist when possible.
-func (s *ytxTaskScratch) vec() []float64 {
-	if n := len(s.free); n > 0 {
-		p := s.free[n-1]
-		s.free = s.free[:n-1]
-		for i := range p {
-			p[i] = 0
+// row returns column j's partial row, claiming a zeroed d-vector from the
+// slab on first touch. The returned slice is only valid until the next claim
+// (growth may move the backing array); use it immediately.
+func (s *ytxTaskScratch) row(j int) []float64 {
+	if j >= len(s.off) {
+		grown := make([]int32, max(2*len(s.off), j+1, 64))
+		copy(grown, s.off)
+		for i := len(s.off); i < len(grown); i++ {
+			grown[i] = -1
 		}
-		return p
+		s.off = grown
 	}
-	return make([]float64, s.d)
+	if o := s.off[j]; o >= 0 {
+		return s.data[o : int(o)+s.d]
+	}
+	o := len(s.data)
+	if o+s.d <= cap(s.data) {
+		s.data = s.data[: o+s.d : cap(s.data)]
+		clear(s.data[o:])
+	} else {
+		c := max(4*cap(s.data), o+s.d, 1024)
+		if s.maxData > 0 && c > s.maxData {
+			c = max(s.maxData, o+s.d)
+		}
+		grown := make([]float64, o+s.d, c)
+		copy(grown, s.data)
+		s.data = grown
+	}
+	s.off[j] = int32(o)
+	s.touched = append(s.touched, int32(j))
+	return s.data[o:]
 }
 
 // densify is densifyCentered on task-held buffers.
@@ -530,12 +648,7 @@ func (m *ytxMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, []float
 	// YtX partial: only rows of Y's non-zeros are touched (for the
 	// mean-propagated path this is what keeps the partial sparse).
 	for k, j := range row.Indices {
-		p := s.ytx[j]
-		if p == nil {
-			p = s.vec()
-			s.ytx[j] = p
-		}
-		matrix.AXPY(row.Values[k], s.xi, p)
+		matrix.AXPY(row.Values[k], s.xi, s.row(j))
 	}
 	for a := 0; a < m.d; a++ {
 		va := s.xi[a]
@@ -553,12 +666,15 @@ func (m *ytxMapper) Map(row matrix.SparseVector, out mapred.Emitter[int, []float
 
 func (m *ytxMapper) Cleanup(out mapred.Emitter[int, []float64]) {
 	// Each key is emitted exactly once per task, so the engine's in-place
-	// combiner merge never mutates these pooled slices.
-	for j, p := range m.scr.ytx {
-		out.Emit(j, p)
+	// combiner merge never mutates these pooled slices. No further claims
+	// happen after this point, so the slab rows are stable.
+	s := m.scr
+	for _, j := range s.touched {
+		o := s.off[j]
+		out.Emit(int(j), s.data[o:int(o)+s.d:int(o)+s.d])
 	}
-	out.Emit(keyXtX, m.scr.xtx)
-	out.Emit(keySumX, m.scr.sumX)
+	out.Emit(keyXtX, s.xtx)
+	out.Emit(keySumX, s.sumX)
 }
 
 // computeRowLatent fills xi with the centered latent row. With mean
@@ -618,6 +734,9 @@ func ss3Job(eng *mapred.Engine, rows []matrix.SparseVector, em *emDriver, cNew *
 		InputBytes: mapred.BytesOfSparseVec,
 		KeyBytes:   mapred.BytesOfInt,
 		ValueBytes: mapred.BytesOfFloat64,
+	}
+	if scr != nil {
+		job.Dense = scr.denseSS3()
 	}
 	out, err := mapred.Run(eng, job, rows)
 	if err != nil {

@@ -177,6 +177,7 @@ func (e *mrEngine) projectJob(name string, b *matrix.Dense) error {
 		KeyBytes:    mapred.BytesOfInt,
 		ValueBytes:  mapred.BytesOfVec,
 		ResultBytes: mapred.BytesOfVec,
+		Dense:       e.scr.denseProj(len(e.indexed), k),
 	}
 	out, err := mapred.Run(e.eng, job, e.indexed)
 	if err != nil {
@@ -225,6 +226,7 @@ func (e *mrEngine) bJob(q *matrix.Dense) error {
 		KeyBytes:    mapred.BytesOfInt,
 		ValueBytes:  mapred.BytesOfVec,
 		ResultBytes: mapred.BytesOfVec,
+		Dense:       e.scr.denseB(e.dims, k),
 	}
 	out, err := mapred.Run(e.eng, job, e.indexed)
 	if err != nil {
@@ -270,6 +272,8 @@ func meanJob(eng *mapred.Engine, rows []matrix.SparseVector, dims int) ([]float6
 		InputBytes: mapred.BytesOfSparseVec,
 		KeyBytes:   mapred.BytesOfInt,
 		ValueBytes: mapred.BytesOfFloat64,
+		// Keys are the column range plus the -1 row-count slot.
+		Dense: &mapred.DenseSpec{MinKey: -1, Keys: dims + 1, Width: 1},
 	}
 	out, err := mapred.Run(eng, job, rows)
 	if err != nil {
@@ -313,6 +317,26 @@ type mrScratch struct {
 	proj  []*projMapper
 	bt    []*btMapper
 	mbBuf []float64
+	// Flat-slab shuffle specs, one stable pointer per job shape so every
+	// round reuses the engine's pooled slabs via the cheap same-spec reset.
+	projSpec *mapred.DenseSpec
+	bSpec    *mapred.DenseSpec
+}
+
+// denseProj is the projection job's spec: one k-wide row per input row.
+func (s *mrScratch) denseProj(n, k int) *mapred.DenseSpec {
+	if s.projSpec == nil || s.projSpec.Keys != n || s.projSpec.Width != k {
+		s.projSpec = &mapred.DenseSpec{MinKey: 0, Keys: n, Width: k}
+	}
+	return s.projSpec
+}
+
+// denseB is the Bᵀ job's spec: one k-wide row per touched column.
+func (s *mrScratch) denseB(dims, k int) *mapred.DenseSpec {
+	if s.bSpec == nil || s.bSpec.Keys != dims || s.bSpec.Width != k {
+		s.bSpec = &mapred.DenseSpec{MinKey: 0, Keys: dims, Width: k}
+	}
+	return s.bSpec
 }
 
 func newMRScratch(tasks int) *mrScratch {

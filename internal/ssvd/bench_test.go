@@ -1,0 +1,32 @@
+package ssvd
+
+// Real-CPU benchmark of the Mahout-PCA baseline's fit path, mirroring the
+// ppca and rsvd fit benchmarks: one sketch round, no power iterations
+// (Mahout's default), on a Tweets-like sparse matrix. Feeds the committed
+// BENCH_*.json baseline via `make bench-json` so regressions in the
+// baseline engine are caught alongside the sPCA paths.
+
+import (
+	"testing"
+
+	"spca/internal/cluster"
+	"spca/internal/dataset"
+	"spca/internal/mapred"
+)
+
+func BenchmarkFitSSVD(b *testing.B) {
+	y := dataset.MustGenerate(dataset.Spec{
+		Kind: dataset.KindTweets, Rows: 2000, Cols: 500, Seed: 1,
+	})
+	rows := dataset.Rows(y)
+	opt := DefaultOptions(10)
+	opt.MaxRounds = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := mapred.NewEngine(cluster.MustNew(cluster.DefaultConfig()))
+		if _, err := FitMapReduce(eng, rows, 500, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
