@@ -14,11 +14,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"spca"
+	"spca/internal/parallel"
 )
 
 func main() {
@@ -41,7 +47,9 @@ func main() {
 		power     = flag.Int("power", 0, "power iterations for rsvd-* / mahout-pca (0 = engine default, negative = none)")
 		listAlg   = flag.Bool("list", false, "list algorithms and exit")
 		stream    = flag.Bool("stream", false, "stream the -in file row by row (out-of-core PPCA; ignores -algo/-target)")
-		ckptDir   = flag.String("checkpoint-dir", "", "write driver checkpoints to this directory and auto-resume after a crash")
+		ckptDir   = flag.String("checkpoint-dir", "", "write driver checkpoints to this directory, resume from its latest snapshot, and auto-resume after a crash")
+		timeout   = flag.Duration("timeout", 0, "abort the fit after this much wall-clock time (graceful: final checkpoint with -checkpoint-dir, resumable)")
+		stallTime = flag.Duration("stall-timeout", 0, "abort if no iteration/phase progress for this long (stall watchdog; dumps a phase summary)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every K iterations (with -checkpoint-dir)")
 		ckptKeep  = flag.Int("keep-snapshots", 0, "checkpoint generations to retain (0 = default 3, negative = unlimited)")
 		maxAtt    = flag.Int("max-attempts", 0, "task attempts per MapReduce phase before the job fails (0 = engine default 4)")
@@ -86,7 +94,39 @@ func main() {
 	cfg.BadRecordBudget = *badBudget
 	if *ckptDir != "" {
 		cfg.Checkpoint = spca.CheckpointSpec{Interval: *ckptEvery, Dir: *ckptDir, Keep: *ckptKeep}
+		// A populated checkpoint directory means an earlier run was aborted
+		// or killed: continue it. An empty directory starts fresh.
+		cfg.Resume = true
 	}
+	cfg.StallTimeout = *stallTime
+
+	// Cooperative cancellation: ctrl-C / SIGTERM (and -timeout) cancel the
+	// fit's context; the driver finishes the current boundary, writes a final
+	// checkpoint when -checkpoint-dir is set, and unwinds with a resumable
+	// error. A second signal hard-stops the worker pools and exits.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, *timeout)
+		defer cancelT()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Context = ctx
+	go func() {
+		<-ctx.Done()
+		if errors.Is(ctx.Err(), context.Canceled) {
+			fmt.Fprintln(os.Stderr, "spca: interrupted, finishing the current iteration (press ctrl-C again to hard-stop)")
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		var hard atomic.Bool
+		hard.Store(true)
+		parallel.SetAbort(&hard) // stop in-flight kernels from claiming more work
+		fmt.Fprintln(os.Stderr, "spca: second signal, hard stop")
+		os.Exit(130)
+	}()
 	if *corrupt > 0 || *ckptCorr > 0 {
 		cfg.Faults = &spca.FaultPlan{
 			Seed:                     *seed,
@@ -106,7 +146,7 @@ func main() {
 		streamCfg.TargetAccuracy = 0 // accuracy targets need an in-memory fit
 		res, err := spca.FitStreamFileConfig(*in, streamCfg)
 		if err != nil {
-			fatal(err)
+			abortExit(err, *ckptDir)
 		}
 		fmt.Printf("streamed fit: %d x %d components, %d iterations, final error %.6f\n",
 			res.Components.R, res.Components.C, res.Iterations, res.Err)
@@ -145,7 +185,7 @@ func main() {
 
 	res, err = spca.Fit(y, cfg)
 	if err != nil {
-		fatal(err)
+		abortExit(err, *ckptDir)
 	}
 
 	fmt.Printf("algorithm:   %s\n", res.Algorithm)
@@ -250,6 +290,35 @@ func loadInput(in, dsKind string, rows, cols, rank int, seed uint64, badBudget i
 		})
 	default:
 		return nil, fmt.Errorf("provide -in <file> or -dataset <kind> (see -h)")
+	}
+}
+
+// abortExit reports a fit error and exits. Cooperative aborts get their
+// diagnostics, a resume hint when a checkpoint landed, and conventional exit
+// codes: 124 for a deadline (timeout(1)'s code), 125 for a stall-watchdog
+// abort, 130 for SIGINT-style cancellation. Everything else is a plain fatal.
+func abortExit(err error, ckptDir string) {
+	var ab *spca.AbortError
+	if !errors.As(err, &ab) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "spca:", err)
+	if ab.Diagnostic != "" {
+		fmt.Fprintln(os.Stderr, ab.Diagnostic)
+	}
+	if ab.Checkpointed && ckptDir != "" {
+		// ab.Iter counts completed iterations; the newest snapshot covers it
+		// or — after a mid-iteration abort — an earlier boundary, so point at
+		// the directory rather than naming an iteration.
+		fmt.Fprintf(os.Stderr, "resume with -checkpoint-dir %s (aborted after iteration %d, snapshot on disk)\n", ckptDir, ab.Iter)
+	}
+	switch {
+	case errors.Is(err, spca.ErrDeadlineExceeded):
+		os.Exit(124)
+	case errors.Is(err, spca.ErrStalled):
+		os.Exit(125)
+	default:
+		os.Exit(130)
 	}
 }
 

@@ -199,6 +199,11 @@ type Cluster struct {
 	// spans are emitted outside c.mu so the tracer may read the clock back.
 	tracer *trace.Tracer
 
+	// intr, when non-nil, is the cooperative-interruption handle the engines
+	// poll via Interrupted. Same discipline as tracer: set once by the driver
+	// before any work runs, then read without synchronization.
+	intr *Interrupt
+
 	mu         sync.Mutex
 	metrics    Metrics
 	phaseLog   []PhaseStats
@@ -278,6 +283,10 @@ func (c *Cluster) RunPhase(p PhaseStats) {
 	end := c.metrics.SimSeconds
 	c.phaseLog = append(c.phaseLog, p)
 	c.mu.Unlock()
+
+	// Every charged phase is progress as far as the stall watchdog is
+	// concerned: a run that keeps completing phases is slow, not stalled.
+	c.intr.Progress()
 
 	if tr := c.tracer; tr != nil {
 		// The span's "seconds" attribute carries the exact charge added to

@@ -1,0 +1,172 @@
+// Cooperative interruption for the simulated cluster. An Interrupt carries a
+// caller-supplied context.Context plus an optional stall watchdog into the
+// engines; the engines poll it at phase and iteration boundaries and unwind
+// with a typed error when the run should stop. Polling is allocation-free
+// (an atomic load on the context plus an atomic clock compare), so a live
+// context does not perturb the zero-allocation steady state or the simulated
+// cost model: the interrupt layer observes the run but never charges it.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCanceled is the sentinel for runs stopped by context cancellation
+// (explicit cancel, SIGINT/SIGTERM via signal.NotifyContext). It wraps
+// context.Canceled, so errors.Is matches both this sentinel and the stdlib's.
+var ErrCanceled = fmt.Errorf("cluster: run canceled: %w", context.Canceled)
+
+// ErrDeadlineExceeded is the sentinel for runs stopped by a context deadline.
+// It wraps context.DeadlineExceeded, so errors.Is matches both sentinels.
+var ErrDeadlineExceeded = fmt.Errorf("cluster: deadline exceeded: %w", context.DeadlineExceeded)
+
+// ErrStalled is the sentinel for runs aborted by the stall watchdog: no
+// iteration or phase progress was observed within the configured budget.
+var ErrStalled = errors.New("cluster: run stalled: no progress within watchdog budget")
+
+// AbortError reports a cooperative abort of a guarded EM/sketch loop. It
+// unwraps to its Cause (ErrCanceled, ErrDeadlineExceeded, or ErrStalled), so
+// errors.Is reaches both the cluster sentinels and — for cancel/deadline —
+// the stdlib context sentinels they wrap.
+type AbortError struct {
+	Iter         int     // last completed iteration/round (0 = none finished)
+	Cause        error   // typed cause the error unwraps to
+	Checkpointed bool    // a resume-usable snapshot is on durable storage (at Iter, or an earlier boundary after a mid-iteration abort)
+	SimSeconds   float64 // simulated clock at the abort boundary
+	Diagnostic   string  // phase-summary dump (stall-watchdog aborts only)
+}
+
+func (e *AbortError) Error() string {
+	ck := "no checkpoint"
+	if e.Checkpointed {
+		ck = "checkpoint written"
+	}
+	return fmt.Sprintf("cluster: run aborted after iteration %d (%s): %v", e.Iter, ck, e.Cause)
+}
+
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// IsInterrupt reports whether err (or anything it wraps) is one of the
+// cooperative-interruption sentinels — the test the guarded drivers use to
+// tell "the engine saw the interrupt mid-phase" apart from real failures.
+func IsInterrupt(err error) bool {
+	return errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, ErrStalled)
+}
+
+// AbortEventName names the trace annotation for an abort cause. Trace
+// attributes are numeric-only, so the cause rides in the event name.
+func AbortEventName(cause error) string {
+	switch {
+	case errors.Is(cause, ErrDeadlineExceeded):
+		return "abort-deadline"
+	case errors.Is(cause, ErrStalled):
+		return "abort-stalled"
+	default:
+		return "abort-canceled"
+	}
+}
+
+// Interrupt is the cooperative-interruption handle threaded from the facade
+// down to the engines. All methods are nil-receiver safe: a nil *Interrupt is
+// an uninterruptible run, which is the default and costs nothing to poll.
+type Interrupt struct {
+	ctx   context.Context
+	stall time.Duration
+	// last holds the real-time nanosecond stamp of the most recent progress
+	// beacon. The watchdog runs on real time, never the simulated clock:
+	// a stalled run is one whose *process* stopped advancing, regardless of
+	// what the cost model would have charged.
+	last atomic.Int64
+}
+
+// NewInterrupt builds an interrupt handle from a context and a stall budget.
+// Returns nil (the uninterruptible handle) when ctx is nil and stall is zero.
+// A nil ctx with a positive stall budget arms only the watchdog.
+func NewInterrupt(ctx context.Context, stall time.Duration) *Interrupt {
+	if ctx == nil && stall <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	in := &Interrupt{ctx: ctx, stall: stall}
+	in.last.Store(time.Now().UnixNano())
+	return in
+}
+
+// Err polls the handle: nil while the run may continue, otherwise the typed
+// sentinel naming why it must stop. The poll is allocation-free.
+func (in *Interrupt) Err() error {
+	if in == nil {
+		return nil
+	}
+	if err := in.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return ErrDeadlineExceeded
+		}
+		return ErrCanceled
+	}
+	if in.stall > 0 && time.Now().UnixNano()-in.last.Load() > int64(in.stall) {
+		return ErrStalled
+	}
+	return nil
+}
+
+// Progress feeds the stall watchdog. The engines call it from every phase
+// charge and iteration boundary; it is an atomic store, nothing more.
+func (in *Interrupt) Progress() {
+	if in == nil || in.stall <= 0 {
+		return
+	}
+	in.last.Store(time.Now().UnixNano())
+}
+
+// Stall returns the watchdog budget (zero = watchdog disabled).
+func (in *Interrupt) Stall() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.stall
+}
+
+// SetInterrupt attaches the interrupt handle the engines poll via
+// Interrupted. Like SetTracer it must be called from the driver before any
+// phases run and is then read without synchronization.
+func (c *Cluster) SetInterrupt(in *Interrupt) { c.intr = in }
+
+// Interrupt returns the attached handle, or nil.
+func (c *Cluster) Interrupt() *Interrupt { return c.intr }
+
+// Interrupted polls the attached interrupt handle. It returns nil on an
+// uninterrupted (or uninterruptible) cluster, otherwise the typed sentinel.
+func (c *Cluster) Interrupted() error {
+	if c == nil {
+		return nil
+	}
+	return c.intr.Err()
+}
+
+// StallDiagnostic renders the phase-summary dump attached to stall-watchdog
+// aborts: every phase name the cluster has charged, with counts and costs,
+// so the operator can see where the run stopped making progress.
+func (c *Cluster) StallDiagnostic() string {
+	if c == nil {
+		return "no cluster attached (single-machine engine)"
+	}
+	sums := Summarize(c.PhaseLog(), c.cfg)
+	if len(sums) == 0 {
+		return "no phases charged yet"
+	}
+	s := "phase summary at stall:"
+	for _, p := range sums {
+		s += fmt.Sprintf("\n  %-24s x%-5d %9.2fs ops=%d shuffle=%s tasks=%d",
+			p.Name, p.Count, p.Seconds, p.ComputeOps, FormatBytes(p.ShuffleBytes), p.Tasks)
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestInterruptPollZeroAlloc is the tentpole's allocation gate: polling a
+// live (non-expired) interrupt — cancelable context, pending deadline, armed
+// stall watchdog, and the cluster-level Interrupted wrapper — must allocate
+// nothing, or threading a context through a fit would perturb the 0 allocs/op
+// steady-state gates.
+func TestInterruptPollZeroAlloc(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Hour)
+	defer dcancel()
+	cl := MustNew(DefaultConfig())
+
+	cases := []struct {
+		name string
+		in   *Interrupt
+	}{
+		{"cancelable", NewInterrupt(cctx, 0)},
+		{"deadline", NewInterrupt(dctx, 0)},
+		{"stall-armed", NewInterrupt(cctx, time.Hour)},
+		{"nil-handle", nil},
+	}
+	for _, c := range cases {
+		cl.SetInterrupt(c.in)
+		if allocs := testing.AllocsPerRun(100, func() {
+			if c.in.Err() != nil {
+				t.Fatal("live interrupt reported an error")
+			}
+			c.in.Progress()
+			if cl.Interrupted() != nil {
+				t.Fatal("live cluster reported interrupted")
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: interrupt poll allocated %v times, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestInterruptErrKinds pins the sentinel each interruption kind maps to and
+// that Progress feeds the stall watchdog.
+func TestInterruptErrKinds(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := NewInterrupt(ctx, 0)
+	if in.Err() != nil {
+		t.Fatal("live context reported an error")
+	}
+	cancel()
+	if err := in.Err(); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel: got %v", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	din := NewInterrupt(dctx, 0)
+	if err := din.Err(); !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline: got %v", err)
+	}
+
+	sin := NewInterrupt(nil, 10*time.Millisecond)
+	sin.Progress()
+	if sin.Err() != nil {
+		t.Fatal("fresh watchdog reported stalled")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if err := sin.Err(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("stall: got %v", err)
+	}
+	sin.Progress() // a progress beacon un-wedges the watchdog
+	if sin.Err() != nil {
+		t.Fatal("watchdog did not reset on progress")
+	}
+}
+
+// TestNewInterruptNilWhenUnarmed: no context and no stall budget collapse to
+// the nil handle, keeping the default path branch-predictable and free.
+func TestNewInterruptNilWhenUnarmed(t *testing.T) {
+	if NewInterrupt(nil, 0) != nil {
+		t.Fatal("unarmed NewInterrupt must return nil")
+	}
+	var in *Interrupt
+	if in.Err() != nil || in.Stall() != 0 {
+		t.Fatal("nil handle must be inert")
+	}
+	in.Progress() // must not panic
+	var cl *Cluster
+	if cl.Interrupted() != nil {
+		t.Fatal("nil cluster must report uninterrupted")
+	}
+	if cl.StallDiagnostic() == "" {
+		t.Fatal("nil cluster must still render a diagnostic")
+	}
+}
+
+// TestAbortEventNames pins the trace-event names carrying the abort cause
+// (trace attributes are numeric-only, so the cause rides in the name).
+func TestAbortEventNames(t *testing.T) {
+	if got := AbortEventName(ErrCanceled); got != "abort-canceled" {
+		t.Errorf("canceled: %q", got)
+	}
+	if got := AbortEventName(ErrDeadlineExceeded); got != "abort-deadline" {
+		t.Errorf("deadline: %q", got)
+	}
+	if got := AbortEventName(ErrStalled); got != "abort-stalled" {
+		t.Errorf("stalled: %q", got)
+	}
+}

@@ -357,6 +357,11 @@ func runDense[I, V any](e *Engine, job *Job[I, int, V, V], input []I, cd denseCo
 		return nil, fmt.Errorf("mapred: job %q has an invalid DenseSpec (Keys=%d, Width=%d)",
 			job.Name, spec.Keys, spec.Width)
 	}
+	// Entry poll, before the job draws its sequence number: an interrupted
+	// run must not advance the fault cursor for a job it never starts.
+	if err := e.Cluster.Interrupted(); err != nil {
+		return nil, fmt.Errorf("mapred: job %q: %w", job.Name, err)
+	}
 	splits := e.NumSplits(len(input))
 	plan, seq := e.plan()
 	mapPhase := fmt.Sprintf("%s#%d/map", job.Name, seq)
@@ -525,6 +530,16 @@ func runDense[I, V any](e *Engine, job *Job[I, int, V, V], input []I, cd denseCo
 	mapStats.ShuffleBytes = shuffleBytes
 	mapStats.DiskBytes = inputBytes + shuffleBytes
 	e.Cluster.RunPhase(mapStats)
+
+	// Boundary poll between the fully charged map phase and the reduce phase,
+	// mirroring the generic path: metrics and trace stay consistent because
+	// the map charge above committed before the poll.
+	if err := e.Cluster.Interrupted(); err != nil {
+		if tr != nil {
+			tr.End(trace.I("failed", 1))
+		}
+		return nil, fmt.Errorf("mapred: job %q: %w", job.Name, err)
+	}
 
 	// ---- Reduce phase ----
 	reducers := e.Reducers

@@ -367,6 +367,11 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 			return res, err
 		}
 	}
+	// Entry poll, before the job draws its sequence number: an interrupted
+	// run must not advance the fault cursor for a job it never starts.
+	if err := e.Cluster.Interrupted(); err != nil {
+		return nil, fmt.Errorf("mapred: job %q: %w", job.Name, err)
+	}
 	splits := e.NumSplits(len(input))
 	plan, seq := e.plan()
 	mapPhase := fmt.Sprintf("%s#%d/map", job.Name, seq)
@@ -533,6 +538,16 @@ func Run[I any, K comparable, V any, R any](e *Engine, job Job[I, K, V, R], inpu
 	// HDFS.
 	mapStats.DiskBytes = inputBytes + shuffleBytes
 	e.Cluster.RunPhase(mapStats)
+
+	// Cooperative cancellation boundary: the map phase (and its shuffle) is
+	// fully charged, so metrics and trace stay consistent; the reduce phase
+	// never starts and the job unwinds with the typed interrupt sentinel.
+	if err := e.Cluster.Interrupted(); err != nil {
+		if tr != nil {
+			tr.End(trace.I("failed", 1))
+		}
+		return nil, fmt.Errorf("mapred: job %q: %w", job.Name, err)
+	}
 
 	// ---- Reduce phase ----
 	reducers := e.Reducers

@@ -1,0 +1,36 @@
+package parallel
+
+import "sync/atomic"
+
+// Hard abort for the worker pool. This is deliberately NOT the cooperative
+// cancellation path: the engines poll cluster.Interrupted at phase and
+// iteration boundaries and unwind with typed errors, leaving every kernel
+// result they keep fully computed. The abort flag below is a last-resort
+// stop for a process that is exiting anyway (cmd/spca on a second signal):
+// once tripped, For/ForRunner/ForWorker stop claiming chunks, so a large
+// kernel returns promptly with its output INCOMPLETE. Callers must not use
+// partial results — the only sane follow-up is to unwind and exit.
+//
+// The flag is process-global, which is why the library never trips it on
+// behalf of a context: two concurrent fits share the pool, and a flag
+// tripped for one would silently corrupt the other. Only an owner of the
+// whole process (a main function) may install one.
+
+var abortFlag atomic.Pointer[atomic.Bool]
+
+// SetAbort installs the process-wide abort flag consulted by the chunk-claim
+// loops. Pass nil to remove it. The flag's owner trips it with Store(true);
+// clearing it (Store(false)) makes the pool fully reusable — no pool state
+// survives an aborted run.
+func SetAbort(flag *atomic.Bool) { abortFlag.Store(flag) }
+
+// aborted reports whether the installed abort flag is tripped. Two atomic
+// loads, no allocation — cheap enough for every chunk claim.
+func aborted() bool {
+	f := abortFlag.Load()
+	return f != nil && f.Load()
+}
+
+// Aborted reports whether the pool is currently refusing work. Exposed for
+// callers that want to skip setup when an abort is already in flight.
+func Aborted() bool { return aborted() }

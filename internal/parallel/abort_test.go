@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// countRunner counts processed indices and trips the abort flag from inside
+// the first chunk it runs, like a worker observing a dying process.
+type countRunner struct {
+	processed *atomic.Int64
+	flag      *atomic.Bool
+}
+
+func (r *countRunner) Run(lo, hi int) {
+	r.processed.Add(int64(hi - lo))
+	r.flag.Store(true)
+}
+
+// TestAbortStopsChunkedRunsPromptly proves a tripped abort flag makes a
+// large chunked run exit early (no further chunks are claimed) and that the
+// pool is fully reusable once the flag clears: the follow-up run covers
+// every index exactly once.
+func TestAbortStopsChunkedRunsPromptly(t *testing.T) {
+	SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(0); SetAbort(nil) })
+
+	var flag atomic.Bool
+	SetAbort(&flag)
+	const n = 1 << 20
+
+	// Each worker trips the flag inside its first chunk, so at most one
+	// chunk per worker runs — far fewer than the full chunk count.
+	var processed atomic.Int64
+	For(n, 1, func(lo, hi int) {
+		processed.Add(int64(hi - lo))
+		flag.Store(true)
+	})
+	if got := processed.Load(); got >= n {
+		t.Fatalf("aborted For processed all %d indices; want an early exit", got)
+	}
+
+	flag.Store(false)
+	var full atomic.Int64
+	For(n, 1, func(lo, hi int) { full.Add(int64(hi - lo)) })
+	if got := full.Load(); got != int64(n) {
+		t.Fatalf("post-abort For processed %d of %d indices; pool not reusable", got, n)
+	}
+}
+
+func TestAbortStopsForRunnerAndForWorker(t *testing.T) {
+	SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(0); SetAbort(nil) })
+
+	var flag atomic.Bool
+	SetAbort(&flag)
+	const n = 1 << 20
+
+	var processed atomic.Int64
+	ForRunner(n, 1, &countRunner{processed: &processed, flag: &flag})
+	if got := processed.Load(); got >= n {
+		t.Fatalf("aborted ForRunner processed all %d indices", got)
+	}
+
+	flag.Store(false)
+	processed.Store(0)
+	ForWorker(n, 1, func(w, lo, hi int) {
+		processed.Add(int64(hi - lo))
+		flag.Store(true)
+	})
+	if got := processed.Load(); got >= n {
+		t.Fatalf("aborted ForWorker processed all %d indices", got)
+	}
+
+	flag.Store(false)
+	processed.Store(0)
+	ForWorker(n, 1, func(w, lo, hi int) { processed.Add(int64(hi - lo)) })
+	if got := processed.Load(); got != int64(n) {
+		t.Fatalf("post-abort ForWorker processed %d of %d indices; pool not reusable", got, n)
+	}
+}

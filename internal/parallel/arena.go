@@ -137,6 +137,9 @@ func ForWorker(n, grain int, fn func(worker, lo, hi int)) {
 	var next atomic.Int64
 	run := func(w int) {
 		for {
+			if aborted() {
+				return
+			}
 			c := int(next.Add(1)) - 1
 			if c >= chunks {
 				return

@@ -96,6 +96,9 @@ func ForRunner(n, grain int, r Runner) {
 	var next atomic.Int64
 	run := func() {
 		for {
+			if aborted() {
+				return
+			}
 			c := int(next.Add(1)) - 1
 			if c >= chunks {
 				return
@@ -157,6 +160,9 @@ func For(n, grain int, fn func(lo, hi int)) {
 	var next atomic.Int64
 	run := func() {
 		for {
+			if aborted() {
+				return
+			}
 			c := int(next.Add(1)) - 1
 			if c >= chunks {
 				return

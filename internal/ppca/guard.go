@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"spca/internal/checkpoint"
 	"spca/internal/cluster"
@@ -94,9 +95,31 @@ func runEM(em *emDriver, opt Options, eng emEngine, res *Result) error {
 		if opt.converged(res.History) {
 			break
 		}
+		// Entry poll: a context canceled before (or between) iterations is
+		// observed here, with iter-1 iterations completed and the driver
+		// state exactly at that boundary.
+		if cause := opt.Interrupt.Err(); cause != nil {
+			return em.abortRun(iter-1, cause, opt, res, cl, eng.faultEpoch(), true)
+		}
 		if err := runEMIter(em, opt, eng, res, cl, iter); err != nil {
+			if cluster.IsInterrupt(err) {
+				// An engine phase caught the interrupt mid-iteration. The
+				// current iteration is abandoned — driver state may be
+				// mid-update, so no fresh snapshot is written; a resume
+				// redoes the abandoned iteration from the last periodic
+				// snapshot, deterministically.
+				return em.abortRun(iter-1, err, opt, res, cl, eng.faultEpoch(), false)
+			}
 			return err
 		}
+		// Boundary poll: the iteration (including its periodic checkpoint and
+		// observer callbacks) finished — this is the deterministic abort point
+		// the chaos suite cancels at. Checked before Progress so a stall that
+		// opened during the iteration's driver-side tail is still observed.
+		if cause := opt.Interrupt.Err(); cause != nil {
+			return em.abortRun(iter, cause, opt, res, cl, eng.faultEpoch(), true)
+		}
+		opt.Interrupt.Progress()
 	}
 	res.Components = em.c
 	res.SS = em.ss
@@ -186,6 +209,84 @@ func runEMIter(em *emDriver, opt Options, eng emEngine, res *Result, cl *cluster
 		return crash
 	}
 	return nil
+}
+
+// abortRun converts an observed interrupt into a resumable *cluster.AbortError.
+// last is the number of fully completed EM iterations; atBoundary reports
+// whether the driver state is exactly the post-iteration-last state (true for
+// the runEM boundary polls, false when an engine phase unwound mid-iteration).
+// Only a boundary abort may flush a fresh snapshot — mid-iteration state is
+// not a valid model — and the flush charges nothing to the simulated cluster,
+// so a resumed run's clock and trajectory stay bit-identical to an
+// uninterrupted one.
+func (em *emDriver) abortRun(last int, cause error, opt Options, res *Result, cl *cluster.Cluster, epoch int64, atBoundary bool) error {
+	ab := &cluster.AbortError{Iter: last, Cause: cause, SimSeconds: snapMetrics(cl, res).SimSeconds}
+	if errors.Is(cause, cluster.ErrStalled) {
+		ab.Diagnostic = cl.StallDiagnostic()
+	}
+	if opt.Checkpoint.Enabled() {
+		switch {
+		case last > 0 && last%opt.Checkpoint.Interval == 0:
+			// The periodic write at this boundary already covers it (either
+			// written this incarnation or the snapshot this run resumed from).
+			ab.Checkpointed = true
+		case atBoundary && last > 0:
+			if err := em.writeFinalCheckpoint(last, opt, res, cl, epoch); err != nil {
+				opt.Tracer.Event("final-checkpoint-failed", trace.I("iter", int64(last)))
+			} else {
+				ab.Checkpointed = true
+			}
+		default:
+			// Abandoned iteration: the newest periodic snapshot (or the one
+			// this run resumed from) is the resume point, if any exists.
+			ab.Checkpointed = last >= opt.Checkpoint.Interval || opt.Resume != nil
+		}
+	}
+	ck := int64(0)
+	if ab.Checkpointed {
+		ck = 1
+	}
+	opt.Tracer.Event(cluster.AbortEventName(cause), trace.I("iter", int64(last)), trace.I("checkpointed", ck))
+	return ab
+}
+
+// Final-snapshot flush retry bounds. This write is the run's last chance to
+// preserve progress before unwinding, so transient real-I/O failures are
+// retried with exponential backoff (real time — the simulated clock is
+// never involved in abort handling).
+const (
+	finalSaveRetries = 3
+	finalSaveBackoff = 25 * time.Millisecond
+)
+
+// writeFinalCheckpoint flushes an out-of-interval snapshot at an abort
+// boundary. Unlike the periodic writeCheckpoint it charges NOTHING to the
+// simulated cluster: the uninterrupted run never pays for this write, and the
+// snapshot's embedded metrics must equal the boundary state exactly so a
+// resume continues bit-identically.
+func (em *emDriver) writeFinalCheckpoint(iter int, opt Options, res *Result, cl *cluster.Cluster, epoch int64) error {
+	snap := em.buildSnapshot(iter, opt, res, epoch)
+	snap.Metrics = snapMetrics(cl, res)
+	var err error
+	backoff := finalSaveBackoff
+	for attempt := 0; attempt <= finalSaveRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if _, err = checkpoint.Save(opt.Checkpoint.Dir, snap); err == nil {
+			opt.Tracer.Event("final-checkpoint",
+				trace.I("iter", int64(iter)), trace.I("retries", int64(attempt)))
+			if opt.Checkpoint.Keep >= 0 {
+				if perr := checkpoint.Prune(opt.Checkpoint.Dir, opt.Checkpoint.Keep); perr != nil {
+					return fmt.Errorf("ppca: pruning checkpoints at abort: %w", perr)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("ppca: final checkpoint at iteration %d failed after %d retries: %w",
+		iter, finalSaveRetries, err)
 }
 
 // checkFinite scans the model state after an iteration. EM cannot recover
@@ -325,25 +426,7 @@ func snapMetrics(cl *cluster.Cluster, res *Result) cluster.Metrics {
 // resume the clock restores to the post-write value, exactly what the
 // uninterrupted run's clock reads going into the next iteration.
 func (em *emDriver) writeCheckpoint(iter int, opt Options, res *Result, cl *cluster.Cluster, epoch int64) error {
-	snap := &checkpoint.Snapshot{
-		Iter: iter,
-		N:    em.n, Dims: em.dims, D: em.d, Seed: opt.Seed,
-		FaultEpoch: epoch,
-		SS:         em.ss, SS1: em.ss1,
-		Mean: em.mean, C: em.c,
-		RidgeLevel: em.ridgeLevel, Rising: em.rising,
-	}
-	if em.haveBest {
-		snap.Best = &checkpoint.BestState{Iter: em.bestIter, Err: em.bestErr, SS: em.bestSS, C: em.bestC}
-	}
-	snap.History = make([]checkpoint.HistoryEntry, len(res.History))
-	for i, h := range res.History {
-		snap.History[i] = checkpoint.HistoryEntry{
-			Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SS: h.SS,
-			SimSeconds: h.SimSeconds, Ridge: h.Ridge,
-			RidgeRetries: h.RidgeRetries, Rollback: h.Rollback,
-		}
-	}
+	snap := em.buildSnapshot(iter, opt, res, epoch)
 	cost := snap.CostBytes()
 	if cl != nil {
 		cl.ChargeCheckpoint(cost) // emits the checkpoint span itself
@@ -364,6 +447,32 @@ func (em *emDriver) writeCheckpoint(iter int, opt Options, res *Result, cl *clus
 		}
 	}
 	return nil
+}
+
+// buildSnapshot assembles the driver's current boundary state into a
+// checkpoint snapshot (metrics are filled in by the caller, which decides
+// whether the write is charged to the simulated cluster first).
+func (em *emDriver) buildSnapshot(iter int, opt Options, res *Result, epoch int64) *checkpoint.Snapshot {
+	snap := &checkpoint.Snapshot{
+		Iter: iter,
+		N:    em.n, Dims: em.dims, D: em.d, Seed: opt.Seed,
+		FaultEpoch: epoch,
+		SS:         em.ss, SS1: em.ss1,
+		Mean: em.mean, C: em.c,
+		RidgeLevel: em.ridgeLevel, Rising: em.rising,
+	}
+	if em.haveBest {
+		snap.Best = &checkpoint.BestState{Iter: em.bestIter, Err: em.bestErr, SS: em.bestSS, C: em.bestC}
+	}
+	snap.History = make([]checkpoint.HistoryEntry, len(res.History))
+	for i, h := range res.History {
+		snap.History[i] = checkpoint.HistoryEntry{
+			Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SS: h.SS,
+			SimSeconds: h.SimSeconds, Ridge: h.Ridge,
+			RidgeRetries: h.RidgeRetries, Rollback: h.Rollback,
+		}
+	}
+	return snap
 }
 
 // injectSnapshotFault damages the just-written snapshot file when the fault

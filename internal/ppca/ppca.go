@@ -102,6 +102,14 @@ type Options struct {
 	// all stamped with the simulated clock. Nil (the default) disables
 	// tracing with zero overhead on the steady-state paths.
 	Tracer *trace.Tracer
+
+	// Interrupt, when non-nil, is polled at every iteration boundary (and by
+	// the engines at phase boundaries via the cluster). On cancel, deadline,
+	// or stall the guarded loop stops at the boundary, writes a final
+	// checkpoint when configured, and returns a *cluster.AbortError. Nil (the
+	// default) makes the fit uninterruptible; the poll is allocation-free so
+	// a live handle leaves the steady state and the cost model untouched.
+	Interrupt *cluster.Interrupt
 }
 
 // DefaultOptions returns the paper's settings: d components, at most 10

@@ -106,9 +106,9 @@ func (e *sparkEngine) prepared(em *emDriver) {
 
 func (e *sparkEngine) pass(em *emDriver) (jobSums, error) {
 	if e.opt.MinimizeIntermediate {
-		return sparkYtXJob(e.ctx, e.y, e.dims, em, e.opt, e.scr), nil
+		return sparkYtXJob(e.ctx, e.y, e.dims, em, e.opt, e.scr)
 	}
-	return sparkUnoptimized(e.ctx, e.y, e.dims, em, e.opt), nil
+	return sparkUnoptimized(e.ctx, e.y, e.dims, em, e.opt)
 }
 
 func (e *sparkEngine) solved(em *emDriver, cNew *matrix.Dense) {
@@ -118,7 +118,7 @@ func (e *sparkEngine) solved(em *emDriver, cNew *matrix.Dense) {
 }
 
 func (e *sparkEngine) ss3(em *emDriver, cNew *matrix.Dense) (float64, error) {
-	return sparkSS3Job(e.ctx, e.y, em, cNew, e.opt, e.scr), nil
+	return sparkSS3Job(e.ctx, e.y, em, cNew, e.opt, e.scr)
 }
 
 func (e *sparkEngine) reconErr(em *emDriver) float64 { return em.reconError(e.ymat, e.sample) }
@@ -382,13 +382,13 @@ func (ps *sparkPartScratch) densify(row matrix.SparseVector, mean []float64) mat
 
 // sparkYtXJob is Algorithm 5: one map pass computing X on demand, folding
 // XtX/YtX/ΣX partials into accumulators inside the map (no reduce stage).
-func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options, scr *sparkScratch) jobSums {
+func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options, scr *sparkScratch) (jobSums, error) {
 	d := em.d
 	acc := rdd.NewAccumulator(ctx, "YtXSum", scr.resetAccZero(d),
 		func(into, from *sparkSums) *sparkSums { into.merge(from); return into },
 		func(s *sparkSums) int64 { return s.bytes(d) },
 	)
-	y.ForeachPartition("YtXJob", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
+	err := y.ForeachPartition("YtXJob", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
 		ps := scr.ytxPart(task, d)
 		local, xi := ps.sums, ps.xi
 		for _, row := range part {
@@ -416,6 +416,9 @@ func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em
 		}
 		acc.Merge(task, local)
 	})
+	if err != nil {
+		return jobSums{}, err
+	}
 	total := acc.Value()
 	var sums jobSums
 	if scr != nil {
@@ -435,16 +438,16 @@ func sparkYtXJob(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em
 		copy(sums.ytx.Row(j), v)
 	}
 	copy(sums.xtx.Data, total.xtx)
-	return sums
+	return sums, nil
 }
 
-func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver, cNew *matrix.Dense, opt Options, scr *sparkScratch) float64 {
+func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver, cNew *matrix.Dense, opt Options, scr *sparkScratch) (float64, error) {
 	d := em.d
 	acc := rdd.NewAccumulator(ctx, "ss3", 0.0,
 		func(a, b float64) float64 { return a + b },
 		func(float64) int64 { return 8 },
 	)
-	y.ForeachPartition("ss3Job", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
+	err := y.ForeachPartition("ss3Job", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
 		ps := scr.ss3Part(task, d)
 		xi, ct := ps.xi, ps.ct
 		var local float64
@@ -479,13 +482,16 @@ func sparkSS3Job(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], em *emDriver
 		}
 		acc.Merge(task, local)
 	})
-	return acc.Value()
+	if err != nil {
+		return 0, err
+	}
+	return acc.Value(), nil
 }
 
 // sparkUnoptimized materializes X as a (never-cached, so disk-resident) RDD
 // and runs separate XtX and YtX passes over it — the baseline of Table 3's
 // "intermediate data" row.
-func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options) jobSums {
+func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims int, em *emDriver, opt Options) (jobSums, error) {
 	d := em.d
 	// Materialize X alongside Y so later passes can join them.
 	pairs := rdd.Map(y, "XJob", func(row matrix.SparseVector) pairYX {
@@ -505,7 +511,7 @@ func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims in
 		func(into, from *sparkSums) *sparkSums { into.merge(from); return into },
 		func(s *sparkSums) int64 { return s.bytes(d) },
 	)
-	pairs.ForeachPartition("XtXJob", func(task int, part []pairYX, ops *rdd.TaskOps) {
+	err := pairs.ForeachPartition("XtXJob", func(task int, part []pairYX, ops *rdd.TaskOps) {
 		local := newSparkSums(d)
 		for _, p := range part {
 			for a := 0; a < d; a++ {
@@ -520,13 +526,16 @@ func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims in
 		}
 		xtxAcc.Merge(task, local)
 	})
+	if err != nil {
+		return jobSums{}, err
+	}
 
 	// Pass 2: YtX from Y joined with the stored X.
 	ytxAcc := rdd.NewAccumulator(ctx, "YtXSum", newSparkSums(d),
 		func(into, from *sparkSums) *sparkSums { into.merge(from); return into },
 		func(s *sparkSums) int64 { return s.bytes(d) },
 	)
-	pairs.ForeachPartition("YtXJoinJob", func(task int, part []pairYX, ops *rdd.TaskOps) {
+	err = pairs.ForeachPartition("YtXJoinJob", func(task int, part []pairYX, ops *rdd.TaskOps) {
 		local := newSparkSums(d)
 		for _, p := range part {
 			row := p.y
@@ -545,6 +554,9 @@ func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims in
 		}
 		ytxAcc.Merge(task, local)
 	})
+	if err != nil {
+		return jobSums{}, err
+	}
 
 	xres := xtxAcc.Value()
 	yres := ytxAcc.Value()
@@ -557,7 +569,7 @@ func sparkUnoptimized(ctx *rdd.Context, y *rdd.RDD[matrix.SparseVector], dims in
 		copy(sums.ytx.Row(j), v)
 	}
 	copy(sums.xtx.Data, xres.xtx)
-	return sums
+	return sums, nil
 }
 
 func smartGuessSpark(ctx *rdd.Context, rows []matrix.SparseVector, dims int, opt Options, em *emDriver) error {

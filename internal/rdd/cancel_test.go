@@ -1,0 +1,140 @@
+package rdd
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"spca/internal/cluster"
+)
+
+// interruptedContext returns a test Context whose cluster polls ctx.
+func interruptedContext(ctx context.Context) *Context {
+	c := newTestContext()
+	c.Cluster().SetInterrupt(cluster.NewInterrupt(ctx, 0))
+	return c
+}
+
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// TestAggregateCanceledMidAction cancels the context from inside a seq
+// function. The action's phase charge stays on the books (the work ran), the
+// returned value is the zero U, and the error matches both sentinel families.
+func TestAggregateCanceledMidAction(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := interruptedContext(ctx)
+	r := Parallelize(c, "ints", rangeInts(500), intSize)
+	var once sync.Once
+	sum, err := Aggregate(r, "cancel-sum",
+		func() int64 { return 0 },
+		func(acc int64, v int, ops *TaskOps) int64 {
+			once.Do(cancel)
+			ops.AddOps(1)
+			return acc + int64(v)
+		},
+		func(a, b int64) int64 { return a + b },
+		func(int64) int64 { return 8 })
+	if !errors.Is(err, cluster.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCanceled wrapping context.Canceled, got %v", err)
+	}
+	if sum != 0 {
+		t.Fatalf("canceled aggregate returned a partial result: %d", sum)
+	}
+	m := c.Cluster().Metrics()
+	if m.Phases < 2 || m.ComputeOps == 0 { // parallelize + the aborted action
+		t.Fatalf("aborted action not charged: %+v", m)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestAggregateDeadlineMidAction is the deadline flavor: the seq functions
+// outlive the context deadline, and the boundary poll reports it as such.
+func TestAggregateDeadlineMidAction(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	c := interruptedContext(ctx)
+	r := Parallelize(c, "ints", rangeInts(4), intSize)
+	_, err := Aggregate(r, "slow-sum",
+		func() int64 { return 0 },
+		func(acc int64, v int, ops *TaskOps) int64 {
+			time.Sleep(30 * time.Millisecond) // guarantees expiry mid-action
+			return acc + int64(v)
+		},
+		func(a, b int64) int64 { return a + b },
+		func(int64) int64 { return 8 })
+	if !errors.Is(err, cluster.ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded wrapping context.DeadlineExceeded, got %v", err)
+	}
+	if errors.Is(err, cluster.ErrCanceled) {
+		t.Fatalf("deadline expiry misreported as cancel: %v", err)
+	}
+}
+
+// TestActionEntryPollPreservesEpoch pins the resume invariant on the rdd
+// side: an action refused at the entry poll must not advance the fault epoch.
+func TestActionEntryPollPreservesEpoch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := interruptedContext(ctx)
+	r := Parallelize(c, "ints", rangeInts(100), intSize)
+	cancel()
+	epoch := c.Epoch()
+	phases := c.Cluster().Metrics().Phases
+
+	if err := r.ForeachPartition("refused", func(int, []int, *TaskOps) {}); !errors.Is(err, cluster.ErrCanceled) {
+		t.Fatalf("ForeachPartition: want ErrCanceled, got %v", err)
+	}
+	if _, err := Aggregate(r, "refused-agg",
+		func() int64 { return 0 },
+		func(acc int64, v int, _ *TaskOps) int64 { return acc + int64(v) },
+		func(a, b int64) int64 { return a + b },
+		func(int64) int64 { return 8 }); !errors.Is(err, cluster.ErrCanceled) {
+		t.Fatalf("Aggregate: want ErrCanceled, got %v", err)
+	}
+	if _, err := r.Collect(); !errors.Is(err, cluster.ErrCanceled) {
+		t.Fatalf("Collect: want ErrCanceled, got %v", err)
+	}
+
+	if got := c.Epoch(); got != epoch {
+		t.Fatalf("entry poll advanced the fault epoch: %d -> %d", epoch, got)
+	}
+	if got := c.Cluster().Metrics().Phases; got != phases {
+		t.Fatalf("refused actions charged phases: %d -> %d", phases, got)
+	}
+}
+
+// TestForeachPartitionCanceledMidAction covers the ForeachPartition boundary
+// poll (the path the Spark engines' per-iteration jobs ride on).
+func TestForeachPartitionCanceledMidAction(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := interruptedContext(ctx)
+	r := Parallelize(c, "ints", rangeInts(300), intSize)
+	var once sync.Once
+	err := r.ForeachPartition("cancel-walk", func(task int, part []int, ops *TaskOps) {
+		once.Do(cancel)
+		ops.AddOps(int64(len(part)))
+	})
+	if !errors.Is(err, cluster.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCanceled wrapping context.Canceled, got %v", err)
+	}
+	if m := c.Cluster().Metrics(); m.Phases < 2 {
+		t.Fatalf("aborted action not charged: %+v", m)
+	}
+	waitGoroutines(t, base)
+}

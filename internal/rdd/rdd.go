@@ -493,12 +493,19 @@ func (r *RDD[T]) scanDiskBytes() int64 {
 // ForeachPartition runs f once per partition in parallel and charges one
 // phase: the tasks' arithmetic, a scan's disk traffic, and task overheads.
 // It is the engine primitive behind every distributed job in this repo.
-func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *TaskOps)) {
+// It returns a typed interruption sentinel (wrapped) when the cluster's
+// interrupt handle fired; the action's phase charge still commits first, so
+// metrics and trace stay consistent at the abort boundary.
+func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *TaskOps)) error {
+	// Entry poll, before the action draws its fault epoch: an interrupted
+	// run must not advance the fault cursor for an action it never starts.
+	if err := r.ctx.cl.Interrupted(); err != nil {
+		return fmt.Errorf("rdd: action %q: %w", name, err)
+	}
 	plan, phase := r.ctx.actionPlan(name)
 	tr := r.ctx.cl.Tracer()
 	if tr != nil {
 		tr.Begin(name, trace.KindAction, trace.I("partitions", int64(len(r.parts))))
-		defer tr.End()
 	}
 	opsPer := make([]TaskOps, len(r.parts))
 	var wg sync.WaitGroup
@@ -528,6 +535,18 @@ func (r *RDD[T]) ForeachPartition(name string, f func(task int, part []T, ops *T
 	}
 	applyActionFaults(r, plan, phase, &stats, taskOps)
 	r.ctx.cl.RunPhase(stats)
+	// Boundary poll after the fully charged action: the partitions' work is
+	// done and committed, so a caller that unwinds here resumes bit-identically.
+	if err := r.ctx.cl.Interrupted(); err != nil {
+		if tr != nil {
+			tr.End(trace.I("failed", 1))
+		}
+		return fmt.Errorf("rdd: action %q: %w", name, err)
+	}
+	if tr != nil {
+		tr.End()
+	}
+	return nil
 }
 
 // Map transforms every record, returning a new (uncached) RDD. The
@@ -589,6 +608,9 @@ func Map[T, U any](r *RDD[T], name string, f func(T) U, sizeOf func(U) int64, op
 // collected data is no longer held — a leaked allocation skews DriverPeak
 // and can trigger spurious OOMs in long multi-fit runs.
 func (r *RDD[T]) Collect() ([]T, error) {
+	if err := r.ctx.cl.Interrupted(); err != nil {
+		return nil, fmt.Errorf("rdd: collect %s: %w", r.name, err)
+	}
 	plan, phase := r.ctx.actionPlan(r.name + "/collect")
 	bytes := r.totalBytes()
 	tr := r.ctx.cl.Tracer()
@@ -641,6 +663,12 @@ func Aggregate[T, U any](r *RDD[T], name string, zero func() U, seq func(U, T, *
 // goroutine, so a caller-owned zero value is touched by exactly one task per
 // action.
 func AggregateInto[T, U any](r *RDD[T], name string, zero func(task int) U, seq func(U, T, *TaskOps) U, comb func(U, U) U, sizeOf func(U) int64) (U, error) {
+	// Entry poll, before the action draws its fault epoch (see
+	// ForeachPartition).
+	if err := r.ctx.cl.Interrupted(); err != nil {
+		var zeroU U
+		return zeroU, fmt.Errorf("rdd: aggregate %q: %w", name, err)
+	}
 	plan, phase := r.ctx.actionPlan(name)
 	tr := r.ctx.cl.Tracer()
 	if tr != nil {
@@ -685,6 +713,17 @@ func AggregateInto[T, U any](r *RDD[T], name string, zero func(task int) U, seq 
 		Records:      int64(r.Count()),
 	}
 	applyActionFaults(r, plan, phase, &stats, taskOps)
+	// Boundary poll before the result lands on the driver: the phase charge
+	// below commits (the work ran), but no driver allocation is made that the
+	// unwinding caller would never free.
+	if err := r.ctx.cl.Interrupted(); err != nil {
+		var zeroU U
+		r.ctx.cl.RunPhase(stats)
+		if tr != nil {
+			tr.End(trace.I("failed", 1))
+		}
+		return zeroU, fmt.Errorf("rdd: aggregate %q: %w", name, err)
+	}
 	resBytes := sizeOf(result)
 	if err := r.ctx.cl.AllocDriver(resBytes); err != nil {
 		var zeroU U

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"time"
 
 	"spca/internal/checkpoint"
 	"spca/internal/cluster"
@@ -96,6 +97,11 @@ type Options struct {
 	// Faults injects deterministic driver crashes (task-level faults are
 	// armed on the engine / context by the caller).
 	Faults *cluster.FaultPlan
+	// Interrupt, when non-nil, is polled at every round boundary (and by the
+	// engines at phase boundaries via the cluster). On cancel/deadline/stall
+	// the round loop stops at the boundary, flushes a final snapshot when
+	// checkpointing is armed, and returns a *cluster.AbortError.
+	Interrupt *cluster.Interrupt
 }
 
 // DefaultOptions returns the paper-flavoured defaults for d components.
@@ -237,13 +243,30 @@ func (dr *driver) run(eng roundEngine, res *Result) error {
 		start = opt.Resume.Iter + 1
 	}
 	for round := start; round <= opt.maxRounds(); round++ {
+		// Entry poll: a pre-canceled context (or one canceled between rounds)
+		// is observed here, with round-1 rounds completed.
+		if cause := opt.Interrupt.Err(); cause != nil {
+			return dr.abortRun(round-1, cause, eng, res, true)
+		}
 		stop, err := dr.runRound(eng, res, round)
 		if err != nil {
+			if cluster.IsInterrupt(err) {
+				// An engine phase unwound mid-round: the round is abandoned
+				// (its jobs partly charged, the engine's fault cursor
+				// mid-stream), so no fresh snapshot is written — resume
+				// redoes the round from the last periodic one.
+				return dr.abortRun(round-1, err, eng, res, false)
+			}
 			return err
 		}
 		if stop {
 			break
 		}
+		// Boundary poll: the deterministic abort point between rounds.
+		if cause := opt.Interrupt.Err(); cause != nil {
+			return dr.abortRun(round, cause, eng, res, true)
+		}
+		opt.Interrupt.Progress()
 	}
 	res.Components = dr.bestW
 	res.Singular = dr.bestSing
@@ -307,21 +330,7 @@ func (dr *driver) runRound(eng roundEngine, res *Result, round int) (bool, error
 // from.
 func (dr *driver) writeCheckpoint(eng roundEngine, res *Result, round int) error {
 	opt := dr.opt
-	snap := &checkpoint.Snapshot{
-		Iter: round,
-		N:    dr.n, Dims: dr.dims, D: opt.Components, Seed: opt.Seed,
-		FaultEpoch: eng.faultEpoch(),
-		SS:         dr.bestErr,
-		Mean:       dr.mean,
-		C:          dr.bestW,
-		Singular:   dr.bestSing,
-	}
-	snap.History = make([]checkpoint.HistoryEntry, len(res.History))
-	for i, h := range res.History {
-		snap.History[i] = checkpoint.HistoryEntry{
-			Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SimSeconds: h.SimSeconds,
-		}
-	}
+	snap := dr.buildSnapshot(eng, res, round)
 	dr.cl.ChargeCheckpoint(snap.CostBytes()) // emits the checkpoint span itself
 	snap.Metrics = dr.cl.Metrics()
 	if _, err := checkpoint.Save(opt.Checkpoint.Dir, snap); err != nil {
@@ -349,6 +358,99 @@ func (dr *driver) writeCheckpoint(eng roundEngine, res *Result, round int) error
 		}
 	}
 	return nil
+}
+
+// buildSnapshot assembles the best-of-rounds boundary state into a snapshot
+// (metrics are filled in by the caller, which decides whether the write is
+// charged to the simulated cluster first).
+func (dr *driver) buildSnapshot(eng roundEngine, res *Result, round int) *checkpoint.Snapshot {
+	opt := dr.opt
+	snap := &checkpoint.Snapshot{
+		Iter: round,
+		N:    dr.n, Dims: dr.dims, D: opt.Components, Seed: opt.Seed,
+		FaultEpoch: eng.faultEpoch(),
+		SS:         dr.bestErr,
+		Mean:       dr.mean,
+		C:          dr.bestW,
+		Singular:   dr.bestSing,
+	}
+	snap.History = make([]checkpoint.HistoryEntry, len(res.History))
+	for i, h := range res.History {
+		snap.History[i] = checkpoint.HistoryEntry{
+			Iter: h.Iter, Err: h.Err, Accuracy: h.Accuracy, SimSeconds: h.SimSeconds,
+		}
+	}
+	return snap
+}
+
+// abortRun converts an observed interrupt into a resumable *cluster.AbortError.
+// Same determinism contract as the EM driver's counterpart (internal/ppca):
+// only a boundary abort flushes a fresh snapshot, and the flush charges
+// nothing to the simulated cluster.
+func (dr *driver) abortRun(last int, cause error, eng roundEngine, res *Result, atBoundary bool) error {
+	opt := dr.opt
+	ab := &cluster.AbortError{Iter: last, Cause: cause, SimSeconds: dr.cl.Metrics().SimSeconds}
+	if errors.Is(cause, cluster.ErrStalled) {
+		ab.Diagnostic = dr.cl.StallDiagnostic()
+	}
+	if opt.Checkpoint.Enabled() {
+		switch {
+		case last > 0 && last%opt.Checkpoint.Interval == 0:
+			ab.Checkpointed = true
+		case atBoundary && last > 0:
+			if err := dr.writeFinalCheckpoint(eng, res, last); err != nil {
+				opt.Tracer.Event("final-checkpoint-failed", trace.I("iter", int64(last)))
+			} else {
+				ab.Checkpointed = true
+			}
+		default:
+			ab.Checkpointed = last >= opt.Checkpoint.Interval || opt.Resume != nil
+		}
+	}
+	ck := int64(0)
+	if ab.Checkpointed {
+		ck = 1
+	}
+	opt.Tracer.Event(cluster.AbortEventName(cause), trace.I("iter", int64(last)), trace.I("checkpointed", ck))
+	return ab
+}
+
+// Final-snapshot flush retry bounds (real time; the simulated clock is never
+// involved in abort handling).
+const (
+	finalSaveRetries = 3
+	finalSaveBackoff = 25 * time.Millisecond
+)
+
+// writeFinalCheckpoint flushes an out-of-interval snapshot at an abort
+// boundary, charging nothing to the simulated cluster: the snapshot's
+// embedded metrics equal the boundary state exactly, so a resume continues
+// bit-identically to an uninterrupted run. Real-I/O failures retry with
+// exponential backoff.
+func (dr *driver) writeFinalCheckpoint(eng roundEngine, res *Result, round int) error {
+	opt := dr.opt
+	snap := dr.buildSnapshot(eng, res, round)
+	snap.Metrics = dr.cl.Metrics()
+	var err error
+	backoff := finalSaveBackoff
+	for attempt := 0; attempt <= finalSaveRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if _, err = checkpoint.Save(opt.Checkpoint.Dir, snap); err == nil {
+			opt.Tracer.Event("final-checkpoint",
+				trace.I("iter", int64(round)), trace.I("retries", int64(attempt)))
+			if opt.Checkpoint.Keep >= 0 {
+				if perr := checkpoint.Prune(opt.Checkpoint.Dir, opt.Checkpoint.Keep); perr != nil {
+					return fmt.Errorf("rsvd: pruning checkpoints at abort: %w", perr)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("rsvd: final checkpoint at round %d failed after %d retries: %w",
+		round, finalSaveRetries, err)
 }
 
 // accuracyOf converts an error into a fraction of ideal accuracy

@@ -115,7 +115,7 @@ func (e *sparkEngine) round(round, k int) (*matrix.Dense, []float64, error) {
 		func(s *sketchStack) int64 { return s.bytes() },
 	)
 	power := e.opt.PowerIterations
-	e.y.ForeachPartition("rsvd/localSketch", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
+	err := e.y.ForeachPartition("rsvd/localSketch", func(task int, part []matrix.SparseVector, ops *rdd.TaskOps) {
 		if len(part) == 0 {
 			return
 		}
@@ -126,6 +126,9 @@ func (e *sparkEngine) round(round, k int) (*matrix.Dense, []float64, error) {
 		ls.stack.blocks = append(ls.stack.blocks[:0], ls.b)
 		acc.Merge(task, &ls.stack)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	stack := acc.Value()
 	if len(stack.blocks) == 0 {
 		return nil, nil, fmt.Errorf("rsvd: sketch action produced no blocks")

@@ -139,6 +139,12 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 	res := &Result{}
 	bestErr := math.Inf(1)
 	for round := 1; round <= maxRounds; round++ {
+		// Round-boundary poll: the jobs inside the round poll on their own
+		// (via mapred.Run), but a cancel landing between rounds should not
+		// start the next sketch.
+		if cause := cl.Interrupted(); cause != nil {
+			return nil, fmt.Errorf("ssvd: round %d: %w", round, cause)
+		}
 		// The round body runs in a closure so the round span closes on every
 		// exit path (job error or normal completion).
 		stop, err := func() (bool, error) {

@@ -104,6 +104,12 @@ func FitMapReduce(eng *mapred.Engine, rows []matrix.SparseVector, dims int, opt 
 		Tasks:             int64(cl.TotalCores()),
 	})
 
+	// Stage-boundary poll before the driver-side dense work: the jobs above
+	// poll via mapred.Run, but the D³ bidiagonalization below does not.
+	if cause := cl.Interrupted(); cause != nil {
+		return nil, fmt.Errorf("svdbidiag: bidiag-svd stage: %w", cause)
+	}
+
 	// Driver: bidiagonalize R and SVD it (steps ii-iii). Our dense SVD
 	// performs Householder bidiagonalization + implicit-shift QR
 	// internally — exactly the Demmel-Kahan pipeline.

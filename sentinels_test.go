@@ -1,0 +1,77 @@
+package spca
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"spca/internal/checkpoint"
+	"spca/internal/cluster"
+	"spca/internal/mapred"
+	"spca/internal/ppca"
+)
+
+// TestSentinelReexportsAliasInternals pins that every public sentinel is the
+// same value as the internal one it re-exports, so a caller's errors.Is works
+// no matter which layer produced the error.
+func TestSentinelReexportsAliasInternals(t *testing.T) {
+	pairs := []struct {
+		name             string
+		public, internal error
+	}{
+		{"ErrCanceled", ErrCanceled, cluster.ErrCanceled},
+		{"ErrDeadlineExceeded", ErrDeadlineExceeded, cluster.ErrDeadlineExceeded},
+		{"ErrStalled", ErrStalled, cluster.ErrStalled},
+		{"ErrTaskFailed", ErrTaskFailed, mapred.ErrTaskFailed},
+		{"ErrBadSnapshot", ErrBadSnapshot, checkpoint.ErrBadSnapshot},
+		{"ErrDriverOOM", ErrDriverOOM, cluster.ErrDriverOOM},
+		{"ErrDriverCrash", ErrDriverCrash, cluster.ErrDriverCrash},
+		{"ErrCorruptPayload", ErrCorruptPayload, cluster.ErrCorruptPayload},
+		{"ErrNumericalBreakdown", ErrNumericalBreakdown, ppca.ErrNumericalBreakdown},
+	}
+	for _, p := range pairs {
+		if p.public != p.internal { //nolint:errorlint // identity is the contract
+			t.Errorf("%s is not the internal sentinel value", p.name)
+		}
+		if !errors.Is(fmt.Errorf("wrapped: %w", p.internal), p.public) {
+			t.Errorf("errors.Is(%s) fails through a %%w wrap", p.name)
+		}
+	}
+}
+
+// TestInterruptSentinelsWrapStdlib pins the dual-matching contract: the
+// cancellation sentinels wrap the stdlib context sentinels, so both
+// errors.Is(err, spca.ErrCanceled) and errors.Is(err, context.Canceled) hold.
+func TestInterruptSentinelsWrapStdlib(t *testing.T) {
+	if !errors.Is(ErrCanceled, context.Canceled) {
+		t.Error("ErrCanceled does not wrap context.Canceled")
+	}
+	if !errors.Is(ErrDeadlineExceeded, context.DeadlineExceeded) {
+		t.Error("ErrDeadlineExceeded does not wrap context.DeadlineExceeded")
+	}
+	if errors.Is(ErrCanceled, context.DeadlineExceeded) || errors.Is(ErrDeadlineExceeded, context.Canceled) {
+		t.Error("cancel/deadline sentinels cross-match")
+	}
+	if errors.Is(ErrStalled, context.Canceled) || errors.Is(ErrStalled, context.DeadlineExceeded) {
+		t.Error("ErrStalled must not match a context sentinel")
+	}
+}
+
+// TestAbortErrorUnwrapChain pins errors.As/Is through a fully wrapped
+// AbortError the way callers receive one from Fit.
+func TestAbortErrorUnwrapChain(t *testing.T) {
+	ab := &AbortError{Iter: 3, Cause: ErrCanceled, Checkpointed: true}
+	wrapped := fmt.Errorf("spca: fit: %w", ab)
+	var got *AbortError
+	if !errors.As(wrapped, &got) || got.Iter != 3 || !got.Checkpointed {
+		t.Fatalf("errors.As lost the AbortError: %v", wrapped)
+	}
+	if !errors.Is(wrapped, ErrCanceled) || !errors.Is(wrapped, context.Canceled) {
+		t.Fatalf("AbortError does not unwrap to its cause: %v", wrapped)
+	}
+	var crash *DriverCrashError
+	if errors.As(wrapped, &crash) {
+		t.Fatal("AbortError must not satisfy errors.As for DriverCrashError (aborts are not retried)")
+	}
+}

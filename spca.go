@@ -19,10 +19,12 @@
 package spca
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"spca/internal/checkpoint"
 	"spca/internal/cluster"
@@ -63,7 +65,32 @@ var (
 	// never surfaces as an error — it is retried and charged to
 	// Metrics.CorruptPayloads/ReverifySeconds.
 	ErrCorruptPayload = cluster.ErrCorruptPayload
+	// ErrCanceled is the sentinel under a run stopped by Config.Context
+	// cancellation. It wraps context.Canceled, so errors.Is matches either.
+	ErrCanceled = cluster.ErrCanceled
+	// ErrDeadlineExceeded is the sentinel under a run stopped by a
+	// Config.Context deadline. It wraps context.DeadlineExceeded.
+	ErrDeadlineExceeded = cluster.ErrDeadlineExceeded
+	// ErrStalled is the sentinel under a run aborted by the stall watchdog
+	// (Config.StallTimeout): no iteration or phase progress within budget.
+	ErrStalled = cluster.ErrStalled
+	// ErrTaskFailed is the sentinel under a distributed job whose task
+	// exhausted its attempt budget (only reachable with Faults armed).
+	ErrTaskFailed = mapred.ErrTaskFailed
+	// ErrBadSnapshot is the sentinel under every checkpoint-integrity failure:
+	// truncated, bit-flipped, or version-mismatched snapshot files.
+	ErrBadSnapshot = checkpoint.ErrBadSnapshot
+	// ErrDriverOOM is the sentinel under a simulated driver-memory exhaustion
+	// (the MLlib-PCA wide-matrix failure mode).
+	ErrDriverOOM = cluster.ErrDriverOOM
 )
+
+// AbortError reports a cooperative abort: a fit stopped by Config.Context
+// cancellation, a context deadline, or the stall watchdog. Iter is the last
+// completed iteration/round, Checkpointed says whether a snapshot covering it
+// is on durable storage (resume by re-running Fit with Config.Resume set),
+// and the error unwraps to ErrCanceled / ErrDeadlineExceeded / ErrStalled.
+type AbortError = cluster.AbortError
 
 // ErrMalformedMatrix re-exports the typed parse error of the matrix readers
 // (bad headers, out-of-range indices, non-finite values in files).
@@ -290,6 +317,28 @@ type Config struct {
 	// in Metrics (RecoverySeconds, DriverRestarts). The zero value disables
 	// checkpointing at zero cost.
 	Checkpoint CheckpointSpec
+	// Context, when non-nil, makes the fit cooperatively cancelable: cancel
+	// it (or let its deadline expire) and the run unwinds at the next
+	// iteration/phase boundary with an *AbortError whose cause matches
+	// ErrCanceled or ErrDeadlineExceeded (and the stdlib context sentinels).
+	// With Checkpoint configured, the driver writes a final snapshot at the
+	// abort boundary so a later Fit with Resume set continues bit-identically.
+	// Polling a live context is allocation-free and charges nothing to the
+	// simulated clock. Nil (the default) runs uninterruptible.
+	Context context.Context
+	// StallTimeout arms a real-time stall watchdog: if no iteration or phase
+	// progress is observed for this long, the run aborts with an *AbortError
+	// wrapping ErrStalled whose Diagnostic carries a phase-summary dump.
+	// Zero disables the watchdog. The budget is wall-clock time (a stalled
+	// process), not simulated seconds.
+	StallTimeout time.Duration
+	// Resume makes Fit start from the latest valid snapshot in
+	// Checkpoint.Dir instead of from scratch — the continuation step after
+	// an aborted (canceled / deadline-exceeded / stalled / killed) run.
+	// Requires Checkpoint to be configured; an empty or checkpoint-less
+	// directory falls back to a fresh run. The resumed fit's model, history,
+	// and final simulated clock are bit-identical to an uninterrupted run.
+	Resume bool
 
 	// Optimization switches for sPCA ablations. DisableX turns an
 	// optimization OFF (the zero value keeps full sPCA behaviour).
@@ -520,6 +569,12 @@ func (c Config) check() error {
 	if c.BadRecordBudget < 0 {
 		return fmt.Errorf("%w: negative BadRecordBudget %d", ErrBadConfig, c.BadRecordBudget)
 	}
+	if c.StallTimeout < 0 {
+		return fmt.Errorf("%w: negative StallTimeout %v", ErrBadConfig, c.StallTimeout)
+	}
+	if c.Resume && !c.Checkpoint.Enabled() {
+		return fmt.Errorf("%w: Resume requires a configured Checkpoint", ErrBadConfig)
+	}
 	return nil
 }
 
@@ -536,11 +591,13 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 	cfg = cfg.normalize(y.C)
 	rows := dataset.Rows(y)
 	tr, col := cfg.tracer()
+	intr := cluster.NewInterrupt(cfg.Context, cfg.StallTimeout)
 
 	switch cfg.Algorithm {
 	case LocalPPCA:
 		opt := cfg.ppcaOptions(y)
 		opt.Tracer = tr
+		opt.Interrupt = intr
 		res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
 			return ppca.FitLocal(y, opt)
 		})
@@ -552,8 +609,9 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 	case SPCAMapReduce:
 		opt := cfg.ppcaOptions(y)
 		opt.Tracer = tr
+		opt.Interrupt = intr
 		res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
-			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			cl, err := cfg.newCluster(intr)
 			if err != nil {
 				return nil, err
 			}
@@ -567,8 +625,9 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 	case SPCASpark:
 		opt := cfg.ppcaOptions(y)
 		opt.Tracer = tr
+		opt.Interrupt = intr
 		res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
-			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			cl, err := cfg.newCluster(intr)
 			if err != nil {
 				return nil, err
 			}
@@ -582,8 +641,9 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 	case RSVDMapReduce:
 		opt := cfg.rsvdOptions(y)
 		opt.Tracer = tr
+		opt.Interrupt = intr
 		res, err := cfg.runSketchWithResume(opt, func(opt rsvd.Options) (*rsvd.Result, error) {
-			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			cl, err := cfg.newCluster(intr)
 			if err != nil {
 				return nil, err
 			}
@@ -597,8 +657,9 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 	case RSVDSpark:
 		opt := cfg.rsvdOptions(y)
 		opt.Tracer = tr
+		opt.Interrupt = intr
 		res, err := cfg.runSketchWithResume(opt, func(opt rsvd.Options) (*rsvd.Result, error) {
-			cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+			cl, err := cfg.newCluster(intr)
 			if err != nil {
 				return nil, err
 			}
@@ -610,7 +671,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		return attachTrace(fromRSVD(cfg.Algorithm, res), col), nil
 
 	case MahoutPCA:
-		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		cl, err := cfg.newCluster(intr)
 		if err != nil {
 			return nil, err
 		}
@@ -630,7 +691,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		opt.Tracer = tr
 		res, err := ssvd.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
 		if err != nil {
-			return nil, err
+			return nil, normalizeInterrupt(err)
 		}
 		out := &Result{
 			Algorithm:      cfg.Algorithm,
@@ -653,7 +714,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		return attachTrace(out, col), nil
 
 	case MLlibPCA:
-		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		cl, err := cfg.newCluster(intr)
 		if err != nil {
 			return nil, err
 		}
@@ -662,7 +723,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		opt.Tracer = tr
 		res, err := covpca.FitSpark(cfg.rddContext(cl), rows, y.C, opt)
 		if err != nil {
-			return nil, err
+			return nil, normalizeInterrupt(err)
 		}
 		return attachTrace(&Result{
 			Algorithm:  cfg.Algorithm,
@@ -679,7 +740,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		}, col), nil
 
 	case SVDBidiag:
-		cl, err := cluster.New(cfg.Cluster.build(cfg.Algorithm))
+		cl, err := cfg.newCluster(intr)
 		if err != nil {
 			return nil, err
 		}
@@ -688,7 +749,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		opt.Tracer = tr
 		res, err := svdbidiag.FitMapReduce(cfg.mapredEngine(cl), rows, y.C, opt)
 		if err != nil {
-			return nil, err
+			return nil, normalizeInterrupt(err)
 		}
 		return attachTrace(&Result{
 			Algorithm:  cfg.Algorithm,
@@ -736,6 +797,19 @@ func attachTrace(r *Result, col *trace.Collector) *Result {
 	return r
 }
 
+// newCluster builds the simulated cluster for one fit attempt and attaches
+// the run's interrupt handle, so every engine layered on the cluster (mapred
+// jobs, rdd actions, the baselines' round loops) polls the same context and
+// stall watchdog the guarded EM/sketch loops do.
+func (c Config) newCluster(intr *cluster.Interrupt) (*cluster.Cluster, error) {
+	cl, err := cluster.New(c.Cluster.build(c.Algorithm))
+	if err != nil {
+		return nil, err
+	}
+	cl.SetInterrupt(intr)
+	return cl, nil
+}
+
 // mapredEngine builds the Hadoop-like engine for a fit, arming fault
 // injection when the config carries a plan.
 func (c Config) mapredEngine(cl *cluster.Cluster) *mapred.Engine {
@@ -778,12 +852,27 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 	// against a runaway loop.
 	const maxRestarts = 64
 	var quarantined int64
+	if c.Resume && opt.Checkpoint.Enabled() {
+		// Explicit continuation of an earlier aborted run: start attempt 0
+		// from the latest valid snapshot. An empty directory (nothing was
+		// ever checkpointed) falls back to a fresh run.
+		snap, report, lerr := checkpoint.LatestReport(opt.Checkpoint.Dir)
+		quarantined += noteQuarantined(opt.Tracer, report)
+		switch {
+		case lerr == nil:
+			opt.Resume = snap
+		case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
+		default:
+			return nil, fmt.Errorf("spca: resuming from checkpoint: %w", lerr)
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		opt.Incarnation = attempt
 		// Spans from a resumed incarnation land on their own lane so crashed
 		// and resumed work stay distinguishable in exported traces.
 		opt.Tracer.SetLane(attempt)
 		res, err := run(opt)
+		err = normalizeInterrupt(err)
 		var crash *cluster.DriverCrashError
 		if err == nil || !errors.As(err, &crash) {
 			if err == nil {
@@ -821,6 +910,23 @@ func (c Config) runWithResume(opt ppca.Options, run func(ppca.Options) (*ppca.Re
 	}
 }
 
+// normalizeInterrupt gives every interrupt observed by a fit the same shape.
+// Interrupts caught inside the guarded iteration loops already arrive as a
+// resumable *AbortError; one caught by a setup-phase job or action (mean,
+// Frobenius norm, data distribution) unwinds as a plainly wrapped sentinel,
+// so it is folded into an *AbortError with zero completed iterations here.
+// Non-interrupt errors pass through untouched.
+func normalizeInterrupt(err error) error {
+	if err == nil || !cluster.IsInterrupt(err) {
+		return err
+	}
+	var ab *cluster.AbortError
+	if errors.As(err, &ab) {
+		return err
+	}
+	return &cluster.AbortError{Iter: 0, Cause: err}
+}
+
 // noteQuarantined emits one trace event per snapshot generation a resume
 // scan quarantined and returns how many there were, so the resume loops can
 // fold the count into the final Metrics.
@@ -839,10 +945,23 @@ func noteQuarantined(tr *trace.Tracer, report *checkpoint.ScanReport) int64 {
 func (c Config) runSketchWithResume(opt rsvd.Options, run func(rsvd.Options) (*rsvd.Result, error)) (*rsvd.Result, error) {
 	const maxRestarts = 64
 	var quarantined int64
+	if c.Resume && opt.Checkpoint.Enabled() {
+		// Explicit continuation of an earlier aborted run (see runWithResume).
+		snap, report, lerr := checkpoint.LatestReport(opt.Checkpoint.Dir)
+		quarantined += noteQuarantined(opt.Tracer, report)
+		switch {
+		case lerr == nil:
+			opt.Resume = snap
+		case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
+		default:
+			return nil, fmt.Errorf("spca: resuming from checkpoint: %w", lerr)
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		opt.Incarnation = attempt
 		opt.Tracer.SetLane(attempt)
 		res, err := run(opt)
+		err = normalizeInterrupt(err)
 		var crash *cluster.DriverCrashError
 		if err == nil || !errors.As(err, &crash) {
 			if err == nil {
@@ -1040,6 +1159,7 @@ func FitStreamFileConfig(path string, cfg Config) (*Result, error) {
 	// Fit" error instead of silently ignoring the field.
 	opt.TargetAccuracy = cfg.TargetAccuracy
 	opt.Tracer = tr
+	opt.Interrupt = cluster.NewInterrupt(cfg.Context, cfg.StallTimeout)
 	res, err := cfg.runWithResume(opt, func(opt ppca.Options) (*ppca.Result, error) {
 		return ppca.FitStream(src, opt)
 	})
