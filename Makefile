@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench bench-kernels bench-json bench-smoke bench-compare bench-compare-smoke experiments
+.PHONY: check vet build test race deprecated-check serve-smoke chaos corrupt-smoke fuzz-smoke trace-smoke bench bench-kernels bench-json bench-smoke bench-compare bench-compare-smoke experiments
 
-check: vet build test race chaos corrupt-smoke fuzz-smoke trace-smoke bench-smoke bench-compare-smoke
+check: vet build deprecated-check test race serve-smoke chaos corrupt-smoke fuzz-smoke trace-smoke bench-smoke bench-compare-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,21 @@ test:
 # along with the kernel worker pool and the sketch engines that fan out
 # across both platforms.
 race:
-	$(GO) test -race ./internal/rdd ./internal/mapred ./internal/parallel ./internal/rsvd
+	$(GO) test -race ./internal/rdd ./internal/mapred ./internal/parallel ./internal/rsvd ./internal/serve
+
+# Vet-style grep gate: cmd/, examples/, and internal/ must use the Config
+# forms, not the deprecated positional wrappers (which survive only for the
+# root package's compatibility tests). The regex requires the call paren so
+# FitMissingConfig/FitStreamFileConfig don't match.
+deprecated-check:
+	@! grep -rn --include='*.go' -E 'spca\.(FitMissing|FitStreamFile)\(' cmd examples internal \
+		|| { echo "deprecated-check: migrate the calls above to the Config forms"; exit 1; }
+	@echo "deprecated-check: no deprecated wrapper calls outside the root package"
+
+# Serving-layer smoke: registry round-trip, both wire protocols, the
+# zero-allocation gate on the binary hot path, and the graceful drain.
+serve-smoke:
+	$(GO) test -count=1 ./internal/serve
 
 # Fault-injection suite under the race detector: once with the fixed default
 # seed, then with a randomized seed, logged so any failure is replayable via
@@ -64,19 +78,25 @@ bench-kernels:
 # allocations, the pooled-vs-legacy end-to-end fit A/B pairs, and the sketch
 # engines' fit paths, written to $(BENCH_JSON) for committing and diffing
 # against earlier BENCH_*.json files.
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_10.json
 bench-json:
 	{ $(GO) test ./internal/matrix -run '^$$' -bench BenchmarkKernelsInPlace -benchmem -benchtime 20x; \
 	  $(GO) test ./internal/ppca -run '^$$' -bench 'BenchmarkSteady|Pooled|Legacy|BenchmarkFitStream' -benchmem -benchtime 10x; \
 	  $(GO) test ./internal/rsvd -run '^$$' -bench 'BenchmarkFitRSVD' -benchmem -benchtime 10x; \
-	  $(GO) test ./internal/ssvd -run '^$$' -bench 'BenchmarkFitSSVD' -benchmem -benchtime 10x; } \
+	  $(GO) test ./internal/ssvd -run '^$$' -bench 'BenchmarkFitSSVD' -benchmem -benchtime 10x; \
+	  $(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe' -benchmem -benchtime 50x; } \
 	| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # Diff two committed baselines: >10% ns/op growth or any allocs/op increase
 # on a common benchmark exits 1. `make bench-compare` checks the two most
-# recent baselines; override with BENCH_OLD/BENCH_NEW.
-BENCH_OLD ?= BENCH_7.json
-BENCH_NEW ?= BENCH_8.json
+# recent baselines; override with BENCH_OLD/BENCH_NEW. ns/op is wall-clock
+# and baselines are recorded at different times, so cross-baseline ns diffs
+# are only meaningful under comparable machine conditions (allocs/op is
+# load-independent); to validate a PR under ambient drift, regenerate both
+# sides in one sitting (`git stash` the change for the old side) or raise
+# -ns-tol via `go run ./cmd/benchjson -compare -ns-tol 0.5 old new`.
+BENCH_OLD ?= BENCH_8.json
+BENCH_NEW ?= BENCH_10.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)
 

@@ -160,7 +160,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		finish(res, y, *out, *saveModel, *transform)
+		finish(&res.Model, y, *out, *saveModel, *transform)
 		return
 	}
 
@@ -171,19 +171,18 @@ func main() {
 	fmt.Printf("input: %d x %d, %d non-zeros (density %.4f)\n", y.R, y.C, y.NNZ(),
 		float64(y.NNZ())/(float64(y.R)*float64(y.C)))
 
-	var res *spca.Result
 	if *loadModel != "" {
-		res, err = spca.LoadModelFile(*loadModel)
+		mdl, err := spca.LoadModelFile(*loadModel)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("model loaded from %s (%s, %d x %d components)\n",
-			*loadModel, res.Algorithm, res.Components.R, res.Components.C)
-		finish(res, y, *out, *saveModel, *transform)
+			*loadModel, mdl.Algorithm, mdl.Components.R, mdl.Components.C)
+		finish(mdl, y, *out, *saveModel, *transform)
 		return
 	}
 
-	res, err = spca.Fit(y, cfg)
+	res, err := spca.Fit(y, cfg)
 	if err != nil {
 		abortExit(err, *ckptDir)
 	}
@@ -213,7 +212,7 @@ func main() {
 	}
 	writeTrace(res, *traceOut)
 
-	finish(res, y, *out, *saveModel, *transform)
+	finish(&res.Model, y, *out, *saveModel, *transform)
 }
 
 // writeTrace exports the collected trace in Chrome trace_event format.
@@ -234,14 +233,16 @@ func writeTrace(res *spca.Result, path string) {
 	fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", path)
 }
 
-// finish handles the output options shared by the fit and load paths.
-func finish(res *spca.Result, y *spca.Sparse, out, saveModel, transform string) {
+// finish handles the output options shared by the fit and load paths. It
+// takes the Model — the projection surface — because that is all saving,
+// transforming, or exporting components needs.
+func finish(m *spca.Model, y *spca.Sparse, out, saveModel, transform string) {
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
 			fatal(err)
 		}
-		if err := spca.WriteDense(f, res.Components); err != nil {
+		if err := spca.WriteDense(f, m.Components); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -250,13 +251,13 @@ func finish(res *spca.Result, y *spca.Sparse, out, saveModel, transform string) 
 		fmt.Printf("components written to %s\n", out)
 	}
 	if saveModel != "" {
-		if err := res.SaveModelFile(saveModel); err != nil {
+		if err := m.SaveFile(saveModel); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("model saved to %s\n", saveModel)
 	}
 	if transform != "" {
-		x, err := res.Transform(y)
+		x, err := m.Transform(y)
 		if err != nil {
 			fatal(err)
 		}

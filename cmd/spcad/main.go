@@ -1,0 +1,238 @@
+// Command spcad is the model-serving daemon: it hosts a versioned registry
+// of fitted PCA models and serves transform / reconstruct / explained-
+// variance requests over HTTP/JSON and a compact length-prefixed binary
+// protocol (see internal/serve for both wire formats).
+//
+// The registry directory persists every published model in the checksummed
+// exact-float model format, so restarting the daemon reloads the same
+// models bit for bit. An empty registry can be seeded three ways: import an
+// existing model file (-model), fit a matrix file (-in), or fit a generated
+// dataset (-dataset). With -refit-every, the daemon re-fits the data source
+// in the background on a fresh seed and atomically publishes each new
+// generation; in-flight requests keep the version they resolved, new
+// requests see the new one.
+//
+// Usage:
+//
+//	spcad -dir models/ -in matrix.spmx -d 20 -http :8080 -bin :8081
+//	spcad -dir models/ -model fitted.spcm
+//	spcad -dir models/ -dataset tweets -rows 5000 -cols 500 -refit-every 10m
+//
+// SIGINT/SIGTERM drain gracefully: listeners stop accepting, queued
+// requests complete, a running background re-fit is cancelled through the
+// fit's cooperative-interrupt machinery, and the daemon exits 0. A second
+// signal hard-stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"spca"
+	"spca/internal/parallel"
+	"spca/internal/serve"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "", "registry directory (required; created if missing)")
+		httpAddr   = flag.String("http", ":8080", "HTTP/JSON listen address (empty = disabled)")
+		binAddr    = flag.String("bin", "", "binary-protocol listen address (empty = disabled)")
+		modelFile  = flag.String("model", "", "seed the registry by importing this model file")
+		in         = flag.String("in", "", "fit this matrix file (spmx text or SPMB binary) to seed/refresh the registry")
+		dsKind     = flag.String("dataset", "", "fit a generated dataset instead of a file: tweets | biotext | diabetes | images")
+		rows       = flag.Int("rows", 10000, "rows for -dataset")
+		cols       = flag.Int("cols", 1000, "columns for -dataset")
+		rank       = flag.Int("rank", 0, "planted rank for -dataset (0 = family default)")
+		algo       = flag.String("algo", string(spca.LocalPPCA), "fit algorithm (see spca -list)")
+		d          = flag.Int("d", 50, "number of principal components for fits")
+		iters      = flag.Int("iters", 10, "maximum fit iterations")
+		seed       = flag.Uint64("seed", 42, "base random seed; re-fits add the generation number")
+		refitEvery = flag.Duration("refit-every", 0, "re-fit the data source in the background at this interval and publish the result (0 = never)")
+		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	if *dir == "" {
+		fatal(fmt.Errorf("spcad: -dir is required"))
+	}
+	reg, err := serve.NewRegistry(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if n := len(reg.List()); n > 0 {
+		live := reg.Latest()
+		fmt.Printf("spcad: loaded %d model(s) from %s, serving v%d (%s)\n",
+			n, *dir, live.Version, live.Model.Algorithm)
+	}
+
+	// Daemon-wide cancellation: SIGINT/SIGTERM begin the drain; a second
+	// signal hard-stops worker pools and exits — the same two-stage pattern
+	// the fit CLI uses.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		var hard atomic.Bool
+		hard.Store(true)
+		parallel.SetAbort(&hard)
+		fmt.Fprintln(os.Stderr, "spcad: second signal, hard stop")
+		os.Exit(130)
+	}()
+
+	// Seed the registry. -model imports as-is; -in/-dataset fit now (and
+	// later, with -refit-every). An already-populated registry skips the
+	// initial fit unless data was explicitly given.
+	fitCfg := spca.Config{
+		Algorithm:  spca.Algorithm(*algo),
+		Components: *d,
+		MaxIter:    *iters,
+		Context:    ctx,
+	}
+	loadData := func() (*spca.Sparse, error) {
+		switch {
+		case *in != "" && *dsKind != "":
+			return nil, fmt.Errorf("spcad: use either -in or -dataset, not both")
+		case *in != "":
+			return spca.LoadSparseFile(*in)
+		case *dsKind != "":
+			return spca.NewDataset(spca.DatasetSpec{
+				Kind: spca.DatasetKind(*dsKind), Rows: *rows, Cols: *cols, Rank: *rank, Seed: *seed,
+			})
+		default:
+			return nil, nil
+		}
+	}
+	y, err := loadData()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *modelFile != "":
+		m, err := spca.LoadModelFile(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		e, err := reg.Publish(m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("spcad: imported %s as v%d\n", *modelFile, e.Version)
+	case y != nil:
+		e, err := fitAndPublish(reg, y, fitCfg, *seed, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("spcad: fitted %s (%d x %d) as v%d\n", fitCfg.Algorithm, y.R, y.C, e.Version)
+	}
+	if reg.Latest() == nil {
+		fatal(fmt.Errorf("spcad: registry is empty; seed it with -model, -in, or -dataset"))
+	}
+
+	srv := serve.NewServer(reg, nil)
+
+	// Background re-fit loop: every interval, fit on a perturbed seed and
+	// atomically publish. The fit threads the daemon context through the
+	// cooperative-interrupt machinery, so a drain cancels it at the next
+	// iteration boundary instead of blocking shutdown.
+	if *refitEvery > 0 {
+		if y == nil {
+			fatal(fmt.Errorf("spcad: -refit-every needs a data source (-in or -dataset)"))
+		}
+		go func() {
+			tick := time.NewTicker(*refitEvery)
+			defer tick.Stop()
+			for gen := uint64(1); ; gen++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				e, err := fitAndPublish(reg, y, fitCfg, *seed, gen)
+				if err != nil {
+					if errors.As(err, new(*spca.AbortError)) || ctx.Err() != nil {
+						return // drain cancelled the fit
+					}
+					fmt.Fprintf(os.Stderr, "spcad: background re-fit failed: %v\n", err)
+					continue
+				}
+				fmt.Printf("spcad: published re-fit v%d (seed %d)\n", e.Version, *seed+gen)
+			}
+		}()
+	}
+
+	// Listeners. Both protocols run until the context cancels.
+	var httpSrv *http.Server
+	errCh := make(chan error, 2)
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errCh <- err
+			}
+		}()
+		fmt.Printf("spcad: HTTP/JSON on %s\n", *httpAddr)
+	}
+	var binLn net.Listener
+	if *binAddr != "" {
+		binLn, err = net.Listen("tcp", *binAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := srv.ServeBinary(binLn); err != nil {
+				errCh <- err
+			}
+		}()
+		fmt.Printf("spcad: binary protocol on %s\n", binLn.Addr())
+	}
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "spcad: draining (press ctrl-C again to hard-stop)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if httpSrv != nil {
+		httpSrv.Shutdown(drainCtx)
+	}
+	if binLn != nil {
+		binLn.Close()
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "spcad: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "spcad: drained cleanly")
+}
+
+// fitAndPublish runs one fit and publishes the resulting model. Generation
+// numbers perturb the seed so every re-fit is a fresh, reproducible draw.
+func fitAndPublish(reg *serve.Registry, y *spca.Sparse, cfg spca.Config, seed, gen uint64) (*serve.Entry, error) {
+	cfg.Seed = seed + gen
+	res, err := spca.Fit(y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return reg.Publish(&res.Model)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

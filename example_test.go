@@ -52,16 +52,16 @@ func ExampleResult_Transform() {
 	// reduced: 100 x 3
 }
 
-// ExampleFitMissing fits PPCA on data with NaN-marked missing entries and
-// imputes them.
-func ExampleFitMissing() {
+// ExampleFitMissingConfig fits PPCA on data with NaN-marked missing entries
+// and imputes them.
+func ExampleFitMissingConfig() {
 	y := spca.GenerateDataset(spca.DatasetSpec{
 		Kind: spca.Diabetes, Rows: 80, Cols: 30, Rank: 3, Seed: 3,
 	}).Dense()
 	y.Set(5, 7, math.NaN()) // a missing measurement
 	y.Set(40, 2, math.NaN())
 
-	res, err := spca.FitMissing(y, 3, 30, 1)
+	res, err := spca.FitMissingConfig(y, spca.Config{Components: 3, MaxIter: 30, Seed: 1})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -42,7 +42,7 @@ func main() {
 		patients, freqs, holes, 100*missing)
 
 	// Fit PPCA on the incomplete matrix.
-	res, err := spca.FitMissing(holed, 6, 60, 1)
+	res, err := spca.FitMissingConfig(holed, spca.Config{Components: 6, MaxIter: 60, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -184,7 +184,7 @@ func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // Write serializes s. The output is byte-deterministic for equal snapshots.
 // On success s.Bytes is set to the serialized size.
 func Write(w io.Writer, s *Snapshot) error {
-	cw := &countWriter{w: w, h: checksumOffset, hash: true}
+	cw := NewTrailerWriter(w)
 	bw := bufio.NewWriter(cw)
 	fmt.Fprintf(bw, "spcackpt %d\n", Version)
 	fmt.Fprintf(bw, "iter %d\n", s.Iter)
@@ -243,11 +243,10 @@ func Write(w io.Writer, s *Snapshot) error {
 	// Checksum trailer: FNV-64a over every byte written so far. The trailer
 	// itself is counted in Bytes but not hashed, so the reader verifies
 	// data[:len-trailerLen] against the hex digest in the last line.
-	cw.hash = false
-	if _, err := fmt.Fprintf(cw, "checksum %016x\n", cw.h); err != nil {
+	if err := cw.WriteTrailer(); err != nil {
 		return err
 	}
-	s.Bytes = cw.n
+	s.Bytes = cw.Bytes()
 	return nil
 }
 
@@ -261,25 +260,6 @@ const (
 	checksumOffset = 14695981039346656037
 	checksumPrime  = 1099511628211
 )
-
-type countWriter struct {
-	w    io.Writer
-	n    int64
-	h    uint64
-	hash bool
-}
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	if c.hash {
-		for _, b := range p[:n] {
-			c.h ^= uint64(b)
-			c.h *= checksumPrime
-		}
-	}
-	c.n += int64(n)
-	return n, err
-}
 
 // Read parses a snapshot written by Write, returning errors that wrap
 // ErrBadSnapshot for any malformed input. Version-2 files carry a whole-file
@@ -306,25 +286,8 @@ func Read(r io.Reader) (*Snapshot, error) {
 	}
 	body := data
 	if ver >= 2 {
-		if len(data) < trailerLen {
-			return nil, fmt.Errorf("%w: truncated before checksum trailer", ErrBadSnapshot)
-		}
-		body = data[:len(data)-trailerLen]
-		trailer := data[len(data)-trailerLen:]
-		if !bytes.HasPrefix(trailer, []byte("checksum ")) || trailer[trailerLen-1] != '\n' {
-			return nil, fmt.Errorf("%w: missing checksum trailer", ErrBadSnapshot)
-		}
-		want, perr := strconv.ParseUint(string(trailer[len("checksum "):trailerLen-1]), 16, 64)
-		if perr != nil {
-			return nil, fmt.Errorf("%w: bad checksum trailer %q", ErrBadSnapshot, string(trailer[:trailerLen-1]))
-		}
-		h := uint64(checksumOffset)
-		for _, b := range body {
-			h ^= uint64(b)
-			h *= checksumPrime
-		}
-		if h != want {
-			return nil, fmt.Errorf("%w: checksum mismatch (trailer says %016x, body hashes to %016x)", ErrBadSnapshot, want, h)
+		if body, err = VerifyTrailer(data); err != nil {
+			return nil, err
 		}
 	}
 

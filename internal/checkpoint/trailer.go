@@ -1,0 +1,81 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file is the reusable core of the snapshot container's integrity
+// discipline: an FNV-64a digest accumulated over every byte of the body,
+// appended as a fixed-width "checksum %016x" trailer line and verified
+// before any field of the body is parsed. The checkpoint format itself and
+// the model files of the serving registry (spca.Model.Save) share these
+// helpers, so a torn write or flipped bit is detected the same way in both.
+
+// TrailerWriter counts and hashes the bytes written through it, so a writer
+// can finish a byte-deterministic container with an FNV-64a checksum trailer.
+// The trailer line itself is counted in Bytes but never hashed.
+type TrailerWriter struct {
+	w       io.Writer
+	n       int64
+	h       uint64
+	hashing bool
+}
+
+// NewTrailerWriter wraps w; every byte written is hashed until WriteTrailer.
+func NewTrailerWriter(w io.Writer) *TrailerWriter {
+	return &TrailerWriter{w: w, h: checksumOffset, hashing: true}
+}
+
+func (t *TrailerWriter) Write(p []byte) (int, error) {
+	n, err := t.w.Write(p)
+	if t.hashing {
+		for _, b := range p[:n] {
+			t.h ^= uint64(b)
+			t.h *= checksumPrime
+		}
+	}
+	t.n += int64(n)
+	return n, err
+}
+
+// WriteTrailer stops hashing and appends the "checksum %016x" trailer line
+// covering everything written so far.
+func (t *TrailerWriter) WriteTrailer() error {
+	t.hashing = false
+	_, err := fmt.Fprintf(t, "checksum %016x\n", t.h)
+	return err
+}
+
+// Bytes returns the total bytes written, including the trailer.
+func (t *TrailerWriter) Bytes() int64 { return t.n }
+
+// VerifyTrailer checks the trailing checksum line of a container written
+// through a TrailerWriter and returns the body with the trailer stripped.
+// Every failure wraps ErrBadSnapshot, so callers distinguish corruption from
+// I/O errors with errors.Is.
+func VerifyTrailer(data []byte) ([]byte, error) {
+	if len(data) < trailerLen {
+		return nil, fmt.Errorf("%w: truncated before checksum trailer", ErrBadSnapshot)
+	}
+	body := data[:len(data)-trailerLen]
+	trailer := data[len(data)-trailerLen:]
+	if !bytes.HasPrefix(trailer, []byte("checksum ")) || trailer[trailerLen-1] != '\n' {
+		return nil, fmt.Errorf("%w: missing checksum trailer", ErrBadSnapshot)
+	}
+	want, perr := strconv.ParseUint(string(trailer[len("checksum "):trailerLen-1]), 16, 64)
+	if perr != nil {
+		return nil, fmt.Errorf("%w: bad checksum trailer %q", ErrBadSnapshot, string(trailer[:trailerLen-1]))
+	}
+	h := uint64(checksumOffset)
+	for _, b := range body {
+		h ^= uint64(b)
+		h *= checksumPrime
+	}
+	if h != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (trailer says %016x, body hashes to %016x)", ErrBadSnapshot, want, h)
+	}
+	return body, nil
+}

@@ -446,6 +446,27 @@ func SolveSPDInto(a, b, out *Dense, ws *SPDWorkspace) error {
 	return nil
 }
 
+// sparseMulBody is Sparse.MulDenseInto's chunk loop with its captures as
+// fields, pooled so the projection-serving hot path performs no per-call
+// closure allocation (same discipline as mulBody).
+type sparseMulBody struct {
+	m      *Sparse
+	b, out *Dense
+}
+
+var sparseMulBodies = parallel.NewPool(func() *sparseMulBody { return new(sparseMulBody) })
+
+func (t *sparseMulBody) Run(lo, hi int) {
+	m, b, out := t.m, t.b, t.out
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		for k, j := range row.Indices {
+			AXPY(row.Values[k], b.Row(j), orow)
+		}
+	}
+}
+
 // MulDenseInto computes out = m*b for sparse m and dense b, overwriting out
 // (dims m.R x b.C).
 func (m *Sparse) MulDenseInto(b, out *Dense) *Dense {
@@ -462,16 +483,123 @@ func (m *Sparse) MulDenseInto(b, out *Dense) *Dense {
 	if m.R > 0 {
 		perRow = 2 * (m.NNZ()/m.R + 1) * b.C
 	}
-	parallel.For(m.R, flopGrain(perRow), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			orow := out.Row(i)
-			for k, j := range row.Indices {
-				AXPY(row.Values[k], b.Row(j), orow)
-			}
-		}
-	})
+	body := sparseMulBodies.Get()
+	body.m, body.b, body.out = m, b, out
+	parallel.ForRunner(m.R, flopGrain(perRow), body)
+	*body = sparseMulBody{}
+	sparseMulBodies.Put(body)
 	return out
+}
+
+// subRowBody subtracts a row vector from every row of a band; the demeaning
+// step of the centered products, pooled for the same zero-allocation reason
+// as the mul bodies.
+type subRowBody struct {
+	out *Dense
+	row []float64
+}
+
+var subRowBodies = parallel.NewPool(func() *subRowBody { return new(subRowBody) })
+
+func (t *subRowBody) Run(lo, hi int) {
+	out, sub := t.out, t.row
+	for i := lo; i < hi; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] -= sub[j]
+		}
+	}
+}
+
+// MeanMulInto computes out = meanᵀ*b (a 1 x b.C row vector), overwriting out.
+// It skips zero mean entries and accumulates in ascending j with AXPY —
+// exactly the loop CenteredMulDense historically ran per call — so callers
+// that precompute the mean's image stay bit-identical to the allocating path.
+func MeanMulInto(mean []float64, b *Dense, out []float64) []float64 {
+	if len(mean) != b.R {
+		panic(fmt.Sprintf("matrix: MeanMulInto mean len %d, matrix %dx%d", len(mean), b.R, b.C))
+	}
+	if len(out) != b.C {
+		panic(fmt.Sprintf("matrix: MeanMulInto out len %d, want %d", len(out), b.C))
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for j, mj := range mean {
+		if mj == 0 {
+			continue
+		}
+		AXPY(mj, b.Row(j), out)
+	}
+	return out
+}
+
+// CenteredMulDenseInto computes out = (Y - 1·meanᵀ)·b via mean propagation
+// with the mean's image meanB = meanᵀ·b already computed (see MeanMulInto):
+// out = Y·b, then meanB subtracted from every row. Allocation-free, and
+// bit-identical to CenteredMulDense, which delegates here.
+func (m *Sparse) CenteredMulDenseInto(b, out *Dense, meanB []float64) *Dense {
+	if len(meanB) != b.C {
+		panic(fmt.Sprintf("matrix: CenteredMulDenseInto meanB len %d, want %d", len(meanB), b.C))
+	}
+	m.MulDenseInto(b, out)
+	body := subRowBodies.Get()
+	body.out, body.row = out, meanB
+	parallel.ForRunner(out.R, flopGrain(out.C), body)
+	*body = subRowBody{}
+	subRowBodies.Put(body)
+	return out
+}
+
+// CenteredMulInto is the dense-input counterpart of CenteredMulDenseInto:
+// out = (Y - 1·meanᵀ)·b for dense Y, with meanB = meanᵀ·b precomputed.
+func (m *Dense) CenteredMulInto(b, out *Dense, meanB []float64) *Dense {
+	if len(meanB) != b.C {
+		panic(fmt.Sprintf("matrix: CenteredMulInto meanB len %d, want %d", len(meanB), b.C))
+	}
+	m.MulInto(b, out)
+	body := subRowBodies.Get()
+	body.out, body.row = out, meanB
+	parallel.ForRunner(out.R, flopGrain(out.C), body)
+	*body = subRowBody{}
+	subRowBodies.Put(body)
+	return out
+}
+
+// MulBTAddRowInto computes out = x·bᵀ + 1·addRow: the reconstruction map
+// (latent positions back through the components, plus the mean), overwriting
+// out (dims x.R x b.R). The product accumulates first and the row add is a
+// separate pass, matching the allocating MulBT-then-add composition bit for
+// bit. Allocation-free.
+func (x *Dense) MulBTAddRowInto(b, out *Dense, addRow []float64) *Dense {
+	if len(addRow) != b.R {
+		panic(fmt.Sprintf("matrix: MulBTAddRowInto addRow len %d, want %d", len(addRow), b.R))
+	}
+	x.MulBTInto(b, out)
+	body := addRowBodies.Get()
+	body.out, body.row = out, addRow
+	parallel.ForRunner(out.R, flopGrain(out.C), body)
+	*body = addRowBody{}
+	addRowBodies.Put(body)
+	return out
+}
+
+// addRowBody adds a row vector to every row of a band (see subRowBody).
+type addRowBody struct {
+	out *Dense
+	row []float64
+}
+
+var addRowBodies = parallel.NewPool(func() *addRowBody { return new(addRowBody) })
+
+func (t *addRowBody) Run(lo, hi int) {
+	out, add := t.out, t.row
+	for i := lo; i < hi; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += add[j]
+		}
+	}
 }
 
 // DensifyCenteredInto materializes row - mean as a fully dense "sparse"

@@ -300,25 +300,11 @@ func (m *Sparse) CenteredFrobeniusSq(mean []float64) float64 {
 }
 
 // CenteredMulDense returns (Y - Ym)*b without densifying Y, via mean
-// propagation: Yc*B = Y*B - Ym*B (the paper's §3.1 identity).
+// propagation: Yc*B = Y*B - Ym*B (the paper's §3.1 identity). It allocates
+// the output and the mean's image and delegates to CenteredMulDenseInto.
 func (m *Sparse) CenteredMulDense(mean []float64, b *Dense) *Dense {
-	out := m.MulDense(b)
-	mb := make([]float64, b.C) // mean' * B, a 1 x K row
-	for j, mj := range mean {
-		if mj == 0 {
-			continue
-		}
-		AXPY(mj, b.Row(j), mb)
-	}
-	parallel.For(out.R, flopGrain(out.C), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := out.Row(i)
-			for j := range row {
-				row[j] -= mb[j]
-			}
-		}
-	})
-	return out
+	mb := MeanMulInto(mean, b, make([]float64, b.C)) // mean' * B, a 1 x K row
+	return m.CenteredMulDenseInto(b, NewDense(m.R, b.C), mb)
 }
 
 // SizeBytes estimates the in-memory footprint of the CSR storage.

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Binary protocol: the allocation-free wire format for high-rate clients.
+// Every frame is a little-endian uint32 byte length followed by that many
+// payload bytes. Request payloads are
+//
+//	offset size  field
+//	0      1     op        1 = transform, 2 = reconstruct
+//	1      1     flags     reserved, must be 0
+//	2      2     reserved
+//	4      8     version   model version to pin, 0 = latest
+//	12     4     rows
+//	16     4     cols
+//	20     8*rows*cols     row-major float64 data
+//
+// and responses mirror the header:
+//
+//	0      1     status    0 = ok, 1 = error
+//	1      3     reserved
+//	4      8     version   version actually served
+//	12     4     rows
+//	16     4     cols      (rows/cols of the result; 0 for errors)
+//	20     ...             result data, or the error message for status 1
+//
+// A session's buffers and its batcher request are reused across frames, so a
+// warm connection serves each frame with zero heap allocations — the
+// property TestServeTransformAllocs pins.
+const (
+	binHeaderLen = 20
+	// maxFrame bounds a request frame so a corrupt length prefix cannot make
+	// the server allocate unbounded memory: 64 MiB ≈ an 8M-element batch.
+	maxFrame = 64 << 20
+
+	binStatusOK  = 0
+	binStatusErr = 1
+)
+
+// binSession is one binary-protocol connection's state. All buffers grow to
+// the connection's peak frame size and are then stable.
+type binSession struct {
+	srv  *Server
+	req  *request
+	buf  []byte // request payload buffer
+	resp []byte // response payload buffer
+}
+
+func newBinSession(s *Server) *binSession {
+	return &binSession{srv: s, req: newRequest()}
+}
+
+// growBytes returns s resized to n, reusing capacity.
+func growBytes(s []byte, n int) []byte {
+	if cap(s) < n {
+		return make([]byte, n)
+	}
+	return s[:n]
+}
+
+// fail encodes an error response into sn.resp.
+func (sn *binSession) fail(version uint64, msg string) []byte {
+	sn.resp = growBytes(sn.resp, binHeaderLen+len(msg))
+	for i := 0; i < binHeaderLen; i++ {
+		sn.resp[i] = 0
+	}
+	sn.resp[0] = binStatusErr
+	binary.LittleEndian.PutUint64(sn.resp[4:], version)
+	copy(sn.resp[binHeaderLen:], msg)
+	return sn.resp
+}
+
+// handle serves one request frame and returns the response payload. This is
+// the unit the allocation gate and the serving benchmark drive.
+func (sn *binSession) handle(frame []byte) []byte {
+	if len(frame) < binHeaderLen {
+		return sn.fail(0, "short frame")
+	}
+	o := op(frame[0])
+	if o != opTransform && o != opReconstruct {
+		return sn.fail(0, "unknown op")
+	}
+	version := binary.LittleEndian.Uint64(frame[4:])
+	rows := int(binary.LittleEndian.Uint32(frame[12:]))
+	cols := int(binary.LittleEndian.Uint32(frame[16:]))
+	if rows <= 0 || cols <= 0 || len(frame) != binHeaderLen+8*rows*cols {
+		return sn.fail(version, "frame size does not match rows x cols")
+	}
+	entry, err := sn.srv.resolve(version)
+	if err != nil {
+		return sn.fail(version, err.Error())
+	}
+	dims, d := entry.Model.Dims()
+	want := dims
+	ep := epBinTransform
+	if o == opReconstruct {
+		want = d
+		ep = epBinReconstruct
+	}
+	if cols != want {
+		return sn.fail(entry.Version, "input width does not match the model")
+	}
+
+	req := sn.req
+	req.entry = entry
+	req.op = o
+	req.rows, req.cols = rows, cols
+	req.in = grow(req.in, rows*cols)
+	for i := range req.in {
+		req.in[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[binHeaderLen+8*i:]))
+	}
+
+	start := time.Now()
+	err = sn.srv.bat.do(req)
+	sn.srv.stats[ep].observe(time.Since(start), err)
+	if err != nil {
+		return sn.fail(entry.Version, err.Error())
+	}
+
+	n := req.rows * req.outCols
+	sn.resp = growBytes(sn.resp, binHeaderLen+8*n)
+	sn.resp[0] = binStatusOK
+	sn.resp[1], sn.resp[2], sn.resp[3] = 0, 0, 0
+	binary.LittleEndian.PutUint64(sn.resp[4:], entry.Version)
+	binary.LittleEndian.PutUint32(sn.resp[12:], uint32(req.rows))
+	binary.LittleEndian.PutUint32(sn.resp[16:], uint32(req.outCols))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(sn.resp[binHeaderLen+8*i:], math.Float64bits(req.out[i]))
+	}
+	return sn.resp
+}
+
+// ServeBinary accepts binary-protocol connections on ln until the listener
+// closes (Shutdown closes tracked connections too).
+func (s *Server) ServeBinary(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveBinaryConn(c)
+	}
+}
+
+// serveBinaryConn runs one connection's frame loop.
+func (s *Server) serveBinaryConn(c net.Conn) {
+	defer c.Close()
+	if !s.track(c) {
+		return
+	}
+	defer s.untrack(c)
+	sn := newBinSession(s)
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return // EOF, peer gone, or read deadline from Shutdown
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > maxFrame {
+			return
+		}
+		sn.buf = growBytes(sn.buf, int(n))
+		if _, err := io.ReadFull(br, sn.buf); err != nil {
+			return
+		}
+		resp := sn.handle(sn.buf)
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(resp)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return
+		}
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// EncodeRequest appends a binary-protocol request frame (length prefix
+// included) to dst and returns the extended slice — the client-side encoder
+// the load generator and tests share.
+func EncodeRequest(dst []byte, o byte, version uint64, rows, cols int, data []float64) ([]byte, error) {
+	if len(data) != rows*cols {
+		return dst, fmt.Errorf("serve: EncodeRequest data length %d != %d x %d", len(data), rows, cols)
+	}
+	payload := binHeaderLen + 8*len(data)
+	off := len(dst)
+	dst = append(dst, make([]byte, 4+payload)...)
+	binary.LittleEndian.PutUint32(dst[off:], uint32(payload))
+	b := dst[off+4:]
+	for i := 0; i < binHeaderLen; i++ {
+		b[i] = 0
+	}
+	b[0] = o
+	binary.LittleEndian.PutUint64(b[4:], version)
+	binary.LittleEndian.PutUint32(b[12:], uint32(rows))
+	binary.LittleEndian.PutUint32(b[16:], uint32(cols))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(b[binHeaderLen+8*i:], math.Float64bits(v))
+	}
+	return dst, nil
+}
+
+// DecodeResponse parses a response payload (without the length prefix). It
+// returns the served version and the row-major result, or the error the
+// server reported.
+func DecodeResponse(payload []byte) (version uint64, rows, cols int, data []float64, err error) {
+	if len(payload) < binHeaderLen {
+		return 0, 0, 0, nil, fmt.Errorf("serve: short response (%d bytes)", len(payload))
+	}
+	version = binary.LittleEndian.Uint64(payload[4:])
+	if payload[0] != binStatusOK {
+		return version, 0, 0, nil, fmt.Errorf("serve: %s", string(payload[binHeaderLen:]))
+	}
+	rows = int(binary.LittleEndian.Uint32(payload[12:]))
+	cols = int(binary.LittleEndian.Uint32(payload[16:]))
+	if len(payload) != binHeaderLen+8*rows*cols {
+		return version, 0, 0, nil, fmt.Errorf("serve: response size does not match %d x %d", rows, cols)
+	}
+	data = make([]float64, rows*cols)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[binHeaderLen+8*i:]))
+	}
+	return version, rows, cols, data, nil
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spca/internal/trace"
+)
+
+// endpoint indexes the per-endpoint counters. Fixed at compile time so the
+// hot paths index an array instead of hashing a map.
+type endpoint int
+
+const (
+	epHTTPTransform endpoint = iota
+	epHTTPReconstruct
+	epHTTPExplained
+	epBinTransform
+	epBinReconstruct
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"http/transform",
+	"http/reconstruct",
+	"http/explained-variance",
+	"bin/transform",
+	"bin/reconstruct",
+}
+
+// Server fronts a Registry with the two wire protocols. One batcher feeds
+// every protocol, so concurrent clients coalesce into shared matrix calls
+// regardless of how they connected.
+type Server struct {
+	reg    *Registry
+	bat    *batcher
+	stats  [numEndpoints]opStats
+	tracer *trace.Registry // optional; receives gauges on Shutdown
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+}
+
+// NewServer returns a server over reg. tr may be nil; when set, Shutdown
+// publishes final per-endpoint request/latency gauges into it.
+func NewServer(reg *Registry, tr *trace.Registry) *Server {
+	return &Server{
+		reg:    reg,
+		bat:    newBatcher(),
+		tracer: tr,
+		conns:  map[net.Conn]struct{}{},
+	}
+}
+
+// Registry returns the server's model registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// resolve maps a wire version (0 = latest) to a registry entry.
+func (s *Server) resolve(version uint64) (*Entry, error) {
+	e := s.reg.Version(version)
+	if e == nil {
+		if version == 0 {
+			return nil, fmt.Errorf("serve: no model published yet")
+		}
+		return nil, fmt.Errorf("serve: unknown model version %d", version)
+	}
+	return e, nil
+}
+
+// track registers a live binary connection for forced close on Shutdown.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: new work is refused, queued requests finish,
+// and binary connections are closed once idle (forced when ctx expires).
+// Callers shut the HTTP listener down separately (http.Server.Shutdown) and
+// then call this to drain the shared batcher.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	// Unblock connection readers parked in ReadFull so their sessions
+	// observe draining and exit between frames.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.bat.close() // completes every queued request first
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.publishGauges()
+	return err
+}
+
+// publishGauges exports final counters into the trace registry, the same
+// surface the fit pipeline reports through.
+func (s *Server) publishGauges() {
+	if s.tracer == nil {
+		return
+	}
+	scratch := make([]int64, 0, statsRing)
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		snap := s.stats[ep].snapshot(scratch)
+		if snap.Requests == 0 {
+			continue
+		}
+		s.tracer.SetGauge("serve_"+endpointNames[ep]+"_requests", float64(snap.Requests))
+		s.tracer.SetGauge("serve_"+endpointNames[ep]+"_errors", float64(snap.Errors))
+		s.tracer.SetGauge("serve_"+endpointNames[ep]+"_p50_ms", snap.P50ms)
+		s.tracer.SetGauge("serve_"+endpointNames[ep]+"_p99_ms", snap.P99ms)
+	}
+}
+
+// Stats returns a snapshot of every endpoint's counters, keyed by endpoint
+// name, plus the registry's live version under "live_version".
+func (s *Server) Stats() map[string]StatSnapshot {
+	out := make(map[string]StatSnapshot, numEndpoints)
+	scratch := make([]int64, 0, statsRing)
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		out[endpointNames[ep]] = s.stats[ep].snapshot(scratch)
+	}
+	return out
+}

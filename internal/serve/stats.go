@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// statsRing is the per-endpoint latency window. Power of two so the write
+// cursor wraps with a mask; 4096 samples is a few seconds of history at the
+// throughputs the daemon targets — enough for stable p99 estimates.
+const statsRing = 4096
+
+// opStats is one endpoint's counters: totals via atomics, latencies in a
+// lock-free ring. Writers never block each other or readers; percentile
+// computation copies the ring on demand.
+type opStats struct {
+	count atomic.Int64
+	errs  atomic.Int64
+	pos   atomic.Uint64
+	ring  [statsRing]atomic.Int64 // latency samples, nanoseconds; 0 = empty
+}
+
+// observe records one completed request.
+func (s *opStats) observe(d time.Duration, err error) {
+	s.count.Add(1)
+	if err != nil {
+		s.errs.Add(1)
+	}
+	ns := int64(d)
+	if ns <= 0 {
+		ns = 1 // keep the slot distinguishable from "never written"
+	}
+	i := (s.pos.Add(1) - 1) & (statsRing - 1)
+	s.ring[i].Store(ns)
+}
+
+// StatSnapshot is the externally visible view of one endpoint's counters.
+type StatSnapshot struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// snapshot computes the current counters and latency percentiles.
+func (s *opStats) snapshot(scratch []int64) StatSnapshot {
+	out := StatSnapshot{Requests: s.count.Load(), Errors: s.errs.Load()}
+	scratch = scratch[:0]
+	for i := range s.ring {
+		if v := s.ring[i].Load(); v != 0 {
+			scratch = append(scratch, v)
+		}
+	}
+	if len(scratch) == 0 {
+		return out
+	}
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	out.P50ms = float64(scratch[len(scratch)/2]) / 1e6
+	out.P99ms = float64(scratch[(len(scratch)*99)/100]) / 1e6
+	return out
+}

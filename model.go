@@ -2,67 +2,313 @@ package spca
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
+	"spca/internal/checkpoint"
 	"spca/internal/matrix"
 )
 
-// Model persistence: a fitted PCA model (components, mean, noise variance)
-// saved as a small self-describing text file, so a model trained once can
-// be reused for Transform/Reconstruct without re-fitting. The format is
+// ErrDimMismatch is the typed sentinel under every projection-shape error:
+// Transform/Reconstruct/ExplainedVariance inputs whose dimensions do not
+// match the model's. Matchable with errors.Is.
+var ErrDimMismatch = errors.New("spca: input dimensions do not match the model")
+
+// Model is a fitted PCA model — the projection surface every consumer
+// (Result, the model files, the serving registry, spcad) shares. It holds
+// exactly the state projection needs: the principal directions, the
+// centering mean, PPCA's noise variance, the spectrum when the algorithm
+// computed one, and the seed the fit ran with (so a background re-fit can
+// reproduce or perturb the original draw).
 //
-//	spcamodel 1
+// A Model is immutable once in use: Transform caches the projection operator
+// on first call, and concurrent Transforms after that are safe and
+// allocation-free (the serving layer depends on both properties). Mutate the
+// exported fields only before the first projection.
+type Model struct {
+	// Algorithm that produced this model.
+	Algorithm Algorithm
+	// Components holds the d principal directions as columns (D x d).
+	Components *Dense
+	// Mean is the column-mean vector the model centers with (length D).
+	Mean []float64
+	// NoiseVariance is PPCA's fitted ss (zero for the baselines). It selects
+	// the projection: zero (or an orthonormal basis) projects orthogonally,
+	// non-zero applies the PPCA posterior map C·(CᵀC + ss·I)⁻¹.
+	NoiseVariance float64
+	// SingularValues holds the estimated singular values of the centered
+	// data for the SVD-flavoured algorithms (RSVD family, MahoutPCA); nil
+	// for the EM family, which does not compute a spectrum.
+	SingularValues []float64
+	// Seed is the RNG seed of the fit that produced the model (zero for
+	// models loaded from version-1 files, which predate the field).
+	Seed uint64
+
+	orthonormal bool // baselines produce orthonormal components
+
+	// proj caches the projection operator (and the mean's image under it)
+	// after the first Transform. Computed at most once per distinct winner of
+	// the CAS; losers discard their copy, so every reader sees one coherent
+	// pair and steady-state projection allocates nothing.
+	proj atomic.Pointer[projection]
+}
+
+// projection is the cached linear map a Transform applies: p is C for
+// orthogonal models or C·M⁻¹ for PPCA posterior-mean models, and meanP is
+// meanᵀ·p, the row subtracted to center via mean propagation.
+type projection struct {
+	p     *Dense
+	meanP []float64
+}
+
+// Dims returns the model's data dimensionality D and latent rank d.
+func (m *Model) Dims() (dims, d int) { return m.Components.R, m.Components.C }
+
+// projection returns the cached projection operator, computing it on first
+// use. The computation replicates ppca's latentMap operations exactly, so
+// projecting through the cache is bit-identical to the historical
+// Result.Transform path.
+func (m *Model) projection() (*projection, error) {
+	if pr := m.proj.Load(); pr != nil {
+		return pr, nil
+	}
+	p := m.Components
+	if !m.orthonormal && m.NoiseVariance != 0 {
+		mm := m.Components.MulT(m.Components).AddScaledIdentity(m.NoiseVariance)
+		minv, err := matrix.Inverse(mm)
+		if err != nil {
+			return nil, fmt.Errorf("spca: M = CᵀC+ss·I singular: %w", err)
+		}
+		p = m.Components.Mul(minv)
+	}
+	pr := &projection{p: p, meanP: matrix.MeanMulInto(m.Mean, p, make([]float64, p.C))}
+	m.proj.CompareAndSwap(nil, pr)
+	return m.proj.Load(), nil
+}
+
+// Transform projects rows of y onto the fitted components. For PPCA-family
+// models this is the posterior-mean latent position; for the baselines it is
+// the orthogonal projection (Y - mean) * C. It allocates the output and
+// delegates to TransformInto.
+func (m *Model) Transform(y *Sparse) (*Dense, error) {
+	if y.C != m.Components.R {
+		return nil, fmt.Errorf("%w: Transform input has %d columns, model expects %d", ErrDimMismatch, y.C, m.Components.R)
+	}
+	return m.transformInto(matrix.NewDense(y.R, m.Components.C), y)
+}
+
+// TransformInto projects rows of y into dst (dims y.R x d), overwriting it.
+// After the first call on a model the projection operator is cached and the
+// call performs no allocation — the form the serving hot path batches into.
+func (m *Model) TransformInto(dst *Dense, y *Sparse) (*Dense, error) {
+	if y.C != m.Components.R {
+		return nil, fmt.Errorf("%w: Transform input has %d columns, model expects %d", ErrDimMismatch, y.C, m.Components.R)
+	}
+	if dst.R != y.R || dst.C != m.Components.C {
+		return nil, fmt.Errorf("%w: Transform dst is %dx%d, want %dx%d", ErrDimMismatch, dst.R, dst.C, y.R, m.Components.C)
+	}
+	return m.transformInto(dst, y)
+}
+
+func (m *Model) transformInto(dst *Dense, y *Sparse) (*Dense, error) {
+	pr, err := m.projection()
+	if err != nil {
+		return nil, err
+	}
+	return y.CenteredMulDenseInto(pr.p, dst, pr.meanP), nil
+}
+
+// TransformDense is Transform for a dense input matrix.
+func (m *Model) TransformDense(y *Dense) (*Dense, error) {
+	if y.C != m.Components.R {
+		return nil, fmt.Errorf("%w: Transform input has %d columns, model expects %d", ErrDimMismatch, y.C, m.Components.R)
+	}
+	return m.TransformDenseInto(matrix.NewDense(y.R, m.Components.C), y)
+}
+
+// TransformDenseInto is TransformInto for a dense input matrix: one MulInto
+// plus a demeaning pass, allocation-free after the projection cache warms.
+// The serving batcher coalesces whole micro-batches into single calls here.
+func (m *Model) TransformDenseInto(dst, y *Dense) (*Dense, error) {
+	if y.C != m.Components.R {
+		return nil, fmt.Errorf("%w: Transform input has %d columns, model expects %d", ErrDimMismatch, y.C, m.Components.R)
+	}
+	if dst.R != y.R || dst.C != m.Components.C {
+		return nil, fmt.Errorf("%w: Transform dst is %dx%d, want %dx%d", ErrDimMismatch, dst.R, dst.C, y.R, m.Components.C)
+	}
+	pr, err := m.projection()
+	if err != nil {
+		return nil, err
+	}
+	return y.CenteredMulInto(pr.p, dst, pr.meanP), nil
+}
+
+// Reconstruct maps latent positions back to data space: X*Cᵀ + mean. It
+// allocates the output and delegates to ReconstructInto.
+func (m *Model) Reconstruct(x *Dense) (*Dense, error) {
+	if x.C != m.Components.C {
+		return nil, fmt.Errorf("%w: Reconstruct input has %d columns, model has %d components", ErrDimMismatch, x.C, m.Components.C)
+	}
+	return m.ReconstructInto(matrix.NewDense(x.R, m.Components.R), x)
+}
+
+// ReconstructInto maps latent positions back to data space into dst (dims
+// x.R x D), overwriting it. Allocation-free.
+func (m *Model) ReconstructInto(dst, x *Dense) (*Dense, error) {
+	if x.C != m.Components.C {
+		return nil, fmt.Errorf("%w: Reconstruct input has %d columns, model has %d components", ErrDimMismatch, x.C, m.Components.C)
+	}
+	if dst.R != x.R || dst.C != m.Components.R {
+		return nil, fmt.Errorf("%w: Reconstruct dst is %dx%d, want %dx%d", ErrDimMismatch, dst.R, dst.C, x.R, m.Components.R)
+	}
+	return x.MulBTAddRowInto(m.Components, dst, m.Mean), nil
+}
+
+// ExplainedVariance returns, for each component, the fraction of the total
+// centered variance of y that projecting onto the fitted components
+// explains (cumulative over components, ending at the fraction the whole
+// rank-d model captures).
+func (m *Model) ExplainedVariance(y *Sparse) ([]float64, error) {
+	if y.C != m.Components.R {
+		return nil, fmt.Errorf("%w: ExplainedVariance input has %d columns, model expects %d", ErrDimMismatch, y.C, m.Components.R)
+	}
+	total := y.CenteredFrobeniusSq(m.Mean)
+	if total == 0 {
+		return make([]float64, m.Components.C), nil
+	}
+	// Orthonormalize so per-component energies are well defined.
+	q := m.Components.Clone()
+	matrix.GramSchmidt(q)
+	// Energy along component k: ‖Yc·q_k‖².
+	out := make([]float64, q.C)
+	proj := y.CenteredMulDense(m.Mean, q)
+	var cum float64
+	for k := 0; k < q.C; k++ {
+		var e float64
+		for i := 0; i < proj.R; i++ {
+			v := proj.At(i, k)
+			e += v * v
+		}
+		cum += e / total
+		out[k] = cum
+	}
+	return out, nil
+}
+
+// Model persistence: a fitted model saved as a small self-describing text
+// file, so a model trained once can be served or reused without re-fitting.
+// Version 2 follows the internal/checkpoint snapshot discipline — every
+// float rendered with strconv.FormatFloat(v, 'g', -1, 64), which round-trips
+// every float64 exactly, and an FNV-64a "checksum" trailer verified before
+// any field is parsed — so Save/LoadModel round-trips are bit-identical and
+// a torn write or flipped bit is detected up front. The format is
+//
+//	spcamodel 2
 //	algorithm <name>
 //	orthonormal <bool>
+//	seed <uint64>
 //	noise <float>
 //	mean <D space-separated floats>
+//	singular <floats>     (only when the model has a spectrum)
 //	components            (followed by a dmx dense matrix)
 //	dmx D d
 //	...
+//	checksum <16 hex digits>
+//
+// Version-1 files (no seed, no singular section, no trailer) remain
+// readable.
+const (
+	modelMagic   = "spcamodel"
+	modelVersion = 2
+)
 
-const modelMagic = "spcamodel 1"
-
-// SaveModel writes the fitted model to w.
-func (r *Result) SaveModel(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, modelMagic)
-	fmt.Fprintf(bw, "algorithm %s\n", r.Algorithm)
-	fmt.Fprintf(bw, "orthonormal %v\n", r.orthonormal)
-	fmt.Fprintf(bw, "noise %s\n", strconv.FormatFloat(r.NoiseVariance, 'g', -1, 64))
+// Save writes the model to w. The output is byte-deterministic for equal
+// models, the property the registry's golden fingerprints pin.
+func (m *Model) Save(w io.Writer) error {
+	tw := checkpoint.NewTrailerWriter(w)
+	bw := bufio.NewWriter(tw)
+	fmt.Fprintf(bw, "%s %d\n", modelMagic, modelVersion)
+	fmt.Fprintf(bw, "algorithm %s\n", m.Algorithm)
+	fmt.Fprintf(bw, "orthonormal %v\n", m.orthonormal)
+	fmt.Fprintf(bw, "seed %d\n", m.Seed)
+	fmt.Fprintf(bw, "noise %s\n", strconv.FormatFloat(m.NoiseVariance, 'g', -1, 64))
 	fmt.Fprint(bw, "mean")
-	for _, v := range r.Mean {
+	for _, v := range m.Mean {
 		fmt.Fprintf(bw, " %s", strconv.FormatFloat(v, 'g', -1, 64))
 	}
 	fmt.Fprintln(bw)
+	if len(m.SingularValues) > 0 {
+		fmt.Fprint(bw, "singular")
+		for _, v := range m.SingularValues {
+			fmt.Fprintf(bw, " %s", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintln(bw)
+	}
 	fmt.Fprintln(bw, "components")
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return matrix.WriteDense(w, r.Components)
+	if err := matrix.WriteDense(tw, m.Components); err != nil {
+		return err
+	}
+	return tw.WriteTrailer()
 }
 
-// SaveModelFile writes the fitted model to path.
-func (r *Result) SaveModelFile(path string) error {
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := r.SaveModel(f); err != nil {
+	if err := m.Save(f); err != nil {
 		return err
 	}
 	return f.Close()
 }
 
-// LoadModel reads a model previously written with SaveModel. The returned
-// Result supports Transform, Reconstruct and ExplainedVariance; its History
-// and Metrics are empty (they belong to the fitting run, not the model).
-func LoadModel(r io.Reader) (*Result, error) {
-	br := bufio.NewReader(r)
+// SaveModel writes the fitted model to w.
+//
+// Deprecated: use Model.Save (promoted through Result).
+func (m *Model) SaveModel(w io.Writer) error { return m.Save(w) }
+
+// SaveModelFile writes the fitted model to path.
+//
+// Deprecated: use Model.SaveFile (promoted through Result).
+func (m *Model) SaveModelFile(path string) error { return m.SaveFile(path) }
+
+// LoadModel reads a model previously written with Save. The returned Model
+// supports Transform, Reconstruct and ExplainedVariance; fit history and
+// metrics belong to the fitting run's Result, not the model.
+func LoadModel(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("spca: reading model: %w", err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("spca: not a model file (no header)")
+	}
+	var ver int
+	if _, err := fmt.Sscanf(string(data[:nl]), modelMagic+" %d", &ver); err != nil {
+		return nil, fmt.Errorf("spca: not a model file (header %q)", string(data[:nl]))
+	}
+	if ver < 1 || ver > modelVersion {
+		return nil, fmt.Errorf("spca: unsupported model version %d (have %d)", ver, modelVersion)
+	}
+	body := data
+	if ver >= 2 {
+		if body, err = checkpoint.VerifyTrailer(data); err != nil {
+			return nil, fmt.Errorf("spca: corrupt model file: %w", err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(body))
 	line := func() (string, error) {
 		s, err := br.ReadString('\n')
 		if err != nil && s == "" {
@@ -70,11 +316,10 @@ func LoadModel(r io.Reader) (*Result, error) {
 		}
 		return strings.TrimRight(s, "\n"), nil
 	}
-	header, err := line()
-	if err != nil || header != modelMagic {
-		return nil, fmt.Errorf("spca: not a model file (header %q)", header)
+	if _, err := line(); err != nil { // header, already parsed
+		return nil, fmt.Errorf("spca: truncated model: %w", err)
 	}
-	res := &Result{}
+	m := &Model{}
 	for {
 		l, err := line()
 		if err != nil {
@@ -82,36 +327,52 @@ func LoadModel(r io.Reader) (*Result, error) {
 		}
 		switch {
 		case strings.HasPrefix(l, "algorithm "):
-			res.Algorithm = Algorithm(strings.TrimPrefix(l, "algorithm "))
+			m.Algorithm = Algorithm(strings.TrimPrefix(l, "algorithm "))
 		case strings.HasPrefix(l, "orthonormal "):
-			res.orthonormal = strings.TrimPrefix(l, "orthonormal ") == "true"
+			m.orthonormal = strings.TrimPrefix(l, "orthonormal ") == "true"
+		case strings.HasPrefix(l, "seed "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(l, "seed "), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("spca: bad seed line: %w", err)
+			}
+			m.Seed = v
 		case strings.HasPrefix(l, "noise "):
 			v, err := strconv.ParseFloat(strings.TrimPrefix(l, "noise "), 64)
 			if err != nil {
 				return nil, fmt.Errorf("spca: bad noise line: %w", err)
 			}
-			res.NoiseVariance = v
+			m.NoiseVariance = v
+		case strings.HasPrefix(l, "singular"):
+			fields := strings.Fields(strings.TrimPrefix(l, "singular"))
+			m.SingularValues = make([]float64, len(fields))
+			for i, f := range fields {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("spca: bad singular entry: %w", err)
+				}
+				m.SingularValues[i] = v
+			}
 		case strings.HasPrefix(l, "mean"):
 			fields := strings.Fields(strings.TrimPrefix(l, "mean"))
-			res.Mean = make([]float64, len(fields))
+			m.Mean = make([]float64, len(fields))
 			for i, f := range fields {
 				v, err := strconv.ParseFloat(f, 64)
 				if err != nil {
 					return nil, fmt.Errorf("spca: bad mean entry: %w", err)
 				}
-				res.Mean[i] = v
+				m.Mean[i] = v
 			}
 		case l == "components":
 			comps, err := matrix.ReadDense(br)
 			if err != nil {
 				return nil, fmt.Errorf("spca: bad components: %w", err)
 			}
-			res.Components = comps
-			if len(res.Mean) != comps.R {
+			m.Components = comps
+			if len(m.Mean) != comps.R {
 				return nil, fmt.Errorf("spca: model mean length %d != components rows %d",
-					len(res.Mean), comps.R)
+					len(m.Mean), comps.R)
 			}
-			return res, nil
+			return m, nil
 		default:
 			return nil, fmt.Errorf("spca: unexpected model line %q", l)
 		}
@@ -119,7 +380,7 @@ func LoadModel(r io.Reader) (*Result, error) {
 }
 
 // LoadModelFile reads a model from path.
-func LoadModelFile(path string) (*Result, error) {
+func LoadModelFile(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -2,9 +2,12 @@ package spca
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spca/internal/matrix"
 )
 
 func TestModelRoundTrip(t *testing.T) {
@@ -87,5 +90,149 @@ func TestLoadModelErrors(t *testing.T) {
 	}
 	if _, err := LoadModelFile("/nonexistent/model"); err == nil {
 		t.Fatal("expected error for missing file")
+	}
+}
+
+// fnv64a fingerprints a byte stream the same way the snapshot trailer does.
+func fnv64a(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TestModelGoldenFingerprint pins the serialized bytes of a fixed fit: the
+// model format, the exact-float rendering, and the fit's bit-reproducibility
+// all feed one FNV-64a fingerprint. If this changes, either the numerics or
+// the file format drifted — both are contract breaks for the registry, whose
+// persisted generations must reload bit-identically across daemon versions.
+func TestModelGoldenFingerprint(t *testing.T) {
+	y := smallDataset(t)
+	res, err := Fit(y, Config{Algorithm: SPCASpark, Components: 3, MaxIter: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = uint64(0xafa1d299771d97db)
+	got := fnv64a(buf.Bytes())
+	if got != golden {
+		t.Fatalf("model fingerprint %#016x, golden %#016x", got, golden)
+	}
+	// Save twice: byte determinism is what makes the fingerprint meaningful.
+	var buf2 bytes.Buffer
+	if err := res.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("Save is not byte-deterministic")
+	}
+	t.Logf("fingerprint %#016x", got)
+}
+
+// TestModelTransformIntoParity checks the in-place forms against their
+// allocating counterparts bit for bit, for both the posterior (PPCA) and
+// orthonormal (baseline) projection paths, sparse and dense inputs.
+func TestModelTransformIntoParity(t *testing.T) {
+	y := smallDataset(t)
+	for _, alg := range []Algorithm{SPCASpark, MLlibPCA} {
+		res, err := Fit(y, Config{Algorithm: alg, Components: 3, MaxIter: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &res.Model
+		want, err := m.Transform(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := matrix.NewDense(y.R, 3)
+		if _, err := m.TransformInto(dst, y); err != nil {
+			t.Fatal(err)
+		}
+		if dst.MaxAbsDiff(want) != 0 {
+			t.Fatalf("%s: TransformInto differs from Transform", alg)
+		}
+		// Repeat into the same dst: overwrite semantics, identical bytes.
+		if _, err := m.TransformInto(dst, y); err != nil {
+			t.Fatal(err)
+		}
+		if dst.MaxAbsDiff(want) != 0 {
+			t.Fatalf("%s: second TransformInto differs", alg)
+		}
+		// Dense overload.
+		yd := y.Dense()
+		wantD, err := m.TransformDense(yd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantD.MaxAbsDiff(want) != 0 {
+			t.Fatalf("%s: dense and sparse transforms differ", alg)
+		}
+		if _, err := m.TransformDenseInto(dst, yd); err != nil {
+			t.Fatal(err)
+		}
+		if dst.MaxAbsDiff(want) != 0 {
+			t.Fatalf("%s: TransformDenseInto differs", alg)
+		}
+		// ReconstructInto parity.
+		rec, err := m.Reconstruct(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recDst := matrix.NewDense(y.R, y.C)
+		if _, err := m.ReconstructInto(recDst, want); err != nil {
+			t.Fatal(err)
+		}
+		if recDst.MaxAbsDiff(rec) != 0 {
+			t.Fatalf("%s: ReconstructInto differs from Reconstruct", alg)
+		}
+		// Wrong dst shapes are typed dimension errors, not corruption.
+		if _, err := m.TransformInto(matrix.NewDense(y.R, 5), y); !errors.Is(err, ErrDimMismatch) {
+			t.Fatalf("%s: bad dst error = %v, want ErrDimMismatch", alg, err)
+		}
+	}
+}
+
+// TestReconstructDimMismatch pins the fix for Reconstruct silently accepting
+// latent matrices of the wrong width: the error is typed and the input is
+// not touched.
+func TestReconstructDimMismatch(t *testing.T) {
+	y := smallDataset(t)
+	res, err := Fit(y, Config{Algorithm: SPCASpark, Components: 3, MaxIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := matrix.NewDense(4, 5) // model has 3 components
+	if _, err := res.Reconstruct(bad); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("Reconstruct(wrong width) error = %v, want ErrDimMismatch", err)
+	}
+	if _, err := res.Transform(matrix.NewSparse(3, 7)); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("Transform(wrong width) error = %v, want ErrDimMismatch", err)
+	}
+	if _, err := res.ExplainedVariance(matrix.NewSparse(3, 7)); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("ExplainedVariance(wrong width) error = %v, want ErrDimMismatch", err)
+	}
+}
+
+// TestModelCorruptionDetected flips one byte of a saved model and checks the
+// checksum trailer rejects it with the snapshot-corruption sentinel.
+func TestModelCorruptionDetected(t *testing.T) {
+	y := smallDataset(t)
+	res, err := Fit(y, Config{Algorithm: SPCASpark, Components: 2, MaxIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x20
+	if _, err := LoadModel(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupt model error = %v, want ErrBadSnapshot", err)
 	}
 }

@@ -360,20 +360,13 @@ type Config struct {
 	PowerIterations int
 }
 
-// Result is the unified output of Fit.
+// Result is the unified output of Fit. It embeds the fitted Model — the
+// projection surface shared with the model files and the serving registry —
+// and adds the run-scoped outputs: error history, cluster metrics, and the
+// collected trace. Transform, Reconstruct, ExplainedVariance, and Save are
+// the embedded Model's methods.
 type Result struct {
-	// Algorithm that produced this result.
-	Algorithm Algorithm
-	// Components holds the d principal directions as columns (D x d).
-	Components *Dense
-	// Mean is the column-mean vector.
-	Mean []float64
-	// NoiseVariance is PPCA's fitted ss (zero for the baselines).
-	NoiseVariance float64
-	// SingularValues holds the estimated singular values of the centered
-	// data for the SVD-flavoured algorithms (RSVD family, MahoutPCA); nil
-	// for the EM family, which does not compute a spectrum.
-	SingularValues []float64
+	Model
 	// Err is the final sampled relative 1-norm reconstruction error.
 	Err float64
 	// Iterations counts refinement rounds.
@@ -393,7 +386,6 @@ type Result struct {
 	// parents — with timestamps on the simulated clock.
 	Trace *Trace
 
-	orthonormal bool // baselines produce orthonormal components
 	// phases is the final incarnation's phase-log summary, the Summary
 	// fallback when no trace was collected.
 	phases []cluster.PhaseSummary
@@ -425,63 +417,6 @@ func (r *Result) Summary() []PhaseSummary {
 		return out
 	}
 	return r.phases
-}
-
-// Transform projects rows of y onto the fitted components. For PPCA-family
-// results this is the posterior-mean latent position; for the baselines it
-// is the orthogonal projection (Y - mean) * C.
-func (r *Result) Transform(y *Sparse) (*Dense, error) {
-	if y.C != r.Components.R {
-		return nil, fmt.Errorf("spca: Transform dims %d vs model %d", y.C, r.Components.R)
-	}
-	if r.orthonormal || r.NoiseVariance == 0 {
-		return y.CenteredMulDense(r.Mean, r.Components), nil
-	}
-	p := &ppca.Result{Components: r.Components, Mean: r.Mean, SS: r.NoiseVariance}
-	return p.Transform(y)
-}
-
-// ExplainedVariance returns, for each component, the fraction of the total
-// centered variance of y that projecting onto the fitted components
-// explains (cumulative over components, ending at the fraction the whole
-// rank-d model captures).
-func (r *Result) ExplainedVariance(y *Sparse) ([]float64, error) {
-	if y.C != r.Components.R {
-		return nil, fmt.Errorf("spca: ExplainedVariance dims %d vs model %d", y.C, r.Components.R)
-	}
-	total := y.CenteredFrobeniusSq(r.Mean)
-	if total == 0 {
-		return make([]float64, r.Components.C), nil
-	}
-	// Orthonormalize so per-component energies are well defined.
-	q := r.Components.Clone()
-	matrix.GramSchmidt(q)
-	// Energy along component k: ‖Yc·q_k‖².
-	out := make([]float64, q.C)
-	proj := y.CenteredMulDense(r.Mean, q)
-	var cum float64
-	for k := 0; k < q.C; k++ {
-		var e float64
-		for i := 0; i < proj.R; i++ {
-			v := proj.At(i, k)
-			e += v * v
-		}
-		cum += e / total
-		out[k] = cum
-	}
-	return out, nil
-}
-
-// Reconstruct maps latent positions back to data space: X*Cᵀ + mean.
-func (r *Result) Reconstruct(x *Dense) *Dense {
-	out := x.MulBT(r.Components)
-	for i := 0; i < out.R; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] += r.Mean[j]
-		}
-	}
-	return out
 }
 
 func (c ClusterConfig) build(alg Algorithm) cluster.Config {
@@ -604,7 +539,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return attachTrace(fromPPCA(cfg.Algorithm, res), col), nil
+		return attachTrace(fromPPCA(cfg.Algorithm, cfg.Seed, res), col), nil
 
 	case SPCAMapReduce:
 		opt := cfg.ppcaOptions(y)
@@ -620,7 +555,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return attachTrace(fromPPCA(cfg.Algorithm, res), col), nil
+		return attachTrace(fromPPCA(cfg.Algorithm, cfg.Seed, res), col), nil
 
 	case SPCASpark:
 		opt := cfg.ppcaOptions(y)
@@ -636,7 +571,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return attachTrace(fromPPCA(cfg.Algorithm, res), col), nil
+		return attachTrace(fromPPCA(cfg.Algorithm, cfg.Seed, res), col), nil
 
 	case RSVDMapReduce:
 		opt := cfg.rsvdOptions(y)
@@ -652,7 +587,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return attachTrace(fromRSVD(cfg.Algorithm, res), col), nil
+		return attachTrace(fromRSVD(cfg.Algorithm, cfg.Seed, res), col), nil
 
 	case RSVDSpark:
 		opt := cfg.rsvdOptions(y)
@@ -668,7 +603,7 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return attachTrace(fromRSVD(cfg.Algorithm, res), col), nil
+		return attachTrace(fromRSVD(cfg.Algorithm, cfg.Seed, res), col), nil
 
 	case MahoutPCA:
 		cl, err := cfg.newCluster(intr)
@@ -694,14 +629,17 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			return nil, normalizeInterrupt(err)
 		}
 		out := &Result{
-			Algorithm:      cfg.Algorithm,
-			Components:     res.Components,
-			Mean:           y.ColMeans(),
-			SingularValues: res.Singular,
-			Iterations:     res.Iterations,
-			Metrics:        res.Metrics,
-			orthonormal:    true,
-			phases:         res.Phases,
+			Model: Model{
+				Algorithm:      cfg.Algorithm,
+				Components:     res.Components,
+				Mean:           y.ColMeans(),
+				SingularValues: res.Singular,
+				Seed:           cfg.Seed,
+				orthonormal:    true,
+			},
+			Iterations: res.Iterations,
+			Metrics:    res.Metrics,
+			phases:     res.Phases,
 		}
 		for _, h := range res.History {
 			out.History = append(out.History, IterationStat{
@@ -726,17 +664,20 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			return nil, normalizeInterrupt(err)
 		}
 		return attachTrace(&Result{
-			Algorithm:  cfg.Algorithm,
-			Components: res.Components,
-			Mean:       y.ColMeans(),
+			Model: Model{
+				Algorithm:   cfg.Algorithm,
+				Components:  res.Components,
+				Mean:        y.ColMeans(),
+				Seed:        cfg.Seed,
+				orthonormal: true,
+			},
 			Err:        res.Err,
 			Iterations: 1,
 			History: []IterationStat{{
 				Iter: 1, Err: res.Err, SimSeconds: res.Metrics.SimSeconds,
 			}},
-			Metrics:     res.Metrics,
-			orthonormal: true,
-			phases:      res.Phases,
+			Metrics: res.Metrics,
+			phases:  res.Phases,
 		}, col), nil
 
 	case SVDBidiag:
@@ -752,17 +693,20 @@ func Fit(y *Sparse, cfg Config) (*Result, error) {
 			return nil, normalizeInterrupt(err)
 		}
 		return attachTrace(&Result{
-			Algorithm:  cfg.Algorithm,
-			Components: res.Components,
-			Mean:       y.ColMeans(),
+			Model: Model{
+				Algorithm:   cfg.Algorithm,
+				Components:  res.Components,
+				Mean:        y.ColMeans(),
+				Seed:        cfg.Seed,
+				orthonormal: true,
+			},
 			Err:        res.Err,
 			Iterations: 1,
 			History: []IterationStat{{
 				Iter: 1, Err: res.Err, SimSeconds: res.Metrics.SimSeconds,
 			}},
-			Metrics:     res.Metrics,
-			orthonormal: true,
-			phases:      res.Phases,
+			Metrics: res.Metrics,
+			phases:  res.Phases,
 		}, col), nil
 
 	default:
@@ -1014,16 +958,19 @@ func (c Config) rsvdOptions(y *Sparse) rsvd.Options {
 	return opt
 }
 
-func fromRSVD(alg Algorithm, res *rsvd.Result) *Result {
+func fromRSVD(alg Algorithm, seed uint64, res *rsvd.Result) *Result {
 	out := &Result{
-		Algorithm:      alg,
-		Components:     res.Components,
-		Mean:           res.Mean,
-		SingularValues: res.Singular,
-		Iterations:     res.Iterations,
-		Metrics:        res.Metrics,
-		orthonormal:    true,
-		phases:         res.Phases,
+		Model: Model{
+			Algorithm:      alg,
+			Components:     res.Components,
+			Mean:           res.Mean,
+			SingularValues: res.Singular,
+			Seed:           seed,
+			orthonormal:    true,
+		},
+		Iterations: res.Iterations,
+		Metrics:    res.Metrics,
+		phases:     res.Phases,
 	}
 	for _, h := range res.History {
 		out.History = append(out.History, IterationStat{
@@ -1067,15 +1014,18 @@ func (c Config) ppcaOptions(y *Sparse) ppca.Options {
 	return opt
 }
 
-func fromPPCA(alg Algorithm, res *ppca.Result) *Result {
+func fromPPCA(alg Algorithm, seed uint64, res *ppca.Result) *Result {
 	out := &Result{
-		Algorithm:     alg,
-		Components:    res.Components,
-		Mean:          res.Mean,
-		NoiseVariance: res.SS,
-		Iterations:    res.Iterations,
-		Metrics:       res.Metrics,
-		phases:        res.Phases,
+		Model: Model{
+			Algorithm:     alg,
+			Components:    res.Components,
+			Mean:          res.Mean,
+			NoiseVariance: res.SS,
+			Seed:          seed,
+		},
+		Iterations: res.Iterations,
+		Metrics:    res.Metrics,
+		phases:     res.Phases,
 	}
 	for _, h := range res.History {
 		out.History = append(out.History, IterationStat{
@@ -1166,7 +1116,7 @@ func FitStreamFileConfig(path string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := attachTrace(fromPPCA(LocalPPCA, res), col)
+	out := attachTrace(fromPPCA(LocalPPCA, cfg.Seed, res), col)
 	out.SkippedRecords = src.Skipped()
 	return out, nil
 }

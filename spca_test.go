@@ -125,7 +125,10 @@ func TestTransformAndReconstruct(t *testing.T) {
 		if x.R != y.R || x.C != 3 {
 			t.Fatalf("%s: latent %dx%d", alg, x.R, x.C)
 		}
-		recon := res.Reconstruct(x)
+		recon, err := res.Reconstruct(x)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rel := recon.Sub(y.Dense()).Norm1() / y.Dense().Norm1()
 		if rel > 0.3 {
 			t.Fatalf("%s: reconstruction error %v", alg, rel)
